@@ -1,0 +1,173 @@
+//! Diversity-aware top-k keyword query (the "DIV" baseline of §5.2).
+
+use ksir_text::{cosine_sparse, TfIdfModel, TfIdfVector};
+use ksir_types::{Document, ElementId};
+
+use crate::pool::{RankedResult, SearchPool};
+
+/// Diversity-aware keyword search (Chen & Cong, SIGMOD'15 style).
+///
+/// Given a keyword query `q` and a candidate set `S`, the objective is
+///
+/// ```text
+/// score(q, S) = λ · Σ_{e∈S} rel(q, e) + (1 − λ) · div(S)
+/// ```
+///
+/// where `rel` is TF-IDF cosine relevance and `div(S)` is the average
+/// pairwise dissimilarity (`1 − cosine`) between the selected elements.  The
+/// paper follows the original work and sets `λ = 0.3`.  The objective is
+/// maximised greedily, which is the standard approach for this family of
+/// relevance/diversity trade-offs.
+#[derive(Debug, Clone, Copy)]
+pub struct DivSearcher {
+    lambda: f64,
+}
+
+impl Default for DivSearcher {
+    fn default() -> Self {
+        DivSearcher { lambda: 0.3 }
+    }
+}
+
+impl DivSearcher {
+    /// Creates a searcher with the paper's default `λ = 0.3`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the relevance/diversity trade-off `λ ∈ [0, 1]` (values
+    /// outside the range are clamped).
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The relevance/diversity trade-off in use.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Greedily selects `k` elements maximising the relevance + diversity
+    /// objective.  Only elements with non-zero relevance are eligible.
+    pub fn search(&self, keywords: &Document, pool: &SearchPool, k: usize) -> Vec<RankedResult> {
+        let model = TfIdfModel::from_documents(pool.iter().map(|i| &i.doc));
+        let query_vec = model.vectorize(keywords);
+
+        // Pre-vectorise the candidates and drop irrelevant ones.
+        let candidates: Vec<(ElementId, TfIdfVector, f64)> = pool
+            .iter()
+            .map(|item| {
+                let v = model.vectorize(&item.doc);
+                let rel = cosine_sparse(&query_vec, &v);
+                (item.id, v, rel)
+            })
+            .filter(|(_, _, rel)| *rel > 0.0)
+            .collect();
+
+        let mut selected: Vec<usize> = Vec::new();
+        let mut results = Vec::new();
+        while results.len() < k && selected.len() < candidates.len() {
+            let mut best: Option<(usize, f64)> = None;
+            for (idx, (_, vec, rel)) in candidates.iter().enumerate() {
+                if selected.contains(&idx) {
+                    continue;
+                }
+                // Marginal value of adding this candidate: its relevance plus
+                // the increase in average pairwise dissimilarity.
+                let dissim: f64 = selected
+                    .iter()
+                    .map(|&s| 1.0 - cosine_sparse(vec, &candidates[s].1))
+                    .sum();
+                let value = self.lambda * rel + (1.0 - self.lambda) * dissim;
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => value > b,
+                };
+                if better {
+                    best = Some((idx, value));
+                }
+            }
+            let Some((idx, value)) = best else { break };
+            selected.push(idx);
+            results.push(RankedResult {
+                id: candidates[idx].0,
+                score: value,
+            });
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::SearchItem;
+    use ksir_types::{TopicVector, WordId};
+
+    fn doc(words: &[u32]) -> Document {
+        Document::from_tokens(words.iter().map(|&w| WordId(w)))
+    }
+
+    fn pool() -> SearchPool {
+        // Elements 1 and 2 are near-duplicates; 3 overlaps the query but is
+        // different from 1/2; 4 is off-topic.
+        let items = vec![
+            (1, vec![0, 1, 2]),
+            (2, vec![0, 1, 2]),
+            (3, vec![0, 5, 6]),
+            (4, vec![8, 9]),
+        ];
+        items
+            .into_iter()
+            .map(|(id, ws)| SearchItem {
+                id: ElementId(id),
+                doc: doc(&ws),
+                topic_vector: TopicVector::uniform(2),
+                refs: Vec::new(),
+                referenced_by: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefers_diverse_results_over_duplicates() {
+        let searcher = DivSearcher::new();
+        let results = searcher.search(&doc(&[0, 1]), &pool(), 2);
+        assert_eq!(results.len(), 2);
+        let ids: Vec<u64> = results.iter().map(|r| r.id.raw()).collect();
+        // One of the duplicates plus the diverse element 3, never both
+        // duplicates together.
+        assert!(ids.contains(&3), "diverse element expected, got {ids:?}");
+        assert!(!(ids.contains(&1) && ids.contains(&2)));
+    }
+
+    #[test]
+    fn pure_relevance_with_lambda_one() {
+        let searcher = DivSearcher::new().with_lambda(1.0);
+        assert_eq!(searcher.lambda(), 1.0);
+        let results = searcher.search(&doc(&[0, 1]), &pool(), 2);
+        let ids: Vec<u64> = results.iter().map(|r| r.id.raw()).collect();
+        // With diversity switched off the two near-duplicates win.
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn irrelevant_elements_are_excluded() {
+        let searcher = DivSearcher::new();
+        let results = searcher.search(&doc(&[0]), &pool(), 10);
+        assert!(results.iter().all(|r| r.id != ElementId(4)));
+    }
+
+    #[test]
+    fn lambda_is_clamped() {
+        assert_eq!(DivSearcher::new().with_lambda(7.0).lambda(), 1.0);
+        assert_eq!(DivSearcher::new().with_lambda(-3.0).lambda(), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let searcher = DivSearcher::new();
+        assert!(searcher.search(&doc(&[0]), &SearchPool::new(), 2).is_empty());
+        assert!(searcher.search(&Document::new(), &pool(), 2).is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # ksir-baselines
+//!
+//! The *effectiveness* baselines the paper compares the k-SIR query against
+//! in §5.2 (Tables 5 and 6):
+//!
+//! * [`TfIdfSearcher`] — top-k keyword query ranked by log-normalised TF-IDF
+//!   cosine similarity,
+//! * [`DivSearcher`] — diversity-aware top-k keyword query (Chen & Cong,
+//!   SIGMOD'15 style): a trade-off between relevance and average pairwise
+//!   dissimilarity, maximised greedily,
+//! * [`SumblrSummarizer`] — a Sumblr-style stream summariser: keyword
+//!   filtering, k-means clustering of TF-IDF vectors, and a centrality-based
+//!   representative per cluster,
+//! * [`RelSearcher`] — top-k relevance query in the topic space (cosine
+//!   similarity between topic vectors).
+//!
+//! These methods answer the *same* user request as a k-SIR query (a handful
+//! of keywords, a result budget `k`) but optimise relevance-style objectives;
+//! `ksir-eval` scores all of them on coverage and influence to reproduce the
+//! paper's effectiveness study.
+//!
+//! All searchers operate on a [`SearchPool`] — a snapshot of candidate
+//! elements (typically the active window of a `ksir_core::KsirEngine` at
+//! query time) carrying each element's bag of words, topic distribution and
+//! in-window reference count.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod div;
+pub mod pool;
+pub mod rel;
+pub mod sumblr;
+pub mod tfidf;
+
+pub use div::DivSearcher;
+pub use pool::{result_ids, RankedResult, SearchItem, SearchPool};
+pub use rel::RelSearcher;
+pub use sumblr::SumblrSummarizer;
+pub use tfidf::TfIdfSearcher;

@@ -1,0 +1,155 @@
+//! The candidate pool the effectiveness baselines search over.
+
+use ksir_types::{Document, ElementId, TopicVector};
+
+/// One candidate element: its id, bag of words, topic distribution, outgoing
+/// references and the number of (in-window) elements referencing it.
+#[derive(Debug, Clone)]
+pub struct SearchItem {
+    /// Element id.
+    pub id: ElementId,
+    /// Bag-of-words content.
+    pub doc: Document,
+    /// Topic distribution `p_i(e)`.
+    pub topic_vector: TopicVector,
+    /// Elements this one references (citations, reply parents, retweets, …).
+    pub refs: Vec<ElementId>,
+    /// Number of elements referencing this one (retweets, citations, …).
+    pub referenced_by: usize,
+}
+
+impl SearchItem {
+    /// Creates an item with no references in either direction.
+    pub fn new(id: ElementId, doc: Document, topic_vector: TopicVector) -> Self {
+        SearchItem {
+            id,
+            doc,
+            topic_vector,
+            refs: Vec::new(),
+            referenced_by: 0,
+        }
+    }
+
+    /// Sets the outgoing references.
+    pub fn with_refs(mut self, refs: Vec<ElementId>) -> Self {
+        self.refs = refs;
+        self
+    }
+
+    /// Sets the incoming-reference count.
+    pub fn with_referenced_by(mut self, count: usize) -> Self {
+        self.referenced_by = count;
+        self
+    }
+}
+
+/// A snapshot of candidate elements, typically the active window at query
+/// time.
+#[derive(Debug, Clone, Default)]
+pub struct SearchPool {
+    items: Vec<SearchItem>,
+}
+
+impl SearchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a pool from items.
+    pub fn from_items(items: Vec<SearchItem>) -> Self {
+        SearchPool { items }
+    }
+
+    /// Adds one candidate.
+    pub fn push(&mut self, item: SearchItem) {
+        self.items.push(item);
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the pool has no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The candidates.
+    pub fn items(&self) -> &[SearchItem] {
+        &self.items
+    }
+
+    /// Looks up a candidate by element id.
+    pub fn get(&self, id: ElementId) -> Option<&SearchItem> {
+        self.items.iter().find(|i| i.id == id)
+    }
+
+    /// Iterates over the candidates.
+    pub fn iter(&self) -> impl Iterator<Item = &SearchItem> + '_ {
+        self.items.iter()
+    }
+}
+
+impl FromIterator<SearchItem> for SearchPool {
+    fn from_iter<T: IntoIterator<Item = SearchItem>>(iter: T) -> Self {
+        SearchPool {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// One ranked result returned by a baseline searcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedResult {
+    /// Element id.
+    pub id: ElementId,
+    /// The searcher's own score for the element (scale depends on the
+    /// searcher; only the ordering is meaningful across methods).
+    pub score: f64,
+}
+
+/// Convenience: extracts the element ids of a ranked result list.
+pub fn result_ids(results: &[RankedResult]) -> Vec<ElementId> {
+    results.iter().map(|r| r.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_types::WordId;
+
+    fn item(id: u64) -> SearchItem {
+        SearchItem {
+            id: ElementId(id),
+            doc: Document::from_tokens([WordId(1), WordId(2)]),
+            topic_vector: TopicVector::uniform(2),
+            refs: Vec::new(),
+            referenced_by: id as usize,
+        }
+    }
+
+    #[test]
+    fn pool_construction_and_lookup() {
+        let pool: SearchPool = (1..=3).map(item).collect();
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.get(ElementId(2)).unwrap().referenced_by, 2);
+        assert!(pool.get(ElementId(9)).is_none());
+        assert_eq!(pool.iter().count(), 3);
+        let mut pool = SearchPool::new();
+        assert!(pool.is_empty());
+        pool.push(item(7));
+        assert_eq!(pool.items()[0].id, ElementId(7));
+    }
+
+    #[test]
+    fn result_ids_extraction() {
+        let results = vec![
+            RankedResult { id: ElementId(3), score: 0.9 },
+            RankedResult { id: ElementId(1), score: 0.5 },
+        ];
+        assert_eq!(result_ids(&results), vec![ElementId(3), ElementId(1)]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Top-k relevance query in the topic space (the "REL" baseline of §5.2).
+
+use ksir_types::QueryVector;
+
+use crate::pool::{RankedResult, SearchPool};
+
+/// Topic-space relevance search: elements are ranked by the cosine similarity
+/// between their topic distribution and the query vector (Zhang et al., TOIS
+/// 2017 style).  Unlike keyword search this captures semantic relevance, but
+/// like keyword search it ignores coverage and influence — which is exactly
+/// the gap the k-SIR query fills.
+#[derive(Debug, Clone, Default)]
+pub struct RelSearcher;
+
+impl RelSearcher {
+    /// Creates a searcher.
+    pub fn new() -> Self {
+        RelSearcher
+    }
+
+    /// Returns the `k` elements with the highest cosine similarity to the
+    /// query vector, in decreasing order.
+    pub fn search(&self, query: &QueryVector, pool: &SearchPool, k: usize) -> Vec<RankedResult> {
+        let mut scored: Vec<RankedResult> = pool
+            .iter()
+            .map(|item| RankedResult {
+                id: item.id,
+                score: query.cosine(&item.topic_vector).unwrap_or(0.0),
+            })
+            .filter(|r| r.score > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::SearchItem;
+    use ksir_types::{Document, ElementId, TopicVector, WordId};
+
+    fn pool() -> SearchPool {
+        let vectors = vec![
+            (1, vec![0.9, 0.1]),
+            (2, vec![0.5, 0.5]),
+            (3, vec![0.1, 0.9]),
+            (4, vec![0.0, 1.0]),
+        ];
+        vectors
+            .into_iter()
+            .map(|(id, v)| SearchItem {
+                id: ElementId(id),
+                doc: Document::from_tokens([WordId(0)]),
+                topic_vector: TopicVector::from_values(v).unwrap(),
+                refs: Vec::new(),
+                referenced_by: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ranks_by_cosine_similarity() {
+        let searcher = RelSearcher::new();
+        let query = QueryVector::new(vec![0.0, 1.0]).unwrap();
+        let results = searcher.search(&query, &pool(), 2);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, ElementId(4));
+        assert_eq!(results[1].id, ElementId(3));
+    }
+
+    #[test]
+    fn semantically_relevant_elements_found_without_keyword_overlap() {
+        // The REL baseline fixes the "soccer vs #ucl" vocabulary mismatch: a
+        // query on topic 0 finds element 1 even though no words are shared.
+        let searcher = RelSearcher::new();
+        let query = QueryVector::new(vec![1.0, 0.0]).unwrap();
+        let results = searcher.search(&query, &pool(), 1);
+        assert_eq!(results[0].id, ElementId(1));
+    }
+
+    #[test]
+    fn empty_pool_returns_nothing() {
+        let searcher = RelSearcher::new();
+        let query = QueryVector::new(vec![1.0, 0.0]).unwrap();
+        assert!(searcher.search(&query, &SearchPool::new(), 3).is_empty());
+    }
+
+    #[test]
+    fn orthogonal_elements_are_dropped() {
+        let searcher = RelSearcher::new();
+        let query = QueryVector::new(vec![1.0, 0.0]).unwrap();
+        let results = searcher.search(&query, &pool(), 10);
+        // element 4 has zero probability on topic 0 → cosine 0 → excluded
+        assert!(results.iter().all(|r| r.id != ElementId(4)));
+    }
+}

@@ -1,0 +1,265 @@
+//! Sumblr-style stream summarisation used as a query method (the "Sumblr"
+//! baseline of §5.2).
+//!
+//! Sumblr (Shou et al., SIGIR'13) continuously clusters a tweet stream and
+//! generates summaries by picking a representative per cluster with a
+//! LexRank-style centrality score.  The paper adapts it to ad-hoc queries by
+//! first filtering the candidates to those containing at least one query
+//! keyword and then summarising the filtered set into `k` elements.  This
+//! module follows the same recipe:
+//!
+//! 1. keyword filtering,
+//! 2. k-means clustering of TF-IDF vectors (deterministic farthest-first
+//!    initialisation, fixed iteration budget),
+//! 3. one representative per cluster, chosen by in-cluster centrality (sum of
+//!    cosine similarities to the other members) blended with a popularity
+//!    prior (log of the reference count), mirroring Sumblr's use of author
+//!    influence.
+
+use ksir_text::{cosine_sparse, TfIdfModel, TfIdfVector};
+use ksir_types::Document;
+
+use crate::pool::{RankedResult, SearchPool};
+
+/// Sumblr-style cluster-then-summarise searcher.
+#[derive(Debug, Clone, Copy)]
+pub struct SumblrSummarizer {
+    /// Number of k-means iterations.
+    iterations: usize,
+    /// Weight of the popularity prior in the representative-selection score.
+    popularity_weight: f64,
+}
+
+impl Default for SumblrSummarizer {
+    fn default() -> Self {
+        SumblrSummarizer {
+            iterations: 10,
+            popularity_weight: 0.5,
+        }
+    }
+}
+
+impl SumblrSummarizer {
+    /// Creates a summariser with the default settings (10 k-means iterations,
+    /// popularity weight 0.5).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the number of k-means iterations (at least 1).
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Overrides the popularity weight used when picking representatives.
+    pub fn with_popularity_weight(mut self, weight: f64) -> Self {
+        self.popularity_weight = weight.max(0.0);
+        self
+    }
+
+    /// Summarises the keyword-filtered pool into at most `k` representatives.
+    pub fn search(&self, keywords: &Document, pool: &SearchPool, k: usize) -> Vec<RankedResult> {
+        if k == 0 || pool.is_empty() {
+            return Vec::new();
+        }
+        // 1. Keyword filtering: keep elements containing at least one keyword.
+        let filtered: Vec<_> = pool
+            .iter()
+            .filter(|item| keywords.words().any(|w| item.doc.contains(w)))
+            .collect();
+        if filtered.is_empty() {
+            return Vec::new();
+        }
+
+        // 2. Vectorise and cluster.
+        let model = TfIdfModel::from_documents(filtered.iter().map(|i| &i.doc));
+        let vectors: Vec<TfIdfVector> = filtered.iter().map(|i| model.vectorize(&i.doc)).collect();
+        let clusters = self.kmeans(&vectors, k.min(filtered.len()));
+
+        // 3. Pick one representative per cluster.
+        let mut results = Vec::new();
+        for members in clusters.iter().filter(|m| !m.is_empty()) {
+            let mut best: Option<RankedResult> = None;
+            for &idx in members {
+                let centrality: f64 = members
+                    .iter()
+                    .filter(|&&other| other != idx)
+                    .map(|&other| cosine_sparse(&vectors[idx], &vectors[other]))
+                    .sum();
+                let popularity = (1.0 + filtered[idx].referenced_by as f64).ln();
+                let score = centrality + self.popularity_weight * popularity;
+                let candidate = RankedResult {
+                    id: filtered[idx].id,
+                    score,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        score > b.score || (score == b.score && candidate.id < b.id)
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            results.extend(best);
+        }
+        results.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
+        results.truncate(k);
+        results
+    }
+
+    /// Deterministic k-means over sparse TF-IDF vectors.  Returns the member
+    /// indices of each cluster.
+    fn kmeans(&self, vectors: &[TfIdfVector], k: usize) -> Vec<Vec<usize>> {
+        let n = vectors.len();
+        let k = k.min(n).max(1);
+
+        // Farthest-first initialisation: start from vector 0, repeatedly pick
+        // the vector least similar to the chosen centroids.
+        let mut centroid_idx = vec![0usize];
+        while centroid_idx.len() < k {
+            let mut best = (0usize, f64::INFINITY);
+            for i in 0..n {
+                if centroid_idx.contains(&i) {
+                    continue;
+                }
+                let max_sim = centroid_idx
+                    .iter()
+                    .map(|&c| cosine_sparse(&vectors[i], &vectors[c]))
+                    .fold(0.0_f64, f64::max);
+                if max_sim < best.1 {
+                    best = (i, max_sim);
+                }
+            }
+            centroid_idx.push(best.0);
+        }
+
+        // Assign to the most similar centroid; re-pick each cluster's medoid
+        // (the member closest to all others) as the next centroid.  Using
+        // medoids keeps everything sparse and deterministic.
+        let mut assignment = vec![0usize; n];
+        for _ in 0..self.iterations {
+            let mut changed = false;
+            for i in 0..n {
+                let mut best = (0usize, f64::NEG_INFINITY);
+                for (c, &centroid) in centroid_idx.iter().enumerate() {
+                    let sim = cosine_sparse(&vectors[i], &vectors[centroid]);
+                    if sim > best.1 {
+                        best = (c, sim);
+                    }
+                }
+                if assignment[i] != best.0 {
+                    assignment[i] = best.0;
+                    changed = true;
+                }
+            }
+            // Recompute medoids.
+            for (c, centroid) in centroid_idx.iter_mut().enumerate() {
+                let members: Vec<usize> =
+                    (0..n).filter(|&i| assignment[i] == c).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let mut best = (members[0], f64::NEG_INFINITY);
+                for &i in &members {
+                    let total: f64 = members
+                        .iter()
+                        .map(|&j| cosine_sparse(&vectors[i], &vectors[j]))
+                        .sum();
+                    if total > best.1 {
+                        best = (i, total);
+                    }
+                }
+                *centroid = best.0;
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut clusters = vec![Vec::new(); k];
+        for (i, &c) in assignment.iter().enumerate() {
+            clusters[c].push(i);
+        }
+        clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::SearchItem;
+    use ksir_types::{ElementId, TopicVector, WordId};
+
+    fn doc(words: &[u32]) -> Document {
+        Document::from_tokens(words.iter().map(|&w| WordId(w)))
+    }
+
+    fn pool() -> SearchPool {
+        // Two clear clusters sharing keyword 0, plus an off-keyword element.
+        let items = vec![
+            (1, vec![0, 1, 2], 5),
+            (2, vec![0, 1, 2, 2], 1),
+            (3, vec![0, 7, 8], 9),
+            (4, vec![0, 7, 8, 8], 0),
+            (5, vec![10, 11], 100),
+        ];
+        items
+            .into_iter()
+            .map(|(id, ws, refs)| SearchItem {
+                id: ElementId(id),
+                doc: doc(&ws),
+                topic_vector: TopicVector::uniform(2),
+                refs: Vec::new(),
+                referenced_by: refs,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keyword_filter_excludes_unrelated_elements() {
+        let s = SumblrSummarizer::new();
+        let results = s.search(&doc(&[0]), &pool(), 3);
+        assert!(!results.is_empty());
+        assert!(results.iter().all(|r| r.id != ElementId(5)));
+    }
+
+    #[test]
+    fn representatives_come_from_different_clusters() {
+        let s = SumblrSummarizer::new();
+        let results = s.search(&doc(&[0]), &pool(), 2);
+        assert_eq!(results.len(), 2);
+        let ids: Vec<u64> = results.iter().map(|r| r.id.raw()).collect();
+        let from_first = ids.iter().filter(|&&i| i == 1 || i == 2).count();
+        let from_second = ids.iter().filter(|&&i| i == 3 || i == 4).count();
+        assert_eq!(from_first, 1, "one representative per cluster, got {ids:?}");
+        assert_eq!(from_second, 1, "one representative per cluster, got {ids:?}");
+    }
+
+    #[test]
+    fn popularity_breaks_ties_between_near_duplicates() {
+        let s = SumblrSummarizer::new().with_popularity_weight(2.0);
+        let results = s.search(&doc(&[0]), &pool(), 2);
+        let ids: Vec<u64> = results.iter().map(|r| r.id.raw()).collect();
+        // within the {3,4} cluster, element 3 has far more references
+        assert!(ids.contains(&3), "popular element should represent its cluster: {ids:?}");
+    }
+
+    #[test]
+    fn no_keyword_match_returns_nothing() {
+        let s = SumblrSummarizer::new();
+        assert!(s.search(&doc(&[42]), &pool(), 3).is_empty());
+        assert!(s.search(&doc(&[0]), &SearchPool::new(), 3).is_empty());
+        assert!(s.search(&doc(&[0]), &pool(), 0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_results() {
+        let s = SumblrSummarizer::new();
+        let a = s.search(&doc(&[0]), &pool(), 2);
+        let b = s.search(&doc(&[0]), &pool(), 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,113 @@
+//! Top-k keyword query ranked by log-normalised TF-IDF (the "TF-IDF"
+//! baseline of §5.2).
+
+use ksir_text::{cosine_sparse, TfIdfModel};
+use ksir_types::Document;
+
+use crate::pool::{RankedResult, SearchPool};
+
+/// Keyword search over a pool of elements using log-normalised TF-IDF weights
+/// and cosine similarity.
+///
+/// The IDF statistics are computed over the pool itself (the candidate
+/// snapshot at query time), mirroring how the paper evaluates the baseline on
+/// the active elements.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfSearcher;
+
+impl TfIdfSearcher {
+    /// Creates a searcher.
+    pub fn new() -> Self {
+        TfIdfSearcher
+    }
+
+    /// Returns the `k` elements most similar to the keyword query, in
+    /// decreasing order of similarity.  Elements with zero similarity are
+    /// never returned ("no results found" rather than arbitrary filler —
+    /// exactly the behaviour the paper's introduction criticises).
+    pub fn search(&self, keywords: &Document, pool: &SearchPool, k: usize) -> Vec<RankedResult> {
+        let model = TfIdfModel::from_documents(pool.iter().map(|i| &i.doc));
+        let query_vec = model.vectorize(keywords);
+        let mut scored: Vec<RankedResult> = pool
+            .iter()
+            .map(|item| RankedResult {
+                id: item.id,
+                score: cosine_sparse(&query_vec, &model.vectorize(&item.doc)),
+            })
+            .filter(|r| r.score > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::SearchItem;
+    use ksir_types::{ElementId, TopicVector, WordId};
+
+    fn doc(words: &[u32]) -> Document {
+        Document::from_tokens(words.iter().map(|&w| WordId(w)))
+    }
+
+    fn pool() -> SearchPool {
+        // word 0 = "soccer", word 1 = "league", word 2 = "nba", word 3 = "playoffs"
+        let items = vec![
+            (1, vec![0, 1]),
+            (2, vec![0, 0, 1]),
+            (3, vec![2, 3]),
+            (4, vec![2, 3, 3]),
+            (5, vec![1, 3]),
+        ];
+        items
+            .into_iter()
+            .map(|(id, ws)| SearchItem {
+                id: ElementId(id),
+                doc: doc(&ws),
+                topic_vector: TopicVector::uniform(2),
+                refs: Vec::new(),
+                referenced_by: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ranks_keyword_matches_first() {
+        let searcher = TfIdfSearcher::new();
+        let results = searcher.search(&doc(&[0]), &pool(), 3);
+        assert!(!results.is_empty());
+        // every result actually contains the keyword
+        for r in &results {
+            assert!(pool().get(r.id).unwrap().doc.contains(WordId(0)));
+        }
+        // scores are non-increasing
+        assert!(results.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn no_match_means_no_results() {
+        let searcher = TfIdfSearcher::new();
+        // word 9 appears nowhere ("soccer" vs a corpus without the term —
+        // the syntactic-mismatch problem from the paper's introduction)
+        let results = searcher.search(&doc(&[9]), &pool(), 3);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn k_truncates_results() {
+        let searcher = TfIdfSearcher::new();
+        let results = searcher.search(&doc(&[3]), &pool(), 1);
+        assert_eq!(results.len(), 1);
+        let results = searcher.search(&doc(&[3]), &pool(), 10);
+        assert_eq!(results.len(), 3); // only 3 elements contain word 3
+    }
+
+    #[test]
+    fn empty_pool_and_empty_query() {
+        let searcher = TfIdfSearcher::new();
+        assert!(searcher.search(&doc(&[0]), &SearchPool::new(), 3).is_empty());
+        assert!(searcher.search(&Document::new(), &pool(), 3).is_empty());
+    }
+}

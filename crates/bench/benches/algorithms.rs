@@ -1,0 +1,45 @@
+//! Micro-benchmarks of the five query-processing algorithms on one fixed
+//! engine state (the per-query cost Figure 9 aggregates).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ksir_bench::{build_engine, ProcessingConfig};
+use ksir_core::{Algorithm, KsirQuery};
+use ksir_datagen::{DatasetProfile, QueryWorkloadGenerator, StreamGenerator};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(20);
+
+    for profile in [DatasetProfile::twitter(), DatasetProfile::reddit()] {
+        let name = profile.name.clone();
+        let profile = profile.scaled(0.5).with_topics(50);
+        let stream = StreamGenerator::new(profile, 5).unwrap().generate().unwrap();
+        let config = ProcessingConfig::for_stream(&stream);
+        let mut engine = build_engine(&stream, &config).unwrap();
+        engine.ingest_stream(stream.iter_pairs()).unwrap();
+        let workload = QueryWorkloadGenerator::new(&stream.planted, 77)
+            .generate(8, stream.end_time())
+            .unwrap();
+        let queries: Vec<KsirQuery> = workload
+            .into_iter()
+            .map(|q| KsirQuery::new(10, q.vector).unwrap())
+            .collect();
+
+        for algorithm in Algorithm::ALL {
+            group.bench_function(BenchmarkId::new(algorithm.name(), &name), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % queries.len();
+                    black_box(engine.query(&queries[i], algorithm).unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the topic-model substrate: LDA and BTM training
+//! sweeps, and folding-in inference for documents and queries.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ksir_datagen::{DatasetProfile, StreamGenerator};
+use ksir_topics::{BtmTrainer, LdaTrainer};
+use ksir_types::Document;
+
+fn corpus(profile: DatasetProfile) -> (Vec<Document>, usize) {
+    let profile = profile.scaled(0.1).with_topics(10);
+    let vocab = profile.vocab_size;
+    let stream = StreamGenerator::new(profile, 3).unwrap().generate().unwrap();
+    (stream.elements.into_iter().map(|e| e.doc).collect(), vocab)
+}
+
+fn bench_topic_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topic_models");
+    group.sample_size(10);
+
+    let (long_docs, long_vocab) = corpus(DatasetProfile::aminer());
+    let (short_docs, short_vocab) = corpus(DatasetProfile::twitter());
+
+    group.bench_function(BenchmarkId::new("lda_train_20_sweeps", "aminer"), |b| {
+        b.iter(|| {
+            let model = LdaTrainer::new(10)
+                .unwrap()
+                .with_iterations(20)
+                .with_seed(1)
+                .train(black_box(&long_docs), long_vocab)
+                .unwrap();
+            black_box(model)
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("btm_train_20_sweeps", "twitter"), |b| {
+        b.iter(|| {
+            let model = BtmTrainer::new(10)
+                .unwrap()
+                .with_iterations(20)
+                .with_seed(1)
+                .train(black_box(&short_docs), short_vocab)
+                .unwrap();
+            black_box(model)
+        })
+    });
+
+    let lda = LdaTrainer::new(10)
+        .unwrap()
+        .with_iterations(30)
+        .train(&long_docs, long_vocab)
+        .unwrap();
+    group.bench_function(BenchmarkId::new("infer_document", "aminer"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % long_docs.len();
+            black_box(lda.infer_document(&long_docs[i]))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_topic_models);
+criterion_main!(benches);

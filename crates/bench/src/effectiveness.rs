@@ -1,0 +1,208 @@
+//! Effectiveness experiments: the k-SIR query against the four search /
+//! summarisation baselines (Tables 5 and 6 of the paper).
+
+use ksir_baselines::{result_ids, DivSearcher, RelSearcher, SearchPool, SumblrSummarizer, TfIdfSearcher};
+use ksir_core::{Algorithm, KsirQuery};
+use ksir_datagen::{GeneratedStream, QueryWorkloadGenerator};
+use ksir_eval::{coverage_score, normalized_influence_score, pool_from_engine, StudyQuery, UserStudy, UserStudyOutcome};
+use ksir_types::{ElementId, QueryVector, Result, Timestamp};
+
+use crate::scenario::{build_engine, ProcessingConfig};
+
+/// The five effectiveness methods, in the order the paper's tables list them.
+pub const METHODS: [&str; 5] = ["TF-IDF", "DIV", "Sumblr", "REL", "k-SIR"];
+
+/// Parameters of an effectiveness experiment.
+#[derive(Debug, Clone)]
+pub struct EffectivenessConfig {
+    /// Engine and workload parameters (k, window, scoring, seed, …).
+    pub processing: ProcessingConfig,
+    /// Number of judges in the proxy user study.
+    pub judges: usize,
+}
+
+impl Default for EffectivenessConfig {
+    fn default() -> Self {
+        EffectivenessConfig {
+            processing: ProcessingConfig {
+                k: 5,
+                num_queries: 20,
+                ..ProcessingConfig::default()
+            },
+            judges: 3,
+        }
+    }
+}
+
+/// Aggregated effectiveness results for one dataset.
+#[derive(Debug, Clone)]
+pub struct EffectivenessReport {
+    /// Method names (same order as the metric vectors).
+    pub methods: Vec<String>,
+    /// Mean coverage score per method (Table 6, "Coverage" rows).
+    pub coverage: Vec<f64>,
+    /// Mean normalised influence per method (Table 6, "Influence" rows).
+    pub influence: Vec<f64>,
+    /// Proxy user study outcome (Table 5).
+    pub user_study: UserStudyOutcome,
+    /// Number of queries evaluated.
+    pub queries_run: usize,
+}
+
+/// Runs the five methods over the same workload and scores them.
+pub fn run_effectiveness(
+    stream: &GeneratedStream,
+    config: &EffectivenessConfig,
+) -> Result<EffectivenessReport> {
+    let processing = &config.processing;
+    let mut engine = build_engine(stream, processing)?;
+
+    let workload = QueryWorkloadGenerator::new(&stream.planted, processing.seed)
+        .generate(processing.num_queries, stream.end_time().max(Timestamp(1)))?;
+    let mut queries = workload;
+    queries.sort_by_key(|q| q.timestamp);
+
+    let k = processing.k;
+    let tfidf = TfIdfSearcher::new();
+    let div = DivSearcher::new();
+    let sumblr = SumblrSummarizer::new();
+    let rel = RelSearcher::new();
+
+    // Collected per query: the pool snapshot, the query vector, and the five
+    // result sets (owned, so the user study can borrow them afterwards).
+    let mut judged: Vec<(SearchPool, QueryVector, Vec<Vec<ElementId>>)> = Vec::new();
+    let mut coverage_totals = vec![0.0; METHODS.len()];
+    let mut influence_totals = vec![0.0; METHODS.len()];
+
+    let bucket_len = processing.bucket_len.min(processing.window_len).max(1);
+    let mut bucket_end = bucket_len;
+    let mut pending = Vec::new();
+    let mut next_query = 0usize;
+
+    let evaluate_due = |engine: &ksir_core::KsirEngine<ksir_types::DenseTopicWordTable>,
+                            next_query: &mut usize,
+                            judged: &mut Vec<(SearchPool, QueryVector, Vec<Vec<ElementId>>)>,
+                            coverage_totals: &mut Vec<f64>,
+                            influence_totals: &mut Vec<f64>|
+     -> Result<()> {
+        while *next_query < queries.len() && queries[*next_query].timestamp <= engine.now() {
+            let generated = &queries[*next_query];
+            let pool = pool_from_engine(engine);
+            let ksir_query =
+                KsirQuery::new(k, generated.vector.clone())?.with_epsilon(processing.epsilon)?;
+            let results: Vec<Vec<ElementId>> = vec![
+                result_ids(&tfidf.search(&generated.keywords, &pool, k)),
+                result_ids(&div.search(&generated.keywords, &pool, k)),
+                result_ids(&sumblr.search(&generated.keywords, &pool, k)),
+                result_ids(&rel.search(&generated.vector, &pool, k)),
+                engine.query(&ksir_query, Algorithm::Mttd)?.elements,
+            ];
+            for (m, result) in results.iter().enumerate() {
+                coverage_totals[m] += coverage_score(&pool, &generated.vector, result);
+                influence_totals[m] += normalized_influence_score(&pool, result);
+            }
+            judged.push((pool, generated.vector.clone(), results));
+            *next_query += 1;
+        }
+        Ok(())
+    };
+
+    for (element, tv) in stream.iter_pairs() {
+        while element.ts.raw() > bucket_end {
+            engine.ingest_bucket(std::mem::take(&mut pending), Timestamp(bucket_end))?;
+            evaluate_due(
+                &engine,
+                &mut next_query,
+                &mut judged,
+                &mut coverage_totals,
+                &mut influence_totals,
+            )?;
+            bucket_end += bucket_len;
+        }
+        pending.push((element, tv));
+    }
+    engine.ingest_bucket(pending, Timestamp(bucket_end))?;
+    evaluate_due(
+        &engine,
+        &mut next_query,
+        &mut judged,
+        &mut coverage_totals,
+        &mut influence_totals,
+    )?;
+    // Every query timestamp lies in [1, t_n] and the final bucket end is at
+    // least t_n, so by now the whole workload has been evaluated.
+    debug_assert_eq!(next_query, queries.len());
+
+    let queries_run = judged.len().max(1);
+    let study = UserStudy::new(METHODS.to_vec(), processing.seed).with_judges(config.judges);
+    let study_queries: Vec<StudyQuery<'_>> = judged
+        .iter()
+        .map(|(pool, vector, results)| StudyQuery {
+            pool,
+            query: vector.clone(),
+            results: results.clone(),
+        })
+        .collect();
+    let user_study = study.run(&study_queries);
+
+    Ok(EffectivenessReport {
+        methods: METHODS.iter().map(|s| s.to_string()).collect(),
+        coverage: coverage_totals
+            .into_iter()
+            .map(|t| t / queries_run as f64)
+            .collect(),
+        influence: influence_totals
+            .into_iter()
+            .map(|t| t / queries_run as f64)
+            .collect(),
+        user_study,
+        queries_run: judged.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_datagen::{DatasetProfile, StreamGenerator};
+
+    #[test]
+    fn ksir_wins_on_coverage_and_influence() {
+        let profile = DatasetProfile::twitter().scaled(0.05).with_topics(10);
+        let stream = StreamGenerator::new(profile, 3).unwrap().generate().unwrap();
+        let config = EffectivenessConfig {
+            processing: ProcessingConfig {
+                k: 5,
+                num_queries: 8,
+                bucket_len: 60,
+                ..ProcessingConfig::default()
+            },
+            judges: 3,
+        };
+        let report = run_effectiveness(&stream, &config).unwrap();
+        assert_eq!(report.methods.len(), 5);
+        assert_eq!(report.queries_run, 8);
+        let ksir = report.methods.iter().position(|m| m == "k-SIR").unwrap();
+        // k-SIR should at least match every baseline on coverage and influence
+        // (Table 6's qualitative claim).
+        for m in 0..report.methods.len() {
+            assert!(
+                report.coverage[ksir] + 1e-9 >= report.coverage[m],
+                "coverage: k-SIR {} < {} {}",
+                report.coverage[ksir],
+                report.methods[m],
+                report.coverage[m]
+            );
+            assert!(
+                report.influence[ksir] + 1e-9 >= report.influence[m],
+                "influence: k-SIR {} < {} {}",
+                report.influence[ksir],
+                report.methods[m],
+                report.influence[m]
+            );
+        }
+        // User-study ratings live on the 1–5 scale and k-SIR leads there too.
+        let ratings = &report.user_study.representativeness;
+        assert!(ratings.iter().all(|r| (1.0..=5.0).contains(r)));
+        assert!(ratings[ksir] >= ratings[0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal plain-text table rendering for experiment output.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and a header row.
+    pub fn new<S: Into<String>>(title: S, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are converted to strings by the caller).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, cell) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| {
+            let mut line = String::from("| ");
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$} | "));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a `std::time::Duration` as fractional milliseconds.
+pub fn fmt_millis(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn fmt_percent(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["method", "time (ms)"]);
+        t.add_row(vec!["CELF".into(), "123.456".into()]);
+        t.add_row(vec!["MTTD".into(), "1.2".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("| method | time (ms) |"));
+        assert!(s.contains("| CELF   | 123.456   |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_millis(std::time::Duration::from_micros(1500)), "1.500");
+        assert_eq!(fmt_percent(0.1234), "12.34%");
+    }
+}

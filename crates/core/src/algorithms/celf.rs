@@ -1,0 +1,92 @@
+//! CELF — lazy greedy submodular maximisation (batch baseline).
+//!
+//! The classic Leskovec et al. accelerated greedy: marginal gains computed in
+//! earlier iterations are upper bounds on current gains (by submodularity), so
+//! elements are kept in a max-heap keyed by their last-known gain and only
+//! re-evaluated when they reach the top.  CELF is `(1 − 1/e)`-approximate —
+//! the best possible ratio for this problem — but it must evaluate the
+//! singleton score of *every* active element for every query, which is what
+//! makes it too slow for real-time k-SIR processing.
+
+use std::collections::BinaryHeap;
+
+use ksir_stream::ActiveWindow;
+use ksir_types::{ElementId, TopicWordDistribution};
+
+use crate::evaluator::QueryEvaluator;
+use crate::query::{Algorithm, KsirQuery, QueryResult};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    gain: f64,
+    id: ElementId,
+    /// Size of the candidate set the gain was computed against.
+    round: usize,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+pub(crate) fn run<D: TopicWordDistribution>(
+    window: &ActiveWindow,
+    evaluator: &QueryEvaluator<'_, D>,
+    query: &KsirQuery,
+) -> QueryResult {
+    let mut ids: Vec<ElementId> = window.ids().collect();
+    ids.sort_unstable();
+    let evaluated = ids.len();
+
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    for id in ids {
+        let gain = evaluator.delta(id);
+        if gain > 0.0 {
+            heap.push(Entry { gain, id, round: 0 });
+        }
+    }
+
+    let mut state = evaluator.new_candidate();
+    while state.len() < query.k() {
+        let Some(top) = heap.pop() else {
+            break;
+        };
+        if top.round == state.len() {
+            if top.gain <= 0.0 {
+                break;
+            }
+            evaluator.insert(&mut state, top.id);
+        } else {
+            let gain = evaluator.marginal_gain(&state, top.id);
+            if gain > 0.0 {
+                heap.push(Entry {
+                    gain,
+                    id: top.id,
+                    round: state.len(),
+                });
+            }
+        }
+    }
+
+    if state.is_empty() {
+        return QueryResult::empty(Algorithm::Celf);
+    }
+    QueryResult {
+        elements: state.members().to_vec(),
+        score: state.score(),
+        evaluated_elements: evaluated,
+        gain_evaluations: evaluator.gain_evaluations(),
+        algorithm: Algorithm::Celf,
+    }
+}

@@ -1,0 +1,90 @@
+//! Multi-Topic ThresholdStream (Algorithm 2).
+//!
+//! MTTS combines the SieveStreaming thresholding idea with the ranked-list
+//! traversal: a geometric grid of guesses `Φ = {(1+ε)^j}` for the optimal
+//! score is maintained, each guess `ϕ` owns an independent candidate set with
+//! admission threshold `ϕ / 2k`, and elements are fed to the candidates in
+//! decreasing order of their upper-bound score.  The traversal terminates as
+//! soon as the upper bound `UB(x)` of any unretrieved element drops below the
+//! smallest admission threshold `TH` of an unfilled candidate, which in
+//! practice prunes the vast majority of active elements.  The returned
+//! candidate is a `(1/2 − ε)`-approximation (Theorem 4.2).
+
+use std::collections::BTreeMap;
+
+use ksir_stream::RankedLists;
+use ksir_types::TopicWordDistribution;
+
+use crate::algorithms::SupportCursors;
+use crate::evaluator::{CandidateState, QueryEvaluator};
+use crate::query::{Algorithm, KsirQuery, QueryResult};
+
+pub(crate) fn run<D: TopicWordDistribution>(
+    ranked: &RankedLists,
+    evaluator: &QueryEvaluator<'_, D>,
+    query: &KsirQuery,
+) -> QueryResult {
+    let k = query.k() as f64;
+    let base = 1.0 + query.epsilon();
+    let mut cursors = SupportCursors::new(ranked, evaluator.support());
+    let mut candidates: BTreeMap<i64, CandidateState> = BTreeMap::new();
+    let mut delta_max = 0.0_f64;
+    let mut evaluated = 0_usize;
+
+    loop {
+        let ub = cursors.upper_bound();
+        if !candidates.is_empty() {
+            // TH: smallest admission threshold among unfilled candidates; if
+            // every candidate is full no element can be admitted anywhere.
+            let th = candidates
+                .iter()
+                .filter(|(_, state)| state.len() < query.k())
+                .map(|(&j, _)| base.powf(j as f64) / (2.0 * k))
+                .fold(f64::INFINITY, f64::min);
+            if ub < th {
+                break;
+            }
+        }
+        let Some(id) = cursors.pop_next() else {
+            break;
+        };
+        let delta = evaluator.delta(id);
+        evaluated += 1;
+        if delta <= 0.0 {
+            continue;
+        }
+        if delta > delta_max {
+            delta_max = delta;
+            // Refresh the estimate grid Φ = {(1+ε)^j : δmax ≤ (1+ε)^j ≤ 2k·δmax}.
+            let lo = (delta_max.ln() / base.ln()).ceil() as i64;
+            let hi = ((2.0 * k * delta_max).ln() / base.ln()).floor() as i64;
+            candidates.retain(|&j, _| j >= lo && j <= hi);
+            for j in lo..=hi {
+                candidates.entry(j).or_insert_with(|| evaluator.new_candidate());
+            }
+        }
+        for (&j, state) in candidates.iter_mut() {
+            let threshold = base.powf(j as f64) / (2.0 * k);
+            if delta >= threshold && state.len() < query.k() {
+                let gain = evaluator.marginal_gain(state, id);
+                if gain >= threshold {
+                    evaluator.insert(state, id);
+                }
+            }
+        }
+    }
+
+    let best = candidates
+        .into_values()
+        .max_by(|a, b| a.score().total_cmp(&b.score()));
+    match best {
+        Some(state) if !state.is_empty() => QueryResult {
+            elements: state.members().to_vec(),
+            score: state.score(),
+            evaluated_elements: evaluated,
+            gain_evaluations: evaluator.gain_evaluations(),
+            algorithm: Algorithm::Mtts,
+        },
+        _ => QueryResult::empty(Algorithm::Mtts),
+    }
+}

@@ -1,0 +1,73 @@
+//! SieveStreaming — single-pass streaming submodular maximisation
+//! (streaming baseline).
+//!
+//! Badanidiyuru et al.'s algorithm: a geometric grid of guesses `v = (1+ε)^j`
+//! for the optimum is maintained from the largest singleton value seen so
+//! far; each guess owns a candidate set that admits an element when its
+//! marginal gain is at least `(v/2 − f(S_v)) / (k − |S_v|)`.  The best
+//! candidate is a `(1/2 − ε)`-approximation.  Unlike MTTS it has no index to
+//! lean on, so it evaluates every active element for every query.
+
+use std::collections::BTreeMap;
+
+use ksir_stream::ActiveWindow;
+use ksir_types::{ElementId, TopicWordDistribution};
+
+use crate::evaluator::{CandidateState, QueryEvaluator};
+use crate::query::{Algorithm, KsirQuery, QueryResult};
+
+pub(crate) fn run<D: TopicWordDistribution>(
+    window: &ActiveWindow,
+    evaluator: &QueryEvaluator<'_, D>,
+    query: &KsirQuery,
+) -> QueryResult {
+    let k = query.k();
+    let base = 1.0 + query.epsilon();
+    let mut ids: Vec<ElementId> = window.ids().collect();
+    ids.sort_unstable();
+    let evaluated = ids.len();
+
+    let mut max_singleton = 0.0_f64;
+    let mut candidates: BTreeMap<i64, CandidateState> = BTreeMap::new();
+
+    for id in ids {
+        let delta = evaluator.delta(id);
+        if delta <= 0.0 {
+            continue;
+        }
+        if delta > max_singleton {
+            max_singleton = delta;
+            let lo = (max_singleton.ln() / base.ln()).ceil() as i64;
+            let hi = ((2.0 * k as f64 * max_singleton).ln() / base.ln()).floor() as i64;
+            candidates.retain(|&j, _| j >= lo && j <= hi);
+            for j in lo..=hi {
+                candidates.entry(j).or_insert_with(|| evaluator.new_candidate());
+            }
+        }
+        for (&j, state) in candidates.iter_mut() {
+            if state.len() >= k {
+                continue;
+            }
+            let v = base.powf(j as f64);
+            let needed = (v / 2.0 - state.score()) / (k - state.len()) as f64;
+            let gain = evaluator.marginal_gain(state, id);
+            if gain >= needed {
+                evaluator.insert(state, id);
+            }
+        }
+    }
+
+    let best = candidates
+        .into_values()
+        .max_by(|a, b| a.score().total_cmp(&b.score()));
+    match best {
+        Some(state) if !state.is_empty() => QueryResult {
+            elements: state.members().to_vec(),
+            score: state.score(),
+            evaluated_elements: evaluated,
+            gain_evaluations: evaluator.gain_evaluations(),
+            algorithm: Algorithm::SieveStreaming,
+        },
+        _ => QueryResult::empty(Algorithm::SieveStreaming),
+    }
+}

@@ -1,0 +1,739 @@
+//! The k-SIR query engine: active window + per-topic ranked lists
+//! (Algorithm 1) + query processing (Algorithms 2 and 3 and the baselines).
+//!
+//! The engine mirrors Figure 4 of the paper: the stream is ingested in
+//! buckets; each bucket insert updates the active window, the reverse
+//! references and the per-topic ranked lists; ad-hoc k-SIR queries are then
+//! answered from the ranked lists without touching the raw stream.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ksir_stream::{ActiveWindow, RankedLists};
+use ksir_types::{
+    ElementId, KsirError, QueryVector, Result, SocialElement, Timestamp, TopicId, TopicVector,
+    TopicWordDistribution,
+};
+
+use crate::algorithms;
+use crate::config::{ArchiveRetention, EngineConfig};
+use crate::evaluator::QueryEvaluator;
+use crate::query::{Algorithm, KsirQuery, QueryResult};
+use crate::scorer::Scorer;
+
+/// Counters describing the work an engine has performed so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Elements ingested over the engine's lifetime.
+    pub elements_ingested: usize,
+    /// Buckets ingested.
+    pub buckets_ingested: usize,
+    /// Elements that expired out of the active window.
+    pub elements_expired: usize,
+    /// Ranked-list tuple recomputations (inserts and adjustments).
+    pub tuple_updates: usize,
+}
+
+/// Summary of one [`KsirEngine::ingest_bucket`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Elements inserted from the bucket.
+    pub inserted: usize,
+    /// Elements discarded because they are no longer active.
+    pub expired: usize,
+    /// Previously ingested elements whose ranked-list tuples were refreshed
+    /// (referenced parents and elements whose influence sets shrank).
+    pub refreshed: usize,
+    /// Previously expired elements brought back into the active set because a
+    /// bucket element references them.
+    pub resurrected: usize,
+}
+
+/// The k-SIR engine over a fixed topic-word distribution.
+///
+/// `D` is any [`TopicWordDistribution`] — a hand-specified table, a trained
+/// LDA/BTM model from `ksir-topics`, or an `Arc` of either.  Per-element topic
+/// distributions are supplied alongside the elements at ingest time (the
+/// paper treats topic inference as an orthogonal, standard step).
+#[derive(Debug)]
+pub struct KsirEngine<D> {
+    phi: D,
+    config: EngineConfig,
+    window: ActiveWindow,
+    ranked: RankedLists,
+    topic_vectors: HashMap<ElementId, TopicVector>,
+    /// Every ingested element (subject to the retention policy), kept so that
+    /// references from new arrivals can bring expired parents back into the
+    /// active set, as required by the paper's definition of `A_t`.
+    archive: HashMap<ElementId, (SocialElement, TopicVector)>,
+    stats: EngineStats,
+}
+
+impl<D: TopicWordDistribution> KsirEngine<D> {
+    /// Creates an engine over a topic-word distribution.
+    pub fn new(phi: D, config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        let num_topics = phi.num_topics();
+        if num_topics == 0 {
+            return Err(KsirError::invalid_parameter(
+                "phi",
+                "the topic model must have at least one topic",
+            ));
+        }
+        Ok(KsirEngine {
+            phi,
+            window: ActiveWindow::new(config.window),
+            ranked: RankedLists::new(num_topics),
+            topic_vectors: HashMap::new(),
+            archive: HashMap::new(),
+            stats: EngineStats::default(),
+            config,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of topics `z` of the underlying topic model.
+    pub fn num_topics(&self) -> usize {
+        self.phi.num_topics()
+    }
+
+    /// The topic-word distribution in use.
+    pub fn phi(&self) -> &D {
+        &self.phi
+    }
+
+    /// Current logical time (end of the last ingested bucket).
+    pub fn now(&self) -> Timestamp {
+        self.window.now()
+    }
+
+    /// Number of active elements `n_t`.
+    pub fn active_count(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Returns `true` if `id` is currently active.
+    pub fn is_active(&self, id: ElementId) -> bool {
+        self.window.contains(id)
+    }
+
+    /// The active element for `id`, if any.
+    pub fn element(&self, id: ElementId) -> Option<&SocialElement> {
+        self.window.get(id)
+    }
+
+    /// The (possibly sparsified) topic distribution of an active element.
+    pub fn topic_vector(&self, id: ElementId) -> Option<&TopicVector> {
+        self.topic_vectors.get(&id)
+    }
+
+    /// Ids of all active elements, sorted for reproducibility.
+    pub fn active_ids(&self) -> Vec<ElementId> {
+        let mut ids: Vec<ElementId> = self.window.ids().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The active window (elements, reverse references, window bounds).
+    pub fn window(&self) -> &ActiveWindow {
+        &self.window
+    }
+
+    /// The per-topic ranked lists.
+    pub fn ranked_lists(&self) -> &RankedLists {
+        &self.ranked
+    }
+
+    /// Number of elements currently held in the archive.
+    pub fn archived_count(&self) -> usize {
+        self.archive.len()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// A [`Scorer`] over the engine's current state, implementing the §3.2
+    /// formulas directly.
+    pub fn scorer(&self) -> Scorer<'_, D> {
+        Scorer::new(
+            &self.phi,
+            self.config.scoring,
+            &self.window,
+            &self.topic_vectors,
+        )
+    }
+
+    /// Ingests one bucket of elements posted no later than `bucket_end` and
+    /// advances the window to `bucket_end` (Algorithm 1).
+    ///
+    /// Elements must carry their topic distributions; the engine sparsifies
+    /// them according to [`EngineConfig`] before storing.  Returns a summary
+    /// of the maintenance work performed.
+    pub fn ingest_bucket(
+        &mut self,
+        bucket: Vec<(SocialElement, TopicVector)>,
+        bucket_end: Timestamp,
+    ) -> Result<IngestReport> {
+        if bucket_end < self.window.now() {
+            return Err(KsirError::TimestampRegression {
+                last: self.window.now(),
+                offending: bucket_end,
+            });
+        }
+        for (element, tv) in &bucket {
+            if tv.num_topics() != self.num_topics() {
+                return Err(KsirError::DimensionMismatch {
+                    expected: self.num_topics(),
+                    actual: tv.num_topics(),
+                });
+            }
+            if element.ts > bucket_end {
+                return Err(KsirError::invalid_parameter(
+                    "bucket",
+                    format!(
+                        "element {} is timestamped {} after the bucket end {}",
+                        element.id, element.ts, bucket_end
+                    ),
+                ));
+            }
+        }
+
+        // Parents whose influence sets will shrink once the window slides.
+        let mut touched: BTreeSet<ElementId> = self
+            .window
+            .parents_losing_children(bucket_end)
+            .into_iter()
+            .collect();
+
+        let mut new_ids = Vec::with_capacity(bucket.len());
+        let mut resurrected = 0;
+        for (element, tv) in bucket {
+            let id = element.id;
+            // A_t includes every element referenced by a window element, so a
+            // reference to an already-expired parent brings it back from the
+            // archive before the child is inserted.
+            for &parent in &element.refs {
+                if !self.window.contains(parent) {
+                    if let Some((archived, archived_tv)) = self.archive.get(&parent).cloned() {
+                        self.window.insert(archived)?;
+                        self.topic_vectors.insert(parent, archived_tv);
+                        touched.insert(parent);
+                        resurrected += 1;
+                    }
+                }
+            }
+            let sparsified = self.sparsify(tv);
+            if self.config.archive != ArchiveRetention::Disabled {
+                self.archive
+                    .insert(id, (element.clone(), sparsified.clone()));
+            }
+            let parents = self.window.insert(element)?;
+            touched.extend(parents);
+            self.topic_vectors.insert(id, sparsified);
+            new_ids.push(id);
+        }
+
+        let expired = self.window.advance_to(bucket_end)?;
+        for id in &expired {
+            self.ranked.remove_everywhere(*id);
+            self.topic_vectors.remove(id);
+            touched.remove(id);
+        }
+        self.prune_archive(bucket_end);
+
+        let mut refreshed = 0;
+        for &id in new_ids.iter().chain(touched.iter()) {
+            if self.window.contains(id) {
+                self.refresh_tuples(id);
+                if !new_ids.contains(&id) {
+                    refreshed += 1;
+                }
+            }
+        }
+
+        self.stats.elements_ingested += new_ids.len();
+        self.stats.buckets_ingested += 1;
+        self.stats.elements_expired += expired.len();
+
+        Ok(IngestReport {
+            inserted: new_ids.len(),
+            expired: expired.len(),
+            refreshed,
+            resurrected,
+        })
+    }
+
+    /// Drops archived elements that fell outside the retention horizon.
+    fn prune_archive(&mut self, now: Timestamp) {
+        if let ArchiveRetention::Ticks(ticks) = self.config.archive {
+            let cutoff = now.saturating_sub(ticks);
+            self.archive.retain(|_, (element, _)| element.ts >= cutoff);
+        }
+    }
+
+    /// Convenience wrapper: ingests a whole timestamp-ordered stream, cutting
+    /// it into buckets of the configured length `L` and returning the number
+    /// of buckets processed.
+    pub fn ingest_stream<I>(&mut self, stream: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = (SocialElement, TopicVector)>,
+    {
+        let bucket_len = self.config.window.bucket_len();
+        let mut pending: Vec<(SocialElement, TopicVector)> = Vec::new();
+        let mut current_end = Timestamp(self.window.now().raw().max(bucket_len));
+        if !current_end.raw().is_multiple_of(bucket_len) {
+            current_end = Timestamp(current_end.raw().div_ceil(bucket_len) * bucket_len);
+        }
+        let mut buckets = 0;
+        for (element, tv) in stream {
+            while element.ts > current_end {
+                self.ingest_bucket(std::mem::take(&mut pending), current_end)?;
+                buckets += 1;
+                current_end = Timestamp(current_end.raw() + bucket_len);
+            }
+            pending.push((element, tv));
+        }
+        if !pending.is_empty() {
+            self.ingest_bucket(pending, current_end)?;
+            buckets += 1;
+        }
+        Ok(buckets)
+    }
+
+    /// Truncates and renormalises a topic distribution according to the
+    /// engine's sparsification settings.
+    fn sparsify(&self, tv: TopicVector) -> TopicVector {
+        let min_prob = self.config.min_topic_prob;
+        let max_topics = self.config.max_topics_per_element;
+        if min_prob <= 0.0 && max_topics.is_none() {
+            return tv;
+        }
+        let mut entries: Vec<(TopicId, f64)> = tv
+            .support()
+            .into_iter()
+            .filter(|(_, p)| *p >= min_prob)
+            .collect();
+        if entries.is_empty() {
+            // Every entry fell below the floor; keep the dominant topic so the
+            // element does not silently vanish from the index.
+            if let Some(top) = tv.dominant_topic() {
+                entries.push((top, tv.value(top)));
+            } else {
+                return tv; // all-zero vector: nothing to keep
+            }
+        }
+        if let Some(n) = max_topics {
+            entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            entries.truncate(n);
+        }
+        let mut out = TopicVector::zeros(tv.num_topics());
+        for (topic, p) in entries {
+            out.set(topic, p);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Recomputes the ranked-list tuples `⟨δ_i(e), t_e⟩` of one active element
+    /// for every topic in its support.
+    fn refresh_tuples(&mut self, id: ElementId) {
+        let Some(tv) = self.topic_vectors.get(&id) else {
+            return;
+        };
+        let Some(last_referenced) = self.window.last_referenced(id) else {
+            return;
+        };
+        let scorer = Scorer::new(
+            &self.phi,
+            self.config.scoring,
+            &self.window,
+            &self.topic_vectors,
+        );
+        let tuples: Vec<(TopicId, f64)> = tv
+            .support()
+            .into_iter()
+            .map(|(topic, _)| (topic, scorer.topicwise_element(topic, id)))
+            .collect();
+        for (topic, score) in tuples {
+            self.ranked.upsert(topic, id, score, last_referenced);
+            self.stats.tuple_updates += 1;
+        }
+    }
+
+    fn check_query(&self, query: &KsirQuery) -> Result<()> {
+        if query.vector().num_topics() != self.num_topics() {
+            return Err(KsirError::DimensionMismatch {
+                expected: self.num_topics(),
+                actual: query.vector().num_topics(),
+            });
+        }
+        Ok(())
+    }
+
+    fn evaluator<'a>(&'a self, vector: &QueryVector) -> QueryEvaluator<'a, D> {
+        QueryEvaluator::new(self.scorer(), &self.window, &self.topic_vectors, vector)
+    }
+
+    /// Processes a k-SIR query with the chosen algorithm.
+    pub fn query(&self, query: &KsirQuery, algorithm: Algorithm) -> Result<QueryResult> {
+        self.check_query(query)?;
+        let evaluator = self.evaluator(query.vector());
+        let result = match algorithm {
+            Algorithm::Mtts => algorithms::mtts::run(&self.ranked, &evaluator, query),
+            Algorithm::Mttd => algorithms::mttd::run(&self.ranked, &evaluator, query),
+            Algorithm::Celf => algorithms::celf::run(&self.window, &evaluator, query),
+            Algorithm::SieveStreaming => algorithms::sieve::run(&self.window, &evaluator, query),
+            Algorithm::TopkRepresentative => algorithms::topk::run(&self.ranked, &evaluator, query),
+        };
+        Ok(result)
+    }
+
+    /// Processes a query with MTTS (Algorithm 2).
+    pub fn query_mtts(&self, query: &KsirQuery) -> Result<QueryResult> {
+        self.query(query, Algorithm::Mtts)
+    }
+
+    /// Processes a query with MTTD (Algorithm 3).
+    pub fn query_mttd(&self, query: &KsirQuery) -> Result<QueryResult> {
+        self.query(query, Algorithm::Mttd)
+    }
+
+    /// Processes a query with the CELF baseline.
+    pub fn query_celf(&self, query: &KsirQuery) -> Result<QueryResult> {
+        self.query(query, Algorithm::Celf)
+    }
+
+    /// Processes a query with the SieveStreaming baseline.
+    pub fn query_sieve_streaming(&self, query: &KsirQuery) -> Result<QueryResult> {
+        self.query(query, Algorithm::SieveStreaming)
+    }
+
+    /// Processes a query with the Top-k Representative baseline.
+    pub fn query_topk_representative(&self, query: &KsirQuery) -> Result<QueryResult> {
+        self.query(query, Algorithm::TopkRepresentative)
+    }
+
+    /// Exhaustively enumerates all size-`min(k, n_t)` subsets of the active
+    /// elements and returns the best one.
+    ///
+    /// This is exponential in `k` and only intended for tests and very small
+    /// worked examples (such as the paper's Table 1); it is the ground truth
+    /// the approximation guarantees of the other algorithms are checked
+    /// against.
+    pub fn exhaustive_optimum(&self, query: &KsirQuery) -> Result<QueryResult> {
+        self.check_query(query)?;
+        let evaluator = self.evaluator(query.vector());
+        let ids = self.active_ids();
+        let k = query.k().min(ids.len());
+        let mut best: Vec<ElementId> = Vec::new();
+        let mut best_score = 0.0;
+        let mut current: Vec<ElementId> = Vec::with_capacity(k);
+        fn recurse<D: TopicWordDistribution>(
+            ids: &[ElementId],
+            start: usize,
+            k: usize,
+            current: &mut Vec<ElementId>,
+            evaluator: &QueryEvaluator<'_, D>,
+            best: &mut Vec<ElementId>,
+            best_score: &mut f64,
+        ) {
+            if current.len() == k {
+                let score = evaluator.score_of(current);
+                if score > *best_score {
+                    *best_score = score;
+                    *best = current.clone();
+                }
+                return;
+            }
+            let remaining = k - current.len();
+            for i in start..=ids.len().saturating_sub(remaining) {
+                current.push(ids[i]);
+                recurse(ids, i + 1, k, current, evaluator, best, best_score);
+                current.pop();
+            }
+        }
+        if k > 0 {
+            recurse(
+                &ids,
+                0,
+                k,
+                &mut current,
+                &evaluator,
+                &mut best,
+                &mut best_score,
+            );
+        }
+        Ok(QueryResult {
+            elements: best,
+            score: best_score,
+            evaluated_elements: ids.len(),
+            gain_evaluations: evaluator.gain_evaluations(),
+            algorithm: Algorithm::Celf,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScoringConfig;
+    use crate::fixtures::paper_example;
+    use ksir_stream::WindowConfig;
+    use ksir_types::{DenseTopicWordTable, SocialElementBuilder};
+
+    fn tiny_engine() -> KsirEngine<DenseTopicWordTable> {
+        let phi = DenseTopicWordTable::from_rows(vec![
+            vec![0.5, 0.3, 0.2, 0.0],
+            vec![0.0, 0.2, 0.3, 0.5],
+        ])
+        .unwrap();
+        let config = EngineConfig::new(
+            WindowConfig::new(4, 1).unwrap(),
+            ScoringConfig::new(0.5, 2.0).unwrap(),
+        )
+        .with_max_topics_per_element(None);
+        KsirEngine::new(phi, config).unwrap()
+    }
+
+    fn tv(values: &[f64]) -> TopicVector {
+        TopicVector::from_values(values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_empty_topic_model() {
+        let phi = DenseTopicWordTable::uniform(0, 4);
+        let config = EngineConfig::new(
+            WindowConfig::new(4, 1).unwrap(),
+            ScoringConfig::default(),
+        );
+        assert!(KsirEngine::new(phi, config).is_err());
+    }
+
+    #[test]
+    fn ingest_validates_dimensions_and_timestamps() {
+        let mut engine = tiny_engine();
+        let e = SocialElementBuilder::new(1).at(1).words([0]).build();
+        // wrong topic dimensionality
+        assert!(matches!(
+            engine.ingest_bucket(vec![(e.clone(), tv(&[1.0]))], Timestamp(1)),
+            Err(KsirError::DimensionMismatch { .. })
+        ));
+        // element newer than the bucket end
+        assert!(engine
+            .ingest_bucket(vec![(e.clone(), tv(&[1.0, 0.0]))], Timestamp(0))
+            .is_err());
+        // regression of the bucket end
+        engine
+            .ingest_bucket(vec![(e, tv(&[1.0, 0.0]))], Timestamp(2))
+            .unwrap();
+        assert!(matches!(
+            engine.ingest_bucket(vec![], Timestamp(1)),
+            Err(KsirError::TimestampRegression { .. })
+        ));
+    }
+
+    #[test]
+    fn ingest_updates_ranked_lists_and_expiry() {
+        let mut engine = tiny_engine();
+        let e1 = SocialElementBuilder::new(1).at(1).words([0, 1]).build();
+        let e2 = SocialElementBuilder::new(2)
+            .at(3)
+            .words([2, 3])
+            .referencing(1)
+            .build();
+        let r = engine
+            .ingest_bucket(vec![(e1, tv(&[0.9, 0.1]))], Timestamp(1))
+            .unwrap();
+        assert_eq!(r.inserted, 1);
+        assert!(engine.ranked_lists().list(TopicId(0)).contains(ElementId(1)));
+        let before = engine
+            .ranked_lists()
+            .list(TopicId(0))
+            .get(ElementId(1))
+            .unwrap()
+            .0;
+        // e2 references e1 → e1's tuple gains influence mass and is refreshed
+        let r = engine
+            .ingest_bucket(vec![(e2, tv(&[0.2, 0.8]))], Timestamp(3))
+            .unwrap();
+        assert_eq!(r.refreshed, 1);
+        let after = engine
+            .ranked_lists()
+            .list(TopicId(0))
+            .get(ElementId(1))
+            .unwrap()
+            .0;
+        assert!(after > before, "reference must increase δ_0(e1)");
+        // far in the future: everything expires and the index empties
+        let r = engine.ingest_bucket(vec![], Timestamp(20)).unwrap();
+        assert_eq!(r.expired, 2);
+        assert_eq!(engine.active_count(), 0);
+        assert_eq!(engine.ranked_lists().total_entries(), 0);
+        assert_eq!(engine.stats().elements_expired, 2);
+    }
+
+    #[test]
+    fn expired_parents_are_resurrected_by_new_references() {
+        // Mirrors Table 1: e2 (ts = 2) expires at t = 6 under T = 4 but must
+        // be active again at t = 7 because e7 references it.
+        let mut engine = tiny_engine();
+        let e2 = SocialElementBuilder::new(2).at(2).words([0, 1]).build();
+        engine
+            .ingest_bucket(vec![(e2, tv(&[0.5, 0.5]))], Timestamp(2))
+            .unwrap();
+        let r = engine.ingest_bucket(vec![], Timestamp(6)).unwrap();
+        assert_eq!(r.expired, 1);
+        assert!(!engine.is_active(ElementId(2)));
+        let e7 = SocialElementBuilder::new(7)
+            .at(7)
+            .words([2])
+            .referencing(2)
+            .build();
+        let r = engine
+            .ingest_bucket(vec![(e7, tv(&[0.5, 0.5]))], Timestamp(7))
+            .unwrap();
+        assert_eq!(r.resurrected, 1);
+        assert!(engine.is_active(ElementId(2)));
+        assert!(engine.ranked_lists().list(TopicId(0)).contains(ElementId(2)));
+    }
+
+    #[test]
+    fn disabled_archive_ignores_references_to_expired_parents() {
+        let phi = DenseTopicWordTable::uniform(2, 4);
+        let config = EngineConfig::new(
+            WindowConfig::new(4, 1).unwrap(),
+            ScoringConfig::default(),
+        )
+        .with_archive(crate::config::ArchiveRetention::Disabled);
+        let mut engine = KsirEngine::new(phi, config).unwrap();
+        let e1 = SocialElementBuilder::new(1).at(1).words([0]).build();
+        engine
+            .ingest_bucket(vec![(e1, tv(&[1.0, 0.0]))], Timestamp(1))
+            .unwrap();
+        engine.ingest_bucket(vec![], Timestamp(6)).unwrap();
+        let e2 = SocialElementBuilder::new(2)
+            .at(7)
+            .words([1])
+            .referencing(1)
+            .build();
+        let r = engine
+            .ingest_bucket(vec![(e2, tv(&[1.0, 0.0]))], Timestamp(7))
+            .unwrap();
+        assert_eq!(r.resurrected, 0);
+        assert!(!engine.is_active(ElementId(1)));
+        assert_eq!(engine.archived_count(), 0);
+    }
+
+    #[test]
+    fn archive_retention_in_ticks_prunes_old_elements() {
+        let phi = DenseTopicWordTable::uniform(2, 4);
+        let config = EngineConfig::new(
+            WindowConfig::new(4, 1).unwrap(),
+            ScoringConfig::default(),
+        )
+        .with_archive(crate::config::ArchiveRetention::Ticks(10));
+        let mut engine = KsirEngine::new(phi, config).unwrap();
+        let e1 = SocialElementBuilder::new(1).at(1).words([0]).build();
+        engine
+            .ingest_bucket(vec![(e1, tv(&[1.0, 0.0]))], Timestamp(1))
+            .unwrap();
+        assert_eq!(engine.archived_count(), 1);
+        engine.ingest_bucket(vec![], Timestamp(12)).unwrap();
+        assert_eq!(engine.archived_count(), 0, "ts=1 < 12-10 cutoff");
+    }
+
+    #[test]
+    fn stored_tuples_match_direct_scorer() {
+        let ex = paper_example();
+        let engine = ex.build_engine();
+        let scorer = engine.scorer();
+        for topic in [TopicId(0), TopicId(1)] {
+            for (id, stored, _) in engine.ranked_lists().list(topic).iter() {
+                let direct = scorer.topicwise_element(topic, id);
+                assert!(
+                    (stored - direct).abs() < 1e-9,
+                    "stale tuple for {id} on {topic}: stored={stored}, direct={direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparsification_truncates_and_renormalises() {
+        let phi = DenseTopicWordTable::uniform(4, 4);
+        let config = EngineConfig::new(
+            WindowConfig::new(4, 1).unwrap(),
+            ScoringConfig::default(),
+        )
+        .with_max_topics_per_element(Some(2))
+        .with_min_topic_prob(0.05);
+        let mut engine = KsirEngine::new(phi, config).unwrap();
+        let e = SocialElementBuilder::new(1).at(1).words([0]).build();
+        engine
+            .ingest_bucket(
+                vec![(e, tv(&[0.5, 0.3, 0.15, 0.05]))],
+                Timestamp(1),
+            )
+            .unwrap();
+        let stored = engine.topic_vector(ElementId(1)).unwrap();
+        assert_eq!(stored.support_size(), 2);
+        assert!((stored.sum() - 1.0).abs() < 1e-12);
+        assert!(stored.value(TopicId(0)) > stored.value(TopicId(1)));
+        assert_eq!(stored.value(TopicId(2)), 0.0);
+        // ranked lists only hold tuples for the retained topics
+        assert!(engine.ranked_lists().list(TopicId(0)).contains(ElementId(1)));
+        assert!(!engine.ranked_lists().list(TopicId(2)).contains(ElementId(1)));
+    }
+
+    #[test]
+    fn ingest_stream_cuts_buckets_of_length_l() {
+        let phi = DenseTopicWordTable::uniform(2, 4);
+        let config = EngineConfig::new(
+            WindowConfig::new(10, 5).unwrap(),
+            ScoringConfig::default(),
+        );
+        let mut engine = KsirEngine::new(phi, config).unwrap();
+        let stream: Vec<_> = (1..=12u64)
+            .map(|i| {
+                (
+                    SocialElementBuilder::new(i).at(i).words([0, 1]).build(),
+                    tv(&[0.5, 0.5]),
+                )
+            })
+            .collect();
+        let buckets = engine.ingest_stream(stream).unwrap();
+        assert!(buckets >= 3);
+        assert_eq!(engine.stats().elements_ingested, 12);
+        assert!(engine.now() >= Timestamp(12));
+    }
+
+    #[test]
+    fn query_rejects_dimension_mismatch() {
+        let ex = paper_example();
+        let engine = ex.build_engine();
+        let q = KsirQuery::new(2, QueryVector::new(vec![1.0, 1.0, 1.0]).unwrap()).unwrap();
+        assert!(matches!(
+            engine.query(&q, Algorithm::Celf),
+            Err(KsirError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn exhaustive_optimum_on_paper_example() {
+        let ex = paper_example();
+        let engine = ex.build_engine();
+        let q = KsirQuery::new(2, QueryVector::new(vec![0.5, 0.5]).unwrap()).unwrap();
+        let opt = engine.exhaustive_optimum(&q).unwrap();
+        assert_eq!(
+            opt.sorted_elements(),
+            vec![ElementId(1), ElementId(3)],
+            "Example 3.4: S* = {{e1, e3}}"
+        );
+        assert!((opt.score - 0.65).abs() < 0.02, "OPT ≈ 0.65, got {}", opt.score);
+    }
+}

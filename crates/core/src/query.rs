@@ -1,0 +1,215 @@
+//! Query and result types for k-SIR processing.
+
+use ksir_types::{ElementId, KsirError, QueryVector, Result};
+
+/// A k-SIR query `q_t(k, x)`: retrieve at most `k` active elements maximising
+/// the representativeness score w.r.t. the query vector `x`.
+///
+/// The `ε` parameter controls the approximation/efficiency trade-off of the
+/// MTTS and MTTD algorithms (and of the SieveStreaming baseline); it is
+/// ignored by CELF and Top-k Representative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KsirQuery {
+    k: usize,
+    vector: QueryVector,
+    epsilon: f64,
+}
+
+impl KsirQuery {
+    /// Default `ε` used when none is given (the paper's default setting).
+    pub const DEFAULT_EPSILON: f64 = 0.1;
+
+    /// Creates a query with the default `ε = 0.1`.
+    pub fn new(k: usize, vector: QueryVector) -> Result<Self> {
+        if k == 0 {
+            return Err(KsirError::invalid_parameter(
+                "k",
+                "a k-SIR query must request at least one element",
+            ));
+        }
+        Ok(KsirQuery {
+            k,
+            vector,
+            epsilon: Self::DEFAULT_EPSILON,
+        })
+    }
+
+    /// Overrides the approximation parameter `ε ∈ (0, 1)`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 || epsilon >= 1.0 {
+            return Err(KsirError::invalid_parameter(
+                "epsilon",
+                format!("must be in the open interval (0, 1), got {epsilon}"),
+            ));
+        }
+        self.epsilon = epsilon;
+        Ok(self)
+    }
+
+    /// The result-size bound `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The query vector `x`.
+    #[inline]
+    pub fn vector(&self) -> &QueryVector {
+        &self.vector
+    }
+
+    /// The approximation parameter `ε`.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// The algorithm used to process a k-SIR query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Multi-Topic ThresholdStream (Algorithm 2): `(1/2 − ε)`-approximate,
+    /// evaluates each active element at most once.
+    Mtts,
+    /// Multi-Topic ThresholdDescend (Algorithm 3): `(1 − 1/e − ε)`-approximate,
+    /// may re-evaluate buffered elements across rounds.
+    Mttd,
+    /// CELF lazy greedy (batch baseline): `(1 − 1/e)`-approximate but
+    /// evaluates every active element.
+    Celf,
+    /// SieveStreaming (streaming baseline): `(1/2 − ε)`-approximate,
+    /// evaluates every active element.
+    SieveStreaming,
+    /// Top-k elements by singleton representativeness score (index baseline):
+    /// only `1/k`-approximate because word/influence overlaps are ignored.
+    TopkRepresentative,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order used by the experiment harness.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Celf,
+        Algorithm::Mttd,
+        Algorithm::Mtts,
+        Algorithm::TopkRepresentative,
+        Algorithm::SieveStreaming,
+    ];
+
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Mtts => "MTTS",
+            Algorithm::Mttd => "MTTD",
+            Algorithm::Celf => "CELF",
+            Algorithm::SieveStreaming => "SieveStreaming",
+            Algorithm::TopkRepresentative => "Top-k Representative",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of processing one k-SIR query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Selected elements, in the order they were added to the result set.
+    pub elements: Vec<ElementId>,
+    /// Representativeness score `f(S, x)` of the result set.
+    pub score: f64,
+    /// Number of *distinct* active elements whose score or marginal gain was
+    /// evaluated (the quantity behind Figure 10 of the paper).
+    pub evaluated_elements: usize,
+    /// Total number of marginal-gain / singleton-score evaluations of the
+    /// submodular function (an element may be evaluated several times).
+    pub gain_evaluations: usize,
+    /// Algorithm that produced the result.
+    pub algorithm: Algorithm,
+}
+
+impl QueryResult {
+    /// An empty result (used when no active element is relevant to the query).
+    pub fn empty(algorithm: Algorithm) -> Self {
+        QueryResult {
+            elements: Vec::new(),
+            score: 0.0,
+            evaluated_elements: 0,
+            gain_evaluations: 0,
+            algorithm,
+        }
+    }
+
+    /// Number of selected elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Returns `true` if no element was selected.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Returns `true` if the result contains `id`.
+    pub fn contains(&self, id: ElementId) -> bool {
+        self.elements.contains(&id)
+    }
+
+    /// The selected elements as a sorted vector (convenient for comparisons in
+    /// tests, where selection order is irrelevant).
+    pub fn sorted_elements(&self) -> Vec<ElementId> {
+        let mut v = self.elements.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query_vector() -> QueryVector {
+        QueryVector::new(vec![0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn query_validation() {
+        assert!(KsirQuery::new(0, query_vector()).is_err());
+        let q = KsirQuery::new(5, query_vector()).unwrap();
+        assert_eq!(q.k(), 5);
+        assert_eq!(q.epsilon(), KsirQuery::DEFAULT_EPSILON);
+        assert!(q.clone().with_epsilon(0.0).is_err());
+        assert!(q.clone().with_epsilon(1.0).is_err());
+        assert!(q.clone().with_epsilon(f64::NAN).is_err());
+        let q = q.with_epsilon(0.3).unwrap();
+        assert_eq!(q.epsilon(), 0.3);
+    }
+
+    #[test]
+    fn algorithm_names_and_display() {
+        assert_eq!(Algorithm::Mtts.name(), "MTTS");
+        assert_eq!(Algorithm::Mttd.to_string(), "MTTD");
+        assert_eq!(Algorithm::ALL.len(), 5);
+    }
+
+    #[test]
+    fn result_helpers() {
+        let r = QueryResult {
+            elements: vec![ElementId(3), ElementId(1)],
+            score: 0.65,
+            evaluated_elements: 4,
+            gain_evaluations: 9,
+            algorithm: Algorithm::Mtts,
+        };
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert!(r.contains(ElementId(1)));
+        assert!(!r.contains(ElementId(2)));
+        assert_eq!(r.sorted_elements(), vec![ElementId(1), ElementId(3)]);
+        let e = QueryResult::empty(Algorithm::Celf);
+        assert!(e.is_empty());
+        assert_eq!(e.score, 0.0);
+    }
+}

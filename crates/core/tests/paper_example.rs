@@ -1,0 +1,302 @@
+//! Reproduction of the paper's worked examples (§3 and §4) on the running
+//! example of Table 1 / Figures 1–3, 5 and 6.
+//!
+//! The numbers asserted here are the ones printed in the paper (rounded to
+//! two decimals there, so comparisons use a 0.02 tolerance).
+
+use ksir_core::fixtures::paper_example;
+use ksir_core::{Algorithm, KsirQuery};
+use ksir_types::{ElementId, QueryVector, TopicId};
+
+fn close(actual: f64, expected: f64, tol: f64) -> bool {
+    (actual - expected).abs() <= tol
+}
+
+fn ids(ns: &[u64]) -> Vec<ElementId> {
+    ns.iter().map(|&n| ElementId(n)).collect()
+}
+
+/// Example 3.1: the semantic score `R_2({e2, e7})` on topic θ2 is ≈ 0.53.
+#[test]
+fn example_3_1_semantic_score_of_e2_e7() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let scorer = engine.scorer();
+    let r2 = scorer.semantic_set(TopicId(1), &ids(&[2, 7]));
+    assert!(close(r2, 0.53, 0.02), "R_2({{e2,e7}}) = {r2}, paper says 0.53");
+    // e7 contributes nothing: every word of e7 is covered better by e2.
+    let r2_e2_only = scorer.semantic_set(TopicId(1), &ids(&[2]));
+    assert!(close(r2, r2_e2_only, 1e-9));
+    // Per-word weights quoted in the example.
+    let w4 = ksir_types::WordId(3); // "champion"
+    let w9 = ksir_types::WordId(8); // "manutd"
+    let w11 = ksir_types::WordId(10); // "pl"
+    assert!(close(scorer.word_weight_of(TopicId(1), ElementId(2), w4), 0.18, 0.01));
+    assert!(close(scorer.word_weight_of(TopicId(1), ElementId(2), w9), 0.15, 0.01));
+    assert!(close(scorer.word_weight_of(TopicId(1), ElementId(2), w11), 0.20, 0.01));
+    assert!(close(scorer.word_weight_of(TopicId(1), ElementId(7), w4), 0.17, 0.01));
+    assert!(close(scorer.word_weight_of(TopicId(1), ElementId(7), w11), 0.19, 0.01));
+}
+
+/// Example 3.2: the influence score `I_{2,8}({e2, e3})` on θ2 at t = 8 is ≈ 0.93.
+#[test]
+fn example_3_2_influence_score_of_e2_e3() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let scorer = engine.scorer();
+    let i2 = scorer.influence_set(TopicId(1), &ids(&[2, 3]));
+    assert!(close(i2, 0.93, 0.02), "I_2,8({{e2,e3}}) = {i2}, paper says 0.93");
+    // The singleton propagation probabilities quoted in the example.
+    assert!(close(scorer.influence_element(TopicId(1), ElementId(3)), 0.03 + 0.054, 0.02));
+    // e3's influence on θ2 is low even though it is referenced a lot.
+    assert!(scorer.influence_element(TopicId(1), ElementId(3)) < 0.1);
+    assert!(scorer.influence_element(TopicId(0), ElementId(3)) > 0.5);
+}
+
+/// The active set at t = 8 contains everything except e4 (Example 3.4).
+#[test]
+fn active_set_at_time_8_drops_only_e4() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    assert_eq!(engine.active_count(), 7);
+    for n in [1u64, 2, 3, 5, 6, 7, 8] {
+        assert!(engine.is_active(ElementId(n)), "e{n} must be active at t=8");
+    }
+    assert!(!engine.is_active(ElementId(4)));
+}
+
+/// Figure 5 / 6: the ranked-list tuples `⟨δ_i(e), t_e⟩` at time 8.
+#[test]
+fn ranked_list_scores_match_figure_5() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let expected_rl1 = [
+        (3u64, 0.65),
+        (6, 0.48),
+        (8, 0.17),
+        (2, 0.10),
+        (7, 0.06),
+        (1, 0.06),
+        (5, 0.05),
+    ];
+    let expected_rl2 = [
+        (1u64, 0.56),
+        (2, 0.48),
+        (5, 0.27),
+        (7, 0.18),
+        (8, 0.16),
+        (6, 0.13),
+        (3, 0.03),
+    ];
+    for (topic, expected) in [(TopicId(0), &expected_rl1), (TopicId(1), &expected_rl2)] {
+        let list = engine.ranked_lists().list(topic);
+        assert_eq!(list.len(), 7, "each list holds the 7 active elements");
+        for &(n, score) in expected.iter() {
+            let (stored, _) = list.get(ElementId(n)).expect("element present in list");
+            assert!(
+                close(stored, score, 0.02),
+                "δ_{}(e{}) = {}, figure says {}",
+                topic.raw() + 1,
+                n,
+                stored,
+                score
+            );
+        }
+    }
+    // The heads of the lists are e3 and e1 as drawn in Figure 5.
+    assert_eq!(
+        engine.ranked_lists().list(TopicId(0)).first().unwrap().0,
+        ElementId(3)
+    );
+    assert_eq!(
+        engine.ranked_lists().list(TopicId(1)).first().unwrap().0,
+        ElementId(1)
+    );
+}
+
+/// Figure 5: the last-referenced timestamps `t_e` stored in the tuples.
+#[test]
+fn ranked_list_timestamps_match_figure_5() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let expected = [
+        (1u64, 5u64),
+        (2, 8),
+        (3, 8),
+        (5, 5),
+        (6, 8),
+        (7, 7),
+        (8, 8),
+    ];
+    let list = engine.ranked_lists().list(TopicId(0));
+    for (n, te) in expected {
+        let (_, ts) = list.get(ElementId(n)).unwrap();
+        assert_eq!(ts.raw(), te, "t_e of e{n}");
+    }
+}
+
+/// Example 3.4, first query: `q_8(2, (0.5, 0.5))` → S* = {e1, e3}, OPT ≈ 0.65.
+#[test]
+fn example_3_4_balanced_query() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let q = KsirQuery::new(2, QueryVector::new(vec![0.5, 0.5]).unwrap()).unwrap();
+    let opt = engine.exhaustive_optimum(&q).unwrap();
+    assert_eq!(opt.sorted_elements(), ids(&[1, 3]));
+    assert!(close(opt.score, 0.65, 0.02), "OPT = {}", opt.score);
+}
+
+/// Example 3.4, second query: `q_8(2, (0.1, 0.9))` → S* = {e1, e2}, OPT ≈ 0.94.
+#[test]
+fn example_3_4_soccer_leaning_query() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let q = KsirQuery::new(2, QueryVector::new(vec![0.1, 0.9]).unwrap()).unwrap();
+    let opt = engine.exhaustive_optimum(&q).unwrap();
+    assert_eq!(opt.sorted_elements(), ids(&[1, 2]));
+    assert!(close(opt.score, 0.94, 0.02), "OPT = {}", opt.score);
+    // e3 is excluded because it is mostly about θ1.
+    assert!(!opt.contains(ElementId(3)));
+}
+
+/// Example 4.1: MTTS with ε = 0.3 answers `q_8(2, (0.5, 0.5))` with {e1, e3}
+/// while evaluating only a handful of elements.
+#[test]
+fn example_4_1_mtts_returns_e1_e3() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let q = KsirQuery::new(2, QueryVector::new(vec![0.5, 0.5]).unwrap())
+        .unwrap()
+        .with_epsilon(0.3)
+        .unwrap();
+    let r = engine.query(&q, Algorithm::Mtts).unwrap();
+    assert_eq!(r.sorted_elements(), ids(&[1, 3]));
+    assert!(close(r.score, 0.65, 0.02));
+    assert_eq!(r.algorithm, Algorithm::Mtts);
+    // The example evaluates e3, e1, e6 and e2 before terminating — strictly
+    // fewer than the 7 active elements.
+    assert!(r.evaluated_elements <= 5, "evaluated {}", r.evaluated_elements);
+    assert!(r.evaluated_elements >= 2);
+}
+
+/// Example 4.3: MTTD with ε = 0.3 also returns {e1, e3}.
+#[test]
+fn example_4_3_mttd_returns_e1_e3() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let q = KsirQuery::new(2, QueryVector::new(vec![0.5, 0.5]).unwrap())
+        .unwrap()
+        .with_epsilon(0.3)
+        .unwrap();
+    let r = engine.query(&q, Algorithm::Mttd).unwrap();
+    assert_eq!(r.sorted_elements(), ids(&[1, 3]));
+    assert!(close(r.score, 0.65, 0.02));
+    assert_eq!(r.algorithm, Algorithm::Mttd);
+    // The example buffers e3, e1, e6, e2 — strictly fewer than all 7.
+    assert!(r.evaluated_elements <= 5);
+}
+
+/// All five processing algorithms respect their approximation guarantees on
+/// both queries of Example 3.4 (and the result-set scores they report are
+/// consistent with recomputation from scratch).
+#[test]
+fn all_algorithms_meet_their_guarantees_on_the_example() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let scorer = engine.scorer();
+    for weights in [vec![0.5, 0.5], vec![0.1, 0.9], vec![0.9, 0.1]] {
+        let vector = QueryVector::new(weights.clone()).unwrap();
+        let q = KsirQuery::new(2, vector.clone()).unwrap();
+        let opt = engine.exhaustive_optimum(&q).unwrap().score;
+        for (alg, ratio) in [
+            (Algorithm::Celf, 1.0 - 1.0 / std::f64::consts::E),
+            (Algorithm::Mttd, 1.0 - 1.0 / std::f64::consts::E - q.epsilon()),
+            (Algorithm::Mtts, 0.5 - q.epsilon()),
+            (Algorithm::SieveStreaming, 0.5 - q.epsilon()),
+            (Algorithm::TopkRepresentative, 1.0 / q.k() as f64),
+        ] {
+            let r = engine.query(&q, alg).unwrap();
+            assert!(
+                r.score + 1e-9 >= ratio * opt,
+                "{alg} scored {} < {ratio}·OPT = {} for weights {weights:?}",
+                r.score,
+                ratio * opt
+            );
+            assert!(r.len() <= q.k());
+            // Reported score must equal the score recomputed from scratch.
+            let recomputed = scorer.set_score(&vector, &r.elements);
+            assert!(
+                close(r.score, recomputed, 1e-9),
+                "{alg} reported {} but the set scores {}",
+                r.score,
+                recomputed
+            );
+        }
+    }
+}
+
+/// MTTS and MTTD prune evaluations while CELF and SieveStreaming touch every
+/// active element.
+#[test]
+fn index_based_algorithms_evaluate_fewer_elements() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let q = KsirQuery::new(2, QueryVector::new(vec![0.5, 0.5]).unwrap())
+        .unwrap()
+        .with_epsilon(0.3)
+        .unwrap();
+    let celf = engine.query(&q, Algorithm::Celf).unwrap();
+    let sieve = engine.query(&q, Algorithm::SieveStreaming).unwrap();
+    let mtts = engine.query(&q, Algorithm::Mtts).unwrap();
+    let mttd = engine.query(&q, Algorithm::Mttd).unwrap();
+    assert_eq!(celf.evaluated_elements, engine.active_count());
+    assert_eq!(sieve.evaluated_elements, engine.active_count());
+    assert!(mtts.evaluated_elements < engine.active_count());
+    assert!(mttd.evaluated_elements < engine.active_count());
+}
+
+/// A query on a single topic returns elements from that topic only.
+#[test]
+fn single_topic_queries_stay_on_topic() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    // Pure basketball query (θ1): e3 must be in the result, e1 must not.
+    let q = KsirQuery::new(2, QueryVector::single_topic(2, TopicId(0)).unwrap()).unwrap();
+    let r = engine.query(&q, Algorithm::Mttd).unwrap();
+    assert!(r.contains(ElementId(3)));
+    assert!(!r.contains(ElementId(1)));
+    // Pure soccer query (θ2): e1 in, e3 out.
+    let q = KsirQuery::new(2, QueryVector::single_topic(2, TopicId(1)).unwrap()).unwrap();
+    let r = engine.query(&q, Algorithm::Mttd).unwrap();
+    assert!(r.contains(ElementId(1)));
+    assert!(!r.contains(ElementId(3)));
+}
+
+/// Larger k than relevant elements: the result is bounded by the number of
+/// active elements and never contains duplicates.
+#[test]
+fn oversized_k_is_handled() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let q = KsirQuery::new(20, QueryVector::new(vec![0.5, 0.5]).unwrap()).unwrap();
+    for alg in Algorithm::ALL {
+        let r = engine.query(&q, alg).unwrap();
+        assert!(r.len() <= 7, "{alg} returned {} elements", r.len());
+        let mut sorted = r.sorted_elements();
+        sorted.dedup();
+        assert_eq!(sorted.len(), r.len(), "{alg} returned duplicates");
+    }
+}
+
+/// Results are deterministic: repeating the same query yields the same set.
+#[test]
+fn queries_are_deterministic() {
+    let ex = paper_example();
+    let engine = ex.build_engine();
+    let q = KsirQuery::new(3, QueryVector::new(vec![0.4, 0.6]).unwrap()).unwrap();
+    for alg in Algorithm::ALL {
+        let a = engine.query(&q, alg).unwrap();
+        let b = engine.query(&q, alg).unwrap();
+        assert_eq!(a, b, "{alg} is not deterministic");
+    }
+}

@@ -1,0 +1,302 @@
+//! Property-based tests of the k-SIR scoring function and query algorithms on
+//! randomly generated streams.
+//!
+//! Random instances are generated from a seed (so that proptest failures are
+//! reproducible from the printed seed) and the following invariants are
+//! checked:
+//!
+//! * Lemma 3.6 / 3.7: the scoring function is monotone and submodular.
+//! * The incremental marginal-gain state matches from-scratch scoring.
+//! * Theorems 4.2 / 4.4 and the baselines' guarantees hold against the
+//!   exhaustive optimum on small instances.
+//! * Algorithm 1 keeps the ranked-list tuples equal to the directly computed
+//!   topic-wise scores `f_i({e})`, even across expiry and resurrection.
+
+use proptest::prelude::*;
+// Explicit trait imports: `proptest::prelude::*` re-exports a different rand
+// version, so the glob `rand::prelude::*` would leave these traits shadowed.
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+use ksir_core::{
+    Algorithm, EngineConfig, KsirEngine, KsirQuery, QueryEvaluator, ScoringConfig,
+};
+use ksir_stream::WindowConfig;
+use ksir_types::{
+    DenseTopicWordTable, ElementId, QueryVector, SocialElement, SocialElementBuilder, Timestamp,
+    TopicVector,
+};
+
+/// Parameters of a random instance.
+#[derive(Debug, Clone)]
+struct InstanceParams {
+    seed: u64,
+    num_elements: usize,
+    num_topics: usize,
+    vocab_size: usize,
+    window_len: u64,
+    lambda_tenths: u8,
+    k: usize,
+}
+
+fn instance_params() -> impl Strategy<Value = InstanceParams> {
+    (
+        any::<u64>(),
+        5usize..=12,
+        2usize..=4,
+        8usize..=16,
+        3u64..=8,
+        0u8..=10,
+        1usize..=3,
+    )
+        .prop_map(
+            |(seed, num_elements, num_topics, vocab_size, window_len, lambda_tenths, k)| {
+                InstanceParams {
+                    seed,
+                    num_elements,
+                    num_topics,
+                    vocab_size,
+                    window_len,
+                    lambda_tenths,
+                    k,
+                }
+            },
+        )
+}
+
+/// A fully built random instance: engine at the end of the stream + a query.
+struct Instance {
+    engine: KsirEngine<DenseTopicWordTable>,
+    query: KsirQuery,
+    query_vector: QueryVector,
+}
+
+fn build_instance(p: &InstanceParams) -> Instance {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+
+    // Random topic-word table with normalised rows.
+    let rows: Vec<Vec<f64>> = (0..p.num_topics)
+        .map(|_| {
+            let mut row: Vec<f64> = (0..p.vocab_size).map(|_| rng.gen::<f64>()).collect();
+            let sum: f64 = row.iter().sum();
+            row.iter_mut().for_each(|v| *v /= sum);
+            row
+        })
+        .collect();
+    let phi = DenseTopicWordTable::from_rows(rows).unwrap();
+
+    let scoring = ScoringConfig::new(f64::from(p.lambda_tenths) / 10.0, 2.0).unwrap();
+    let config = EngineConfig::new(WindowConfig::new(p.window_len, 1).unwrap(), scoring)
+        .with_max_topics_per_element(None);
+    let mut engine = KsirEngine::new(phi, config).unwrap();
+
+    // Random stream: increasing timestamps, random words, random references to
+    // earlier elements, random (normalised) topic vectors.
+    let mut ts = 0u64;
+    for i in 1..=p.num_elements as u64 {
+        ts += rng.gen_range(1..=2);
+        let num_words = rng.gen_range(1..=5);
+        let words: Vec<u32> = (0..num_words)
+            .map(|_| rng.gen_range(0..p.vocab_size as u32))
+            .collect();
+        let mut builder = SocialElementBuilder::new(i).at(ts).words(words);
+        if i > 1 {
+            for _ in 0..rng.gen_range(0..=2) {
+                builder = builder.referencing(rng.gen_range(1..i));
+            }
+        }
+        let element: SocialElement = builder.build();
+        let weights: Vec<f64> = (0..p.num_topics).map(|_| rng.gen::<f64>()).collect();
+        let tv = TopicVector::normalized(weights).unwrap();
+        engine
+            .ingest_bucket(vec![(element, tv)], Timestamp(ts))
+            .unwrap();
+    }
+
+    let query_weights: Vec<f64> = (0..p.num_topics).map(|_| rng.gen::<f64>() + 0.01).collect();
+    let query_vector = QueryVector::new(query_weights).unwrap();
+    let query = KsirQuery::new(p.k, query_vector.clone())
+        .unwrap()
+        .with_epsilon(0.1)
+        .unwrap();
+
+    Instance {
+        engine,
+        query,
+        query_vector,
+    }
+}
+
+/// Picks a random subset of the active elements.
+fn random_subset(rng: &mut StdRng, ids: &[ElementId], max_len: usize) -> Vec<ElementId> {
+    let mut subset: Vec<ElementId> = ids
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(0.4))
+        .take(max_len)
+        .collect();
+    subset.sort_unstable();
+    subset.dedup();
+    subset
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 3.6 / 3.7: `f(·, x)` is monotone and submodular.
+    #[test]
+    fn scoring_is_monotone_and_submodular(p in instance_params()) {
+        let instance = build_instance(&p);
+        let engine = &instance.engine;
+        let scorer = engine.scorer();
+        let ids = engine.active_ids();
+        prop_assume!(!ids.is_empty());
+        let mut rng = StdRng::seed_from_u64(p.seed ^ 0xdead_beef);
+
+        for _ in 0..4 {
+            let small = random_subset(&mut rng, &ids, 3);
+            // Superset of `small`.
+            let mut large = small.clone();
+            for &id in &ids {
+                if !large.contains(&id) && rng.gen_bool(0.5) {
+                    large.push(id);
+                }
+            }
+            let extra = ids[rng.gen_range(0..ids.len())];
+            let f_small = scorer.set_score(&instance.query_vector, &small);
+            let f_large = scorer.set_score(&instance.query_vector, &large);
+            // Monotone: adding elements never decreases the score.
+            prop_assert!(f_large + 1e-9 >= f_small);
+            // Non-negative.
+            prop_assert!(f_small >= 0.0);
+            // Submodular: the marginal gain of `extra` shrinks on the superset.
+            if !small.contains(&extra) && !large.contains(&extra) {
+                let g_small = scorer.marginal_gain(&instance.query_vector, &small, extra);
+                let g_large = scorer.marginal_gain(&instance.query_vector, &large, extra);
+                prop_assert!(g_small + 1e-9 >= g_large);
+                prop_assert!(g_large >= -1e-9);
+            }
+        }
+    }
+
+    /// The incremental candidate state agrees with from-scratch evaluation.
+    #[test]
+    fn incremental_gains_match_scratch(p in instance_params()) {
+        let instance = build_instance(&p);
+        let engine = &instance.engine;
+        let scorer = engine.scorer();
+        let ids = engine.active_ids();
+        prop_assume!(!ids.is_empty());
+        let evaluator = QueryEvaluator::new(
+            scorer,
+            engine.window(),
+            // Reuse the scorer's view of the topic vectors through the engine.
+            topic_vectors(engine),
+            &instance.query_vector,
+        );
+        let mut state = evaluator.new_candidate();
+        let mut selected: Vec<ElementId> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(p.seed ^ 0x5eed);
+        for _ in 0..ids.len().min(5) {
+            let id = ids[rng.gen_range(0..ids.len())];
+            let scratch = scorer.marginal_gain(&instance.query_vector, &selected, id);
+            let incremental = evaluator.marginal_gain(&state, id);
+            prop_assert!((scratch - incremental).abs() < 1e-9,
+                "scratch {scratch} vs incremental {incremental}");
+            evaluator.insert(&mut state, id);
+            if !selected.contains(&id) {
+                selected.push(id);
+            }
+            let full = scorer.set_score(&instance.query_vector, &selected);
+            prop_assert!((full - state.score()).abs() < 1e-9);
+        }
+    }
+
+    /// Approximation guarantees against the exhaustive optimum.
+    #[test]
+    fn algorithms_meet_guarantees(p in instance_params()) {
+        let instance = build_instance(&p);
+        let engine = &instance.engine;
+        let q = &instance.query;
+        let opt = engine.exhaustive_optimum(q).unwrap().score;
+        let e = std::f64::consts::E;
+        let guarantees = [
+            (Algorithm::Celf, 1.0 - 1.0 / e),
+            (Algorithm::Mttd, 1.0 - 1.0 / e - q.epsilon()),
+            (Algorithm::Mtts, 0.5 - q.epsilon()),
+            (Algorithm::SieveStreaming, 0.5 - q.epsilon()),
+            (Algorithm::TopkRepresentative, 1.0 / q.k() as f64),
+        ];
+        for (alg, ratio) in guarantees {
+            let r = engine.query(q, alg).unwrap();
+            prop_assert!(r.score + 1e-9 >= ratio * opt,
+                "{alg}: {} < {}·OPT ({})", r.score, ratio, ratio * opt);
+            prop_assert!(r.len() <= q.k());
+            // Every returned element is active and unique.
+            let mut sorted = r.sorted_elements();
+            let before = sorted.len();
+            sorted.dedup();
+            prop_assert_eq!(before, sorted.len());
+            for id in &r.elements {
+                prop_assert!(engine.is_active(*id));
+            }
+        }
+    }
+
+    /// Algorithm 1 invariant: stored ranked-list tuples always equal the
+    /// directly computed topic-wise scores over the current window.
+    #[test]
+    fn ranked_lists_stay_consistent(p in instance_params()) {
+        let instance = build_instance(&p);
+        let engine = &instance.engine;
+        let scorer = engine.scorer();
+        for topic_idx in 0..engine.num_topics() {
+            let topic = ksir_types::TopicId(topic_idx as u32);
+            for (id, stored, _) in engine.ranked_lists().list(topic).iter() {
+                let direct = scorer.topicwise_element(topic, id);
+                prop_assert!((stored - direct).abs() < 1e-9,
+                    "stale tuple for {id} on topic {topic_idx}: {stored} vs {direct}");
+                prop_assert!(engine.is_active(id));
+            }
+            // Scores are non-negative and the traversal order is non-increasing.
+            let scores: Vec<f64> = engine
+                .ranked_lists()
+                .list(topic)
+                .iter()
+                .map(|(_, s, _)| s)
+                .collect();
+            prop_assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+            prop_assert!(scores.iter().all(|s| *s >= 0.0));
+        }
+    }
+
+    /// Once the whole stream slides out of the window (and nothing references
+    /// it any more), every algorithm returns the empty result.
+    #[test]
+    fn queries_on_an_emptied_window_return_nothing(p in instance_params()) {
+        let mut instance = build_instance(&p);
+        let far_future = Timestamp(instance.engine.now().raw() + 10 * p.window_len + 10);
+        instance.engine.ingest_bucket(vec![], far_future).unwrap();
+        prop_assert_eq!(instance.engine.active_count(), 0);
+        for alg in Algorithm::ALL {
+            let r = instance.engine.query(&instance.query, alg).unwrap();
+            prop_assert!(r.is_empty(), "{} returned elements from an empty window", alg);
+            prop_assert_eq!(r.score, 0.0);
+        }
+    }
+}
+
+/// Accessor used by the property tests: the engine's topic-vector map is not
+/// public, so rebuild an equivalent view from the public API.
+fn topic_vectors(
+    engine: &KsirEngine<DenseTopicWordTable>,
+) -> &'static std::collections::HashMap<ElementId, TopicVector> {
+    // Leak a freshly built map: acceptable in tests, keeps lifetimes simple.
+    let mut map = std::collections::HashMap::new();
+    for id in engine.active_ids() {
+        if let Some(tv) = engine.topic_vector(id) {
+            map.insert(id, tv.clone());
+        }
+    }
+    Box::leak(Box::new(map))
+}

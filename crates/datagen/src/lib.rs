@@ -1,0 +1,39 @@
+//! # ksir-datagen
+//!
+//! Synthetic social-stream generation calibrated to the shape of the paper's
+//! datasets (Table 3).
+//!
+//! The paper evaluates on AMiner (academic papers + citations), Reddit
+//! (submissions + comments) and Twitter (tweets + hashtag propagation).  The
+//! raw datasets are not redistributable, so this crate generates streams with
+//! the *same structural properties the algorithms are sensitive to*:
+//!
+//! * Zipfian word frequencies over a planted topic model, so per-element
+//!   scores are skewed (only a few elements score highly for any query) and
+//!   each element is concentrated on one or two topics — the two properties
+//!   §4 of the paper exploits for pruning;
+//! * per-dataset average document lengths and reference counts matching
+//!   Table 3;
+//! * reference (citation / reply / retweet) graphs with preferential
+//!   attachment and recency bias, so influence is concentrated on a few
+//!   trending elements, as in real social streams;
+//! * a Poisson-like arrival process over a configurable time span, so sliding
+//!   windows of different lengths contain realistically varying numbers of
+//!   active elements.
+//!
+//! Everything is seeded and deterministic: the same profile + seed always
+//! produces the same stream, the same queries, and therefore bit-identical
+//! experiment results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod planted;
+pub mod profile;
+pub mod queries;
+pub mod stream;
+
+pub use planted::PlantedTopicModel;
+pub use profile::DatasetProfile;
+pub use queries::{GeneratedQuery, QueryWorkloadGenerator};
+pub use stream::{GeneratedStream, StreamGenerator};

@@ -1,0 +1,214 @@
+//! Dataset profiles: the knobs that shape a generated stream.
+
+use ksir_types::{KsirError, Result};
+
+/// Shape parameters of a synthetic social stream.
+///
+/// The three presets mirror the statistics the paper reports in Table 3
+/// (average document length after preprocessing, average number of
+/// references per element) at a laptop-friendly scale.  One tick of logical
+/// time corresponds to one minute, so the paper's default window length of
+/// 24 hours is `T = 1440` ticks and its bucket length of 15 minutes is
+/// `L = 15` ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Human-readable name (used in experiment output).
+    pub name: String,
+    /// Number of elements to generate.
+    pub num_elements: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Number of planted topics.
+    pub num_topics: usize,
+    /// Average document length in tokens (geometric around this mean).
+    pub avg_doc_len: f64,
+    /// Average number of references per element.
+    pub avg_refs: f64,
+    /// Probability that an element is about a single topic (vs a 2-topic mix).
+    pub single_topic_prob: f64,
+    /// Time span of the stream in ticks (1 tick = 1 minute).
+    pub time_span: u64,
+    /// How strongly references prefer recent elements: candidate parents are
+    /// drawn from the last `reference_horizon` ticks.
+    pub reference_horizon: u64,
+    /// Zipf exponent of the word distribution inside each topic.
+    pub zipf_exponent: f64,
+}
+
+impl DatasetProfile {
+    /// AMiner-like profile: long documents, many references (citations),
+    /// references may point far into the past.
+    pub fn aminer() -> Self {
+        DatasetProfile {
+            name: "aminer".to_string(),
+            num_elements: 4_000,
+            // Sized so that, within one 24h window, the number of elements per
+            // topic clearly exceeds the number of high-probability words per
+            // topic — the regime the real corpora are in, where selected
+            // elements overlap heavily on words and coverage saturates.
+            vocab_size: 800,
+            num_topics: 50,
+            avg_doc_len: 49.2,
+            avg_refs: 3.68,
+            single_topic_prob: 0.6,
+            time_span: 7 * 24 * 60,
+            reference_horizon: 7 * 24 * 60,
+            zipf_exponent: 1.05,
+        }
+    }
+
+    /// Reddit-like profile: short comments, sparse references to recent posts.
+    pub fn reddit() -> Self {
+        DatasetProfile {
+            name: "reddit".to_string(),
+            num_elements: 6_000,
+            vocab_size: 1_000,
+            num_topics: 50,
+            avg_doc_len: 8.6,
+            avg_refs: 0.85,
+            single_topic_prob: 0.75,
+            time_span: 7 * 24 * 60,
+            reference_horizon: 36 * 60,
+            zipf_exponent: 1.1,
+        }
+    }
+
+    /// Twitter-like profile: very short posts, rare references (retweets /
+    /// hashtag propagation) heavily biased towards trending recent elements.
+    pub fn twitter() -> Self {
+        DatasetProfile {
+            name: "twitter".to_string(),
+            num_elements: 6_000,
+            vocab_size: 800,
+            num_topics: 50,
+            avg_doc_len: 5.1,
+            avg_refs: 0.62,
+            single_topic_prob: 0.8,
+            time_span: 7 * 24 * 60,
+            reference_horizon: 12 * 60,
+            zipf_exponent: 1.2,
+        }
+    }
+
+    /// All three presets, in the order the paper lists them.
+    pub fn all() -> Vec<DatasetProfile> {
+        vec![Self::aminer(), Self::reddit(), Self::twitter()]
+    }
+
+    /// Scales the element count (and proportionally the time span) by
+    /// `factor`, keeping the arrival rate constant.  Useful for quick tests
+    /// (`factor < 1`) and stress benchmarks (`factor > 1`).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let factor = factor.max(1e-3);
+        self.num_elements = ((self.num_elements as f64) * factor).round().max(1.0) as usize;
+        self.time_span = ((self.time_span as f64) * factor).round().max(10.0) as u64;
+        self
+    }
+
+    /// Overrides the number of planted topics.
+    pub fn with_topics(mut self, num_topics: usize) -> Self {
+        self.num_topics = num_topics;
+        self
+    }
+
+    /// Overrides the number of elements without changing the time span
+    /// (i.e. changes the arrival rate).
+    pub fn with_elements(mut self, num_elements: usize) -> Self {
+        self.num_elements = num_elements;
+        self
+    }
+
+    /// Average arrival rate in elements per tick.
+    pub fn arrival_rate(&self) -> f64 {
+        self.num_elements as f64 / self.time_span as f64
+    }
+
+    /// Validates the numeric ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_elements == 0 {
+            return Err(KsirError::invalid_parameter("num_elements", "must be ≥ 1"));
+        }
+        if self.vocab_size < self.num_topics {
+            return Err(KsirError::invalid_parameter(
+                "vocab_size",
+                "must be at least the number of topics",
+            ));
+        }
+        if self.num_topics == 0 {
+            return Err(KsirError::invalid_parameter("num_topics", "must be ≥ 1"));
+        }
+        if self.avg_doc_len.is_nan() || self.avg_doc_len < 1.0 {
+            return Err(KsirError::invalid_parameter("avg_doc_len", "must be ≥ 1"));
+        }
+        if self.avg_refs < 0.0 {
+            return Err(KsirError::invalid_parameter("avg_refs", "must be ≥ 0"));
+        }
+        if !(0.0..=1.0).contains(&self.single_topic_prob) {
+            return Err(KsirError::invalid_parameter(
+                "single_topic_prob",
+                "must be in [0, 1]",
+            ));
+        }
+        if self.time_span == 0 {
+            return Err(KsirError::invalid_parameter("time_span", "must be ≥ 1"));
+        }
+        if self.zipf_exponent <= 0.0 {
+            return Err(KsirError::invalid_parameter("zipf_exponent", "must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_3_shape() {
+        let aminer = DatasetProfile::aminer();
+        let reddit = DatasetProfile::reddit();
+        let twitter = DatasetProfile::twitter();
+        // Relative ordering of document lengths and reference counts from
+        // Table 3: AMiner ≫ Reddit > Twitter.
+        assert!(aminer.avg_doc_len > reddit.avg_doc_len);
+        assert!(reddit.avg_doc_len > twitter.avg_doc_len);
+        assert!(aminer.avg_refs > reddit.avg_refs);
+        assert!(reddit.avg_refs > twitter.avg_refs);
+        for p in DatasetProfile::all() {
+            assert!(p.validate().is_ok(), "{} preset invalid", p.name);
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_arrival_rate() {
+        let base = DatasetProfile::reddit();
+        let rate = base.arrival_rate();
+        let scaled = base.scaled(0.25);
+        assert!((scaled.arrival_rate() - rate).abs() / rate < 0.05);
+        assert!(scaled.num_elements < DatasetProfile::reddit().num_elements);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let p = DatasetProfile::twitter().with_topics(10).with_elements(100);
+        assert_eq!(p.num_topics, 10);
+        assert_eq!(p.num_elements, 100);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut p = DatasetProfile::twitter();
+        p.num_elements = 0;
+        assert!(p.validate().is_err());
+        let mut p = DatasetProfile::twitter();
+        p.vocab_size = 3;
+        assert!(p.validate().is_err());
+        let mut p = DatasetProfile::twitter();
+        p.single_topic_prob = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = DatasetProfile::twitter();
+        p.zipf_exponent = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

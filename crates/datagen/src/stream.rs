@@ -1,0 +1,360 @@
+//! Synthetic social-stream generation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use ksir_types::rng::{derive_seed, seeded_rng};
+use ksir_types::{ElementId, Result, SocialElement, Timestamp, TopicVector};
+
+use crate::planted::PlantedTopicModel;
+use crate::profile::DatasetProfile;
+
+/// A generated stream: timestamp-ordered elements with their ground-truth
+/// topic distributions, plus the planted topic model that produced them.
+#[derive(Debug, Clone)]
+pub struct GeneratedStream {
+    /// The profile the stream was generated from.
+    pub profile: DatasetProfile,
+    /// The planted ground-truth topic model.
+    pub planted: PlantedTopicModel,
+    /// Elements in timestamp order (ids are `1..=n` in arrival order).
+    pub elements: Vec<SocialElement>,
+    /// Ground-truth topic distribution of each element (parallel to
+    /// `elements`).
+    pub topic_vectors: Vec<TopicVector>,
+}
+
+impl GeneratedStream {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Returns `true` if the stream has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Timestamp of the last element (`t_n`).
+    pub fn end_time(&self) -> Timestamp {
+        self.elements.last().map(|e| e.ts).unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Iterates over `(element, topic vector)` pairs by value, ready to feed
+    /// into `KsirEngine::ingest_stream`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (SocialElement, TopicVector)> + '_ {
+        self.elements
+            .iter()
+            .cloned()
+            .zip(self.topic_vectors.iter().cloned())
+    }
+
+    /// Average document length in tokens (calibration check for Table 3).
+    pub fn average_doc_len(&self) -> f64 {
+        if self.elements.is_empty() {
+            return 0.0;
+        }
+        self.elements.iter().map(|e| e.doc.len() as f64).sum::<f64>() / self.elements.len() as f64
+    }
+
+    /// Average number of references per element (calibration check).
+    pub fn average_refs(&self) -> f64 {
+        if self.elements.is_empty() {
+            return 0.0;
+        }
+        self.elements
+            .iter()
+            .map(|e| e.refs.len() as f64)
+            .sum::<f64>()
+            / self.elements.len() as f64
+    }
+
+    /// Average number of topics per element with non-zero probability (the
+    /// sparsity statistic §4 of the paper quotes as "less than 2").
+    pub fn average_topics_per_element(&self) -> f64 {
+        if self.topic_vectors.is_empty() {
+            return 0.0;
+        }
+        self.topic_vectors
+            .iter()
+            .map(|tv| tv.support_size() as f64)
+            .sum::<f64>()
+            / self.topic_vectors.len() as f64
+    }
+}
+
+/// Generates streams from a [`DatasetProfile`].
+#[derive(Debug, Clone)]
+pub struct StreamGenerator {
+    profile: DatasetProfile,
+    seed: u64,
+}
+
+impl StreamGenerator {
+    /// Creates a generator (the profile is validated).
+    pub fn new(profile: DatasetProfile, seed: u64) -> Result<Self> {
+        profile.validate()?;
+        Ok(StreamGenerator { profile, seed })
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &DatasetProfile {
+        &self.profile
+    }
+
+    /// Generates the stream.  The same generator always produces the same
+    /// stream.
+    pub fn generate(&self) -> Result<GeneratedStream> {
+        let p = &self.profile;
+        let planted =
+            PlantedTopicModel::new(p.num_topics, p.vocab_size, p.zipf_exponent)?;
+        let mut rng = seeded_rng(derive_seed(self.seed, "stream"));
+
+        let n = p.num_elements;
+        let mut elements = Vec::with_capacity(n);
+        let mut topic_vectors = Vec::with_capacity(n);
+        // In-degree of each element so far (for preferential attachment).
+        let mut indegree = vec![0u32; n + 1];
+
+        let mut last_ts = 0u64;
+        for i in 0..n {
+            let id = ElementId((i + 1) as u64);
+            // Evenly spaced arrivals with ±1-tick jitter, clamped to be
+            // non-decreasing and at least 1.
+            let nominal = ((i + 1) as f64 * p.time_span as f64 / n as f64).round() as u64;
+            let jitter = rng.gen_range(0..=1);
+            let ts = nominal.saturating_add(jitter).max(last_ts).max(1);
+            last_ts = ts;
+
+            // Topic mixture and document.
+            let mixture = planted.sample_mixture(&mut rng, p.single_topic_prob);
+            let len = sample_length(&mut rng, p.avg_doc_len);
+            let doc = planted.sample_document(&mut rng, &mixture, len);
+
+            // References: preferential attachment among recent elements with a
+            // topical-affinity bias.
+            let num_refs = sample_poisson(&mut rng, p.avg_refs);
+            let refs = self.sample_references(
+                &mut rng,
+                &elements,
+                &topic_vectors,
+                &indegree,
+                &mixture,
+                ts,
+                num_refs,
+            );
+            for &r in &refs {
+                indegree[r.raw() as usize] += 1;
+            }
+
+            elements.push(SocialElement::new(id, Timestamp(ts), doc, refs));
+            topic_vectors.push(mixture);
+        }
+
+        Ok(GeneratedStream {
+            profile: p.clone(),
+            planted,
+            elements,
+            topic_vectors,
+        })
+    }
+
+    /// Samples up to `count` distinct reference targets among the elements
+    /// posted within the reference horizon, weighted by popularity
+    /// (in-degree) and topical affinity.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_references(
+        &self,
+        rng: &mut StdRng,
+        elements: &[SocialElement],
+        topic_vectors: &[TopicVector],
+        indegree: &[u32],
+        mixture: &TopicVector,
+        ts: u64,
+        count: usize,
+    ) -> Vec<ElementId> {
+        if count == 0 || elements.is_empty() {
+            return Vec::new();
+        }
+        let horizon_start = ts.saturating_sub(self.profile.reference_horizon);
+        // Candidate indices inside the horizon (elements are timestamp-ordered,
+        // so scan back from the end).
+        let mut candidates: Vec<usize> = Vec::new();
+        for idx in (0..elements.len()).rev() {
+            if elements[idx].ts.raw() < horizon_start {
+                break;
+            }
+            candidates.push(idx);
+        }
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|&idx| {
+                let popularity = 1.0 + indegree[elements[idx].id.raw() as usize] as f64;
+                let affinity = mixture.cosine(&topic_vectors[idx]).unwrap_or(0.0);
+                popularity * (0.2 + affinity)
+            })
+            .collect();
+        let mut chosen = Vec::new();
+        let mut total: f64 = weights.iter().sum();
+        let mut available: Vec<(usize, f64)> = candidates.iter().copied().zip(weights).collect();
+        for _ in 0..count.min(available.len()) {
+            if total <= 0.0 {
+                break;
+            }
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = available.len() - 1;
+            for (pos, (_, w)) in available.iter().enumerate() {
+                if target < *w {
+                    pick = pos;
+                    break;
+                }
+                target -= *w;
+            }
+            let (idx, w) = available.swap_remove(pick);
+            total -= w;
+            chosen.push(elements[idx].id);
+        }
+        chosen
+    }
+}
+
+/// Samples a document length with the given mean (shifted geometric-like
+/// distribution, always at least 1 token).
+fn sample_length(rng: &mut StdRng, mean: f64) -> usize {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let len = (-(mean - 0.5) * (1.0 - u).ln()).round();
+    (len as usize).max(1)
+}
+
+/// Knuth's Poisson sampler (fine for the small means used here).
+fn sample_poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // numerical safety net, unreachable for sane λ
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_profile() -> DatasetProfile {
+        DatasetProfile::reddit()
+            .scaled(0.1)
+            .with_topics(10)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = StreamGenerator::new(small_profile(), 42).unwrap();
+        let a = g.generate().unwrap();
+        let b = g.generate().unwrap();
+        assert_eq!(a.elements, b.elements);
+        assert_eq!(a.topic_vectors, b.topic_vectors);
+        let c = StreamGenerator::new(small_profile(), 43).unwrap().generate().unwrap();
+        assert_ne!(a.elements, c.elements);
+    }
+
+    #[test]
+    fn timestamps_are_nondecreasing_and_within_span() {
+        let g = StreamGenerator::new(small_profile(), 1).unwrap();
+        let s = g.generate().unwrap();
+        assert_eq!(s.len(), small_profile().num_elements);
+        let mut prev = 0;
+        for e in &s.elements {
+            assert!(e.ts.raw() >= prev);
+            prev = e.ts.raw();
+        }
+        assert!(s.end_time().raw() <= small_profile().time_span + 2);
+    }
+
+    #[test]
+    fn references_point_backwards_within_the_horizon() {
+        let profile = DatasetProfile::aminer().scaled(0.05).with_topics(10);
+        let g = StreamGenerator::new(profile.clone(), 7).unwrap();
+        let s = g.generate().unwrap();
+        let ts_of = |id: ElementId| s.elements[(id.raw() - 1) as usize].ts.raw();
+        for e in &s.elements {
+            for &r in &e.refs {
+                assert!(r < e.id, "references must point to earlier elements");
+                assert!(ts_of(r) <= e.ts.raw());
+                assert!(e.ts.raw() - ts_of(r) <= profile.reference_horizon + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_matches_profile_shape() {
+        for profile in [
+            DatasetProfile::aminer().scaled(0.25).with_topics(10),
+            DatasetProfile::reddit().scaled(0.25).with_topics(10),
+            DatasetProfile::twitter().scaled(0.25).with_topics(10),
+        ] {
+            let g = StreamGenerator::new(profile.clone(), 123).unwrap();
+            let s = g.generate().unwrap();
+            let len_err = (s.average_doc_len() - profile.avg_doc_len).abs() / profile.avg_doc_len;
+            assert!(
+                len_err < 0.15,
+                "{}: avg len {} vs target {}",
+                profile.name,
+                s.average_doc_len(),
+                profile.avg_doc_len
+            );
+            let ref_err = (s.average_refs() - profile.avg_refs).abs() / profile.avg_refs.max(0.1);
+            assert!(
+                ref_err < 0.25,
+                "{}: avg refs {} vs target {}",
+                profile.name,
+                s.average_refs(),
+                profile.avg_refs
+            );
+            // Topic sparsity: fewer than 2 topics per element on average, as
+            // the paper observes on the real datasets.
+            assert!(s.average_topics_per_element() < 2.0);
+            assert!(s.average_topics_per_element() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn popular_elements_attract_more_references() {
+        // With preferential attachment, the in-degree distribution should be
+        // skewed: the most-referenced element collects several references.
+        let profile = DatasetProfile::aminer().scaled(0.2).with_topics(5);
+        let g = StreamGenerator::new(profile, 5).unwrap();
+        let s = g.generate().unwrap();
+        let mut indegree = std::collections::HashMap::new();
+        for e in &s.elements {
+            for r in &e.refs {
+                *indegree.entry(*r).or_insert(0usize) += 1;
+            }
+        }
+        let max_in = indegree.values().copied().max().unwrap_or(0);
+        let avg_in = s.average_refs();
+        assert!(
+            max_in as f64 > 3.0 * avg_in,
+            "expected a skewed in-degree distribution (max {max_in}, avg {avg_in})"
+        );
+    }
+
+    #[test]
+    fn invalid_profile_is_rejected() {
+        let mut p = small_profile();
+        p.num_elements = 0;
+        assert!(StreamGenerator::new(p, 1).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Cohen's linearly weighted kappa for ordinal ratings.
+//!
+//! The paper reports inter-evaluator agreement of its user study with the
+//! linearly weighted kappa (Cohen, 1968): ratings are on an ordinal 1–5
+//! scale, and disagreements are penalised proportionally to their distance.
+
+/// Cohen's linearly weighted kappa between two raters.
+///
+/// `a` and `b` are the two raters' ratings of the same items, expressed as
+/// categories `0..num_categories` (callers using the paper's 1–5 scale pass
+/// `rating - 1`).  Returns `None` when the inputs are empty, have different
+/// lengths, or contain out-of-range categories.  A kappa of 1 means perfect
+/// agreement, 0 means chance-level agreement.
+pub fn linearly_weighted_kappa(a: &[usize], b: &[usize], num_categories: usize) -> Option<f64> {
+    if a.is_empty() || a.len() != b.len() || num_categories == 0 {
+        return None;
+    }
+    if a.iter().chain(b.iter()).any(|&r| r >= num_categories) {
+        return None;
+    }
+    let n = a.len() as f64;
+    let c = num_categories;
+
+    // Observed contingency matrix and marginals.
+    let mut observed = vec![vec![0.0_f64; c]; c];
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        observed[x][y] += 1.0;
+    }
+    let row_marginals: Vec<f64> = (0..c).map(|i| observed[i].iter().sum()).collect();
+    let col_marginals: Vec<f64> = (0..c).map(|j| (0..c).map(|i| observed[i][j]).sum()).collect();
+
+    // Linear disagreement weights w_ij = |i - j| / (c - 1).
+    let weight = |i: usize, j: usize| {
+        if c == 1 {
+            0.0
+        } else {
+            (i as f64 - j as f64).abs() / (c as f64 - 1.0)
+        }
+    };
+
+    let mut observed_disagreement = 0.0;
+    let mut expected_disagreement = 0.0;
+    for i in 0..c {
+        for j in 0..c {
+            observed_disagreement += weight(i, j) * observed[i][j] / n;
+            expected_disagreement += weight(i, j) * row_marginals[i] * col_marginals[j] / (n * n);
+        }
+    }
+
+    if expected_disagreement == 0.0 {
+        // Both raters used a single category identically: perfect agreement.
+        return Some(1.0);
+    }
+    Some(1.0 - observed_disagreement / expected_disagreement)
+}
+
+/// Average pairwise linearly weighted kappa over any number of raters.
+///
+/// Returns `None` when fewer than two raters are given or any pairwise kappa
+/// is undefined.
+pub fn average_pairwise_kappa(ratings: &[Vec<usize>], num_categories: usize) -> Option<f64> {
+    if ratings.len() < 2 {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..ratings.len() {
+        for j in (i + 1)..ratings.len() {
+            total += linearly_weighted_kappa(&ratings[i], &ratings[j], num_categories)?;
+            pairs += 1;
+        }
+    }
+    Some(total / pairs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let a = vec![0, 1, 2, 3, 4, 2, 1];
+        assert_eq!(linearly_weighted_kappa(&a, &a, 5), Some(1.0));
+    }
+
+    #[test]
+    fn independent_ratings_are_near_zero() {
+        // Rater b's ratings are a fixed permutation unrelated to a's: kappa
+        // should be far below 1 (and can be negative).
+        let a = vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4];
+        let b = vec![4, 3, 2, 1, 0, 4, 3, 2, 1, 0];
+        let k = linearly_weighted_kappa(&a, &b, 5).unwrap();
+        assert!(k < 0.3, "kappa {k} should indicate poor agreement");
+    }
+
+    #[test]
+    fn near_agreement_beats_far_disagreement() {
+        let a = vec![0, 1, 2, 3, 4];
+        let off_by_one = vec![1, 2, 3, 4, 3];
+        let far = vec![4, 4, 0, 0, 0];
+        let k_near = linearly_weighted_kappa(&a, &off_by_one, 5).unwrap();
+        let k_far = linearly_weighted_kappa(&a, &far, 5).unwrap();
+        assert!(k_near > k_far);
+    }
+
+    #[test]
+    fn invalid_inputs_return_none() {
+        assert_eq!(linearly_weighted_kappa(&[], &[], 5), None);
+        assert_eq!(linearly_weighted_kappa(&[1], &[1, 2], 5), None);
+        assert_eq!(linearly_weighted_kappa(&[5], &[1], 5), None);
+        assert_eq!(linearly_weighted_kappa(&[0], &[0], 0), None);
+    }
+
+    #[test]
+    fn single_category_agreement() {
+        assert_eq!(linearly_weighted_kappa(&[2, 2, 2], &[2, 2, 2], 5), Some(1.0));
+    }
+
+    #[test]
+    fn average_pairwise_over_three_raters() {
+        let ratings = vec![vec![0, 1, 2, 3], vec![0, 1, 2, 3], vec![3, 2, 1, 0]];
+        let avg = average_pairwise_kappa(&ratings, 4).unwrap();
+        let perfect = linearly_weighted_kappa(&ratings[0], &ratings[1], 4).unwrap();
+        assert!(avg < perfect);
+        assert_eq!(average_pairwise_kappa(&ratings[..1], 4), None);
+    }
+}

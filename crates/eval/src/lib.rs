@@ -1,0 +1,31 @@
+//! # ksir-eval
+//!
+//! Effectiveness metrics and the programmatic user-study proxy used to
+//! reproduce §5.2 of the paper (Tables 5 and 6).
+//!
+//! * [`metrics`] — the two quantitative metrics of Table 6:
+//!   *coverage* (`Σ_{e∉S} max_{e'∈S} rel(e,x)·sim(e,e')`, normalised) and
+//!   *influence* (fraction of elements referring to the result set, rescaled
+//!   by the score of the top-k most referenced elements).
+//! * [`user_study`] — a programmatic stand-in for the paper's 30-volunteer
+//!   study (Table 5): several seeded "judges" rank the result sets of the
+//!   compared methods on representativeness and impact; ranks are mapped to
+//!   the same 1–5 scale the paper reports.
+//! * [`kappa`] — Cohen's linearly weighted kappa, used by the paper to report
+//!   inter-judge agreement.
+//! * [`snapshot`] — builds a [`ksir_baselines::SearchPool`] snapshot from a
+//!   running [`ksir_core::KsirEngine`], so every method (k-SIR and the
+//!   baselines) is evaluated against exactly the same candidate set.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kappa;
+pub mod metrics;
+pub mod snapshot;
+pub mod user_study;
+
+pub use kappa::{average_pairwise_kappa, linearly_weighted_kappa};
+pub use metrics::{coverage_score, influence_score, normalized_influence_score};
+pub use snapshot::pool_from_engine;
+pub use user_study::{StudyQuery, UserStudy, UserStudyOutcome};

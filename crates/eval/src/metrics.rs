@@ -1,0 +1,181 @@
+//! Quantitative effectiveness metrics (Table 6 of the paper).
+
+use ksir_baselines::{SearchItem, SearchPool};
+use ksir_types::{ElementId, QueryVector};
+
+/// Coverage of a result set `S` w.r.t. a query vector `x` over the candidate
+/// pool `A` (the paper's first quantitative metric, following Lin & Bilmes
+/// and Badanidiyuru et al.):
+///
+/// ```text
+/// coverage(S, x) = (1 / |A \ S|) · Σ_{e ∈ A\S}  max_{e' ∈ S}  rel(e, x) · sim(e, e')
+/// ```
+///
+/// where `rel(e, x)` is the cosine similarity between `e`'s topic vector and
+/// the query vector and `sim(e, e')` the cosine similarity between topic
+/// vectors.  The normalisation by `|A \ S|` keeps the value in `[0, 1]` and
+/// independent of the pool size, so the numbers are comparable across
+/// datasets and window lengths.
+pub fn coverage_score(pool: &SearchPool, query: &QueryVector, result: &[ElementId]) -> f64 {
+    if result.is_empty() || pool.is_empty() {
+        return 0.0;
+    }
+    let members: Vec<&SearchItem> = result.iter().filter_map(|id| pool.get(*id)).collect();
+    if members.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for item in pool.iter() {
+        if result.contains(&item.id) {
+            continue;
+        }
+        let rel = query.cosine(&item.topic_vector).unwrap_or(0.0);
+        let best_sim = members
+            .iter()
+            .map(|m| item.topic_vector.cosine(&m.topic_vector).unwrap_or(0.0))
+            .fold(0.0_f64, f64::max);
+        total += rel * best_sim;
+        count += 1;
+    }
+    if count == 0 {
+        // The result covers the whole pool.
+        1.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Raw influence of a result set: the number of pool elements that refer to
+/// at least one element of the result set.
+pub fn influence_score(pool: &SearchPool, result: &[ElementId]) -> usize {
+    if result.is_empty() {
+        return 0;
+    }
+    pool.iter()
+        .filter(|item| item.refs.iter().any(|r| result.contains(r)))
+        .count()
+}
+
+/// Influence of a result set linearly rescaled to `[0, 1]` by dividing by the
+/// influence of the `k` most-referenced elements of the pool (the paper's
+/// normalisation for Table 6), where `k` is the size of the result set.
+pub fn normalized_influence_score(pool: &SearchPool, result: &[ElementId]) -> f64 {
+    if result.is_empty() {
+        return 0.0;
+    }
+    let raw = influence_score(pool, result);
+    // Top-k most referenced elements of the pool.
+    let mut by_popularity: Vec<&SearchItem> = pool.iter().collect();
+    by_popularity.sort_by(|a, b| {
+        b.referenced_by
+            .cmp(&a.referenced_by)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    let top: Vec<ElementId> = by_popularity
+        .iter()
+        .take(result.len())
+        .map(|i| i.id)
+        .collect();
+    let denom = influence_score(pool, &top);
+    if denom == 0 {
+        if raw == 0 {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        (raw as f64 / denom as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_types::{Document, TopicVector, WordId};
+
+    fn item(id: u64, tv: Vec<f64>, refs: &[u64], referenced_by: usize) -> SearchItem {
+        SearchItem {
+            id: ElementId(id),
+            doc: Document::from_tokens([WordId(0)]),
+            topic_vector: TopicVector::from_values(tv).unwrap(),
+            refs: refs.iter().map(|&r| ElementId(r)).collect(),
+            referenced_by,
+        }
+    }
+
+    fn pool() -> SearchPool {
+        // Topic-0 cluster: 1, 2, 3 (3 references 1).  Topic-1 cluster: 4, 5
+        // (5 references 4).  Element 6 references both clusters.
+        SearchPool::from_items(vec![
+            item(1, vec![1.0, 0.0], &[], 2),
+            item(2, vec![0.9, 0.1], &[], 0),
+            item(3, vec![0.8, 0.2], &[1], 0),
+            item(4, vec![0.0, 1.0], &[], 2),
+            item(5, vec![0.1, 0.9], &[4], 0),
+            item(6, vec![0.5, 0.5], &[1, 4], 0),
+        ])
+    }
+
+    #[test]
+    fn coverage_prefers_on_topic_representatives() {
+        let pool = pool();
+        let q = QueryVector::new(vec![1.0, 0.0]).unwrap();
+        let on_topic = coverage_score(&pool, &q, &[ElementId(1)]);
+        let off_topic = coverage_score(&pool, &q, &[ElementId(4)]);
+        assert!(on_topic > off_topic);
+        assert!(on_topic > 0.0 && on_topic <= 1.0);
+    }
+
+    #[test]
+    fn coverage_grows_with_better_coverage() {
+        let pool = pool();
+        let q = QueryVector::new(vec![0.5, 0.5]).unwrap();
+        let one = coverage_score(&pool, &q, &[ElementId(1)]);
+        let two = coverage_score(&pool, &q, &[ElementId(1), ElementId(4)]);
+        assert!(two >= one, "covering both clusters cannot hurt: {two} < {one}");
+    }
+
+    #[test]
+    fn coverage_edge_cases() {
+        let pool = pool();
+        let q = QueryVector::new(vec![1.0, 0.0]).unwrap();
+        assert_eq!(coverage_score(&pool, &q, &[]), 0.0);
+        assert_eq!(coverage_score(&SearchPool::new(), &q, &[ElementId(1)]), 0.0);
+        // result ids that are not in the pool contribute nothing
+        assert_eq!(coverage_score(&pool, &q, &[ElementId(99)]), 0.0);
+        // a result covering the entire pool scores 1
+        let all: Vec<ElementId> = pool.iter().map(|i| i.id).collect();
+        assert_eq!(coverage_score(&pool, &q, &all), 1.0);
+    }
+
+    #[test]
+    fn influence_counts_referring_elements() {
+        let pool = pool();
+        assert_eq!(influence_score(&pool, &[ElementId(1)]), 2); // e3 and e6
+        assert_eq!(influence_score(&pool, &[ElementId(4)]), 2); // e5 and e6
+        assert_eq!(influence_score(&pool, &[ElementId(1), ElementId(4)]), 3);
+        assert_eq!(influence_score(&pool, &[ElementId(2)]), 0);
+        assert_eq!(influence_score(&pool, &[]), 0);
+    }
+
+    #[test]
+    fn normalized_influence_is_in_unit_range() {
+        let pool = pool();
+        // {1, 4} are exactly the two most-referenced elements → ratio 1.
+        let best = normalized_influence_score(&pool, &[ElementId(1), ElementId(4)]);
+        assert!((best - 1.0).abs() < 1e-12);
+        let worst = normalized_influence_score(&pool, &[ElementId(2), ElementId(3)]);
+        assert!(worst >= 0.0 && worst < best);
+        assert_eq!(normalized_influence_score(&pool, &[]), 0.0);
+    }
+
+    #[test]
+    fn normalized_influence_handles_reference_free_pools() {
+        let pool = SearchPool::from_items(vec![
+            item(1, vec![1.0, 0.0], &[], 0),
+            item(2, vec![0.0, 1.0], &[], 0),
+        ]);
+        assert_eq!(normalized_influence_score(&pool, &[ElementId(1)]), 0.0);
+    }
+}

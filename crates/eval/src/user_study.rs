@@ -1,0 +1,320 @@
+//! A programmatic proxy for the paper's user study (Table 5).
+//!
+//! The paper recruits 30 volunteers; for every query, three of them rank the
+//! result sets of the five compared methods on two aspects —
+//! *representativeness* (relevance to the query topic plus information
+//! coverage) and *impact* (citations / comments / retweets of the selected
+//! elements) — and the ranks are mapped to a 1–5 scale.
+//!
+//! A human study cannot be re-run in software, so this module substitutes
+//! seeded "judges": each judge scores a result set with the same two criteria
+//! the paper gave to its evaluators (a relevance+coverage blend for
+//! representativeness, reference counts for impact), perturbed by
+//! judge-specific multiplicative noise, and then ranks the methods per query.
+//! The outcome preserves the quantity the paper's Table 5 is about — the
+//! *ordering* of the methods — and reports Cohen's weighted kappa between the
+//! judges, like the paper does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ksir_baselines::SearchPool;
+use ksir_types::{ElementId, QueryVector};
+
+use crate::kappa::average_pairwise_kappa;
+use crate::metrics::{coverage_score, normalized_influence_score};
+
+/// One query to be judged: the candidate pool at query time, the query
+/// vector, and each method's result set.
+#[derive(Debug, Clone)]
+pub struct StudyQuery<'a> {
+    /// Candidate pool (the active window at query time).
+    pub pool: &'a SearchPool,
+    /// The query vector.
+    pub query: QueryVector,
+    /// Per-method result sets, in a fixed method order.
+    pub results: Vec<Vec<ElementId>>,
+}
+
+/// Aggregated outcome of the proxy user study.
+#[derive(Debug, Clone)]
+pub struct UserStudyOutcome {
+    /// Method names, in the order the ratings are reported.
+    pub methods: Vec<String>,
+    /// Average representativeness rating (1–5) per method.
+    pub representativeness: Vec<f64>,
+    /// Average impact rating (1–5) per method.
+    pub impact: Vec<f64>,
+    /// Average pairwise inter-judge kappa on representativeness.
+    pub kappa_representativeness: f64,
+    /// Average pairwise inter-judge kappa on impact.
+    pub kappa_impact: f64,
+}
+
+/// The proxy user study.
+#[derive(Debug, Clone)]
+pub struct UserStudy {
+    methods: Vec<String>,
+    num_judges: usize,
+    noise: f64,
+    seed: u64,
+}
+
+impl UserStudy {
+    /// Creates a study over the given methods with 3 judges per query (as in
+    /// the paper) and 10% judge noise.
+    pub fn new<S: Into<String>>(methods: Vec<S>, seed: u64) -> Self {
+        UserStudy {
+            methods: methods.into_iter().map(Into::into).collect(),
+            num_judges: 3,
+            noise: 0.1,
+            seed,
+        }
+    }
+
+    /// Overrides the number of judges per query (at least 2).
+    pub fn with_judges(mut self, judges: usize) -> Self {
+        self.num_judges = judges.max(2);
+        self
+    }
+
+    /// Overrides the multiplicative judge noise (clamped to `[0, 1]`).
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        self.noise = noise.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Method names in reporting order.
+    pub fn methods(&self) -> &[String] {
+        &self.methods
+    }
+
+    /// Runs the study over a set of judged queries.
+    ///
+    /// Panics if a query does not provide exactly one result set per method
+    /// (that is a harness bug, not a data condition).
+    pub fn run(&self, queries: &[StudyQuery<'_>]) -> UserStudyOutcome {
+        let m = self.methods.len();
+        assert!(m >= 2, "a study needs at least two methods to rank");
+        for q in queries {
+            assert_eq!(
+                q.results.len(),
+                m,
+                "every query must provide one result set per method"
+            );
+        }
+
+        let mut rep_totals = vec![0.0; m];
+        let mut imp_totals = vec![0.0; m];
+        // Per-judge flattened ratings (one entry per query × method) for kappa.
+        let mut rep_ratings: Vec<Vec<usize>> = vec![Vec::new(); self.num_judges];
+        let mut imp_ratings: Vec<Vec<usize>> = vec![Vec::new(); self.num_judges];
+
+        for (qi, query) in queries.iter().enumerate() {
+            let rep_quality = self.representativeness_qualities(query);
+            let imp_quality: Vec<f64> = query
+                .results
+                .iter()
+                .map(|r| normalized_influence_score(query.pool, r))
+                .collect();
+
+            for judge in 0..self.num_judges {
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed ^ (judge as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (qi as u64) << 17,
+                );
+                let rep_ranks = self.rank_with_noise(&rep_quality, &mut rng);
+                let imp_ranks = self.rank_with_noise(&imp_quality, &mut rng);
+                for method in 0..m {
+                    rep_totals[method] += rep_ranks[method] as f64;
+                    imp_totals[method] += imp_ranks[method] as f64;
+                    rep_ratings[judge].push(rep_ranks[method] - 1);
+                    imp_ratings[judge].push(imp_ranks[method] - 1);
+                }
+            }
+        }
+
+        let denom = (queries.len() * self.num_judges).max(1) as f64;
+        UserStudyOutcome {
+            methods: self.methods.clone(),
+            representativeness: rep_totals.iter().map(|t| t / denom).collect(),
+            impact: imp_totals.iter().map(|t| t / denom).collect(),
+            kappa_representativeness: average_pairwise_kappa(&rep_ratings, m).unwrap_or(0.0),
+            kappa_impact: average_pairwise_kappa(&imp_ratings, m).unwrap_or(0.0),
+        }
+    }
+
+    /// The representativeness criterion handed to the judges: an equal blend
+    /// of relevance to the query topic and information coverage.
+    ///
+    /// Relevance and coverage live on very different scales (coverage is
+    /// averaged over the whole candidate pool), so each component is first
+    /// normalised by the best value any method achieved *for this query* —
+    /// the judges compare the methods against each other, exactly as the
+    /// paper's evaluators ranked result sets side by side.
+    fn representativeness_qualities(&self, query: &StudyQuery<'_>) -> Vec<f64> {
+        let relevance: Vec<f64> = query
+            .results
+            .iter()
+            .map(|result| {
+                let members: Vec<_> = result
+                    .iter()
+                    .filter_map(|id| query.pool.get(*id))
+                    .collect();
+                if members.is_empty() {
+                    return 0.0;
+                }
+                members
+                    .iter()
+                    .map(|m| query.query.cosine(&m.topic_vector).unwrap_or(0.0))
+                    .sum::<f64>()
+                    / members.len() as f64
+            })
+            .collect();
+        let coverage: Vec<f64> = query
+            .results
+            .iter()
+            .map(|result| coverage_score(query.pool, &query.query, result))
+            .collect();
+        let normalize = |values: &[f64]| -> Vec<f64> {
+            let max = values.iter().copied().fold(0.0_f64, f64::max);
+            if max <= 0.0 {
+                vec![0.0; values.len()]
+            } else {
+                values.iter().map(|v| v / max).collect()
+            }
+        };
+        let relevance = normalize(&relevance);
+        let coverage = normalize(&coverage);
+        relevance
+            .iter()
+            .zip(coverage.iter())
+            .map(|(r, c)| 0.5 * r + 0.5 * c)
+            .collect()
+    }
+
+    /// Ranks methods by noisy quality: the best method gets rating
+    /// `num_methods`, the worst gets 1 (the paper's 1–5 mapping for five
+    /// methods).
+    fn rank_with_noise(&self, quality: &[f64], rng: &mut StdRng) -> Vec<usize> {
+        let noisy: Vec<f64> = quality
+            .iter()
+            .map(|q| q * (1.0 + self.noise * (rng.gen::<f64>() * 2.0 - 1.0)))
+            .collect();
+        let mut order: Vec<usize> = (0..noisy.len()).collect();
+        order.sort_by(|&a, &b| noisy[a].total_cmp(&noisy[b]).then_with(|| b.cmp(&a)));
+        let mut ranks = vec![0usize; noisy.len()];
+        for (position, &method) in order.iter().enumerate() {
+            ranks[method] = position + 1;
+        }
+        ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_baselines::SearchItem;
+    use ksir_types::{Document, TopicVector, WordId};
+
+    fn item(id: u64, tv: Vec<f64>, refs: &[u64], referenced_by: usize) -> SearchItem {
+        SearchItem {
+            id: ElementId(id),
+            doc: Document::from_tokens([WordId(id as u32 % 7)]),
+            topic_vector: TopicVector::from_values(tv).unwrap(),
+            refs: refs.iter().map(|&r| ElementId(r)).collect(),
+            referenced_by,
+        }
+    }
+
+    fn pool() -> SearchPool {
+        SearchPool::from_items(vec![
+            item(1, vec![1.0, 0.0], &[], 3),
+            item(2, vec![0.9, 0.1], &[1], 0),
+            item(3, vec![0.8, 0.2], &[1], 0),
+            item(4, vec![0.1, 0.9], &[], 0),
+            item(5, vec![0.0, 1.0], &[1], 0),
+        ])
+    }
+
+    fn study() -> UserStudy {
+        UserStudy::new(vec!["good", "bad"], 7)
+    }
+
+    #[test]
+    fn better_results_get_higher_ratings() {
+        let pool = pool();
+        let query = QueryVector::new(vec![1.0, 0.0]).unwrap();
+        // "good" returns the relevant, heavily referenced element; "bad"
+        // returns the off-topic, unreferenced one.
+        let queries = vec![StudyQuery {
+            pool: &pool,
+            query,
+            results: vec![vec![ElementId(1)], vec![ElementId(4)]],
+        }];
+        let outcome = study().run(&queries);
+        assert_eq!(outcome.methods, vec!["good".to_string(), "bad".to_string()]);
+        assert!(outcome.representativeness[0] > outcome.representativeness[1]);
+        assert!(outcome.impact[0] > outcome.impact[1]);
+        // Ratings live on the 1..=num_methods scale.
+        for r in outcome.representativeness.iter().chain(outcome.impact.iter()) {
+            assert!(*r >= 1.0 && *r <= 2.0);
+        }
+    }
+
+    #[test]
+    fn judges_agree_when_the_gap_is_clear() {
+        let pool = pool();
+        let query = QueryVector::new(vec![1.0, 0.0]).unwrap();
+        let queries: Vec<StudyQuery<'_>> = (0..6)
+            .map(|_| StudyQuery {
+                pool: &pool,
+                query: query.clone(),
+                results: vec![vec![ElementId(1), ElementId(2)], vec![ElementId(4)]],
+            })
+            .collect();
+        let outcome = study().with_judges(3).run(&queries);
+        assert!(outcome.kappa_representativeness > 0.5);
+        assert!(outcome.kappa_impact > 0.5);
+    }
+
+    #[test]
+    fn outcome_is_deterministic_for_a_seed() {
+        let pool = pool();
+        let query = QueryVector::new(vec![0.5, 0.5]).unwrap();
+        let queries = vec![StudyQuery {
+            pool: &pool,
+            query,
+            results: vec![vec![ElementId(1)], vec![ElementId(5)]],
+        }];
+        let a = study().run(&queries);
+        let b = study().run(&queries);
+        assert_eq!(a.representativeness, b.representativeness);
+        assert_eq!(a.impact, b.impact);
+    }
+
+    #[test]
+    #[should_panic(expected = "one result set per method")]
+    fn mismatched_result_count_panics() {
+        let pool = pool();
+        let query = QueryVector::new(vec![1.0, 0.0]).unwrap();
+        let queries = vec![StudyQuery {
+            pool: &pool,
+            query,
+            results: vec![vec![ElementId(1)]],
+        }];
+        study().run(&queries);
+    }
+
+    #[test]
+    fn empty_result_sets_score_lowest() {
+        let pool = pool();
+        let query = QueryVector::new(vec![1.0, 0.0]).unwrap();
+        let queries = vec![StudyQuery {
+            pool: &pool,
+            query,
+            results: vec![vec![ElementId(1)], vec![]],
+        }];
+        let outcome = study().with_noise(0.0).run(&queries);
+        assert!(outcome.representativeness[0] > outcome.representativeness[1]);
+    }
+}

@@ -1,0 +1,390 @@
+//! The active window `A_t`: sliding-window elements plus referenced parents.
+//!
+//! §3.1: *"The set of active elements `A_t` at time `t` includes not only the
+//! elements in `W_t` but also the elements referred to by any element in
+//! `W_t`."*  §4 (Algorithm 1): *"the elements that are never referred to by
+//! any element after time `t − T + 1` are discarded from the active window."*
+//!
+//! [`ActiveWindow`] implements exactly that retention rule and additionally
+//! maintains the reverse-reference index `I_t(e)` — for each active element,
+//! the window elements that reference it — which the influence score needs.
+
+use std::collections::HashMap;
+
+use ksir_types::{ElementId, KsirError, Result, SocialElement, Timestamp};
+
+use crate::window::WindowConfig;
+
+/// Per-element bookkeeping inside the active window.
+#[derive(Debug, Clone)]
+struct ActiveEntry {
+    element: SocialElement,
+    /// The latest time this element was posted or referenced — the `t_e`
+    /// column of the ranked-list tuples in Algorithm 1.
+    last_referenced: Timestamp,
+    /// Window elements referencing this one, as `(child timestamp, child id)`.
+    /// Pruned lazily when the window advances.
+    children: Vec<(Timestamp, ElementId)>,
+}
+
+/// The set of active elements at the current time, with reference tracking.
+#[derive(Debug)]
+pub struct ActiveWindow {
+    config: WindowConfig,
+    now: Timestamp,
+    entries: HashMap<ElementId, ActiveEntry>,
+}
+
+impl ActiveWindow {
+    /// Creates an empty active window at time 0.
+    pub fn new(config: WindowConfig) -> Self {
+        ActiveWindow {
+            config,
+            now: Timestamp::ZERO,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// The current logical time (end of the last ingested bucket).
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// First timestamp still inside the sliding window.
+    pub fn window_start(&self) -> Timestamp {
+        self.config.window_start(self.now)
+    }
+
+    /// Number of active elements `n_t = |A_t|`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no elements are active.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if `id` is currently active.
+    pub fn contains(&self, id: ElementId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Returns the element for `id`, if active.
+    pub fn get(&self, id: ElementId) -> Option<&SocialElement> {
+        self.entries.get(&id).map(|e| &e.element)
+    }
+
+    /// The time `id` was last posted or referenced (`t_e` in Algorithm 1).
+    pub fn last_referenced(&self, id: ElementId) -> Option<Timestamp> {
+        self.entries.get(&id).map(|e| e.last_referenced)
+    }
+
+    /// Returns `true` if the element itself was posted inside the current
+    /// window (i.e. it belongs to `W_t`, not merely to `A_t`).
+    pub fn is_in_window(&self, id: ElementId) -> bool {
+        self.entries
+            .get(&id)
+            .map(|e| self.config.in_window(e.element.ts, self.now))
+            .unwrap_or(false)
+    }
+
+    /// Iterates over all active elements in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &SocialElement> + '_ {
+        self.entries.values().map(|e| &e.element)
+    }
+
+    /// Iterates over the ids of all active elements.
+    pub fn ids(&self) -> impl Iterator<Item = ElementId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// The set `I_t(e)`: ids of window elements that reference `id`,
+    /// restricted to the current window.
+    pub fn influenced_by(&self, id: ElementId) -> Vec<ElementId> {
+        let start = self.window_start();
+        match self.entries.get(&id) {
+            Some(entry) => entry
+                .children
+                .iter()
+                .filter(|(ts, _)| *ts >= start)
+                .map(|(_, c)| *c)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of window elements referencing `id` (`|I_t(e)|`).
+    pub fn influence_count(&self, id: ElementId) -> usize {
+        let start = self.window_start();
+        self.entries
+            .get(&id)
+            .map(|e| e.children.iter().filter(|(ts, _)| *ts >= start).count())
+            .unwrap_or(0)
+    }
+
+    /// Inserts one element, wiring up reverse references to any active parent.
+    ///
+    /// References to elements that are not (or no longer) active are ignored:
+    /// an element that has already been discarded cannot be resurrected, which
+    /// matches the paper's window semantics where only references *observed
+    /// within the window* matter.
+    ///
+    /// Returns the ids of parents whose reverse-reference set changed — these
+    /// are exactly the elements whose topic-wise scores must be recomputed in
+    /// Algorithm 1 (lines 8–11).
+    pub fn insert(&mut self, element: SocialElement) -> Result<Vec<ElementId>> {
+        if self.entries.contains_key(&element.id) {
+            return Err(KsirError::invalid_parameter(
+                "element",
+                format!("duplicate element id {}", element.id),
+            ));
+        }
+        let mut touched_parents = Vec::new();
+        for &parent in &element.refs {
+            if let Some(p) = self.entries.get_mut(&parent) {
+                p.children.push((element.ts, element.id));
+                if element.ts > p.last_referenced {
+                    p.last_referenced = element.ts;
+                }
+                touched_parents.push(parent);
+            }
+        }
+        let entry = ActiveEntry {
+            last_referenced: element.ts,
+            children: Vec::new(),
+            element,
+        };
+        self.entries.insert(entry.element.id, entry);
+        Ok(touched_parents)
+    }
+
+    /// Elements that would lose at least one reverse reference if the window
+    /// advanced to `new_now`, i.e. parents with a child posted before
+    /// `window_start(new_now)`.
+    ///
+    /// The stored influence scores `I_{i,t}(e)` of exactly these elements
+    /// become stale when the window slides, so the engine recomputes their
+    /// ranked-list tuples after calling [`ActiveWindow::advance_to`].
+    pub fn parents_losing_children(&self, new_now: Timestamp) -> Vec<ElementId> {
+        let new_start = self.config.window_start(new_now);
+        let mut out: Vec<ElementId> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| entry.children.iter().any(|(ts, _)| *ts < new_start))
+            .map(|(&id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Advances the window to `now`, discarding elements that are no longer
+    /// active and pruning expired reverse references.
+    ///
+    /// Returns the ids of discarded elements so callers (the engine's ranked
+    /// lists, topic-vector caches, …) can drop their own state for them.
+    pub fn advance_to(&mut self, now: Timestamp) -> Result<Vec<ElementId>> {
+        if now < self.now {
+            return Err(KsirError::TimestampRegression {
+                last: self.now,
+                offending: now,
+            });
+        }
+        self.now = now;
+        let start = self.config.window_start(now);
+        let mut expired = Vec::new();
+        for (&id, entry) in &self.entries {
+            if entry.last_referenced < start {
+                expired.push(id);
+            }
+        }
+        for id in &expired {
+            self.entries.remove(id);
+        }
+        // Prune reverse references that fell out of the window so influence
+        // counts stay correct without filtering on every read.
+        for entry in self.entries.values_mut() {
+            entry.children.retain(|(ts, _)| *ts >= start);
+        }
+        expired.sort_unstable();
+        Ok(expired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_types::{Document, SocialElementBuilder};
+
+    fn elem(id: u64, ts: u64, refs: &[u64]) -> SocialElement {
+        let mut b = SocialElementBuilder::new(id).at(ts);
+        for &r in refs {
+            b = b.referencing(r);
+        }
+        b.build()
+    }
+
+    fn window(t: u64, l: u64) -> ActiveWindow {
+        ActiveWindow::new(WindowConfig::new(t, l).unwrap())
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut w = window(4, 1);
+        w.insert(elem(1, 1, &[])).unwrap();
+        assert!(w.contains(ElementId(1)));
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+        assert_eq!(w.get(ElementId(1)).unwrap().ts, Timestamp(1));
+        assert_eq!(w.last_referenced(ElementId(1)), Some(Timestamp(1)));
+        assert!(w.get(ElementId(2)).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let mut w = window(4, 1);
+        w.insert(elem(1, 1, &[])).unwrap();
+        assert!(w.insert(elem(1, 2, &[])).is_err());
+    }
+
+    #[test]
+    fn references_bump_last_referenced_and_children() {
+        let mut w = window(4, 1);
+        w.insert(elem(1, 1, &[])).unwrap();
+        let touched = w.insert(elem(2, 3, &[1])).unwrap();
+        assert_eq!(touched, vec![ElementId(1)]);
+        w.advance_to(Timestamp(3)).unwrap();
+        assert_eq!(w.last_referenced(ElementId(1)), Some(Timestamp(3)));
+        assert_eq!(w.influenced_by(ElementId(1)), vec![ElementId(2)]);
+        assert_eq!(w.influence_count(ElementId(1)), 1);
+        assert_eq!(w.influence_count(ElementId(2)), 0);
+    }
+
+    #[test]
+    fn reference_to_unknown_parent_is_ignored() {
+        let mut w = window(4, 1);
+        let touched = w.insert(elem(2, 3, &[99])).unwrap();
+        assert!(touched.is_empty());
+        assert_eq!(w.influence_count(ElementId(99)), 0);
+    }
+
+    #[test]
+    fn paper_example_active_set_at_time_8() {
+        // Table 1 of the paper with T = 4: at time 8 the window is [5, 8];
+        // e4 expires (posted at 4, never referenced), while e1, e2, e3 stay
+        // active because e5, e7, e8 / e6, e8 reference them.
+        let mut w = window(4, 1);
+        w.insert(elem(1, 1, &[])).unwrap();
+        w.insert(elem(2, 2, &[])).unwrap();
+        w.insert(elem(3, 3, &[])).unwrap();
+        w.insert(elem(4, 4, &[3])).unwrap();
+        w.insert(elem(5, 5, &[1])).unwrap();
+        w.insert(elem(6, 6, &[3])).unwrap();
+        w.insert(elem(7, 7, &[2])).unwrap();
+        w.insert(elem(8, 8, &[2, 3, 6])).unwrap();
+        let expired = w.advance_to(Timestamp(8)).unwrap();
+        assert_eq!(expired, vec![ElementId(4)]);
+        assert_eq!(w.len(), 7);
+        for id in [1u64, 2, 3, 5, 6, 7, 8] {
+            assert!(w.contains(ElementId(id)), "e{id} should be active");
+        }
+        // I_8(e3) = {e6, e8}: e4 expired, so it no longer counts.
+        let mut inf = w.influenced_by(ElementId(3));
+        inf.sort_unstable();
+        assert_eq!(inf, vec![ElementId(6), ElementId(8)]);
+        // e1 and e2 are outside W_8 but still active (referenced).
+        assert!(!w.is_in_window(ElementId(1)));
+        assert!(w.is_in_window(ElementId(5)));
+    }
+
+    #[test]
+    fn expiry_removes_unreferenced_elements() {
+        let mut w = window(3, 1);
+        w.insert(elem(1, 1, &[])).unwrap();
+        w.insert(elem(2, 2, &[])).unwrap();
+        w.advance_to(Timestamp(2)).unwrap();
+        assert_eq!(w.len(), 2);
+        let expired = w.advance_to(Timestamp(4)).unwrap();
+        assert_eq!(expired, vec![ElementId(1)]);
+        let expired = w.advance_to(Timestamp(10)).unwrap();
+        assert_eq!(expired, vec![ElementId(2)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn references_keep_parents_alive_beyond_their_window() {
+        let mut w = window(3, 1);
+        w.insert(elem(1, 1, &[])).unwrap();
+        w.insert(elem(2, 3, &[1])).unwrap();
+        // at t=5 the window is [3,5]: e1 itself is outside but referenced by e2 (ts=3)
+        let expired = w.advance_to(Timestamp(5)).unwrap();
+        assert!(expired.is_empty());
+        assert!(w.contains(ElementId(1)));
+        // at t=6 the window is [4,6]: e2's reference is now outside too → both go
+        let expired = w.advance_to(Timestamp(6)).unwrap();
+        assert_eq!(expired, vec![ElementId(1), ElementId(2)]);
+    }
+
+    #[test]
+    fn influence_set_respects_window_boundary() {
+        let mut w = window(3, 1);
+        w.insert(elem(1, 1, &[])).unwrap();
+        w.insert(elem(2, 2, &[1])).unwrap();
+        w.insert(elem(3, 4, &[1])).unwrap();
+        w.advance_to(Timestamp(4)).unwrap();
+        // window is [2,4]: both children in window
+        assert_eq!(w.influence_count(ElementId(1)), 2);
+        w.advance_to(Timestamp(5)).unwrap();
+        // window is [3,5]: e2 fell out, only e3 counts
+        assert_eq!(w.influenced_by(ElementId(1)), vec![ElementId(3)]);
+    }
+
+    #[test]
+    fn parents_losing_children_detects_stale_influence() {
+        let mut w = window(3, 1);
+        w.insert(elem(1, 1, &[])).unwrap();
+        w.insert(elem(2, 2, &[1])).unwrap();
+        w.insert(elem(3, 4, &[1])).unwrap();
+        w.advance_to(Timestamp(4)).unwrap();
+        // window is [2,4]: both children of e1 are inside, nothing stale yet
+        assert!(w.parents_losing_children(Timestamp(4)).is_empty());
+        // advancing to 5 moves the window to [3,5]: e2 (ts=2) falls out, so
+        // e1's influence set shrinks.
+        assert_eq!(w.parents_losing_children(Timestamp(5)), vec![ElementId(1)]);
+        w.advance_to(Timestamp(5)).unwrap();
+        assert!(w.parents_losing_children(Timestamp(5)).is_empty());
+    }
+
+    #[test]
+    fn time_regression_is_rejected() {
+        let mut w = window(4, 1);
+        w.advance_to(Timestamp(5)).unwrap();
+        assert!(matches!(
+            w.advance_to(Timestamp(4)),
+            Err(KsirError::TimestampRegression { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_yields_all_active_elements() {
+        let mut w = window(10, 1);
+        for i in 1..=5u64 {
+            w.insert(SocialElement::original(
+                ElementId(i),
+                Timestamp(i),
+                Document::new(),
+            ))
+            .unwrap();
+        }
+        w.advance_to(Timestamp(5)).unwrap();
+        let mut ids: Vec<u64> = w.ids().map(|i| i.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+        assert_eq!(w.iter().count(), 5);
+    }
+}

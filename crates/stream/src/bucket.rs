@@ -1,0 +1,148 @@
+//! Grouping an ordered element stream into fixed-length buckets.
+
+use ksir_types::{KsirError, Result, SocialElement, Timestamp};
+
+use crate::window::WindowConfig;
+
+/// Groups a timestamp-ordered stream of elements into buckets of length `L`.
+///
+/// The k-SIR architecture (Figure 4) updates the active window and the ranked
+/// lists once per bucket, at the discrete times `L, 2L, 3L, …`.  The
+/// bucketizer enforces the ordering contract of the stream: feeding an element
+/// older than an already-emitted bucket is an error.
+#[derive(Debug)]
+pub struct Bucketizer {
+    config: WindowConfig,
+    current_end: Timestamp,
+    pending: Vec<SocialElement>,
+    emitted_through: Option<Timestamp>,
+}
+
+/// One bucket of elements: everything posted in `(end - L, end]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Bucket end time (a multiple of the bucket length `L`).
+    pub end: Timestamp,
+    /// Elements in the bucket, in arrival order.
+    pub elements: Vec<SocialElement>,
+}
+
+impl Bucketizer {
+    /// Creates a bucketizer for the given window configuration.
+    pub fn new(config: WindowConfig) -> Self {
+        Bucketizer {
+            config,
+            current_end: Timestamp(config.bucket_len()),
+            pending: Vec::new(),
+            emitted_through: None,
+        }
+    }
+
+    /// The end time of the bucket currently being filled.
+    pub fn current_bucket_end(&self) -> Timestamp {
+        self.current_end
+    }
+
+    /// Feeds one element, returning every bucket that became complete.
+    ///
+    /// A bucket with end time `b` is complete as soon as an element with
+    /// `ts > b` arrives; empty buckets are emitted too so the window always
+    /// advances at a steady cadence even through silent periods.
+    pub fn push(&mut self, element: SocialElement) -> Result<Vec<Bucket>> {
+        if let Some(done) = self.emitted_through {
+            if element.ts <= done {
+                return Err(KsirError::TimestampRegression {
+                    last: done,
+                    offending: element.ts,
+                });
+            }
+        }
+        let mut completed = Vec::new();
+        while element.ts > self.current_end {
+            completed.push(self.roll());
+        }
+        self.pending.push(element);
+        Ok(completed)
+    }
+
+    /// Flushes the bucket currently being filled (used at end of stream).
+    pub fn flush(&mut self) -> Option<Bucket> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        Some(self.roll())
+    }
+
+    fn roll(&mut self) -> Bucket {
+        let bucket = Bucket {
+            end: self.current_end,
+            elements: std::mem::take(&mut self.pending),
+        };
+        self.emitted_through = Some(self.current_end);
+        self.current_end = Timestamp(self.current_end.raw() + self.config.bucket_len());
+        bucket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_types::{Document, ElementId};
+
+    fn elem(id: u64, ts: u64) -> SocialElement {
+        SocialElement::original(ElementId(id), Timestamp(ts), Document::new())
+    }
+
+    #[test]
+    fn elements_accumulate_until_bucket_boundary() {
+        let cfg = WindowConfig::new(20, 5).unwrap();
+        let mut b = Bucketizer::new(cfg);
+        assert!(b.push(elem(1, 1)).unwrap().is_empty());
+        assert!(b.push(elem(2, 4)).unwrap().is_empty());
+        assert!(b.push(elem(3, 5)).unwrap().is_empty());
+        // ts = 6 closes the first bucket (end = 5)
+        let done = b.push(elem(4, 6)).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].end, Timestamp(5));
+        assert_eq!(done[0].elements.len(), 3);
+    }
+
+    #[test]
+    fn silent_periods_emit_empty_buckets() {
+        let cfg = WindowConfig::new(20, 5).unwrap();
+        let mut b = Bucketizer::new(cfg);
+        b.push(elem(1, 2)).unwrap();
+        let done = b.push(elem(2, 18)).unwrap();
+        // buckets ending at 5, 10, 15 all complete; 5 has one element
+        assert_eq!(done.len(), 3);
+        assert_eq!(done[0].elements.len(), 1);
+        assert!(done[1].elements.is_empty());
+        assert!(done[2].elements.is_empty());
+        assert_eq!(b.current_bucket_end(), Timestamp(20));
+    }
+
+    #[test]
+    fn flush_returns_partial_bucket() {
+        let cfg = WindowConfig::new(20, 5).unwrap();
+        let mut b = Bucketizer::new(cfg);
+        assert!(b.flush().is_none());
+        b.push(elem(1, 3)).unwrap();
+        let last = b.flush().unwrap();
+        assert_eq!(last.end, Timestamp(5));
+        assert_eq!(last.elements.len(), 1);
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn regression_into_emitted_bucket_is_rejected() {
+        let cfg = WindowConfig::new(20, 5).unwrap();
+        let mut b = Bucketizer::new(cfg);
+        b.push(elem(1, 3)).unwrap();
+        b.push(elem(2, 9)).unwrap(); // emits bucket ending at 5
+        let err = b.push(elem(3, 4)).unwrap_err();
+        assert!(matches!(err, KsirError::TimestampRegression { .. }));
+        // but anything newer than the emitted boundary is fine, even if it is
+        // older than the previous element (same-bucket disorder is allowed)
+        assert!(b.push(elem(4, 8)).is_ok());
+    }
+}

@@ -1,0 +1,333 @@
+//! Per-topic ranked lists of active elements (Algorithm 1).
+//!
+//! For every topic `θ_i` the system keeps a list `RL_i` of tuples
+//! `⟨δ_i(e), t_e⟩` — the topic-wise representativeness score of each active
+//! element and the time it was last referenced — sorted in descending order of
+//! score.  MTTS and MTTD traverse the lists with the `first` / `next`
+//! operations to evaluate elements in decreasing order of their upper-bound
+//! score and terminate early.
+//!
+//! The list is a [`BTreeSet`] keyed by `(descending score, element id)` plus a
+//! hash map from element id to its current key, giving `O(log n)` insert,
+//! adjust and delete, and ordered traversal with zero allocation per step.
+//! An ablation benchmark (`crates/bench/benches/ablation.rs`) compares this
+//! layout against a re-sorted `Vec` baseline.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ksir_types::{ElementId, Timestamp, TopicId};
+
+/// Key ordering entries by descending score, breaking ties by element id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ScoreKey {
+    score: f64,
+    id: ElementId,
+}
+
+impl Eq for ScoreKey {}
+
+impl PartialOrd for ScoreKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScoreKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Descending by score, then ascending by id for a total order.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// One ranked list `RL_i`: active elements ordered by topic-wise score.
+#[derive(Debug, Default)]
+pub struct RankedList {
+    order: BTreeSet<ScoreKey>,
+    entries: HashMap<ElementId, (f64, Timestamp)>,
+}
+
+impl RankedList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements in the list.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if the element is present.
+    pub fn contains(&self, id: ElementId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Returns the stored `(score, last-referenced time)` tuple for `id`.
+    pub fn get(&self, id: ElementId) -> Option<(f64, Timestamp)> {
+        self.entries.get(&id).copied()
+    }
+
+    /// Inserts or updates an element's tuple, repositioning it in the order.
+    pub fn upsert(&mut self, id: ElementId, score: f64, last_referenced: Timestamp) {
+        debug_assert!(score.is_finite(), "ranked list scores must be finite");
+        if let Some((old_score, _)) = self.entries.insert(id, (score, last_referenced)) {
+            self.order.remove(&ScoreKey {
+                score: old_score,
+                id,
+            });
+        }
+        self.order.insert(ScoreKey { score, id });
+    }
+
+    /// Removes an element (no-op if absent).  Returns `true` if it was present.
+    pub fn remove(&mut self, id: ElementId) -> bool {
+        if let Some((score, _)) = self.entries.remove(&id) {
+            self.order.remove(&ScoreKey { score, id });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The highest-scored entry (`RL_i.first` in the paper).
+    pub fn first(&self) -> Option<(ElementId, f64, Timestamp)> {
+        self.order.iter().next().map(|k| {
+            let (_, ts) = self.entries[&k.id];
+            (k.id, k.score, ts)
+        })
+    }
+
+    /// Iterates over entries in descending score order.
+    pub fn iter(&self) -> impl Iterator<Item = (ElementId, f64, Timestamp)> + '_ {
+        self.order.iter().map(move |k| {
+            let (_, ts) = self.entries[&k.id];
+            (k.id, k.score, ts)
+        })
+    }
+
+    /// Starts an ordered traversal (`first` + repeated `next`).
+    pub fn cursor(&self) -> RankedListCursor<'_> {
+        RankedListCursor {
+            inner: Box::new(self.iter()),
+            current: None,
+            started: false,
+        }
+    }
+}
+
+/// A traversal cursor over one ranked list, mirroring the paper's
+/// `RL_i.first` / `RL_i.next` operations.
+///
+/// The cursor is positioned *on* an element: [`RankedListCursor::current`]
+/// returns it, [`RankedListCursor::advance`] moves to the next one.  Before
+/// the first call to `advance`, the cursor is positioned on the head of the
+/// list (or exhausted if the list is empty).
+pub struct RankedListCursor<'a> {
+    inner: Box<dyn Iterator<Item = (ElementId, f64, Timestamp)> + 'a>,
+    current: Option<(ElementId, f64, Timestamp)>,
+    started: bool,
+}
+
+impl std::fmt::Debug for RankedListCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankedListCursor")
+            .field("current", &self.current)
+            .field("started", &self.started)
+            .finish()
+    }
+}
+
+impl RankedListCursor<'_> {
+    /// The element the cursor is currently positioned on, or `None` when the
+    /// traversal is exhausted.
+    pub fn current(&mut self) -> Option<(ElementId, f64, Timestamp)> {
+        if !self.started {
+            self.current = self.inner.next();
+            self.started = true;
+        }
+        self.current
+    }
+
+    /// Moves to the next element and returns it.
+    pub fn advance(&mut self) -> Option<(ElementId, f64, Timestamp)> {
+        // Ensure the cursor is initialised before advancing past the head.
+        let _ = self.current();
+        self.current = self.inner.next();
+        self.current
+    }
+}
+
+/// The full set of ranked lists, one per topic.
+#[derive(Debug)]
+pub struct RankedLists {
+    lists: Vec<RankedList>,
+}
+
+impl RankedLists {
+    /// Creates `num_topics` empty lists.
+    pub fn new(num_topics: usize) -> Self {
+        RankedLists {
+            lists: (0..num_topics).map(|_| RankedList::new()).collect(),
+        }
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The list for one topic (panics on an out-of-range topic id, which
+    /// indicates an engine bug rather than user input).
+    pub fn list(&self, topic: TopicId) -> &RankedList {
+        &self.lists[topic.index()]
+    }
+
+    /// Mutable access to one topic's list.
+    pub fn list_mut(&mut self, topic: TopicId) -> &mut RankedList {
+        &mut self.lists[topic.index()]
+    }
+
+    /// Upserts an element's tuple in the given topic's list.
+    pub fn upsert(&mut self, topic: TopicId, id: ElementId, score: f64, ts: Timestamp) {
+        self.lists[topic.index()].upsert(id, score, ts);
+    }
+
+    /// Removes an element from every list.  Returns how many lists held it.
+    pub fn remove_everywhere(&mut self, id: ElementId) -> usize {
+        self.lists.iter_mut().map(|l| l.remove(id) as usize).sum()
+    }
+
+    /// Total number of tuples across all lists (an element appears once per
+    /// topic with non-zero probability).
+    pub fn total_entries(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u64) -> ElementId {
+        ElementId(i)
+    }
+
+    #[test]
+    fn upsert_orders_descending_by_score() {
+        let mut rl = RankedList::new();
+        rl.upsert(id(1), 0.2, Timestamp(1));
+        rl.upsert(id(2), 0.9, Timestamp(2));
+        rl.upsert(id(3), 0.5, Timestamp(3));
+        let order: Vec<u64> = rl.iter().map(|(e, _, _)| e.raw()).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        assert_eq!(rl.first().unwrap().0, id(2));
+        assert_eq!(rl.len(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_element_id() {
+        let mut rl = RankedList::new();
+        rl.upsert(id(5), 0.5, Timestamp(1));
+        rl.upsert(id(2), 0.5, Timestamp(1));
+        let order: Vec<u64> = rl.iter().map(|(e, _, _)| e.raw()).collect();
+        assert_eq!(order, vec![2, 5]);
+    }
+
+    #[test]
+    fn upsert_repositions_existing_elements() {
+        let mut rl = RankedList::new();
+        rl.upsert(id(1), 0.2, Timestamp(1));
+        rl.upsert(id(2), 0.9, Timestamp(2));
+        assert_eq!(rl.first().unwrap().0, id(2));
+        // e1 gains score (e.g. it got referenced) and overtakes e2
+        rl.upsert(id(1), 1.5, Timestamp(4));
+        assert_eq!(rl.first().unwrap(), (id(1), 1.5, Timestamp(4)));
+        assert_eq!(rl.len(), 2, "upsert must not duplicate");
+        assert_eq!(rl.get(id(1)), Some((1.5, Timestamp(4))));
+    }
+
+    #[test]
+    fn remove_works_and_is_idempotent() {
+        let mut rl = RankedList::new();
+        rl.upsert(id(1), 0.3, Timestamp(1));
+        assert!(rl.remove(id(1)));
+        assert!(!rl.remove(id(1)));
+        assert!(rl.is_empty());
+        assert_eq!(rl.first(), None);
+    }
+
+    #[test]
+    fn cursor_walks_first_then_next() {
+        let mut rl = RankedList::new();
+        rl.upsert(id(1), 0.65, Timestamp(8));
+        rl.upsert(id(2), 0.48, Timestamp(8));
+        rl.upsert(id(3), 0.17, Timestamp(8));
+        let mut c = rl.cursor();
+        assert_eq!(c.current().unwrap().0, id(1));
+        assert_eq!(c.current().unwrap().0, id(1), "current is stable");
+        assert_eq!(c.advance().unwrap().0, id(2));
+        assert_eq!(c.advance().unwrap().0, id(3));
+        assert_eq!(c.advance(), None);
+        assert_eq!(c.current(), None);
+    }
+
+    #[test]
+    fn cursor_on_empty_list() {
+        let rl = RankedList::new();
+        let mut c = rl.cursor();
+        assert_eq!(c.current(), None);
+        assert_eq!(c.advance(), None);
+    }
+
+    #[test]
+    fn ranked_lists_per_topic_and_remove_everywhere() {
+        let mut rls = RankedLists::new(3);
+        assert_eq!(rls.num_topics(), 3);
+        rls.upsert(TopicId(0), id(1), 0.65, Timestamp(8));
+        rls.upsert(TopicId(1), id(1), 0.06, Timestamp(8));
+        rls.upsert(TopicId(1), id(2), 0.56, Timestamp(5));
+        assert_eq!(rls.total_entries(), 3);
+        assert_eq!(rls.list(TopicId(0)).len(), 1);
+        assert_eq!(rls.list(TopicId(2)).len(), 0);
+        assert_eq!(rls.remove_everywhere(id(1)), 2);
+        assert_eq!(rls.total_entries(), 1);
+        assert_eq!(rls.remove_everywhere(id(1)), 0);
+    }
+
+    #[test]
+    fn negative_and_zero_scores_are_ordered_correctly() {
+        let mut rl = RankedList::new();
+        rl.upsert(id(1), 0.0, Timestamp(1));
+        rl.upsert(id(2), -0.5, Timestamp(1));
+        rl.upsert(id(3), 0.5, Timestamp(1));
+        let order: Vec<u64> = rl.iter().map(|(e, _, _)| e.raw()).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn large_list_stays_consistent() {
+        let mut rl = RankedList::new();
+        for i in 0..1000u64 {
+            rl.upsert(id(i), (i % 97) as f64 / 97.0, Timestamp(i));
+        }
+        assert_eq!(rl.len(), 1000);
+        // every adjacent pair in traversal is non-increasing in score
+        let scores: Vec<f64> = rl.iter().map(|(_, s, _)| s).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+        // update half of them and re-check
+        for i in (0..1000u64).step_by(2) {
+            rl.upsert(id(i), 2.0 + i as f64, Timestamp(i));
+        }
+        assert_eq!(rl.len(), 1000);
+        let scores: Vec<f64> = rl.iter().map(|(_, s, _)| s).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -1,0 +1,122 @@
+//! Corpus-level statistics: document frequencies and length summaries.
+
+use std::collections::HashMap;
+
+use ksir_types::{Document, WordId};
+
+/// Aggregate statistics over a corpus of documents.
+///
+/// Used by the TF-IDF baselines (inverse document frequency) and by the data
+/// generator's calibration tests (average document length, vocabulary size —
+/// the quantities reported in Table 3 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    doc_count: usize,
+    token_count: u64,
+    doc_freq: HashMap<WordId, u32>,
+}
+
+impl CorpusStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds statistics from an iterator of documents.
+    pub fn from_documents<'a, I: IntoIterator<Item = &'a Document>>(docs: I) -> Self {
+        let mut s = CorpusStats::new();
+        for d in docs {
+            s.observe(d);
+        }
+        s
+    }
+
+    /// Adds one document to the statistics.
+    pub fn observe(&mut self, doc: &Document) {
+        self.doc_count += 1;
+        self.token_count += doc.len() as u64;
+        for w in doc.words() {
+            *self.doc_freq.entry(w).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents observed.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Number of distinct words observed across the corpus.
+    pub fn vocab_size(&self) -> usize {
+        self.doc_freq.len()
+    }
+
+    /// Average document length in tokens (0 for an empty corpus).
+    pub fn average_length(&self) -> f64 {
+        if self.doc_count == 0 {
+            0.0
+        } else {
+            self.token_count as f64 / self.doc_count as f64
+        }
+    }
+
+    /// Document frequency of a word: the number of documents containing it.
+    pub fn doc_frequency(&self, word: WordId) -> u32 {
+        self.doc_freq.get(&word).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency: `ln(1 + N / (1 + df))`.
+    ///
+    /// Smoothing keeps the weight finite for unseen words and avoids zero
+    /// weights for words that appear in every document.
+    pub fn idf(&self, word: WordId) -> f64 {
+        let n = self.doc_count as f64;
+        let df = self.doc_frequency(word) as f64;
+        (1.0 + n / (1.0 + df)).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_types::Document;
+
+    fn doc(words: &[u32]) -> Document {
+        Document::from_tokens(words.iter().map(|&w| WordId(w)))
+    }
+
+    #[test]
+    fn counts_documents_and_tokens() {
+        let docs = vec![doc(&[1, 2, 2]), doc(&[2, 3])];
+        let s = CorpusStats::from_documents(&docs);
+        assert_eq!(s.doc_count(), 2);
+        assert_eq!(s.vocab_size(), 3);
+        assert!((s.average_length() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn document_frequency_counts_docs_not_tokens() {
+        let docs = vec![doc(&[1, 1, 1]), doc(&[1, 2])];
+        let s = CorpusStats::from_documents(&docs);
+        assert_eq!(s.doc_frequency(WordId(1)), 2);
+        assert_eq!(s.doc_frequency(WordId(2)), 1);
+        assert_eq!(s.doc_frequency(WordId(9)), 0);
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let docs = vec![doc(&[1, 2]), doc(&[1, 3]), doc(&[1, 4])];
+        let s = CorpusStats::from_documents(&docs);
+        assert!(s.idf(WordId(2)) > s.idf(WordId(1)));
+        // unseen word gets the highest idf
+        assert!(s.idf(WordId(99)) >= s.idf(WordId(2)));
+        assert!(s.idf(WordId(1)).is_finite());
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let s = CorpusStats::new();
+        assert_eq!(s.doc_count(), 0);
+        assert_eq!(s.average_length(), 0.0);
+        assert_eq!(s.vocab_size(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ksir-text
+//!
+//! Text-processing substrate for the k-SIR reproduction.
+//!
+//! The paper preprocesses raw social text (tweets, Reddit comments, paper
+//! abstracts) by tokenising, lower-casing, and removing stop words and noise
+//! words before handing bags of words to the topic model and the semantic
+//! scorer.  The keyword-based effectiveness baselines (TF-IDF top-k and DIV)
+//! additionally need log-normalised TF-IDF vectors and cosine similarity.
+//!
+//! Modules:
+//!
+//! * [`tokenizer`] — Unicode-ish tokenisation tuned for social text (keeps
+//!   hashtags and @-mentions as single tokens).
+//! * [`stopwords`] — a built-in English stop-word list plus noise filters.
+//! * [`pipeline`] — [`pipeline::TextPipeline`] turning raw strings into
+//!   [`ksir_types::Document`]s against a shared [`ksir_types::Vocabulary`].
+//! * [`corpus`] — corpus-level statistics (document frequency, lengths).
+//! * [`tfidf`] — log-normalised TF-IDF vectors and cosine similarity.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod pipeline;
+pub mod stopwords;
+pub mod tfidf;
+pub mod tokenizer;
+
+pub use corpus::CorpusStats;
+pub use pipeline::TextPipeline;
+pub use stopwords::StopWords;
+pub use tfidf::{cosine_sparse, TfIdfModel, TfIdfVector};
+pub use tokenizer::tokenize;

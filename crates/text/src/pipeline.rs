@@ -1,0 +1,122 @@
+//! End-to-end preprocessing pipeline: raw text → [`Document`].
+
+use ksir_types::{Document, Vocabulary, WordId};
+
+use crate::stopwords::StopWords;
+use crate::tokenizer::tokenize;
+
+/// Turns raw social text into bag-of-words [`Document`]s against a shared,
+/// growing [`Vocabulary`].
+///
+/// The pipeline owns the vocabulary so that every document produced by the
+/// same pipeline instance uses consistent word ids — a requirement for the
+/// topic model, the semantic scorer and the TF-IDF baselines alike.
+#[derive(Debug, Default)]
+pub struct TextPipeline {
+    vocab: Vocabulary,
+    stopwords: StopWords,
+}
+
+impl TextPipeline {
+    /// Creates a pipeline with the default English stop-word list.
+    pub fn new() -> Self {
+        TextPipeline {
+            vocab: Vocabulary::new(),
+            stopwords: StopWords::english(),
+        }
+    }
+
+    /// Creates a pipeline with a custom stop-word filter.
+    pub fn with_stopwords(stopwords: StopWords) -> Self {
+        TextPipeline {
+            vocab: Vocabulary::new(),
+            stopwords,
+        }
+    }
+
+    /// Processes one raw text into a document, interning new words.
+    pub fn process(&mut self, text: &str) -> Document {
+        let tokens = self.stopwords.filter(tokenize(text));
+        Document::from_tokens(tokens.iter().map(|t| self.vocab.intern(t)))
+    }
+
+    /// Processes a text *without* interning unseen words: unknown words are
+    /// dropped.  Used for queries at search time so that user typos do not
+    /// pollute the vocabulary.
+    pub fn process_readonly(&self, text: &str) -> Document {
+        let tokens = self.stopwords.filter(tokenize(text));
+        Document::from_tokens(tokens.iter().filter_map(|t| self.vocab.id_of(t)))
+    }
+
+    /// Looks up the id of an already-interned word.
+    pub fn word_id(&self, word: &str) -> Option<WordId> {
+        self.vocab.id_of(word)
+    }
+
+    /// The shared vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Consumes the pipeline, returning the vocabulary.
+    pub fn into_vocabulary(self) -> Vocabulary {
+        self.vocab
+    }
+
+    /// Current vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_builds_documents_and_grows_vocab() {
+        let mut p = TextPipeline::new();
+        let d1 = p.process("LeBron is great! #NBAPlayoffs");
+        let d2 = p.process("LeBron is the 1st player with 40+ points in an #NBAPlayoffs game");
+        assert!(d1.distinct_words() >= 2); // lebron, great, #nbaplayoffs
+        let lebron = p.word_id("lebron").unwrap();
+        assert!(d1.contains(lebron));
+        assert!(d2.contains(lebron));
+        // shared vocabulary: the same word maps to the same id in both docs
+        let tag = p.word_id("#nbaplayoffs").unwrap();
+        assert!(d1.contains(tag) && d2.contains(tag));
+    }
+
+    #[test]
+    fn stopwords_never_reach_documents() {
+        let mut p = TextPipeline::new();
+        p.process("the is and of lebron");
+        assert!(p.word_id("the").is_none());
+        assert!(p.word_id("lebron").is_some());
+        assert_eq!(p.vocab_size(), 1);
+    }
+
+    #[test]
+    fn readonly_processing_drops_unknown_words() {
+        let mut p = TextPipeline::new();
+        p.process("champions league final");
+        let before = p.vocab_size();
+        let q = p.process_readonly("champions league basketball");
+        assert_eq!(p.vocab_size(), before, "readonly must not intern");
+        assert_eq!(q.distinct_words(), 2); // "basketball" unseen → dropped
+    }
+
+    #[test]
+    fn empty_text_gives_empty_document() {
+        let mut p = TextPipeline::new();
+        assert!(p.process("").is_empty());
+        assert!(p.process("the of and").is_empty());
+    }
+
+    #[test]
+    fn custom_stopwords() {
+        let mut p = TextPipeline::with_stopwords(StopWords::none());
+        let d = p.process("the cavs");
+        assert_eq!(d.distinct_words(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Stop-word and noise-word filtering.
+//!
+//! The paper removes "stop words and noise words" during preprocessing
+//! (§5.1).  We bundle a compact English stop-word list (function words,
+//! auxiliaries, common social-media filler) and allow callers to extend it
+//! with domain-specific noise words.
+
+use std::collections::HashSet;
+
+/// The built-in English stop-word list.
+///
+/// Deliberately compact: the goal is to drop function words that carry no
+/// topical signal, not to be an exhaustive linguistic resource.
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn't", "did", "didn't", "do", "does", "doesn't",
+    "doing", "don't", "down", "during", "each", "few", "for", "from", "further", "had", "hadn't",
+    "has", "hasn't", "have", "haven't", "having", "he", "her", "here", "hers", "herself", "him",
+    "himself", "his", "how", "i", "if", "in", "into", "is", "isn't", "it", "its", "itself",
+    "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of", "off", "on",
+    "once", "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own", "rt", "same",
+    "she", "should", "shouldn't", "so", "some", "such", "than", "that", "the", "their", "theirs",
+    "them", "themselves", "then", "there", "these", "they", "this", "those", "through", "to",
+    "too", "under", "until", "up", "very", "was", "wasn't", "we", "were", "weren't", "what",
+    "when", "where", "which", "while", "who", "whom", "why", "will", "with", "won't", "would",
+    "wouldn't", "you", "your", "yours", "yourself", "yourselves", "via", "amp", "im", "dont",
+    "cant", "youre", "ive", "id", "lol", "get", "got", "go", "going", "one", "u", "ur", "us",
+];
+
+/// A stop-word filter.
+#[derive(Debug, Clone)]
+pub struct StopWords {
+    words: HashSet<String>,
+}
+
+impl Default for StopWords {
+    fn default() -> Self {
+        StopWords::english()
+    }
+}
+
+impl StopWords {
+    /// An empty filter that keeps every token.
+    pub fn none() -> Self {
+        StopWords {
+            words: HashSet::new(),
+        }
+    }
+
+    /// The built-in English stop-word list.
+    pub fn english() -> Self {
+        StopWords {
+            words: DEFAULT_STOPWORDS.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Adds extra noise words (e.g. dataset-specific boilerplate).
+    pub fn with_extra<'a, I: IntoIterator<Item = &'a str>>(mut self, extra: I) -> Self {
+        for w in extra {
+            self.words.insert(w.to_lowercase());
+        }
+        self
+    }
+
+    /// Returns `true` if `word` should be removed.
+    pub fn is_stopword(&self, word: &str) -> bool {
+        self.words.contains(word)
+    }
+
+    /// Filters a token stream in place, keeping only content words.
+    pub fn filter(&self, tokens: Vec<String>) -> Vec<String> {
+        tokens
+            .into_iter()
+            .filter(|t| !self.is_stopword(t))
+            .collect()
+    }
+
+    /// Number of words in the filter.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if the filter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_list_filters_function_words() {
+        let sw = StopWords::english();
+        assert!(sw.is_stopword("the"));
+        assert!(sw.is_stopword("is"));
+        assert!(!sw.is_stopword("soccer"));
+        assert!(!sw.is_stopword("#ucl"));
+    }
+
+    #[test]
+    fn none_keeps_everything() {
+        let sw = StopWords::none();
+        assert!(sw.is_empty());
+        assert!(!sw.is_stopword("the"));
+        let toks = vec!["the".to_string(), "cavs".to_string()];
+        assert_eq!(sw.filter(toks.clone()), toks);
+    }
+
+    #[test]
+    fn extra_words_are_lowercased_and_filtered() {
+        let sw = StopWords::english().with_extra(["Retweet", "breaking"]);
+        assert!(sw.is_stopword("retweet"));
+        assert!(sw.is_stopword("breaking"));
+    }
+
+    #[test]
+    fn filter_removes_only_stopwords() {
+        let sw = StopWords::english();
+        let toks: Vec<String> = ["lebron", "is", "the", "greatest"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(sw.filter(toks), vec!["lebron", "greatest"]);
+    }
+
+    #[test]
+    fn default_is_english() {
+        assert_eq!(StopWords::default().len(), StopWords::english().len());
+        assert!(StopWords::default().len() > 100);
+    }
+}

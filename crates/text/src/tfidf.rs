@@ -1,0 +1,205 @@
+//! Log-normalised TF-IDF vectors and sparse cosine similarity.
+//!
+//! These power the keyword-based effectiveness baselines of §5.2: the TF-IDF
+//! top-k query and the diversity-aware DIV query both vectorise elements and
+//! queries with the log-normalised TF-IDF weight and compare them by cosine
+//! similarity.
+
+use std::collections::BTreeMap;
+
+use ksir_types::{Document, WordId};
+
+use crate::corpus::CorpusStats;
+
+/// A sparse TF-IDF vector (word → weight), L2-normalisable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TfIdfVector {
+    weights: BTreeMap<WordId, f64>,
+}
+
+impl TfIdfVector {
+    /// Builds an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight of a word (0 if absent).
+    pub fn weight(&self, word: WordId) -> f64 {
+        self.weights.get(&word).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(word, weight)` pairs in ascending word order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, f64)> + '_ {
+        self.weights.iter().map(|(&w, &v)| (w, v))
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.weights.values().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    fn insert(&mut self, word: WordId, weight: f64) {
+        if weight > 0.0 {
+            self.weights.insert(word, weight);
+        }
+    }
+}
+
+/// Cosine similarity between two sparse vectors (0 if either is empty).
+pub fn cosine_sparse(a: &TfIdfVector, b: &TfIdfVector) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Merge-join over the sorted maps; iterate the smaller one.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .map(|(w, v)| v * large.weight(w))
+        .sum();
+    let denom = a.norm() * b.norm();
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+/// A TF-IDF weighting model over a fixed corpus snapshot.
+///
+/// The weight of word `w` in document `d` is
+/// `(1 + ln tf(w, d)) · idf(w)` — the "log-normalised TF-IDF" used by the
+/// paper's keyword baselines.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    stats: CorpusStats,
+}
+
+impl TfIdfModel {
+    /// Builds the model from corpus statistics.
+    pub fn new(stats: CorpusStats) -> Self {
+        TfIdfModel { stats }
+    }
+
+    /// Builds the model directly from documents.
+    pub fn from_documents<'a, I: IntoIterator<Item = &'a Document>>(docs: I) -> Self {
+        TfIdfModel::new(CorpusStats::from_documents(docs))
+    }
+
+    /// The underlying corpus statistics.
+    pub fn stats(&self) -> &CorpusStats {
+        &self.stats
+    }
+
+    /// Vectorises a document.
+    pub fn vectorize(&self, doc: &Document) -> TfIdfVector {
+        let mut v = TfIdfVector::new();
+        for (w, tf) in doc.iter() {
+            let weight = (1.0 + (tf as f64).ln()) * self.stats.idf(w);
+            v.insert(w, weight);
+        }
+        v
+    }
+
+    /// Relevance of a document to a query document: cosine similarity of
+    /// their TF-IDF vectors.
+    pub fn relevance(&self, query: &Document, doc: &Document) -> f64 {
+        cosine_sparse(&self.vectorize(query), &self.vectorize(doc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_types::Document;
+
+    fn doc(words: &[u32]) -> Document {
+        Document::from_tokens(words.iter().map(|&w| WordId(w)))
+    }
+
+    fn corpus() -> Vec<Document> {
+        vec![
+            doc(&[1, 2, 3]),
+            doc(&[1, 4]),
+            doc(&[1, 5, 5]),
+            doc(&[6, 7]),
+        ]
+    }
+
+    #[test]
+    fn vectorize_weights_rare_words_higher() {
+        let docs = corpus();
+        let model = TfIdfModel::from_documents(&docs);
+        let v = model.vectorize(&doc(&[1, 2]));
+        // word 1 appears in 3 of 4 docs, word 2 in 1 of 4 → word 2 has higher idf
+        assert!(v.weight(WordId(2)) > v.weight(WordId(1)));
+        assert_eq!(v.weight(WordId(9)), 0.0);
+    }
+
+    #[test]
+    fn repeated_words_grow_logarithmically() {
+        let docs = corpus();
+        let model = TfIdfModel::from_documents(&docs);
+        let single = model.vectorize(&doc(&[5]));
+        let triple = model.vectorize(&doc(&[5, 5, 5]));
+        assert!(triple.weight(WordId(5)) > single.weight(WordId(5)));
+        // log-normalised: tripling the count far less than triples the weight
+        assert!(triple.weight(WordId(5)) < 3.0 * single.weight(WordId(5)));
+    }
+
+    #[test]
+    fn cosine_self_similarity_is_one() {
+        let docs = corpus();
+        let model = TfIdfModel::from_documents(&docs);
+        let v = model.vectorize(&docs[0]);
+        assert!((cosine_sparse(&v, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_disjoint_is_zero() {
+        let docs = corpus();
+        let model = TfIdfModel::from_documents(&docs);
+        let a = model.vectorize(&doc(&[2, 3]));
+        let b = model.vectorize(&doc(&[6, 7]));
+        assert_eq!(cosine_sparse(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_empty_vector_is_zero() {
+        let docs = corpus();
+        let model = TfIdfModel::from_documents(&docs);
+        let a = model.vectorize(&doc(&[]));
+        let b = model.vectorize(&doc(&[1]));
+        assert_eq!(cosine_sparse(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn relevance_ranks_overlapping_docs_higher() {
+        let docs = corpus();
+        let model = TfIdfModel::from_documents(&docs);
+        let query = doc(&[2, 3]);
+        let rel_same = model.relevance(&query, &doc(&[1, 2, 3]));
+        let rel_none = model.relevance(&query, &doc(&[6, 7]));
+        assert!(rel_same > rel_none);
+    }
+
+    #[test]
+    fn vector_iteration_is_sorted() {
+        let docs = corpus();
+        let model = TfIdfModel::from_documents(&docs);
+        let v = model.vectorize(&doc(&[5, 1, 3]));
+        let ids: Vec<u32> = v.iter().map(|(w, _)| w.raw()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,133 @@
+//! Tokenisation tuned for social text.
+//!
+//! Rules (mirroring the preprocessing described in §5.1 of the paper):
+//!
+//! * input is lower-cased,
+//! * `#hashtags` and `@mentions` are kept as single tokens (their leading
+//!   sigil is preserved so "pl" the word and "#pl" the hashtag stay distinct),
+//! * URLs (`http://…`, `https://…`, `www.…`) are dropped entirely,
+//! * remaining text is split on any character that is not alphanumeric,
+//! * purely numeric tokens and single characters are dropped as noise.
+
+/// Splits raw text into normalised tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let lower = text.to_lowercase();
+    let mut tokens = Vec::new();
+    for raw in lower.split_whitespace() {
+        if is_url(raw) {
+            continue;
+        }
+        if let Some(tok) = sigil_token(raw) {
+            tokens.push(tok);
+            continue;
+        }
+        let mut current = String::new();
+        for ch in raw.chars() {
+            if ch.is_alphanumeric() {
+                current.push(ch);
+            } else if !current.is_empty() {
+                push_if_valid(&mut tokens, std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            push_if_valid(&mut tokens, current);
+        }
+    }
+    tokens
+}
+
+/// Returns `true` for tokens that look like URLs.
+fn is_url(tok: &str) -> bool {
+    tok.starts_with("http://") || tok.starts_with("https://") || tok.starts_with("www.")
+}
+
+/// Extracts a hashtag or mention token (`#ucl`, `@lfc`) if `raw` is one.
+fn sigil_token(raw: &str) -> Option<String> {
+    let sigil = raw.chars().next()?;
+    if sigil != '#' && sigil != '@' {
+        return None;
+    }
+    let body: String = raw
+        .chars()
+        .skip(1)
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if body.is_empty() {
+        None
+    } else {
+        Some(format!("{sigil}{body}"))
+    }
+}
+
+/// Drops noise tokens: single characters and pure numbers.
+fn push_if_valid(tokens: &mut Vec<String>, tok: String) {
+    if tok.chars().count() <= 1 {
+        return;
+    }
+    if tok.chars().all(|c| c.is_ascii_digit()) {
+        return;
+    }
+    tokens.push(tok);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_splitting_and_lowercasing() {
+        assert_eq!(
+            tokenize("LeBron is GREAT, truly great!"),
+            vec!["lebron", "is", "great", "truly", "great"]
+        );
+    }
+
+    #[test]
+    fn hashtags_and_mentions_are_preserved() {
+        let toks = tokenize("@asroma win but it's @LFC joining @realmadrid in the #UCL final");
+        assert!(toks.contains(&"@asroma".to_string()));
+        assert!(toks.contains(&"@lfc".to_string()));
+        assert!(toks.contains(&"#ucl".to_string()));
+        assert!(toks.contains(&"final".to_string()));
+    }
+
+    #[test]
+    fn urls_are_dropped() {
+        let toks = tokenize("read this https://example.com/a?b=1 and www.foo.bar now");
+        assert_eq!(toks, vec!["read", "this", "and", "now"]);
+    }
+
+    #[test]
+    fn numbers_and_single_chars_are_noise() {
+        let toks = tokenize("defeats 128-110 and leads the series 2-0 in a game");
+        assert!(!toks.contains(&"128".to_string()));
+        assert!(!toks.contains(&"a".to_string()));
+        assert!(toks.contains(&"defeats".to_string()));
+    }
+
+    #[test]
+    fn alphanumeric_tokens_survive() {
+        let toks = tokenize("the 2018-19 season of #NBAPlayoffs");
+        assert!(!toks.contains(&"2018".to_string()));
+        assert!(toks.contains(&"#nbaplayoffs".to_string()));
+        assert!(toks.contains(&"season".to_string()));
+    }
+
+    #[test]
+    fn punctuation_inside_words_splits() {
+        assert_eq!(tokenize("state-of-the-art"), vec!["state", "of", "the", "art"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+        assert!(tokenize("# @ !!!").is_empty());
+    }
+
+    #[test]
+    fn unicode_text_is_handled() {
+        let toks = tokenize("café München naïve");
+        assert_eq!(toks, vec!["café", "münchen", "naïve"]);
+    }
+}

@@ -1,0 +1,315 @@
+//! The Biterm Topic Model (BTM) for short texts.
+//!
+//! BTM (Yan et al., WWW'13) sidesteps the sparsity of short documents by
+//! modelling the corpus as a bag of *biterms* — unordered pairs of words that
+//! co-occur inside the same short document — and assigning a topic to each
+//! biterm rather than to each token.  The collapsed Gibbs update for a biterm
+//! `(w1, w2)` is
+//!
+//! ```text
+//! p(z = k | rest) ∝ (n_k + α) · (n_kw1 + β)(n_kw2 + β) / (n_k·2 + m·β)²
+//! ```
+//!
+//! The paper trains BTM on the Twitter corpus because tweets are too short for
+//! vanilla LDA; we mirror that choice in the experiment harness.
+
+use ksir_types::rng::seeded_rng;
+use ksir_types::{DenseTopicWordTable, Document, KsirError, Result, WordId};
+use rand::Rng;
+
+use crate::model::TopicModel;
+
+/// Configuration and entry point for BTM training.
+#[derive(Debug, Clone)]
+pub struct BtmTrainer {
+    num_topics: usize,
+    alpha: f64,
+    beta: f64,
+    iterations: usize,
+    seed: u64,
+    /// Maximum number of biterms extracted per document (guards against
+    /// quadratic blow-up on unusually long "short" texts).
+    max_biterms_per_doc: usize,
+}
+
+impl BtmTrainer {
+    /// Creates a trainer with the paper's priors (`α = 50/z`, `β = 0.01`).
+    pub fn new(num_topics: usize) -> Result<Self> {
+        if num_topics == 0 {
+            return Err(KsirError::invalid_parameter(
+                "num_topics",
+                "must be at least 1",
+            ));
+        }
+        Ok(BtmTrainer {
+            num_topics,
+            alpha: 50.0 / num_topics as f64,
+            beta: 0.01,
+            iterations: 200,
+            seed: 42,
+            max_biterms_per_doc: 256,
+        })
+    }
+
+    /// Overrides the biterm-topic prior `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Overrides the topic-word prior `β`.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Overrides the number of Gibbs sweeps.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Extracts the biterm multiset of a document (all unordered pairs of
+    /// token positions, capped at `max_biterms_per_doc`).
+    fn biterms(&self, doc: &Document) -> Vec<(WordId, WordId)> {
+        let tokens = doc.tokens();
+        let mut out = Vec::new();
+        'outer: for i in 0..tokens.len() {
+            for j in (i + 1)..tokens.len() {
+                out.push((tokens[i], tokens[j]));
+                if out.len() >= self.max_biterms_per_doc {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+
+    /// Trains a topic model on a corpus of (short) documents.
+    pub fn train(&self, corpus: &[Document], vocab_size: usize) -> Result<TopicModel> {
+        if corpus.is_empty() {
+            return Err(KsirError::invalid_parameter(
+                "corpus",
+                "cannot train a topic model on an empty corpus",
+            ));
+        }
+        for doc in corpus {
+            if let Some(w) = doc.words().find(|w| w.index() >= vocab_size) {
+                return Err(KsirError::UnknownWord(w));
+            }
+        }
+
+        let z = self.num_topics;
+        let m = vocab_size;
+        let mut rng = seeded_rng(self.seed);
+
+        // Corpus-wide biterm list.  Single-word documents contribute a
+        // degenerate biterm (w, w) so that their word still receives topic
+        // mass (standard BTM practice for length-1 texts).
+        let mut biterms: Vec<(WordId, WordId)> = Vec::new();
+        for doc in corpus {
+            let bs = self.biterms(doc);
+            if bs.is_empty() {
+                if let Some(w) = doc.words().next() {
+                    biterms.push((w, w));
+                }
+            } else {
+                biterms.extend(bs);
+            }
+        }
+        if biterms.is_empty() {
+            return Err(KsirError::invalid_parameter(
+                "corpus",
+                "corpus contains no words; cannot extract biterms",
+            ));
+        }
+
+        let mut assignments: Vec<usize> = biterms.iter().map(|_| rng.gen_range(0..z)).collect();
+        let mut n_k = vec![0u32; z];
+        let mut n_kw = vec![vec![0u32; m]; z];
+        for (b, &(w1, w2)) in biterms.iter().enumerate() {
+            let k = assignments[b];
+            n_k[k] += 1;
+            n_kw[k][w1.index()] += 1;
+            n_kw[k][w2.index()] += 1;
+        }
+
+        let mut weights = vec![0.0f64; z];
+        for _sweep in 0..self.iterations {
+            for (b, &(w1, w2)) in biterms.iter().enumerate() {
+                let old = assignments[b];
+                n_k[old] -= 1;
+                n_kw[old][w1.index()] -= 1;
+                n_kw[old][w2.index()] -= 1;
+
+                let mut total = 0.0;
+                for (k, wt) in weights.iter_mut().enumerate() {
+                    let denom = 2.0 * n_k[k] as f64 + m as f64 * self.beta;
+                    let p1 = (n_kw[k][w1.index()] as f64 + self.beta) / denom;
+                    let p2 = (n_kw[k][w2.index()] as f64 + self.beta) / (denom + 1.0);
+                    *wt = (n_k[k] as f64 + self.alpha) * p1 * p2;
+                    total += *wt;
+                }
+                let mut target = rng.gen::<f64>() * total;
+                let mut new = z - 1;
+                for (k, &wt) in weights.iter().enumerate() {
+                    if target < wt {
+                        new = k;
+                        break;
+                    }
+                    target -= wt;
+                }
+
+                assignments[b] = new;
+                n_k[new] += 1;
+                n_kw[new][w1.index()] += 1;
+                n_kw[new][w2.index()] += 1;
+            }
+        }
+
+        // φ_k(w) = (n_kw + β) / (2·n_k + m·β)
+        let mut rows = Vec::with_capacity(z);
+        for k in 0..z {
+            let denom = 2.0 * n_k[k] as f64 + m as f64 * self.beta;
+            let row: Vec<f64> = (0..m)
+                .map(|w| (n_kw[k][w] as f64 + self.beta) / denom)
+                .collect();
+            rows.push(row);
+        }
+        let mut phi = DenseTopicWordTable::from_rows(rows)?;
+        // Rows of BTM are proper distributions already up to rounding; make it
+        // exact so downstream invariant checks hold.
+        phi.normalize_rows();
+        TopicModel::new(phi, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_types::{TopicId, TopicVector};
+
+    fn doc(words: &[u32]) -> Document {
+        Document::from_tokens(words.iter().map(|&w| WordId(w)))
+    }
+
+    /// Short documents from two disjoint word communities.
+    fn short_corpus() -> Vec<Document> {
+        let mut corpus = Vec::new();
+        for i in 0..40u32 {
+            if i % 2 == 0 {
+                corpus.push(doc(&[i % 4, (i + 1) % 4, 2]));
+            } else {
+                corpus.push(doc(&[4 + i % 4, 4 + (i + 1) % 4, 6]));
+            }
+        }
+        corpus
+    }
+
+    #[test]
+    fn new_rejects_zero_topics() {
+        assert!(BtmTrainer::new(0).is_err());
+    }
+
+    #[test]
+    fn train_rejects_empty_and_oov() {
+        let t = BtmTrainer::new(2).unwrap();
+        assert!(t.train(&[], 4).is_err());
+        assert!(t.train(&[doc(&[9])], 4).is_err());
+        // corpus of empty documents has no biterms at all
+        assert!(t.train(&[Document::new()], 4).is_err());
+    }
+
+    #[test]
+    fn single_word_documents_are_handled() {
+        let t = BtmTrainer::new(2).unwrap().with_iterations(10);
+        let model = t.train(&[doc(&[0]), doc(&[1])], 2).unwrap();
+        assert_eq!(model.num_topics(), 2);
+    }
+
+    #[test]
+    fn phi_rows_are_distributions() {
+        let model = BtmTrainer::new(3)
+            .unwrap()
+            .with_iterations(30)
+            .train(&short_corpus(), 8)
+            .unwrap();
+        for t in 0..3u32 {
+            let sum: f64 = (0..8)
+                .map(|w| model.word_prob(TopicId(t), WordId(w)))
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn separates_short_text_communities() {
+        let model = BtmTrainer::new(2)
+            .unwrap()
+            .with_iterations(150)
+            .with_seed(5)
+            .train(&short_corpus(), 8)
+            .unwrap();
+        let mass = |t: u32, lo: u32, hi: u32| -> f64 {
+            (lo..hi)
+                .map(|w| model.word_prob(TopicId(t), WordId(w)))
+                .sum()
+        };
+        let t0_low = mass(0, 0, 4);
+        let t1_low = mass(1, 0, 4);
+        let separated = (t0_low > 0.75 && t1_low < 0.25) || (t1_low > 0.75 && t0_low < 0.25);
+        assert!(separated, "BTM failed to separate: {t0_low:.2} vs {t1_low:.2}");
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let corpus = short_corpus();
+        let a = BtmTrainer::new(2)
+            .unwrap()
+            .with_iterations(20)
+            .with_seed(9)
+            .train(&corpus, 8)
+            .unwrap();
+        let b = BtmTrainer::new(2)
+            .unwrap()
+            .with_iterations(20)
+            .with_seed(9)
+            .train(&corpus, 8)
+            .unwrap();
+        for t in 0..2u32 {
+            for w in 0..8u32 {
+                assert_eq!(
+                    a.word_prob(TopicId(t), WordId(w)),
+                    b.word_prob(TopicId(t), WordId(w))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inference_with_btm_model_works() {
+        let model = BtmTrainer::new(2)
+            .unwrap()
+            .with_iterations(150)
+            .with_seed(5)
+            .train(&short_corpus(), 8)
+            .unwrap();
+        let a: TopicVector = model.infer_document(&doc(&[0, 1]));
+        let b: TopicVector = model.infer_document(&doc(&[5, 6]));
+        assert_ne!(a.dominant_topic(), b.dominant_topic());
+    }
+
+    #[test]
+    fn biterm_extraction_counts() {
+        let t = BtmTrainer::new(2).unwrap();
+        assert_eq!(t.biterms(&doc(&[1, 2, 3])).len(), 3); // C(3,2)
+        assert_eq!(t.biterms(&doc(&[1])).len(), 0);
+        assert_eq!(t.biterms(&Document::new()).len(), 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Latent Dirichlet Allocation trained by collapsed Gibbs sampling.
+//!
+//! This is the classic Griffiths & Steyvers sampler: each token `w` in each
+//! document `d` carries a topic assignment `z`; one sweep resamples every
+//! assignment from
+//!
+//! ```text
+//! p(z = k | rest) ∝ (n_dk + α) · (n_kw + β) / (n_k + m·β)
+//! ```
+//!
+//! where `n_dk` counts tokens of `d` assigned to `k`, `n_kw` counts
+//! assignments of word `w` to `k` across the corpus, and `n_k` is the total
+//! number of tokens assigned to `k`.  After burn-in the topic-word counts are
+//! converted into the `φ` table of a [`TopicModel`].
+//!
+//! The paper trains with PLDA (a parallel LDA implementation) and priors
+//! `α = 50/z`, `β = 0.01`; those are the defaults here too.
+
+use ksir_types::rng::seeded_rng;
+use ksir_types::{DenseTopicWordTable, Document, KsirError, Result, TopicId, WordId};
+use rand::Rng;
+
+use crate::model::TopicModel;
+
+/// Configuration and entry point for LDA training.
+#[derive(Debug, Clone)]
+pub struct LdaTrainer {
+    num_topics: usize,
+    alpha: f64,
+    beta: f64,
+    iterations: usize,
+    seed: u64,
+}
+
+impl LdaTrainer {
+    /// Creates a trainer with the paper's default priors (`α = 50/z`,
+    /// `β = 0.01`) and 200 Gibbs sweeps.
+    pub fn new(num_topics: usize) -> Result<Self> {
+        if num_topics == 0 {
+            return Err(KsirError::invalid_parameter(
+                "num_topics",
+                "must be at least 1",
+            ));
+        }
+        Ok(LdaTrainer {
+            num_topics,
+            alpha: 50.0 / num_topics as f64,
+            beta: 0.01,
+            iterations: 200,
+            seed: 42,
+        })
+    }
+
+    /// Overrides the document-topic prior `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Overrides the topic-word prior `β`.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Overrides the number of Gibbs sweeps.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Sets the RNG seed (training is deterministic given the seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of topics this trainer will produce.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// Trains a topic model on a corpus.
+    ///
+    /// `vocab_size` must be at least `max word id + 1` over the corpus.
+    /// Returns an error for an empty corpus or when a document references a
+    /// word outside the declared vocabulary.
+    pub fn train(&self, corpus: &[Document], vocab_size: usize) -> Result<TopicModel> {
+        if corpus.is_empty() {
+            return Err(KsirError::invalid_parameter(
+                "corpus",
+                "cannot train a topic model on an empty corpus",
+            ));
+        }
+        for doc in corpus {
+            if let Some(w) = doc.words().find(|w| w.index() >= vocab_size) {
+                return Err(KsirError::UnknownWord(w));
+            }
+        }
+
+        let z = self.num_topics;
+        let m = vocab_size;
+        let mut rng = seeded_rng(self.seed);
+
+        // Token lists per document and their topic assignments.
+        let tokens: Vec<Vec<WordId>> = corpus.iter().map(|d| d.tokens()).collect();
+        let mut assignments: Vec<Vec<usize>> = tokens
+            .iter()
+            .map(|toks| toks.iter().map(|_| rng.gen_range(0..z)).collect())
+            .collect();
+
+        // Count matrices.
+        let mut n_dk = vec![vec![0u32; z]; corpus.len()];
+        let mut n_kw = vec![vec![0u32; m]; z];
+        let mut n_k = vec![0u32; z];
+        for (d, toks) in tokens.iter().enumerate() {
+            for (i, &w) in toks.iter().enumerate() {
+                let k = assignments[d][i];
+                n_dk[d][k] += 1;
+                n_kw[k][w.index()] += 1;
+                n_k[k] += 1;
+            }
+        }
+
+        let mut weights = vec![0.0f64; z];
+        for _sweep in 0..self.iterations {
+            for (d, toks) in tokens.iter().enumerate() {
+                for (i, &w) in toks.iter().enumerate() {
+                    let old = assignments[d][i];
+                    n_dk[d][old] -= 1;
+                    n_kw[old][w.index()] -= 1;
+                    n_k[old] -= 1;
+
+                    let mut total = 0.0;
+                    for (k, wt) in weights.iter_mut().enumerate() {
+                        let topic_word = (n_kw[k][w.index()] as f64 + self.beta)
+                            / (n_k[k] as f64 + m as f64 * self.beta);
+                        let doc_topic = n_dk[d][k] as f64 + self.alpha;
+                        *wt = topic_word * doc_topic;
+                        total += *wt;
+                    }
+                    let mut target = rng.gen::<f64>() * total;
+                    let mut new = z - 1;
+                    for (k, &wt) in weights.iter().enumerate() {
+                        if target < wt {
+                            new = k;
+                            break;
+                        }
+                        target -= wt;
+                    }
+
+                    assignments[d][i] = new;
+                    n_dk[d][new] += 1;
+                    n_kw[new][w.index()] += 1;
+                    n_k[new] += 1;
+                }
+            }
+        }
+
+        // φ_k(w) = (n_kw + β) / (n_k + m·β)
+        let mut rows = Vec::with_capacity(z);
+        for k in 0..z {
+            let denom = n_k[k] as f64 + m as f64 * self.beta;
+            let row: Vec<f64> = (0..m)
+                .map(|w| (n_kw[k][w] as f64 + self.beta) / denom)
+                .collect();
+            rows.push(row);
+        }
+        let phi = DenseTopicWordTable::from_rows(rows)?;
+        TopicModel::new(phi, self.alpha)
+    }
+}
+
+/// Computes the per-topic "top words" — handy for inspecting trained models in
+/// examples and experiment logs.
+pub fn top_words(model: &TopicModel, topic: TopicId, n: usize) -> Vec<(WordId, f64)> {
+    let mut pairs: Vec<(WordId, f64)> = (0..model.vocab_size())
+        .map(|w| (WordId(w as u32), model.word_prob(topic, WordId(w as u32))))
+        .collect();
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    pairs.truncate(n);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_types::TopicVector;
+
+    fn doc(words: &[u32]) -> Document {
+        Document::from_tokens(words.iter().map(|&w| WordId(w)))
+    }
+
+    /// A corpus with two obvious word communities: {0..4} and {5..9}.
+    fn synthetic_corpus() -> Vec<Document> {
+        let mut corpus = Vec::new();
+        for i in 0..30u32 {
+            let base = if i % 2 == 0 { 0 } else { 5 };
+            corpus.push(doc(&[
+                base,
+                base + 1,
+                base + 2,
+                base + 3,
+                base + 4,
+                base + (i % 5),
+            ]));
+        }
+        corpus
+    }
+
+    #[test]
+    fn new_rejects_zero_topics() {
+        assert!(LdaTrainer::new(0).is_err());
+    }
+
+    #[test]
+    fn default_alpha_follows_paper() {
+        let t = LdaTrainer::new(50).unwrap();
+        assert!((t.num_topics()) == 50);
+        // α = 50/z = 1.0 for z = 50
+        let model = t
+            .with_iterations(1)
+            .train(&[doc(&[0])], 1)
+            .expect("tiny training run");
+        assert_eq!(model.num_topics(), 50);
+    }
+
+    #[test]
+    fn train_rejects_empty_corpus_and_oov_words() {
+        let t = LdaTrainer::new(2).unwrap();
+        assert!(t.train(&[], 10).is_err());
+        assert!(matches!(
+            t.train(&[doc(&[11])], 10),
+            Err(KsirError::UnknownWord(_))
+        ));
+    }
+
+    #[test]
+    fn training_separates_word_communities() {
+        let corpus = synthetic_corpus();
+        let model = LdaTrainer::new(2)
+            .unwrap()
+            // The paper's default α = 50/z is meant for z ≥ 50; with only two
+            // topics it over-smooths, so use a smaller prior for this check.
+            .with_alpha(1.0)
+            .with_iterations(150)
+            .with_seed(7)
+            .train(&corpus, 10)
+            .unwrap();
+        // Each topic should concentrate on one community: the probability mass
+        // of words 0..5 under one topic should dominate, and of words 5..10
+        // under the other.
+        let mass = |t: u32, lo: u32, hi: u32| -> f64 {
+            (lo..hi)
+                .map(|w| model.word_prob(TopicId(t), WordId(w)))
+                .sum()
+        };
+        let t0_low = mass(0, 0, 5);
+        let t0_high = mass(0, 5, 10);
+        let t1_low = mass(1, 0, 5);
+        let t1_high = mass(1, 5, 10);
+        let separated = (t0_low > 0.8 && t1_high > 0.8) || (t0_high > 0.8 && t1_low > 0.8);
+        assert!(
+            separated,
+            "topics failed to separate: {t0_low:.2}/{t0_high:.2} vs {t1_low:.2}/{t1_high:.2}"
+        );
+    }
+
+    #[test]
+    fn phi_rows_are_distributions() {
+        let corpus = synthetic_corpus();
+        let model = LdaTrainer::new(3)
+            .unwrap()
+            .with_iterations(20)
+            .train(&corpus, 10)
+            .unwrap();
+        for t in 0..3u32 {
+            let sum: f64 = (0..10)
+                .map(|w| model.word_prob(TopicId(t), WordId(w)))
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-9, "topic {t} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let corpus = synthetic_corpus();
+        let m1 = LdaTrainer::new(2)
+            .unwrap()
+            .with_iterations(30)
+            .with_seed(11)
+            .train(&corpus, 10)
+            .unwrap();
+        let m2 = LdaTrainer::new(2)
+            .unwrap()
+            .with_iterations(30)
+            .with_seed(11)
+            .train(&corpus, 10)
+            .unwrap();
+        for t in 0..2u32 {
+            for w in 0..10u32 {
+                assert_eq!(
+                    m1.word_prob(TopicId(t), WordId(w)),
+                    m2.word_prob(TopicId(t), WordId(w))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trained_model_infers_training_like_documents() {
+        let corpus = synthetic_corpus();
+        let model = LdaTrainer::new(2)
+            .unwrap()
+            .with_iterations(150)
+            .with_seed(3)
+            .train(&corpus, 10)
+            .unwrap();
+        let a: TopicVector = model.infer_document(&doc(&[0, 1, 2]));
+        let b: TopicVector = model.infer_document(&doc(&[5, 6, 7]));
+        assert_ne!(a.dominant_topic(), b.dominant_topic());
+    }
+
+    #[test]
+    fn top_words_are_sorted_and_truncated() {
+        let corpus = synthetic_corpus();
+        let model = LdaTrainer::new(2)
+            .unwrap()
+            .with_iterations(50)
+            .train(&corpus, 10)
+            .unwrap();
+        let tw = top_words(&model, TopicId(0), 3);
+        assert_eq!(tw.len(), 3);
+        assert!(tw[0].1 >= tw[1].1 && tw[1].1 >= tw[2].1);
+    }
+}

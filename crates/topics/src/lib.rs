@@ -1,0 +1,36 @@
+//! # ksir-topics
+//!
+//! Topic-model substrate for the k-SIR reproduction.
+//!
+//! The paper trains LDA (via PLDA) on the AMiner and Reddit corpora and the
+//! Biterm Topic Model (BTM) on Twitter, then uses the trained model as a
+//! *black-box oracle* supplying `p_i(w)` for every word and `p_i(e)` for every
+//! element, plus topic inference for keyword queries.  Since the reproduction
+//! may not assume an external topic-modelling toolkit, this crate implements
+//! both trainers from scratch:
+//!
+//! * [`lda::LdaTrainer`] — Latent Dirichlet Allocation via collapsed Gibbs
+//!   sampling (Griffiths & Steyvers style), suited to longer documents
+//!   (AMiner abstracts, Reddit submissions).
+//! * [`btm::BtmTrainer`] — the Biterm Topic Model (Yan et al., WWW'13), which
+//!   models unordered word co-occurrence pairs and behaves much better on
+//!   short texts such as tweets.
+//! * [`model::TopicModel`] — the trained artefact: topic-word distributions
+//!   `φ` plus deterministic EM "folding-in" inference of topic distributions
+//!   for unseen documents and keyword queries.
+//! * [`oracle::TopicOracle`] — the black-box interface the rest of the system
+//!   consumes, including a [`oracle::FixedOracle`] for hand-specified models
+//!   (used to encode the paper's running example, Table 1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod btm;
+pub mod lda;
+pub mod model;
+pub mod oracle;
+
+pub use btm::BtmTrainer;
+pub use lda::LdaTrainer;
+pub use model::TopicModel;
+pub use oracle::{FixedOracle, TopicOracle};

@@ -1,0 +1,259 @@
+//! The trained topic-model artefact and deterministic inference.
+
+use ksir_types::{
+    DenseTopicWordTable, Document, KsirError, QueryVector, Result, TopicId, TopicVector,
+    TopicWordDistribution, WordId,
+};
+
+/// A trained topic model: `z` topic-word distributions over a vocabulary of
+/// `m` words, plus the Dirichlet prior used for folding in new documents.
+///
+/// The model is produced by [`crate::LdaTrainer`] or [`crate::BtmTrainer`]
+/// (or constructed directly from a probability table for tests) and is
+/// consumed as a black-box oracle by the rest of the system.
+#[derive(Debug, Clone)]
+pub struct TopicModel {
+    phi: DenseTopicWordTable,
+    /// Symmetric document-topic Dirichlet prior α used during inference.
+    alpha: f64,
+    /// Number of fixed-point iterations used for folding-in inference.
+    infer_iterations: usize,
+}
+
+impl TopicModel {
+    /// Wraps an existing topic-word table as a model.
+    ///
+    /// `alpha` is the symmetric document-topic prior used when inferring the
+    /// topic distribution of unseen documents; the paper uses `α = 50/z`.
+    pub fn new(phi: DenseTopicWordTable, alpha: f64) -> Result<Self> {
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(KsirError::invalid_parameter(
+                "alpha",
+                format!("must be a positive finite number, got {alpha}"),
+            ));
+        }
+        Ok(TopicModel {
+            phi,
+            alpha,
+            infer_iterations: 50,
+        })
+    }
+
+    /// Overrides the number of fixed-point iterations used by
+    /// [`TopicModel::infer_document`] (default 50).
+    pub fn with_infer_iterations(mut self, iters: usize) -> Self {
+        self.infer_iterations = iters.max(1);
+        self
+    }
+
+    /// Number of topics `z`.
+    pub fn num_topics(&self) -> usize {
+        self.phi.num_topics()
+    }
+
+    /// Vocabulary size `m`.
+    pub fn vocab_size(&self) -> usize {
+        self.phi.vocab_size()
+    }
+
+    /// The topic-word table `φ`.
+    pub fn topic_word_table(&self) -> &DenseTopicWordTable {
+        &self.phi
+    }
+
+    /// Probability `p_i(w)`.
+    pub fn word_prob(&self, topic: TopicId, word: WordId) -> f64 {
+        self.phi.word_prob(topic, word)
+    }
+
+    /// Infers the topic distribution `p_i(e)` of a document by deterministic
+    /// EM folding-in with the topic-word distributions held fixed.
+    ///
+    /// Starting from the uniform distribution, each iteration recomputes
+    ///
+    /// ```text
+    /// θ_k ∝ α + Σ_w  n(w, d) · ( φ_k(w)·θ_k / Σ_j φ_j(w)·θ_j )
+    /// ```
+    ///
+    /// which is the expected topic-assignment count under the current
+    /// estimate.  The procedure is deterministic (no sampling), so the same
+    /// document always maps to the same vector — important for reproducible
+    /// experiments.
+    ///
+    /// Documents with no in-vocabulary words get the all-zero vector, which
+    /// downstream scoring treats as "not relevant to any topic".
+    pub fn infer_document(&self, doc: &Document) -> TopicVector {
+        let z = self.num_topics();
+        let mut theta = vec![1.0 / z as f64; z];
+        // Collect (word, count) pairs that the model knows about.
+        let known: Vec<(WordId, u32)> = doc
+            .iter()
+            .filter(|(w, _)| w.index() < self.vocab_size())
+            .filter(|(w, _)| (0..z).any(|t| self.phi.word_prob(TopicId(t as u32), *w) > 0.0))
+            .collect();
+        if known.is_empty() {
+            return TopicVector::zeros(z);
+        }
+        let total: f64 = known.iter().map(|(_, c)| *c as f64).sum();
+        let mut resp = vec![0.0; z];
+        for _ in 0..self.infer_iterations {
+            let mut counts = vec![0.0; z];
+            for &(w, c) in &known {
+                let mut norm = 0.0;
+                for (k, r) in resp.iter_mut().enumerate() {
+                    *r = self.phi.word_prob(TopicId(k as u32), w) * theta[k];
+                    norm += *r;
+                }
+                if norm <= 0.0 {
+                    continue;
+                }
+                for (k, r) in resp.iter().enumerate() {
+                    counts[k] += c as f64 * r / norm;
+                }
+            }
+            let denom = total + self.alpha * z as f64;
+            let mut changed = 0.0_f64;
+            for k in 0..z {
+                let new = (self.alpha + counts[k]) / denom;
+                changed = changed.max((new - theta[k]).abs());
+                theta[k] = new;
+            }
+            if changed < 1e-10 {
+                break;
+            }
+        }
+        // Renormalise to wash out the prior mass on impossible topics when the
+        // document is strongly concentrated.
+        let mut v = TopicVector::from_values(theta).expect("theta is finite and non-negative");
+        v.normalize();
+        v
+    }
+
+    /// Infers a query vector from a keyword pseudo-document
+    /// (the query-by-keyword paradigm of §3.2).
+    ///
+    /// Returns an error if none of the keywords is known to the model, since
+    /// such a query would have an undefined (all-zero) preference.
+    pub fn infer_query(&self, keywords: &Document) -> Result<QueryVector> {
+        let dist = self.infer_document(keywords);
+        if dist.sum() == 0.0 {
+            return Err(KsirError::invalid_parameter(
+                "keywords",
+                "no keyword is covered by the topic model; cannot infer a query vector",
+            ));
+        }
+        QueryVector::from_distribution(dist)
+    }
+}
+
+impl TopicWordDistribution for TopicModel {
+    fn num_topics(&self) -> usize {
+        self.phi.num_topics()
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.phi.vocab_size()
+    }
+
+    fn word_prob(&self, topic: TopicId, word: WordId) -> f64 {
+        self.phi.word_prob(topic, word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two sharply separated topics over a six-word vocabulary:
+    /// topic 0 owns words {0,1,2}, topic 1 owns words {3,4,5}.
+    fn two_topic_model() -> TopicModel {
+        let rows = vec![
+            vec![0.5, 0.3, 0.2, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.2, 0.3, 0.5],
+        ];
+        TopicModel::new(DenseTopicWordTable::from_rows(rows).unwrap(), 0.1).unwrap()
+    }
+
+    fn doc(words: &[u32]) -> Document {
+        Document::from_tokens(words.iter().map(|&w| WordId(w)))
+    }
+
+    #[test]
+    fn new_rejects_bad_alpha() {
+        let t = DenseTopicWordTable::uniform(2, 2);
+        assert!(TopicModel::new(t.clone(), 0.0).is_err());
+        assert!(TopicModel::new(t.clone(), -1.0).is_err());
+        assert!(TopicModel::new(t.clone(), f64::NAN).is_err());
+        assert!(TopicModel::new(t, 0.5).is_ok());
+    }
+
+    #[test]
+    fn inference_recovers_dominant_topic() {
+        let m = two_topic_model();
+        let d0 = m.infer_document(&doc(&[0, 1, 2, 0]));
+        assert_eq!(d0.dominant_topic(), Some(TopicId(0)));
+        assert!(d0.value(TopicId(0)) > 0.8);
+        let d1 = m.infer_document(&doc(&[3, 4, 5, 5]));
+        assert_eq!(d1.dominant_topic(), Some(TopicId(1)));
+        assert!(d1.value(TopicId(1)) > 0.8);
+    }
+
+    #[test]
+    fn mixed_document_is_mixed() {
+        let m = two_topic_model();
+        let d = m.infer_document(&doc(&[0, 1, 3, 4]));
+        assert!(d.value(TopicId(0)) > 0.25);
+        assert!(d.value(TopicId(1)) > 0.25);
+        assert!((d.sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let m = two_topic_model();
+        let a = m.infer_document(&doc(&[0, 3, 4]));
+        let b = m.infer_document(&doc(&[0, 3, 4]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_only_document_gets_zero_vector() {
+        let m = two_topic_model();
+        let d = m.infer_document(&doc(&[17, 99]));
+        assert_eq!(d.sum(), 0.0);
+        assert!(m.infer_query(&doc(&[17, 99])).is_err());
+    }
+
+    #[test]
+    fn empty_document_gets_zero_vector() {
+        let m = two_topic_model();
+        assert_eq!(m.infer_document(&Document::new()).sum(), 0.0);
+    }
+
+    #[test]
+    fn query_inference_normalises() {
+        let m = two_topic_model();
+        let q = m.infer_query(&doc(&[5, 5, 4])).unwrap();
+        assert!(q.weight(TopicId(1)) > q.weight(TopicId(0)));
+        let total: f64 = (0..2).map(|i| q.weight(TopicId(i))).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trait_impl_matches_table() {
+        let m = two_topic_model();
+        assert_eq!(m.num_topics(), 2);
+        assert_eq!(m.vocab_size(), 6);
+        assert_eq!(
+            TopicWordDistribution::word_prob(&m, TopicId(0), WordId(0)),
+            0.5
+        );
+    }
+
+    #[test]
+    fn infer_iterations_override() {
+        let m = two_topic_model().with_infer_iterations(0);
+        // clamped to at least 1 iteration; inference still works
+        let d = m.infer_document(&doc(&[0]));
+        assert_eq!(d.dominant_topic(), Some(TopicId(0)));
+    }
+}

@@ -1,0 +1,226 @@
+//! The black-box topic-model oracle interface.
+//!
+//! §3.1 of the paper: *"we consider any probabilistic topic model can be used
+//! as a black-box oracle to provide `p_i(w)` ∀w ∈ V and `p_i(e)` ∀e ∈ E"*.
+//! [`TopicOracle`] is that interface; [`crate::TopicModel`] implements it for
+//! trained LDA/BTM models and [`FixedOracle`] implements it for hand-specified
+//! distributions (tests, the paper's Table 1 example, and ground-truth planted
+//! models from the data generator).
+
+use std::collections::HashMap;
+
+use ksir_types::{
+    DenseTopicWordTable, Document, ElementId, KsirError, QueryVector, Result, TopicId,
+    TopicVector, TopicWordDistribution, WordId,
+};
+
+use crate::model::TopicModel;
+
+/// A black-box topic model: topic-word probabilities plus inference of topic
+/// distributions for documents and keyword queries.
+pub trait TopicOracle: TopicWordDistribution {
+    /// Infers the topic distribution `p_i(e)` of a document.
+    fn infer_document(&self, doc: &Document) -> TopicVector;
+
+    /// Infers a query vector from a keyword pseudo-document.
+    fn infer_query(&self, keywords: &Document) -> Result<QueryVector>;
+
+    /// Replaces the oracle's parameters with a freshly trained model.
+    ///
+    /// The paper lists incremental topic-model updates as future work; this
+    /// hook lets long-running deployments swap in a re-trained model when
+    /// concept drift makes the current one stale.  The default implementation
+    /// reports that the oracle does not support refreshing.
+    fn refresh(&mut self, _new_model: TopicModel) -> Result<()> {
+        Err(KsirError::NotReady(
+            "this topic oracle does not support refreshing",
+        ))
+    }
+}
+
+impl TopicOracle for TopicModel {
+    fn infer_document(&self, doc: &Document) -> TopicVector {
+        TopicModel::infer_document(self, doc)
+    }
+
+    fn infer_query(&self, keywords: &Document) -> Result<QueryVector> {
+        TopicModel::infer_query(self, keywords)
+    }
+
+    fn refresh(&mut self, new_model: TopicModel) -> Result<()> {
+        if new_model.num_topics() != self.num_topics() {
+            return Err(KsirError::DimensionMismatch {
+                expected: self.num_topics(),
+                actual: new_model.num_topics(),
+            });
+        }
+        *self = new_model;
+        Ok(())
+    }
+}
+
+/// An oracle with explicitly specified distributions.
+///
+/// Topic-word probabilities come from a [`DenseTopicWordTable`]; element-topic
+/// distributions can be pinned per element id (exactly reproducing worked
+/// examples such as Table 1 of the paper), and unseen documents fall back to a
+/// deterministic likelihood-weighted estimate from the table.
+#[derive(Debug, Clone)]
+pub struct FixedOracle {
+    phi: DenseTopicWordTable,
+    pinned: HashMap<ElementId, TopicVector>,
+    fallback: TopicModel,
+}
+
+impl FixedOracle {
+    /// Creates a fixed oracle from a topic-word table.
+    pub fn new(phi: DenseTopicWordTable) -> Result<Self> {
+        let fallback = TopicModel::new(phi.clone(), 0.01)?;
+        Ok(FixedOracle {
+            phi,
+            pinned: HashMap::new(),
+            fallback,
+        })
+    }
+
+    /// Pins the topic distribution of a specific element id.
+    pub fn pin_element(&mut self, id: ElementId, dist: TopicVector) -> Result<()> {
+        if dist.num_topics() != self.phi.num_topics() {
+            return Err(KsirError::DimensionMismatch {
+                expected: self.phi.num_topics(),
+                actual: dist.num_topics(),
+            });
+        }
+        self.pinned.insert(id, dist);
+        Ok(())
+    }
+
+    /// Returns the pinned distribution of an element, if any.
+    pub fn pinned(&self, id: ElementId) -> Option<&TopicVector> {
+        self.pinned.get(&id)
+    }
+
+    /// Number of pinned elements.
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.len()
+    }
+}
+
+impl TopicWordDistribution for FixedOracle {
+    fn num_topics(&self) -> usize {
+        self.phi.num_topics()
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.phi.vocab_size()
+    }
+
+    fn word_prob(&self, topic: TopicId, word: WordId) -> f64 {
+        self.phi.word_prob(topic, word)
+    }
+}
+
+impl TopicOracle for FixedOracle {
+    fn infer_document(&self, doc: &Document) -> TopicVector {
+        self.fallback.infer_document(doc)
+    }
+
+    fn infer_query(&self, keywords: &Document) -> Result<QueryVector> {
+        self.fallback.infer_query(keywords)
+    }
+
+    fn refresh(&mut self, new_model: TopicModel) -> Result<()> {
+        if new_model.num_topics() != self.num_topics() {
+            return Err(KsirError::DimensionMismatch {
+                expected: self.num_topics(),
+                actual: new_model.num_topics(),
+            });
+        }
+        self.phi = new_model.topic_word_table().clone();
+        self.fallback = new_model;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> DenseTopicWordTable {
+        DenseTopicWordTable::from_rows(vec![
+            vec![0.6, 0.4, 0.0, 0.0],
+            vec![0.0, 0.0, 0.5, 0.5],
+        ])
+        .unwrap()
+    }
+
+    fn doc(words: &[u32]) -> Document {
+        Document::from_tokens(words.iter().map(|&w| WordId(w)))
+    }
+
+    #[test]
+    fn fixed_oracle_infers_from_table() {
+        let o = FixedOracle::new(table()).unwrap();
+        let d = o.infer_document(&doc(&[0, 1]));
+        assert_eq!(d.dominant_topic(), Some(TopicId(0)));
+        let q = o.infer_query(&doc(&[2, 3])).unwrap();
+        assert!(q.weight(TopicId(1)) > 0.8);
+    }
+
+    #[test]
+    fn pinning_overrides_are_stored() {
+        let mut o = FixedOracle::new(table()).unwrap();
+        let dist = TopicVector::from_values(vec![0.2, 0.8]).unwrap();
+        o.pin_element(ElementId(7), dist.clone()).unwrap();
+        assert_eq!(o.pinned(ElementId(7)), Some(&dist));
+        assert_eq!(o.pinned(ElementId(8)), None);
+        assert_eq!(o.pinned_count(), 1);
+        // wrong dimensionality rejected
+        assert!(o
+            .pin_element(ElementId(9), TopicVector::zeros(3))
+            .is_err());
+    }
+
+    #[test]
+    fn topic_model_refresh_swaps_parameters() {
+        let mut m = TopicModel::new(table(), 0.1).unwrap();
+        let new_phi = DenseTopicWordTable::from_rows(vec![
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        let new_model = TopicModel::new(new_phi, 0.1).unwrap();
+        m.refresh(new_model).unwrap();
+        assert_eq!(m.word_prob(TopicId(0), WordId(3)), 1.0);
+        // dimension mismatch is rejected
+        let bad = TopicModel::new(DenseTopicWordTable::uniform(3, 4), 0.1).unwrap();
+        assert!(m.refresh(bad).is_err());
+    }
+
+    #[test]
+    fn fixed_oracle_refresh() {
+        let mut o = FixedOracle::new(table()).unwrap();
+        let new_phi = DenseTopicWordTable::from_rows(vec![
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        o.refresh(TopicModel::new(new_phi, 0.1).unwrap()).unwrap();
+        assert_eq!(o.word_prob(TopicId(0), WordId(3)), 1.0);
+        let bad = TopicModel::new(DenseTopicWordTable::uniform(5, 4), 0.1).unwrap();
+        assert!(o.refresh(bad).is_err());
+    }
+
+    #[test]
+    fn oracle_trait_objects_work() {
+        let o = FixedOracle::new(table()).unwrap();
+        let m = TopicModel::new(table(), 0.1).unwrap();
+        let oracles: Vec<Box<dyn TopicOracle>> = vec![Box::new(o), Box::new(m)];
+        for oracle in &oracles {
+            assert_eq!(oracle.num_topics(), 2);
+            assert_eq!(oracle.vocab_size(), 4);
+            let d = oracle.infer_document(&doc(&[0]));
+            assert_eq!(d.num_topics(), 2);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Social elements and their bag-of-words documents.
+
+use std::collections::BTreeMap;
+
+use crate::{ElementId, Timestamp, WordId};
+
+/// A bag-of-words document: distinct words with their in-document frequency.
+///
+/// This matches `e.doc` in the paper — the textual content of an element after
+/// tokenisation and stop-word removal.  Word order is not preserved; the
+/// semantic score only needs per-word frequencies `γ(w, e)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Document {
+    /// Word → frequency.  A `BTreeMap` keeps iteration deterministic, which in
+    /// turn keeps every experiment in the repository reproducible.
+    counts: BTreeMap<WordId, u32>,
+    /// Total number of tokens (sum of frequencies).
+    len: u32,
+}
+
+impl Document {
+    /// Creates an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a document from an iterator of word occurrences (tokens).
+    ///
+    /// Duplicate words accumulate frequency.
+    pub fn from_tokens<I: IntoIterator<Item = WordId>>(tokens: I) -> Self {
+        let mut doc = Document::new();
+        for w in tokens {
+            doc.push(w);
+        }
+        doc
+    }
+
+    /// Builds a document from `(word, frequency)` pairs.
+    ///
+    /// Pairs with zero frequency are ignored; duplicate words accumulate.
+    pub fn from_counts<I: IntoIterator<Item = (WordId, u32)>>(counts: I) -> Self {
+        let mut doc = Document::new();
+        for (w, c) in counts {
+            if c > 0 {
+                *doc.counts.entry(w).or_insert(0) += c;
+                doc.len += c;
+            }
+        }
+        doc
+    }
+
+    /// Adds one occurrence of `word`.
+    pub fn push(&mut self, word: WordId) {
+        *self.counts.entry(word).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Frequency `γ(w, e)` of `word` in this document (0 if absent).
+    #[inline]
+    pub fn frequency(&self, word: WordId) -> u32 {
+        self.counts.get(&word).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if the document contains `word`.
+    #[inline]
+    pub fn contains(&self, word: WordId) -> bool {
+        self.counts.contains_key(&word)
+    }
+
+    /// Number of *distinct* words (`|V_e|` in the paper).
+    #[inline]
+    pub fn distinct_words(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of tokens (document length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if the document has no words.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over `(word, frequency)` pairs in ascending word order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, u32)> + '_ {
+        self.counts.iter().map(|(&w, &c)| (w, c))
+    }
+
+    /// Iterates over the distinct words in ascending order.
+    pub fn words(&self) -> impl Iterator<Item = WordId> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// Expands the bag back into a token multiset (each word repeated by its
+    /// frequency).  Used by topic model trainers that sample per token.
+    pub fn tokens(&self) -> Vec<WordId> {
+        let mut out = Vec::with_capacity(self.len());
+        for (w, c) in self.iter() {
+            for _ in 0..c {
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<WordId> for Document {
+    fn from_iter<T: IntoIterator<Item = WordId>>(iter: T) -> Self {
+        Document::from_tokens(iter)
+    }
+}
+
+/// A social element `⟨ts, doc, ref⟩`: one item of a social stream.
+///
+/// Examples of elements are tweets (references = retweet / hashtag-propagation
+/// parents), academic papers (references = citations) and Reddit comments
+/// (references = parent submissions).  If an element is entirely original its
+/// reference list is empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialElement {
+    /// Unique id of this element within the stream.
+    pub id: ElementId,
+    /// Posting time.
+    pub ts: Timestamp,
+    /// Bag-of-words content after preprocessing.
+    pub doc: Document,
+    /// Elements this element refers to (must have strictly earlier timestamps).
+    pub refs: Vec<ElementId>,
+}
+
+impl SocialElement {
+    /// Creates a new element.  References are deduplicated and self-references
+    /// are removed so downstream influence computations never double count.
+    pub fn new(id: ElementId, ts: Timestamp, doc: Document, mut refs: Vec<ElementId>) -> Self {
+        refs.sort_unstable();
+        refs.dedup();
+        refs.retain(|&r| r != id);
+        SocialElement { id, ts, doc, refs }
+    }
+
+    /// Creates an element with no references (an "original" post).
+    pub fn original(id: ElementId, ts: Timestamp, doc: Document) -> Self {
+        SocialElement::new(id, ts, doc, Vec::new())
+    }
+
+    /// Returns `true` if this element references `other`.
+    pub fn references(&self, other: ElementId) -> bool {
+        self.refs.binary_search(&other).is_ok()
+    }
+
+    /// Number of references (out-degree in the influence graph).
+    pub fn reference_count(&self) -> usize {
+        self.refs.len()
+    }
+}
+
+/// Builder for [`SocialElement`], convenient in tests and examples.
+#[derive(Debug, Default)]
+pub struct SocialElementBuilder {
+    id: u64,
+    ts: u64,
+    tokens: Vec<WordId>,
+    refs: Vec<ElementId>,
+}
+
+impl SocialElementBuilder {
+    /// Starts building an element with the given id.
+    pub fn new(id: u64) -> Self {
+        SocialElementBuilder {
+            id,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the posting timestamp.
+    pub fn at(mut self, ts: u64) -> Self {
+        self.ts = ts;
+        self
+    }
+
+    /// Adds one word occurrence.
+    pub fn word(mut self, w: u32) -> Self {
+        self.tokens.push(WordId(w));
+        self
+    }
+
+    /// Adds several word occurrences.
+    pub fn words<I: IntoIterator<Item = u32>>(mut self, ws: I) -> Self {
+        self.tokens.extend(ws.into_iter().map(WordId));
+        self
+    }
+
+    /// Adds a reference to an earlier element.
+    pub fn referencing(mut self, id: u64) -> Self {
+        self.refs.push(ElementId(id));
+        self
+    }
+
+    /// Finalises the element.
+    pub fn build(self) -> SocialElement {
+        SocialElement::new(
+            ElementId(self.id),
+            Timestamp(self.ts),
+            Document::from_tokens(self.tokens),
+            self.refs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_counts_frequencies() {
+        let doc = Document::from_tokens([WordId(1), WordId(2), WordId(1), WordId(3)]);
+        assert_eq!(doc.frequency(WordId(1)), 2);
+        assert_eq!(doc.frequency(WordId(2)), 1);
+        assert_eq!(doc.frequency(WordId(9)), 0);
+        assert_eq!(doc.distinct_words(), 3);
+        assert_eq!(doc.len(), 4);
+        assert!(!doc.is_empty());
+        assert!(doc.contains(WordId(3)));
+        assert!(!doc.contains(WordId(4)));
+    }
+
+    #[test]
+    fn document_from_counts_skips_zero() {
+        let doc = Document::from_counts([(WordId(1), 2), (WordId(2), 0), (WordId(1), 1)]);
+        assert_eq!(doc.frequency(WordId(1)), 3);
+        assert_eq!(doc.distinct_words(), 1);
+        assert_eq!(doc.len(), 3);
+    }
+
+    #[test]
+    fn document_tokens_roundtrip() {
+        let doc = Document::from_tokens([WordId(5), WordId(5), WordId(2)]);
+        let tokens = doc.tokens();
+        assert_eq!(tokens, vec![WordId(2), WordId(5), WordId(5)]);
+        let doc2 = Document::from_tokens(tokens);
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn empty_document() {
+        let doc = Document::new();
+        assert!(doc.is_empty());
+        assert_eq!(doc.len(), 0);
+        assert_eq!(doc.distinct_words(), 0);
+        assert!(doc.tokens().is_empty());
+    }
+
+    #[test]
+    fn element_dedups_and_drops_self_references() {
+        let e = SocialElement::new(
+            ElementId(5),
+            Timestamp(10),
+            Document::new(),
+            vec![ElementId(3), ElementId(5), ElementId(3), ElementId(1)],
+        );
+        assert_eq!(e.refs, vec![ElementId(1), ElementId(3)]);
+        assert!(e.references(ElementId(3)));
+        assert!(!e.references(ElementId(5)));
+        assert_eq!(e.reference_count(), 2);
+    }
+
+    #[test]
+    fn builder_produces_expected_element() {
+        let e = SocialElementBuilder::new(7)
+            .at(42)
+            .words([1, 2, 2])
+            .referencing(3)
+            .referencing(4)
+            .build();
+        assert_eq!(e.id, ElementId(7));
+        assert_eq!(e.ts, Timestamp(42));
+        assert_eq!(e.doc.frequency(WordId(2)), 2);
+        assert_eq!(e.refs, vec![ElementId(3), ElementId(4)]);
+    }
+
+    #[test]
+    fn original_element_has_no_refs() {
+        let e = SocialElement::original(ElementId(1), Timestamp(0), Document::new());
+        assert!(e.refs.is_empty());
+    }
+}

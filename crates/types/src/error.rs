@@ -1,0 +1,122 @@
+//! Shared error type for the `ksir` workspace.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, KsirError>;
+
+/// Errors raised by the k-SIR library.
+///
+/// The library is intentionally strict about its numeric preconditions
+/// (probability vectors must be finite and non-negative, window lengths must
+/// be positive, …) because silently clamping bad inputs would invalidate the
+/// approximation guarantees of the query algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KsirError {
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A vector had the wrong dimensionality for the topic model in use.
+    DimensionMismatch {
+        /// Dimensionality the operation expected.
+        expected: usize,
+        /// Dimensionality that was provided.
+        actual: usize,
+    },
+    /// A referenced element is unknown to the component that needed it.
+    UnknownElement(crate::ElementId),
+    /// A word id was outside the vocabulary.
+    UnknownWord(crate::WordId),
+    /// A topic id was outside the topic model.
+    UnknownTopic(crate::TopicId),
+    /// The stream violated the monotone-timestamp contract.
+    TimestampRegression {
+        /// Timestamp of the last accepted element/bucket.
+        last: crate::Timestamp,
+        /// Offending timestamp.
+        offending: crate::Timestamp,
+    },
+    /// A model or index was used before it was trained / populated.
+    NotReady(&'static str),
+}
+
+impl fmt::Display for KsirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KsirError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            KsirError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            KsirError::UnknownElement(id) => write!(f, "unknown element {id}"),
+            KsirError::UnknownWord(id) => write!(f, "unknown word {id}"),
+            KsirError::UnknownTopic(id) => write!(f, "unknown topic {id}"),
+            KsirError::TimestampRegression { last, offending } => write!(
+                f,
+                "timestamp regression: got {offending} after having accepted {last}"
+            ),
+            KsirError::NotReady(what) => write!(f, "component not ready: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KsirError {}
+
+impl KsirError {
+    /// Builds an [`KsirError::InvalidParameter`] with a formatted message.
+    pub fn invalid_parameter(name: &'static str, message: impl Into<String>) -> Self {
+        KsirError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ElementId, Timestamp, TopicId, WordId};
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = KsirError::invalid_parameter("lambda", "must be in [0, 1]");
+        assert!(e.to_string().contains("lambda"));
+        assert!(e.to_string().contains("[0, 1]"));
+
+        let e = KsirError::DimensionMismatch {
+            expected: 50,
+            actual: 10,
+        };
+        assert!(e.to_string().contains("50"));
+        assert!(e.to_string().contains("10"));
+
+        assert!(KsirError::UnknownElement(ElementId(9))
+            .to_string()
+            .contains("e9"));
+        assert!(KsirError::UnknownWord(WordId(3)).to_string().contains("w3"));
+        assert!(KsirError::UnknownTopic(TopicId(1))
+            .to_string()
+            .contains("θ1"));
+        assert!(KsirError::NotReady("topic model")
+            .to_string()
+            .contains("topic model"));
+
+        let e = KsirError::TimestampRegression {
+            last: Timestamp(10),
+            offending: Timestamp(4),
+        };
+        assert!(e.to_string().contains("t=10"));
+        assert!(e.to_string().contains("t=4"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&KsirError::NotReady("x"));
+    }
+}

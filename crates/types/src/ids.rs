@@ -1,0 +1,185 @@
+//! Strongly-typed identifiers used throughout the workspace.
+//!
+//! Using newtypes instead of bare integers prevents the classic
+//! "passed a word id where an element id was expected" class of bugs and
+//! documents intent in every signature.
+
+use std::fmt;
+
+/// Identifier of a social element within a stream.
+///
+/// Element ids are assigned by the producer of the stream (usually the data
+/// generator or a dataset loader) and must be unique within one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ElementId(pub u64);
+
+/// Identifier of a word in a [`crate::Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct WordId(pub u32);
+
+/// Index of a topic in a topic model `Θ = {θ_1, …, θ_z}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TopicId(pub u32);
+
+/// A discrete logical timestamp.
+///
+/// The paper's experiments use wall-clock seconds; the algorithms only rely
+/// on timestamps being totally ordered and on arithmetic for window bounds, so
+/// a `u64` tick is sufficient.  The unit (seconds, minutes, …) is chosen by
+/// the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp(pub u64);
+
+impl ElementId {
+    /// Returns the raw numeric id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl WordId {
+    /// Returns the raw numeric id.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` index (for dense arrays keyed by word).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TopicId {
+    /// Returns the raw numeric id.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` index (for dense arrays keyed by topic).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Timestamp {
+    /// The zero timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration expressed in ticks.
+    #[inline]
+    pub fn saturating_add(self, ticks: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(ticks))
+    }
+
+    /// Saturating subtraction of a duration expressed in ticks.
+    #[inline]
+    pub fn saturating_sub(self, ticks: u64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(ticks))
+    }
+
+    /// Number of ticks elapsed since `earlier` (saturating at zero).
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for WordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "θ{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl From<u64> for ElementId {
+    fn from(v: u64) -> Self {
+        ElementId(v)
+    }
+}
+
+impl From<u32> for WordId {
+    fn from(v: u32) -> Self {
+        WordId(v)
+    }
+}
+
+impl From<u32> for TopicId {
+    fn from(v: u32) -> Self {
+        TopicId(v)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_id_roundtrip_and_display() {
+        let id = ElementId::from(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.to_string(), "e42");
+    }
+
+    #[test]
+    fn word_id_index() {
+        assert_eq!(WordId(7).index(), 7);
+        assert_eq!(WordId(7).to_string(), "w7");
+    }
+
+    #[test]
+    fn topic_id_index() {
+        assert_eq!(TopicId(3).index(), 3);
+        assert_eq!(TopicId(3).to_string(), "θ3");
+    }
+
+    #[test]
+    fn timestamp_arithmetic_saturates() {
+        let t = Timestamp(10);
+        assert_eq!(t.saturating_add(5), Timestamp(15));
+        assert_eq!(t.saturating_sub(20), Timestamp(0));
+        assert_eq!(Timestamp(20).since(Timestamp(5)), 15);
+        assert_eq!(Timestamp(5).since(Timestamp(20)), 0);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ElementId(1) < ElementId(2));
+        assert!(Timestamp(1) < Timestamp(2));
+        assert!(WordId(1) < WordId(2));
+        assert!(TopicId(1) < TopicId(2));
+    }
+}

@@ -1,0 +1,61 @@
+//! Deterministic randomness helpers.
+//!
+//! Every stochastic component in the workspace (topic-model training, data
+//! generation, query workload sampling) takes an explicit seed and routes all
+//! randomness through [`seeded_rng`], so experiments are reproducible
+//! bit-for-bit across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates a [`StdRng`] from a 64-bit seed.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream label.
+///
+/// This lets a single experiment seed fan out into independent streams
+/// (e.g. "vocabulary", "timestamps", "references") without the streams being
+/// correlated and without threading many seeds through APIs.
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    // FNV-1a over the label, mixed with the parent seed.  Not cryptographic —
+    // just a stable, dependency-free way to decorrelate streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ parent.rotate_left(17);
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let va: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_label_sensitive() {
+        assert_eq!(derive_seed(7, "vocab"), derive_seed(7, "vocab"));
+        assert_ne!(derive_seed(7, "vocab"), derive_seed(7, "refs"));
+        assert_ne!(derive_seed(7, "vocab"), derive_seed(8, "vocab"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The minimal topic-model interface the scoring layer depends on.
+//!
+//! The paper treats the topic model as a black-box oracle that provides
+//! `p_i(w)` (topic-word probabilities) and `p_i(e)` (element-topic
+//! probabilities).  Element-topic distributions travel *with* the elements as
+//! [`crate::TopicVector`]s, so the only thing the scorer still needs from the
+//! model is the topic-word side — captured by [`TopicWordDistribution`].
+//!
+//! Splitting this trait out of the `ksir-topics` crate keeps the query engine
+//! independent of any particular training algorithm: LDA, BTM, or a
+//! hand-specified table (see [`DenseTopicWordTable`]) all plug in equally.
+
+use crate::{KsirError, Result, TopicId, WordId};
+
+/// Read-only access to the topic-word distributions `p_i(w)` of a topic model.
+pub trait TopicWordDistribution {
+    /// Number of topics `z`.
+    fn num_topics(&self) -> usize;
+
+    /// Size of the vocabulary the model was trained over.
+    fn vocab_size(&self) -> usize;
+
+    /// Probability `p_i(w)` of word `w` under topic `i`.
+    ///
+    /// Returns 0 for out-of-range words so that unseen words simply contribute
+    /// nothing to semantic scores (mirroring the paper, where the vocabulary is
+    /// fixed at training time).
+    fn word_prob(&self, topic: TopicId, word: WordId) -> f64;
+}
+
+/// A dense `z × m` table of topic-word probabilities.
+///
+/// This is the simplest possible [`TopicWordDistribution`]: the trained models
+/// in `ksir-topics` convert into it, tests construct it directly, and the
+/// paper's running example (Table 1) is expressed with it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTopicWordTable {
+    num_topics: usize,
+    vocab_size: usize,
+    /// Row-major `[topic][word]`.
+    probs: Vec<f64>,
+}
+
+impl DenseTopicWordTable {
+    /// Builds a table from per-topic rows.  Every row must have the same
+    /// length and contain only finite, non-negative values.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(KsirError::invalid_parameter(
+                "rows",
+                "a topic model needs at least one topic",
+            ));
+        }
+        let vocab_size = rows[0].len();
+        let mut probs = Vec::with_capacity(rows.len() * vocab_size);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != vocab_size {
+                return Err(KsirError::DimensionMismatch {
+                    expected: vocab_size,
+                    actual: row.len(),
+                });
+            }
+            for (j, &p) in row.iter().enumerate() {
+                if !p.is_finite() || p < 0.0 {
+                    return Err(KsirError::invalid_parameter(
+                        "rows",
+                        format!("p_{i}({j}) = {p} is not a finite non-negative probability"),
+                    ));
+                }
+            }
+            probs.extend_from_slice(row);
+        }
+        Ok(DenseTopicWordTable {
+            num_topics: rows.len(),
+            vocab_size,
+            probs,
+        })
+    }
+
+    /// Builds a table where every topic is the uniform distribution.
+    pub fn uniform(num_topics: usize, vocab_size: usize) -> Self {
+        let p = if vocab_size == 0 {
+            0.0
+        } else {
+            1.0 / vocab_size as f64
+        };
+        DenseTopicWordTable {
+            num_topics,
+            vocab_size,
+            probs: vec![p; num_topics * vocab_size],
+        }
+    }
+
+    /// Normalises every topic row to sum to 1 (rows that sum to 0 are left
+    /// untouched).
+    pub fn normalize_rows(&mut self) {
+        for t in 0..self.num_topics {
+            let row = &mut self.probs[t * self.vocab_size..(t + 1) * self.vocab_size];
+            let s: f64 = row.iter().sum();
+            if s > 0.0 {
+                for v in row {
+                    *v /= s;
+                }
+            }
+        }
+    }
+
+    /// Sets `p_i(w)`.
+    pub fn set(&mut self, topic: TopicId, word: WordId, prob: f64) {
+        let idx = topic.index() * self.vocab_size + word.index();
+        self.probs[idx] = prob;
+    }
+
+    /// Returns one topic's full row.
+    pub fn row(&self, topic: TopicId) -> &[f64] {
+        &self.probs[topic.index() * self.vocab_size..(topic.index() + 1) * self.vocab_size]
+    }
+}
+
+impl TopicWordDistribution for DenseTopicWordTable {
+    fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    fn word_prob(&self, topic: TopicId, word: WordId) -> f64 {
+        if topic.index() >= self.num_topics || word.index() >= self.vocab_size {
+            return 0.0;
+        }
+        self.probs[topic.index() * self.vocab_size + word.index()]
+    }
+}
+
+impl<T: TopicWordDistribution + ?Sized> TopicWordDistribution for &T {
+    fn num_topics(&self) -> usize {
+        (**self).num_topics()
+    }
+
+    fn vocab_size(&self) -> usize {
+        (**self).vocab_size()
+    }
+
+    fn word_prob(&self, topic: TopicId, word: WordId) -> f64 {
+        (**self).word_prob(topic, word)
+    }
+}
+
+impl<T: TopicWordDistribution + ?Sized> TopicWordDistribution for std::sync::Arc<T> {
+    fn num_topics(&self) -> usize {
+        (**self).num_topics()
+    }
+
+    fn vocab_size(&self) -> usize {
+        (**self).vocab_size()
+    }
+
+    fn word_prob(&self, topic: TopicId, word: WordId) -> f64 {
+        (**self).word_prob(topic, word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_validates_shape_and_values() {
+        assert!(DenseTopicWordTable::from_rows(vec![]).is_err());
+        assert!(DenseTopicWordTable::from_rows(vec![vec![0.5, 0.5], vec![1.0]]).is_err());
+        assert!(DenseTopicWordTable::from_rows(vec![vec![0.5, -0.5]]).is_err());
+        assert!(DenseTopicWordTable::from_rows(vec![vec![0.5, f64::NAN]]).is_err());
+        let t = DenseTopicWordTable::from_rows(vec![vec![0.2, 0.8], vec![0.6, 0.4]]).unwrap();
+        assert_eq!(t.num_topics(), 2);
+        assert_eq!(t.vocab_size(), 2);
+        assert_eq!(t.word_prob(TopicId(0), WordId(1)), 0.8);
+        assert_eq!(t.word_prob(TopicId(1), WordId(0)), 0.6);
+    }
+
+    #[test]
+    fn out_of_range_lookups_return_zero() {
+        let t = DenseTopicWordTable::from_rows(vec![vec![1.0]]).unwrap();
+        assert_eq!(t.word_prob(TopicId(5), WordId(0)), 0.0);
+        assert_eq!(t.word_prob(TopicId(0), WordId(5)), 0.0);
+    }
+
+    #[test]
+    fn uniform_table_and_row_access() {
+        let t = DenseTopicWordTable::uniform(2, 4);
+        assert_eq!(t.word_prob(TopicId(1), WordId(3)), 0.25);
+        assert_eq!(t.row(TopicId(0)).len(), 4);
+        let t = DenseTopicWordTable::uniform(1, 0);
+        assert_eq!(t.vocab_size(), 0);
+    }
+
+    #[test]
+    fn normalize_rows() {
+        let mut t = DenseTopicWordTable::from_rows(vec![vec![2.0, 2.0], vec![0.0, 0.0]]).unwrap();
+        t.normalize_rows();
+        assert_eq!(t.word_prob(TopicId(0), WordId(0)), 0.5);
+        assert_eq!(t.word_prob(TopicId(1), WordId(0)), 0.0);
+    }
+
+    #[test]
+    fn set_updates_single_cell() {
+        let mut t = DenseTopicWordTable::uniform(1, 2);
+        t.set(TopicId(0), WordId(1), 0.9);
+        assert_eq!(t.word_prob(TopicId(0), WordId(1)), 0.9);
+    }
+
+    #[test]
+    fn trait_impl_for_references_and_arc() {
+        let t = DenseTopicWordTable::uniform(2, 2);
+        fn takes_dist<D: TopicWordDistribution>(d: D) -> usize {
+            d.num_topics()
+        }
+        assert_eq!(takes_dist(&t), 2);
+        assert_eq!(takes_dist(std::sync::Arc::new(t)), 2);
+    }
+}

@@ -1,0 +1,348 @@
+//! Topic-space vectors: element topic distributions and query vectors.
+
+use crate::{KsirError, Result, TopicId};
+
+/// A dense distribution over the `z` topics of a topic model.
+///
+/// For an element `e` the entry `i` stores `p_i(e)`, the probability that the
+/// element's document was generated from topic `θ_i`; entries sum to 1 (or to
+/// 0 for the degenerate empty distribution).  The same representation is used
+/// for topic-word rows and for query vectors (see [`QueryVector`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicVector {
+    values: Vec<f64>,
+}
+
+impl TopicVector {
+    /// Creates a vector of `z` zeros.
+    pub fn zeros(z: usize) -> Self {
+        TopicVector {
+            values: vec![0.0; z],
+        }
+    }
+
+    /// Creates a uniform distribution over `z` topics.
+    pub fn uniform(z: usize) -> Self {
+        assert!(z > 0, "uniform distribution needs at least one topic");
+        TopicVector {
+            values: vec![1.0 / z as f64; z],
+        }
+    }
+
+    /// Builds a vector from raw values, validating that every entry is finite
+    /// and non-negative.
+    pub fn from_values(values: Vec<f64>) -> Result<Self> {
+        for (i, v) in values.iter().enumerate() {
+            if !v.is_finite() || *v < 0.0 {
+                return Err(KsirError::invalid_parameter(
+                    "topic_vector",
+                    format!("entry {i} is {v}, expected a finite non-negative number"),
+                ));
+            }
+        }
+        Ok(TopicVector { values })
+    }
+
+    /// Builds a normalised distribution from raw non-negative weights.
+    ///
+    /// If all weights are zero the result is the all-zero vector.
+    pub fn normalized(values: Vec<f64>) -> Result<Self> {
+        let mut v = TopicVector::from_values(values)?;
+        v.normalize();
+        Ok(v)
+    }
+
+    /// Number of topics (dimensionality `z`).
+    #[inline]
+    pub fn num_topics(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at topic `i` (panics if out of range — use [`TopicVector::get`]
+    /// for a checked accessor).
+    #[inline]
+    pub fn value(&self, topic: TopicId) -> f64 {
+        self.values[topic.index()]
+    }
+
+    /// Checked accessor.
+    pub fn get(&self, topic: TopicId) -> Option<f64> {
+        self.values.get(topic.index()).copied()
+    }
+
+    /// Raw slice of values.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Scales the vector so entries sum to 1 (no-op for the all-zero vector).
+    pub fn normalize(&mut self) {
+        let s = self.sum();
+        if s > 0.0 {
+            for v in &mut self.values {
+                *v /= s;
+            }
+        }
+    }
+
+    /// Indices and values of non-zero entries, in ascending topic order.
+    ///
+    /// k-SIR queries only touch topics with `x_i > 0`; both MTTS and MTTD
+    /// iterate over this support instead of all `z` topics.
+    pub fn support(&self) -> Vec<(TopicId, f64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(i, &v)| (TopicId(i as u32), v))
+            .collect()
+    }
+
+    /// Number of non-zero entries (`d` in the paper's complexity analysis).
+    pub fn support_size(&self) -> usize {
+        self.values.iter().filter(|&&v| v > 0.0).count()
+    }
+
+    /// Returns the topic with maximum probability, or `None` for an all-zero
+    /// vector.
+    pub fn dominant_topic(&self) -> Option<TopicId> {
+        let (mut best, mut best_v) = (None, 0.0);
+        for (i, &v) in self.values.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = Some(TopicId(i as u32));
+            }
+        }
+        best
+    }
+
+    /// Dot product with another vector of the same dimensionality.
+    pub fn dot(&self, other: &TopicVector) -> Result<f64> {
+        if self.num_topics() != other.num_topics() {
+            return Err(KsirError::DimensionMismatch {
+                expected: self.num_topics(),
+                actual: other.num_topics(),
+            });
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Cosine similarity with another vector (0 when either vector is zero).
+    pub fn cosine(&self, other: &TopicVector) -> Result<f64> {
+        let dot = self.dot(other)?;
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            Ok(0.0)
+        } else {
+            Ok(dot / denom)
+        }
+    }
+
+    /// Sets the value of a topic (used by model trainers).
+    pub fn set(&mut self, topic: TopicId, value: f64) {
+        self.values[topic.index()] = value;
+    }
+}
+
+/// A user's preference over topics: the query vector `x` of a k-SIR query.
+///
+/// `x ∈ [0,1]^z` and `Σ_i x_i = 1` (the constructor normalises).  The vector
+/// is typically inferred from a keyword query by treating the keywords as a
+/// pseudo-document and asking the topic model for its topic distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryVector {
+    inner: TopicVector,
+}
+
+impl QueryVector {
+    /// Builds a query vector from raw non-negative weights; the weights are
+    /// normalised to sum to 1.
+    ///
+    /// Returns an error if any weight is negative/non-finite or if all weights
+    /// are zero (an all-zero preference makes every result score 0 and is
+    /// almost always a caller bug).
+    pub fn new(weights: Vec<f64>) -> Result<Self> {
+        let inner = TopicVector::normalized(weights)?;
+        if inner.sum() == 0.0 {
+            return Err(KsirError::invalid_parameter(
+                "query_vector",
+                "all weights are zero; a query must express interest in at least one topic",
+            ));
+        }
+        Ok(QueryVector { inner })
+    }
+
+    /// A query interested in a single topic.
+    pub fn single_topic(z: usize, topic: TopicId) -> Result<Self> {
+        if topic.index() >= z {
+            return Err(KsirError::UnknownTopic(topic));
+        }
+        let mut w = vec![0.0; z];
+        w[topic.index()] = 1.0;
+        QueryVector::new(w)
+    }
+
+    /// A query with uniform interest over all topics.
+    pub fn uniform(z: usize) -> Result<Self> {
+        QueryVector::new(vec![1.0; z])
+    }
+
+    /// Wraps an already-normalised topic distribution (e.g. produced by a
+    /// topic model's inference step) as a query vector.
+    pub fn from_distribution(dist: TopicVector) -> Result<Self> {
+        QueryVector::new(dist.values)
+    }
+
+    /// Number of topics.
+    #[inline]
+    pub fn num_topics(&self) -> usize {
+        self.inner.num_topics()
+    }
+
+    /// Weight `x_i` of topic `i`.
+    #[inline]
+    pub fn weight(&self, topic: TopicId) -> f64 {
+        self.inner.value(topic)
+    }
+
+    /// Non-zero entries in ascending topic order.
+    pub fn support(&self) -> Vec<(TopicId, f64)> {
+        self.inner.support()
+    }
+
+    /// Number of non-zero entries (`d` in the paper).
+    pub fn support_size(&self) -> usize {
+        self.inner.support_size()
+    }
+
+    /// The underlying distribution.
+    pub fn as_topic_vector(&self) -> &TopicVector {
+        &self.inner
+    }
+
+    /// Cosine similarity between this query and an element's topic vector —
+    /// the relevance measure used by the REL baseline.
+    pub fn cosine(&self, element: &TopicVector) -> Result<f64> {
+        self.inner.cosine(element)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn zeros_and_uniform() {
+        let z = TopicVector::zeros(4);
+        assert_eq!(z.sum(), 0.0);
+        assert_eq!(z.num_topics(), 4);
+        let u = TopicVector::uniform(4);
+        assert_close(u.sum(), 1.0);
+        assert_close(u.value(TopicId(2)), 0.25);
+    }
+
+    #[test]
+    fn from_values_rejects_negative_and_nan() {
+        assert!(TopicVector::from_values(vec![0.1, -0.2]).is_err());
+        assert!(TopicVector::from_values(vec![f64::NAN]).is_err());
+        assert!(TopicVector::from_values(vec![f64::INFINITY]).is_err());
+        assert!(TopicVector::from_values(vec![0.3, 0.7]).is_ok());
+    }
+
+    #[test]
+    fn normalization() {
+        let v = TopicVector::normalized(vec![2.0, 2.0, 4.0]).unwrap();
+        assert_close(v.value(TopicId(0)), 0.25);
+        assert_close(v.value(TopicId(2)), 0.5);
+        // all-zero stays all-zero
+        let v = TopicVector::normalized(vec![0.0, 0.0]).unwrap();
+        assert_eq!(v.sum(), 0.0);
+    }
+
+    #[test]
+    fn support_and_dominant_topic() {
+        let v = TopicVector::from_values(vec![0.0, 0.7, 0.0, 0.3]).unwrap();
+        let s = v.support();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].0, TopicId(1));
+        assert_eq!(s[1].0, TopicId(3));
+        assert_eq!(v.support_size(), 2);
+        assert_eq!(v.dominant_topic(), Some(TopicId(1)));
+        assert_eq!(TopicVector::zeros(3).dominant_topic(), None);
+    }
+
+    #[test]
+    fn dot_and_cosine() {
+        let a = TopicVector::from_values(vec![1.0, 0.0]).unwrap();
+        let b = TopicVector::from_values(vec![0.0, 1.0]).unwrap();
+        assert_close(a.dot(&b).unwrap(), 0.0);
+        assert_close(a.cosine(&b).unwrap(), 0.0);
+        assert_close(a.cosine(&a).unwrap(), 1.0);
+        let c = TopicVector::from_values(vec![0.5, 0.5]).unwrap();
+        assert_close(a.cosine(&c).unwrap(), (0.5f64) / (0.5f64.hypot(0.5)));
+    }
+
+    #[test]
+    fn dot_dimension_mismatch() {
+        let a = TopicVector::zeros(2);
+        let b = TopicVector::zeros(3);
+        assert!(matches!(
+            a.dot(&b),
+            Err(KsirError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        let a = TopicVector::zeros(2);
+        let b = TopicVector::from_values(vec![0.3, 0.7]).unwrap();
+        assert_eq!(a.cosine(&b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn query_vector_normalises() {
+        let q = QueryVector::new(vec![1.0, 3.0]).unwrap();
+        assert_close(q.weight(TopicId(0)), 0.25);
+        assert_close(q.weight(TopicId(1)), 0.75);
+        assert_eq!(q.support_size(), 2);
+    }
+
+    #[test]
+    fn query_vector_rejects_all_zero() {
+        assert!(QueryVector::new(vec![0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn query_vector_single_topic() {
+        let q = QueryVector::single_topic(3, TopicId(1)).unwrap();
+        assert_eq!(q.weight(TopicId(1)), 1.0);
+        assert_eq!(q.weight(TopicId(0)), 0.0);
+        assert!(QueryVector::single_topic(3, TopicId(5)).is_err());
+    }
+
+    #[test]
+    fn query_vector_uniform() {
+        let q = QueryVector::uniform(4).unwrap();
+        assert_close(q.weight(TopicId(3)), 0.25);
+    }
+}

@@ -1,0 +1,124 @@
+//! Vocabulary: the bidirectional mapping between word strings and [`WordId`]s.
+
+use std::collections::HashMap;
+
+use crate::{KsirError, Result, WordId};
+
+/// The vocabulary `V` of a corpus, indexed by `{0, …, m-1}`.
+///
+/// Interning word strings once keeps [`crate::Document`]s compact (plain
+/// integer ids) and makes every per-word lookup in the scoring hot path an
+/// array index instead of a string hash.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    index: HashMap<String, WordId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `word`, returning its id.  Existing words keep their id.
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = WordId(self.words.len() as u32);
+        self.words.push(word.to_string());
+        self.index.insert(word.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing word without interning.
+    pub fn id_of(&self, word: &str) -> Option<WordId> {
+        self.index.get(word).copied()
+    }
+
+    /// Returns the string for a word id.
+    pub fn word(&self, id: WordId) -> Result<&str> {
+        self.words
+            .get(id.index())
+            .map(|s| s.as_str())
+            .ok_or(KsirError::UnknownWord(id))
+    }
+
+    /// Number of distinct words (`m = |V|`).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if no words have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Returns `true` if `id` is a valid word id in this vocabulary.
+    pub fn contains_id(&self, id: WordId) -> bool {
+        id.index() < self.words.len()
+    }
+
+    /// Iterates over `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str)> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (WordId(i as u32), w.as_str()))
+    }
+
+    /// Builds a vocabulary from an iterator of words (convenience for tests).
+    pub fn from_words<'a, I: IntoIterator<Item = &'a str>>(words: I) -> Self {
+        let mut v = Vocabulary::new();
+        for w in words {
+            v.intern(w);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("soccer");
+        let b = v.intern("nba");
+        let a2 = v.intern("soccer");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("champion");
+        assert_eq!(v.id_of("champion"), Some(id));
+        assert_eq!(v.id_of("missing"), None);
+        assert_eq!(v.word(id).unwrap(), "champion");
+        assert!(v.word(WordId(99)).is_err());
+    }
+
+    #[test]
+    fn iteration_order_follows_ids() {
+        let v = Vocabulary::from_words(["a", "b", "c"]);
+        let collected: Vec<_> = v.iter().map(|(id, w)| (id.raw(), w.to_string())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "a".into()), (1, "b".into()), (2, "c".into())]
+        );
+        assert!(v.contains_id(WordId(2)));
+        assert!(!v.contains_id(WordId(3)));
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Workspace-level integration test: generated data → trained topic model →
+//! streaming engine → queries → effectiveness metrics, all through the `ksir`
+//! facade crate.
+
+use ksir::baselines::{result_ids, RelSearcher, TfIdfSearcher};
+use ksir::datagen::{DatasetProfile, QueryWorkloadGenerator, StreamGenerator};
+use ksir::eval::{coverage_score, normalized_influence_score, pool_from_engine};
+use ksir::{
+    Algorithm, EngineConfig, KsirEngine, KsirQuery, LdaTrainer, ScoringConfig, WindowConfig,
+};
+
+/// Generates a small Reddit-shaped stream once for the whole test file.
+fn generate() -> ksir::datagen::GeneratedStream {
+    let profile = DatasetProfile::reddit().scaled(0.1).with_topics(10);
+    StreamGenerator::new(profile, 1234)
+        .expect("valid profile")
+        .generate()
+        .expect("generation succeeds")
+}
+
+fn build_engine(
+    stream: &ksir::datagen::GeneratedStream,
+) -> KsirEngine<ksir::types::DenseTopicWordTable> {
+    let config = EngineConfig::new(
+        WindowConfig::new(24 * 60, 15).unwrap(),
+        ScoringConfig::new(0.5, 0.5).unwrap(),
+    );
+    let mut engine = KsirEngine::new(stream.planted.phi().clone(), config).unwrap();
+    engine.ingest_stream(stream.iter_pairs()).unwrap();
+    engine
+}
+
+#[test]
+fn streaming_engine_answers_queries_from_generated_data() {
+    let stream = generate();
+    let engine = build_engine(&stream);
+    assert!(engine.active_count() > 10, "window should retain recent elements");
+    assert!(engine.active_count() <= stream.len());
+
+    let queries = QueryWorkloadGenerator::new(&stream.planted, 5)
+        .generate(5, stream.end_time())
+        .unwrap();
+    for q in queries {
+        let query = KsirQuery::new(5, q.vector).unwrap();
+        let mttd = engine.query(&query, Algorithm::Mttd).unwrap();
+        let celf = engine.query(&query, Algorithm::Celf).unwrap();
+        assert!(mttd.len() <= 5);
+        assert!(mttd.score >= 0.9 * celf.score, "MTTD quality close to CELF");
+        assert!(mttd.evaluated_elements <= celf.evaluated_elements);
+        for id in &mttd.elements {
+            assert!(engine.is_active(*id));
+        }
+    }
+}
+
+#[test]
+fn ksir_beats_keyword_search_on_influence_and_coverage() {
+    let stream = generate();
+    let engine = build_engine(&stream);
+    let pool = pool_from_engine(&engine);
+    let queries = QueryWorkloadGenerator::new(&stream.planted, 21)
+        .generate(10, stream.end_time())
+        .unwrap();
+
+    let tfidf = TfIdfSearcher::new();
+    let rel = RelSearcher::new();
+    let mut totals = [0.0f64; 3]; // coverage for tf-idf, rel, ksir
+    let mut influence = [0.0f64; 3];
+    for q in &queries {
+        let ksir_query = KsirQuery::new(5, q.vector.clone()).unwrap();
+        let results = [
+            result_ids(&tfidf.search(&q.keywords, &pool, 5)),
+            result_ids(&rel.search(&q.vector, &pool, 5)),
+            engine.query(&ksir_query, Algorithm::Mttd).unwrap().elements,
+        ];
+        for (m, r) in results.iter().enumerate() {
+            totals[m] += coverage_score(&pool, &q.vector, r);
+            influence[m] += normalized_influence_score(&pool, r);
+        }
+    }
+    // Table 5/6's qualitative claim, with a small tolerance because this is a
+    // deliberately tiny stream (the full-size comparison lives in the
+    // `exp_table5` / `exp_table6` harness binaries): k-SIR must be at least
+    // on par with keyword search on coverage and clearly ahead on influence.
+    assert!(
+        totals[2] >= 0.95 * totals[0],
+        "coverage: k-SIR {} vs TF-IDF {}",
+        totals[2],
+        totals[0]
+    );
+    assert!(
+        influence[2] >= influence[0],
+        "influence: k-SIR {} vs TF-IDF {}",
+        influence[2],
+        influence[0]
+    );
+}
+
+#[test]
+fn trained_lda_can_replace_the_planted_oracle() {
+    let stream = generate();
+    // Train LDA on the generated corpus and drive the engine with the trained
+    // model instead of the planted ground truth.
+    let corpus: Vec<_> = stream.elements.iter().map(|e| e.doc.clone()).collect();
+    let model = LdaTrainer::new(10)
+        .unwrap()
+        .with_alpha(1.0)
+        .with_iterations(40)
+        .with_seed(3)
+        .train(&corpus, stream.planted.vocab_size())
+        .unwrap();
+
+    let config = EngineConfig::new(
+        WindowConfig::new(24 * 60, 15).unwrap(),
+        ScoringConfig::new(0.5, 0.5).unwrap(),
+    );
+    let mut engine = KsirEngine::new(model.topic_word_table().clone(), config).unwrap();
+    engine
+        .ingest_stream(
+            stream
+                .elements
+                .iter()
+                .map(|e| (e.clone(), model.infer_document(&e.doc))),
+        )
+        .unwrap();
+
+    let query = KsirQuery::new(5, ksir::QueryVector::uniform(10).unwrap()).unwrap();
+    let result = engine.query(&query, Algorithm::Mttd).unwrap();
+    assert_eq!(result.len(), 5);
+    assert!(result.score > 0.0);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // A smoke test that the paths advertised in the README all resolve.
+    let example = ksir::core::fixtures::paper_example();
+    let engine = example.build_engine();
+    let query = KsirQuery::new(2, ksir::QueryVector::new(vec![0.5, 0.5]).unwrap()).unwrap();
+    for alg in Algorithm::ALL {
+        let result = engine.query(&query, alg).unwrap();
+        assert!(result.len() <= 2);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.elements_ingested, 8);
+    assert_eq!(stats.buckets_ingested, 8);
+}
