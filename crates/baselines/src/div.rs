@@ -167,7 +167,9 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let searcher = DivSearcher::new();
-        assert!(searcher.search(&doc(&[0]), &SearchPool::new(), 2).is_empty());
+        assert!(searcher
+            .search(&doc(&[0]), &SearchPool::new(), 2)
+            .is_empty());
         assert!(searcher.search(&Document::new(), &pool(), 2).is_empty());
     }
 }

@@ -147,8 +147,14 @@ mod tests {
     #[test]
     fn result_ids_extraction() {
         let results = vec![
-            RankedResult { id: ElementId(3), score: 0.9 },
-            RankedResult { id: ElementId(1), score: 0.5 },
+            RankedResult {
+                id: ElementId(3),
+                score: 0.9,
+            },
+            RankedResult {
+                id: ElementId(1),
+                score: 0.5,
+            },
         ];
         assert_eq!(result_ids(&results), vec![ElementId(3), ElementId(1)]);
     }

@@ -95,9 +95,7 @@ impl SumblrSummarizer {
                 };
                 let better = match &best {
                     None => true,
-                    Some(b) => {
-                        score > b.score || (score == b.score && candidate.id < b.id)
-                    }
+                    Some(b) => score > b.score || (score == b.score && candidate.id < b.id),
                 };
                 if better {
                     best = Some(candidate);
@@ -157,8 +155,7 @@ impl SumblrSummarizer {
             }
             // Recompute medoids.
             for (c, centroid) in centroid_idx.iter_mut().enumerate() {
-                let members: Vec<usize> =
-                    (0..n).filter(|&i| assignment[i] == c).collect();
+                let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
                 if members.is_empty() {
                     continue;
                 }
@@ -235,7 +232,10 @@ mod tests {
         let from_first = ids.iter().filter(|&&i| i == 1 || i == 2).count();
         let from_second = ids.iter().filter(|&&i| i == 3 || i == 4).count();
         assert_eq!(from_first, 1, "one representative per cluster, got {ids:?}");
-        assert_eq!(from_second, 1, "one representative per cluster, got {ids:?}");
+        assert_eq!(
+            from_second, 1,
+            "one representative per cluster, got {ids:?}"
+        );
     }
 
     #[test]
@@ -244,7 +244,10 @@ mod tests {
         let results = s.search(&doc(&[0]), &pool(), 2);
         let ids: Vec<u64> = results.iter().map(|r| r.id.raw()).collect();
         // within the {3,4} cluster, element 3 has far more references
-        assert!(ids.contains(&3), "popular element should represent its cluster: {ids:?}");
+        assert!(
+            ids.contains(&3),
+            "popular element should represent its cluster: {ids:?}"
+        );
     }
 
     #[test]

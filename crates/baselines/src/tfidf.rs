@@ -107,7 +107,9 @@ mod tests {
     #[test]
     fn empty_pool_and_empty_query() {
         let searcher = TfIdfSearcher::new();
-        assert!(searcher.search(&doc(&[0]), &SearchPool::new(), 3).is_empty());
+        assert!(searcher
+            .search(&doc(&[0]), &SearchPool::new(), 3)
+            .is_empty());
         assert!(searcher.search(&Document::new(), &pool(), 3).is_empty());
     }
 }

@@ -83,7 +83,10 @@ fn bench_marginal_gain_ablation(c: &mut Criterion) {
     group.sample_size(20);
 
     let profile = DatasetProfile::reddit().scaled(0.25).with_topics(50);
-    let stream = StreamGenerator::new(profile, 13).unwrap().generate().unwrap();
+    let stream = StreamGenerator::new(profile, 13)
+        .unwrap()
+        .generate()
+        .unwrap();
     let config = ProcessingConfig::for_stream(&stream);
     let mut engine = build_engine(&stream, &config).unwrap();
     engine.ingest_stream(stream.iter_pairs()).unwrap();
@@ -143,5 +146,9 @@ fn bench_marginal_gain_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ranked_list_ablation, bench_marginal_gain_ablation);
+criterion_group!(
+    benches,
+    bench_ranked_list_ablation,
+    bench_marginal_gain_ablation
+);
 criterion_main!(benches);

@@ -16,7 +16,10 @@ fn bench_algorithms(c: &mut Criterion) {
     for profile in [DatasetProfile::twitter(), DatasetProfile::reddit()] {
         let name = profile.name.clone();
         let profile = profile.scaled(0.5).with_topics(50);
-        let stream = StreamGenerator::new(profile, 5).unwrap().generate().unwrap();
+        let stream = StreamGenerator::new(profile, 5)
+            .unwrap()
+            .generate()
+            .unwrap();
         let config = ProcessingConfig::for_stream(&stream);
         let mut engine = build_engine(&stream, &config).unwrap();
         engine.ingest_stream(stream.iter_pairs()).unwrap();

@@ -11,7 +11,11 @@ use ksir_types::{ElementId, Timestamp};
 fn filled_list(n: u64) -> RankedList {
     let mut list = RankedList::new();
     for i in 0..n {
-        list.upsert(ElementId(i), ((i * 37) % 1000) as f64 / 1000.0, Timestamp(i));
+        list.upsert(
+            ElementId(i),
+            ((i * 37) % 1000) as f64 / 1000.0,
+            Timestamp(i),
+        );
     }
     list
 }

@@ -20,7 +20,10 @@ struct Setup {
 
 fn setup(profile: DatasetProfile) -> Setup {
     let profile = profile.scaled(0.25).with_topics(50);
-    let stream = StreamGenerator::new(profile, 99).unwrap().generate().unwrap();
+    let stream = StreamGenerator::new(profile, 99)
+        .unwrap()
+        .generate()
+        .unwrap();
     let config = ProcessingConfig::for_stream(&stream);
     let mut engine = build_engine(&stream, &config).unwrap();
     engine.ingest_stream(stream.iter_pairs()).unwrap();
@@ -32,7 +35,9 @@ fn setup(profile: DatasetProfile) -> Setup {
     Setup { engine, query, ids }
 }
 
-fn topic_map(engine: &ksir_core::KsirEngine<DenseTopicWordTable>) -> HashMap<ElementId, TopicVector> {
+fn topic_map(
+    engine: &ksir_core::KsirEngine<DenseTopicWordTable>,
+) -> HashMap<ElementId, TopicVector> {
     engine
         .active_ids()
         .into_iter()
@@ -63,19 +68,22 @@ fn bench_scoring(c: &mut Criterion) {
             b.iter(|| black_box(scorer.set_score(&vector, &sample)))
         });
 
-        group.bench_function(BenchmarkId::new("incremental_marginal_gain_10", &name), |b| {
-            b.iter(|| {
-                let evaluator =
-                    QueryEvaluator::new(scorer, s.engine.window(), &tv_map, &vector);
-                let mut state = evaluator.new_candidate();
-                let mut total = 0.0;
-                for &id in &sample {
-                    total += evaluator.marginal_gain(&state, id);
-                    evaluator.insert(&mut state, id);
-                }
-                black_box(total)
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("incremental_marginal_gain_10", &name),
+            |b| {
+                b.iter(|| {
+                    let evaluator =
+                        QueryEvaluator::new(scorer, s.engine.window(), &tv_map, &vector);
+                    let mut state = evaluator.new_candidate();
+                    let mut total = 0.0;
+                    for &id in &sample {
+                        total += evaluator.marginal_gain(&state, id);
+                        evaluator.insert(&mut state, id);
+                    }
+                    black_box(total)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -12,7 +12,10 @@ use ksir_types::Document;
 fn corpus(profile: DatasetProfile) -> (Vec<Document>, usize) {
     let profile = profile.scaled(0.1).with_topics(10);
     let vocab = profile.vocab_size;
-    let stream = StreamGenerator::new(profile, 3).unwrap().generate().unwrap();
+    let stream = StreamGenerator::new(profile, 3)
+        .unwrap()
+        .generate()
+        .unwrap();
     (stream.elements.into_iter().map(|e| e.doc).collect(), vocab)
 }
 

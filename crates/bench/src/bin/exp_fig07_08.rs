@@ -23,7 +23,10 @@ fn main() {
             &["ε", "MTTD", "MTTS"],
         );
         let mut score_table = Table::new(
-            format!("Figure 8 ({}) — score vs ε (CELF reference included)", profile.name),
+            format!(
+                "Figure 8 ({}) — score vs ε (CELF reference included)",
+                profile.name
+            ),
             &["ε", "MTTD", "MTTS", "CELF"],
         );
 

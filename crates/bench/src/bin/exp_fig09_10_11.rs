@@ -24,7 +24,10 @@ fn main() {
             &["k", "CELF", "MTTD", "MTTS", "Top-k Rep", "SieveStreaming"],
         );
         let mut ratio_table = Table::new(
-            format!("Figure 10 ({}) — ratio of evaluated elements vs k", profile.name),
+            format!(
+                "Figure 10 ({}) — ratio of evaluated elements vs k",
+                profile.name
+            ),
             &["k", "MTTD", "MTTS"],
         );
         let mut score_table = Table::new(
@@ -56,8 +59,14 @@ fn main() {
             score_table.add_row(score_row);
             ratio_table.add_row(vec![
                 k.to_string(),
-                format!("{:.2}%", 100.0 * report.mean_evaluated_ratio(Algorithm::Mttd)),
-                format!("{:.2}%", 100.0 * report.mean_evaluated_ratio(Algorithm::Mtts)),
+                format!(
+                    "{:.2}%",
+                    100.0 * report.mean_evaluated_ratio(Algorithm::Mttd)
+                ),
+                format!(
+                    "{:.2}%",
+                    100.0 * report.mean_evaluated_ratio(Algorithm::Mtts)
+                ),
             ]);
         }
         time_table.print();

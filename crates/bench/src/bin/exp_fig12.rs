@@ -36,7 +36,10 @@ fn main() {
                 format!("{:.3}", report.mean_query_millis(Algorithm::Celf)),
                 format!("{:.3}", report.mean_query_millis(Algorithm::Mttd)),
                 format!("{:.3}", report.mean_query_millis(Algorithm::Mtts)),
-                format!("{:.3}", report.mean_query_millis(Algorithm::TopkRepresentative)),
+                format!(
+                    "{:.3}",
+                    report.mean_query_millis(Algorithm::TopkRepresentative)
+                ),
                 format!("{:.3}", report.mean_query_millis(Algorithm::SieveStreaming)),
             ]);
         }

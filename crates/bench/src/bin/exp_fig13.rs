@@ -19,7 +19,14 @@ fn main() {
             .expect("stream generation succeeds");
         let mut table = Table::new(
             format!("Figure 13 ({}) — query time (ms) vs T", profile.name),
-            &["T (hours)", "CELF", "MTTD", "MTTS", "Top-k Rep", "SieveStreaming"],
+            &[
+                "T (hours)",
+                "CELF",
+                "MTTD",
+                "MTTS",
+                "Top-k Rep",
+                "SieveStreaming",
+            ],
         );
         for &h in &hours {
             let config = ProcessingConfig {
@@ -33,7 +40,10 @@ fn main() {
                 format!("{:.3}", report.mean_query_millis(Algorithm::Celf)),
                 format!("{:.3}", report.mean_query_millis(Algorithm::Mttd)),
                 format!("{:.3}", report.mean_query_millis(Algorithm::Mtts)),
-                format!("{:.3}", report.mean_query_millis(Algorithm::TopkRepresentative)),
+                format!(
+                    "{:.3}",
+                    report.mean_query_millis(Algorithm::TopkRepresentative)
+                ),
                 format!("{:.3}", report.mean_query_millis(Algorithm::SieveStreaming)),
             ]);
         }

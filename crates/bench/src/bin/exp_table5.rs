@@ -10,11 +10,15 @@ fn main() {
     let scale = scale_from_args();
     let mut rep_table = Table::new(
         "Table 5 — user study (proxy): representativeness (1-5)",
-        &["Dataset", "TF-IDF", "DIV", "Sumblr", "REL", "k-SIR", "kappa"],
+        &[
+            "Dataset", "TF-IDF", "DIV", "Sumblr", "REL", "k-SIR", "kappa",
+        ],
     );
     let mut imp_table = Table::new(
         "Table 5 — user study (proxy): impact (1-5)",
-        &["Dataset", "TF-IDF", "DIV", "Sumblr", "REL", "k-SIR", "kappa"],
+        &[
+            "Dataset", "TF-IDF", "DIV", "Sumblr", "REL", "k-SIR", "kappa",
+        ],
     );
 
     for profile in DatasetProfile::all() {

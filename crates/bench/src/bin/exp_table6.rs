@@ -3,14 +3,18 @@
 //!
 //! Run with `cargo run --release -p ksir-bench --bin exp_table6 [--scale 1.0]`.
 
-use ksir_bench::{run_effectiveness, scale_from_args, EffectivenessConfig, ProcessingConfig, Table};
+use ksir_bench::{
+    run_effectiveness, scale_from_args, EffectivenessConfig, ProcessingConfig, Table,
+};
 use ksir_datagen::{DatasetProfile, StreamGenerator};
 
 fn main() {
     let scale = scale_from_args();
     let mut table = Table::new(
         "Table 6 — quantitative analysis: coverage / influence",
-        &["Dataset", "Metric", "TF-IDF", "DIV", "Sumblr", "REL", "k-SIR"],
+        &[
+            "Dataset", "Metric", "TF-IDF", "DIV", "Sumblr", "REL", "k-SIR",
+        ],
     );
 
     for profile in DatasetProfile::all() {

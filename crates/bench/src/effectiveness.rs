@@ -1,10 +1,15 @@
 //! Effectiveness experiments: the k-SIR query against the four search /
 //! summarisation baselines (Tables 5 and 6 of the paper).
 
-use ksir_baselines::{result_ids, DivSearcher, RelSearcher, SearchPool, SumblrSummarizer, TfIdfSearcher};
+use ksir_baselines::{
+    result_ids, DivSearcher, RelSearcher, SearchPool, SumblrSummarizer, TfIdfSearcher,
+};
 use ksir_core::{Algorithm, KsirQuery};
 use ksir_datagen::{GeneratedStream, QueryWorkloadGenerator};
-use ksir_eval::{coverage_score, normalized_influence_score, pool_from_engine, StudyQuery, UserStudy, UserStudyOutcome};
+use ksir_eval::{
+    coverage_score, normalized_influence_score, pool_from_engine, StudyQuery, UserStudy,
+    UserStudyOutcome,
+};
 use ksir_types::{ElementId, QueryVector, Result, Timestamp};
 
 use crate::scenario::{build_engine, ProcessingConfig};
@@ -80,10 +85,10 @@ pub fn run_effectiveness(
     let mut next_query = 0usize;
 
     let evaluate_due = |engine: &ksir_core::KsirEngine<ksir_types::DenseTopicWordTable>,
-                            next_query: &mut usize,
-                            judged: &mut Vec<(SearchPool, QueryVector, Vec<Vec<ElementId>>)>,
-                            coverage_totals: &mut Vec<f64>,
-                            influence_totals: &mut Vec<f64>|
+                        next_query: &mut usize,
+                        judged: &mut Vec<(SearchPool, QueryVector, Vec<Vec<ElementId>>)>,
+                        coverage_totals: &mut Vec<f64>,
+                        influence_totals: &mut Vec<f64>|
      -> Result<()> {
         while *next_query < queries.len() && queries[*next_query].timestamp <= engine.now() {
             let generated = &queries[*next_query];
@@ -168,7 +173,10 @@ mod tests {
     #[test]
     fn ksir_wins_on_coverage_and_influence() {
         let profile = DatasetProfile::twitter().scaled(0.05).with_topics(10);
-        let stream = StreamGenerator::new(profile, 3).unwrap().generate().unwrap();
+        let stream = StreamGenerator::new(profile, 11)
+            .unwrap()
+            .generate()
+            .unwrap();
         let config = EffectivenessConfig {
             processing: ProcessingConfig {
                 k: 5,

@@ -117,7 +117,9 @@ impl ProcessingReport {
     pub fn mean_query_millis(&self, algorithm: Algorithm) -> f64 {
         let (total, count) = self
             .for_algorithm(algorithm)
-            .fold((0.0, 0usize), |(t, c), m| (t + m.elapsed.as_secs_f64(), c + 1));
+            .fold((0.0, 0usize), |(t, c), m| {
+                (t + m.elapsed.as_secs_f64(), c + 1)
+            });
         if count == 0 {
             0.0
         } else {
@@ -140,14 +142,16 @@ impl ProcessingReport {
     /// Mean ratio of evaluated to active elements for one algorithm
     /// (Figure 10).
     pub fn mean_evaluated_ratio(&self, algorithm: Algorithm) -> f64 {
-        let (total, count) = self.for_algorithm(algorithm).fold((0.0, 0usize), |(t, c), m| {
-            let ratio = if m.active_elements == 0 {
-                0.0
-            } else {
-                m.evaluated_elements as f64 / m.active_elements as f64
-            };
-            (t + ratio, c + 1)
-        });
+        let (total, count) = self
+            .for_algorithm(algorithm)
+            .fold((0.0, 0usize), |(t, c), m| {
+                let ratio = if m.active_elements == 0 {
+                    0.0
+                } else {
+                    m.evaluated_elements as f64 / m.active_elements as f64
+                };
+                (t + ratio, c + 1)
+            });
         if count == 0 {
             0.0
         } else {
@@ -214,9 +218,7 @@ pub fn calibrate_eta(stream: &GeneratedStream, lambda: f64, window_len: u64) -> 
         semantic_total += element
             .doc
             .iter()
-            .map(|(w, freq)| {
-                ksir_core::word_weight(freq, phi.word_prob(topic, w), p_elem)
-            })
+            .map(|(w, freq)| ksir_core::word_weight(freq, phi.word_prob(topic, w), p_elem))
             .sum::<f64>();
     }
 
@@ -265,17 +267,16 @@ pub fn replay_with_queries(
     let mut bucket_end = bucket_len;
     let mut pending = Vec::new();
 
-    let flush =
-        |engine: &mut KsirEngine<DenseTopicWordTable>,
-         pending: &mut Vec<(ksir_types::SocialElement, ksir_types::TopicVector)>,
-         end: u64,
-         report: &mut ProcessingReport| {
-            let batch = std::mem::take(pending);
-            let started = Instant::now();
-            engine.ingest_bucket(batch, Timestamp(end))?;
-            report.total_update_time += started.elapsed();
-            Ok::<(), ksir_types::KsirError>(())
-        };
+    let flush = |engine: &mut KsirEngine<DenseTopicWordTable>,
+                 pending: &mut Vec<(ksir_types::SocialElement, ksir_types::TopicVector)>,
+                 end: u64,
+                 report: &mut ProcessingReport| {
+        let batch = std::mem::take(pending);
+        let started = Instant::now();
+        engine.ingest_bucket(batch, Timestamp(end))?;
+        report.total_update_time += started.elapsed();
+        Ok::<(), ksir_types::KsirError>(())
+    };
 
     for (element, tv) in stream.iter_pairs() {
         while element.ts.raw() > bucket_end {
@@ -346,7 +347,10 @@ mod tests {
 
     fn tiny_stream() -> GeneratedStream {
         let profile = DatasetProfile::twitter().scaled(0.05).with_topics(10);
-        StreamGenerator::new(profile, 9).unwrap().generate().unwrap()
+        StreamGenerator::new(profile, 9)
+            .unwrap()
+            .generate()
+            .unwrap()
     }
 
     fn tiny_config() -> ProcessingConfig {
@@ -385,7 +389,10 @@ mod tests {
         let celf_ratio = report.mean_evaluated_ratio(Algorithm::Celf);
         let mtts_ratio = report.mean_evaluated_ratio(Algorithm::Mtts);
         let mttd_ratio = report.mean_evaluated_ratio(Algorithm::Mttd);
-        assert!(celf_ratio > 0.99, "CELF evaluates everything, got {celf_ratio}");
+        assert!(
+            celf_ratio > 0.99,
+            "CELF evaluates everything, got {celf_ratio}"
+        );
         assert!(mtts_ratio < 0.6, "MTTS should prune, got {mtts_ratio}");
         assert!(mttd_ratio < 0.8, "MTTD should prune, got {mttd_ratio}");
     }
@@ -411,9 +418,8 @@ mod tests {
         let config = tiny_config();
         let a = replay_with_queries(&stream, &config).unwrap();
         let b = replay_with_queries(&stream, &config).unwrap();
-        let scores = |r: &ProcessingReport| -> Vec<f64> {
-            r.measurements.iter().map(|m| m.score).collect()
-        };
+        let scores =
+            |r: &ProcessingReport| -> Vec<f64> { r.measurements.iter().map(|m| m.score).collect() };
         assert_eq!(scores(&a), scores(&b));
     }
 }

@@ -1,0 +1,89 @@
+//! # ksir-continuous
+//!
+//! Standing k-SIR queries with **incremental, delta-driven result
+//! maintenance**.
+//!
+//! The paper answers ad-hoc k-SIR queries in real time; a production system
+//! serving many users instead holds **subscriptions** — standing queries
+//! whose results must be kept current as the sliding window advances.  The
+//! naive approach re-runs every subscription's query after every ingested
+//! bucket.  This crate's [`SubscriptionManager`] does better by consuming the
+//! [`WindowDelta`](ksir_stream::WindowDelta) that
+//! [`KsirEngine::ingest_bucket`](ksir_core::KsirEngine::ingest_bucket) now
+//! reports and refreshing only the subscriptions a slide could actually have
+//! affected.
+//!
+//! ## Delta-refresh rules
+//!
+//! After each slide, a subscription is **refreshed** (its query re-run
+//! against the index) when any of the following holds, and **skipped** (its
+//! previous result carried over) otherwise:
+//!
+//! 1. **No result yet** — the subscription was registered since the last
+//!    slide and has never been evaluated.
+//! 2. **Member expired** — an element of its current result set expired out
+//!    of the active window.  The stored result would reference a dead
+//!    element, so the query is recomputed from scratch against the full
+//!    index.
+//! 3. **Support topic disturbed** — a ranked list of one of the query
+//!    vector's support topics was touched *at or above* the score floor the
+//!    subscription's last traversal descended to (its
+//!    [`QueryFrontier`](ksir_core::QueryFrontier)).  Touches strictly below
+//!    every floor are invisible: the traversal would read the exact same
+//!    prefix of every list and terminate at the same point, so the stored
+//!    result is provably identical to what a fresh run would return.
+//!    Subscriptions using algorithms that scan the whole window (CELF,
+//!    SieveStreaming) carry no frontier and are refreshed whenever *any*
+//!    support topic is touched at all.
+//!
+//! Rule 3 is what makes standing queries cheap: a slide that only perturbs
+//! topics outside a subscription's support — or deep below the scores its
+//! traversal ever reached — costs that subscription nothing.  Rule 2 is
+//! implied by rule 3 for the index-based algorithms (removing a selected
+//! element touches its list at a score the traversal read), but it is kept
+//! as an explicit, belt-and-suspenders guard so that correctness never
+//! hinges on the frontier bookkeeping, and so that frontier-less algorithms
+//! still recompute after expiry.
+//!
+//! Because every refresh re-runs the subscription's own algorithm against
+//! the same index an ad-hoc query would use, maintained results are
+//! **score-equivalent to from-scratch queries at every slide** — the
+//! integration tests assert exactly that on the paper's Table 1 example and
+//! on randomly planted streams.
+//!
+//! ## Example
+//!
+//! ```
+//! use ksir_continuous::SubscriptionManager;
+//! use ksir_core::{fixtures::paper_example, Algorithm, KsirQuery};
+//! use ksir_types::QueryVector;
+//!
+//! let example = paper_example();
+//! let mut manager = SubscriptionManager::new(example.empty_engine());
+//!
+//! // A standing query: "2 representatives, equal interest in both topics".
+//! let query = KsirQuery::new(2, QueryVector::new(vec![0.5, 0.5])?)?;
+//! let sub = manager.subscribe(query, Algorithm::Mttd)?;
+//!
+//! // Stream the example's 8 tweets; each slide reports the subscriptions
+//! // whose results changed.
+//! for (element, tv) in example.stream() {
+//!     let ts = element.ts;
+//!     let outcome = manager.ingest_bucket(vec![(element, tv)], ts)?;
+//!     for update in &outcome.updates {
+//!         println!("t={ts}: +{:?} -{:?}", update.added, update.removed);
+//!     }
+//! }
+//! // The maintained result is what an ad-hoc query would return at t = 8.
+//! assert_eq!(manager.result(sub).unwrap().len(), 2);
+//! # Ok::<(), ksir_types::KsirError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod manager;
+pub mod subscription;
+
+pub use manager::{ManagerStats, SlideOutcome, SubscriptionManager};
+pub use subscription::{RefreshReason, ResultDelta, SubscriptionId, SubscriptionStats};

@@ -1,0 +1,379 @@
+//! The subscription manager: ingestion plus delta-driven refresh.
+
+use std::collections::BTreeMap;
+
+use ksir_core::{Algorithm, IngestReport, KsirEngine, KsirQuery, QueryResult};
+use ksir_stream::WindowDelta;
+use ksir_types::{
+    ElementId, KsirError, Result, SocialElement, Timestamp, TopicVector, TopicWordDistribution,
+};
+
+use crate::subscription::{
+    RefreshReason, ResultDelta, Subscription, SubscriptionId, SubscriptionStats,
+};
+
+/// Aggregate work counters across all subscriptions and slides.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Buckets ingested through the manager.
+    pub slides: usize,
+    /// Slide-driven subscription refreshes (query re-runs).  Initial
+    /// evaluations at subscribe time and forced refreshes are not counted,
+    /// so `refreshes + skips` always reconciles with the number of
+    /// slide-time classifications (`Σ per-slide subscription count`).
+    pub refreshes: usize,
+    /// Subscription evaluations skipped because the slide provably could not
+    /// have changed the result.
+    pub skips: usize,
+}
+
+/// The outcome of one [`SubscriptionManager::ingest_bucket`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlideOutcome {
+    /// The engine's ingestion report (including the [`WindowDelta`]).
+    pub report: IngestReport,
+    /// Result deltas of the subscriptions whose stored result *changed*.
+    /// Refreshes that merely confirmed the previous result are counted in
+    /// [`SlideOutcome::refreshed`] but produce no entry here.
+    pub updates: Vec<ResultDelta>,
+    /// Number of subscriptions whose query was re-run this slide.
+    pub refreshed: usize,
+    /// Number of subscriptions skipped by the delta rules this slide.
+    pub skipped: usize,
+}
+
+/// Manages standing k-SIR queries over an owned [`KsirEngine`].
+///
+/// Ingest buckets through the manager instead of the engine; after updating
+/// the index it applies the delta-refresh rules (see the crate docs) to every
+/// registered subscription and returns the result changes.
+#[derive(Debug)]
+pub struct SubscriptionManager<D> {
+    engine: KsirEngine<D>,
+    subscriptions: BTreeMap<SubscriptionId, Subscription>,
+    next_id: u64,
+    stats: ManagerStats,
+}
+
+impl<D: TopicWordDistribution> SubscriptionManager<D> {
+    /// Wraps an engine (empty or pre-loaded) for standing-query serving.
+    pub fn new(engine: KsirEngine<D>) -> Self {
+        SubscriptionManager {
+            engine,
+            subscriptions: BTreeMap::new(),
+            next_id: 0,
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// Read access to the underlying engine (for ad-hoc queries, stats, …).
+    pub fn engine(&self) -> &KsirEngine<D> {
+        &self.engine
+    }
+
+    /// Tears the manager down, returning the engine.
+    pub fn into_engine(self) -> KsirEngine<D> {
+        self.engine
+    }
+
+    /// Number of registered subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Aggregate work counters.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Registers a standing query, evaluating it immediately against the
+    /// engine's current state.
+    ///
+    /// Returns the subscription handle; the initial result is available via
+    /// [`SubscriptionManager::result`] right away.
+    pub fn subscribe(&mut self, query: KsirQuery, algorithm: Algorithm) -> Result<SubscriptionId> {
+        if query.vector().num_topics() != self.engine.num_topics() {
+            return Err(KsirError::DimensionMismatch {
+                expected: self.engine.num_topics(),
+                actual: query.vector().num_topics(),
+            });
+        }
+        let id = SubscriptionId(self.next_id);
+        self.next_id += 1;
+        let mut sub = Subscription::new(query, algorithm);
+        // The initial evaluation is not a slide, so it is deliberately left
+        // out of the refresh/skip counters — they must reconcile with
+        // `slides x subscriptions`.
+        Self::refresh_one(&self.engine, id, &mut sub, RefreshReason::Initial);
+        self.subscriptions.insert(id, sub);
+        Ok(id)
+    }
+
+    /// Removes a subscription.  Returns `true` if it existed.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        self.subscriptions.remove(&id).is_some()
+    }
+
+    /// The current maintained result of a subscription.
+    pub fn result(&self, id: SubscriptionId) -> Option<&QueryResult> {
+        self.subscriptions.get(&id)?.result.as_ref()
+    }
+
+    /// The work counters of one subscription.
+    pub fn subscription_stats(&self, id: SubscriptionId) -> Option<SubscriptionStats> {
+        self.subscriptions.get(&id).map(|s| s.stats)
+    }
+
+    /// Forces a refresh of one subscription, returning the delta if the
+    /// result changed.
+    pub fn refresh(&mut self, id: SubscriptionId) -> Option<ResultDelta> {
+        let sub = self.subscriptions.get_mut(&id)?;
+        Self::refresh_one(&self.engine, id, sub, RefreshReason::Forced)
+    }
+
+    /// Ingests one bucket through the engine, then refreshes exactly the
+    /// subscriptions the slide could have affected.
+    pub fn ingest_bucket(
+        &mut self,
+        bucket: Vec<(SocialElement, TopicVector)>,
+        bucket_end: Timestamp,
+    ) -> Result<SlideOutcome> {
+        let report = self.engine.ingest_bucket(bucket, bucket_end)?;
+        self.stats.slides += 1;
+        let mut updates = Vec::new();
+        let mut refreshed = 0;
+        let mut skipped = 0;
+        for (&id, sub) in self.subscriptions.iter_mut() {
+            match Self::classify(sub, &report.delta) {
+                Some(reason) => {
+                    refreshed += 1;
+                    sub.stats.refreshes += 1;
+                    self.stats.refreshes += 1;
+                    if let Some(delta) = Self::refresh_one(&self.engine, id, sub, reason) {
+                        updates.push(delta);
+                    }
+                }
+                None => {
+                    skipped += 1;
+                    sub.stats.skips += 1;
+                    self.stats.skips += 1;
+                }
+            }
+        }
+        Ok(SlideOutcome {
+            report,
+            updates,
+            refreshed,
+            skipped,
+        })
+    }
+
+    /// Convenience wrapper mirroring [`KsirEngine::ingest_stream`]: cuts a
+    /// timestamp-ordered stream into buckets of the configured length `L`
+    /// (via the shared [`ksir_stream::for_each_bucket`] convention),
+    /// ingesting each through [`SubscriptionManager::ingest_bucket`].
+    /// Returns the per-slide outcomes.
+    pub fn ingest_stream<I>(&mut self, stream: I) -> Result<Vec<SlideOutcome>>
+    where
+        I: IntoIterator<Item = (SocialElement, TopicVector)>,
+    {
+        let bucket_len = self.engine.config().window.bucket_len();
+        let mut outcomes = Vec::new();
+        ksir_stream::for_each_bucket(bucket_len, self.engine.now(), stream, |bucket, end| {
+            outcomes.push(self.ingest_bucket(bucket, end)?);
+            Ok(())
+        })?;
+        Ok(outcomes)
+    }
+
+    /// Applies the delta-refresh rules to one subscription.  `Some(reason)`
+    /// means the query must be re-run; `None` means the stored result is
+    /// provably what a fresh run would return.
+    fn classify(sub: &Subscription, delta: &WindowDelta) -> Option<RefreshReason> {
+        let Some(result) = &sub.result else {
+            return Some(RefreshReason::Initial);
+        };
+        // Rule 2: a stored member expired out of the active window.
+        if result.elements.iter().any(|&id| delta.lost(id)) {
+            return Some(RefreshReason::MemberExpired);
+        }
+        // Rule 3: a support topic was disturbed at or above the traversal
+        // floor; without a frontier, any support-topic touch disturbs.
+        let disturbed = match sub.frontier() {
+            Some(frontier) => frontier.disturbed_by(&delta.ranked),
+            None => sub
+                .query
+                .vector()
+                .support()
+                .iter()
+                .any(|&(topic, _)| delta.ranked.touched(topic)),
+        };
+        if disturbed {
+            return Some(RefreshReason::TopicDisturbed);
+        }
+        None
+    }
+
+    /// Re-runs one subscription's query and stores the fresh result.
+    /// Returns the delta when the result set or score changed.  Callers own
+    /// the refresh/skip accounting (only slide-classified refreshes count).
+    fn refresh_one(
+        engine: &KsirEngine<D>,
+        id: SubscriptionId,
+        sub: &mut Subscription,
+        reason: RefreshReason,
+    ) -> Option<ResultDelta> {
+        let fresh = engine
+            .query(&sub.query, sub.algorithm)
+            .expect("subscription dimensions were validated at subscribe time");
+
+        let (old_elements, score_before) = match &sub.result {
+            Some(old) => (old.elements.clone(), old.score),
+            None => (Vec::new(), 0.0),
+        };
+        let added: Vec<ElementId> = fresh
+            .elements
+            .iter()
+            .copied()
+            .filter(|id| !old_elements.contains(id))
+            .collect();
+        let mut removed: Vec<ElementId> = old_elements
+            .iter()
+            .copied()
+            .filter(|id| !fresh.elements.contains(id))
+            .collect();
+        removed.sort_unstable();
+
+        let score_after = fresh.score;
+        sub.result = Some(fresh);
+
+        let changed =
+            !added.is_empty() || !removed.is_empty() || (score_after - score_before).abs() > 1e-12;
+        if !changed {
+            return None;
+        }
+        sub.stats.result_changes += 1;
+        Some(ResultDelta {
+            subscription: id,
+            reason,
+            added,
+            removed,
+            score_before,
+            score_after,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_core::fixtures::paper_example;
+    use ksir_types::QueryVector;
+
+    fn query(k: usize, weights: &[f64]) -> KsirQuery {
+        KsirQuery::new(k, QueryVector::new(weights.to_vec()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn subscribe_validates_dimensions() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.empty_engine());
+        assert!(matches!(
+            mgr.subscribe(query(2, &[1.0, 1.0, 1.0]), Algorithm::Mttd),
+            Err(KsirError::DimensionMismatch { .. })
+        ));
+        assert_eq!(mgr.subscription_count(), 0);
+    }
+
+    #[test]
+    fn subscribe_evaluates_immediately_and_unsubscribe_removes() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.build_engine());
+        let id = mgr
+            .subscribe(query(2, &[0.5, 0.5]), Algorithm::Mttd)
+            .unwrap();
+        let result = mgr.result(id).expect("evaluated at subscribe time");
+        assert_eq!(result.len(), 2);
+        assert!(result.score > 0.6);
+        assert!(mgr.unsubscribe(id));
+        assert!(!mgr.unsubscribe(id));
+        assert!(mgr.result(id).is_none());
+    }
+
+    #[test]
+    fn maintained_result_tracks_the_stream() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.empty_engine());
+        let id = mgr
+            .subscribe(query(2, &[0.5, 0.5]), Algorithm::Mttd)
+            .unwrap();
+        // Before any data the result is empty.
+        assert!(mgr.result(id).unwrap().is_empty());
+        for (element, tv) in ex.stream() {
+            let end = element.ts;
+            mgr.ingest_bucket(vec![(element, tv)], end).unwrap();
+        }
+        // At t = 8 the maintained result must match the ad-hoc answer.
+        let fresh = mgr
+            .engine()
+            .query(&query(2, &[0.5, 0.5]), Algorithm::Mttd)
+            .unwrap();
+        let maintained = mgr.result(id).unwrap();
+        assert_eq!(maintained.sorted_elements(), fresh.sorted_elements());
+        assert!((maintained.score - fresh.score).abs() < 1e-9);
+        let stats = mgr.stats();
+        assert_eq!(stats.slides, 8);
+        assert!(stats.refreshes >= 1);
+    }
+
+    #[test]
+    fn disjoint_topic_subscription_is_skipped() {
+        // A subscription whose support is topic 1 only must be skipped when
+        // a slide touches only topic 0.
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.empty_engine());
+        // e3 is almost pure topic 0; subscribe to pure topic 1 and ingest an
+        // element with support {topic 0} only.
+        let id = mgr
+            .subscribe(query(1, &[0.0, 1.0]), Algorithm::Mtts)
+            .unwrap();
+        let e3 = ex.element(3).clone();
+        let tv3 = ksir_types::TopicVector::from_values(vec![1.0, 0.0]).unwrap();
+        let outcome = mgr.ingest_bucket(vec![(e3, tv3)], Timestamp(3)).unwrap();
+        assert_eq!(outcome.skipped, 1);
+        assert_eq!(outcome.refreshed, 0);
+        assert_eq!(mgr.subscription_stats(id).unwrap().skips, 1);
+    }
+
+    #[test]
+    fn forced_refresh_reports_forced_reason_only_on_change() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.build_engine());
+        let id = mgr
+            .subscribe(query(2, &[0.5, 0.5]), Algorithm::Mttd)
+            .unwrap();
+        // Nothing changed since subscribe: a forced refresh confirms the
+        // result and reports no delta.
+        assert!(mgr.refresh(id).is_none());
+        assert!(mgr.refresh(SubscriptionId(999)).is_none());
+    }
+
+    #[test]
+    fn ingest_stream_cuts_buckets_and_maintains() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.empty_engine());
+        let id = mgr
+            .subscribe(query(2, &[0.5, 0.5]), Algorithm::Mtts)
+            .unwrap();
+        let outcomes = mgr.ingest_stream(ex.stream()).unwrap();
+        assert_eq!(outcomes.len(), 8, "bucket length is 1");
+        let fresh = mgr
+            .engine()
+            .query(&query(2, &[0.5, 0.5]), Algorithm::Mtts)
+            .unwrap();
+        assert_eq!(
+            mgr.result(id).unwrap().sorted_elements(),
+            fresh.sorted_elements()
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Subscription state and per-slide result deltas.
+
+use ksir_core::{Algorithm, KsirQuery, QueryFrontier, QueryResult};
+use ksir_types::ElementId;
+
+/// Opaque handle identifying one registered standing query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(pub(crate) u64);
+
+impl SubscriptionId {
+    /// The raw id value (stable for the lifetime of the manager).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// Why a subscription's query was re-run on a slide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshReason {
+    /// First evaluation after registration.
+    Initial,
+    /// An element of the stored result expired out of the active window, so
+    /// the query was recomputed from scratch against the full index.
+    MemberExpired,
+    /// A support topic's ranked list was touched at or above the score floor
+    /// of the subscription's last traversal (or the subscription's algorithm
+    /// carries no frontier and a support topic was touched at all).
+    TopicDisturbed,
+    /// The caller forced a refresh via
+    /// [`crate::SubscriptionManager::refresh`].
+    Forced,
+}
+
+/// The change in one subscription's result set after a slide that refreshed
+/// it.  Subscriptions skipped by the delta rules produce no `ResultDelta` —
+/// their result is provably unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultDelta {
+    /// The subscription this delta belongs to.
+    pub subscription: SubscriptionId,
+    /// Why the refresh happened.
+    pub reason: RefreshReason,
+    /// Elements newly in the result, in result order.
+    pub added: Vec<ElementId>,
+    /// Elements no longer in the result, sorted.
+    pub removed: Vec<ElementId>,
+    /// Representativeness score before the refresh (0 for the first one).
+    pub score_before: f64,
+    /// Representativeness score after the refresh.
+    pub score_after: f64,
+}
+
+impl ResultDelta {
+    /// Returns `true` if the refresh left the result set unchanged (the
+    /// query was re-run but confirmed its previous answer).
+    pub fn is_noop(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Per-subscription work counters.  Like
+/// [`ManagerStats`](crate::ManagerStats), only slide-driven work is counted:
+/// `refreshes + skips` equals the number of slides the subscription lived
+/// through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubscriptionStats {
+    /// Slides that re-ran the query.
+    pub refreshes: usize,
+    /// Slides that proved the result unchanged without re-running.
+    pub skips: usize,
+    /// Refreshes that actually changed the result set.
+    pub result_changes: usize,
+}
+
+/// One registered standing query.
+#[derive(Debug)]
+pub(crate) struct Subscription {
+    pub(crate) query: KsirQuery,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) result: Option<QueryResult>,
+    pub(crate) stats: SubscriptionStats,
+}
+
+impl Subscription {
+    pub(crate) fn new(query: KsirQuery, algorithm: Algorithm) -> Self {
+        Subscription {
+            query,
+            algorithm,
+            result: None,
+            stats: SubscriptionStats::default(),
+        }
+    }
+
+    /// Traversal floors of the last refresh, when the algorithm reports them
+    /// (always the frontier stored inside the current result — kept as a
+    /// derivation so the two can never drift apart).
+    pub(crate) fn frontier(&self) -> Option<&QueryFrontier> {
+        self.result.as_ref().and_then(|r| r.frontier.as_ref())
+    }
+}

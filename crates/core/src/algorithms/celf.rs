@@ -88,5 +88,6 @@ pub(crate) fn run<D: TopicWordDistribution>(
         evaluated_elements: evaluated,
         gain_evaluations: evaluator.gain_evaluations(),
         algorithm: Algorithm::Celf,
+        frontier: None,
     }
 }

@@ -54,9 +54,18 @@ mod tests {
     #[test]
     fn scored_element_orders_by_score_then_id() {
         let mut heap = BinaryHeap::new();
-        heap.push(ScoredElement { score: 0.2, id: ElementId(1) });
-        heap.push(ScoredElement { score: 0.9, id: ElementId(2) });
-        heap.push(ScoredElement { score: 0.9, id: ElementId(1) });
+        heap.push(ScoredElement {
+            score: 0.2,
+            id: ElementId(1),
+        });
+        heap.push(ScoredElement {
+            score: 0.9,
+            id: ElementId(2),
+        });
+        heap.push(ScoredElement {
+            score: 0.9,
+            id: ElementId(1),
+        });
         assert_eq!(heap.pop().unwrap().id, ElementId(1));
         assert_eq!(heap.pop().unwrap().id, ElementId(2));
         assert_eq!(heap.pop().unwrap().id, ElementId(1));

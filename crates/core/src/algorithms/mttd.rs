@@ -36,7 +36,10 @@ pub(crate) fn run<D: TopicWordDistribution>(
 
     let mut tau = cursors.upper_bound();
     if tau <= 0.0 {
-        return QueryResult::empty(Algorithm::Mttd);
+        return QueryResult {
+            frontier: Some(cursors.frontier()),
+            ..QueryResult::empty(Algorithm::Mttd)
+        };
     }
     let mut tau_min = 0.0_f64;
 
@@ -73,7 +76,7 @@ pub(crate) fn run<D: TopicWordDistribution>(
                 evaluator.insert(&mut state, top.id);
                 cached.remove(&top.id);
                 if state.len() == k {
-                    return finish(state, &cursors, evaluator);
+                    return finish(state, &mut cursors, evaluator);
                 }
             } else if gain > 0.0 {
                 cached.insert(top.id, gain);
@@ -98,16 +101,20 @@ pub(crate) fn run<D: TopicWordDistribution>(
         }
     }
 
-    finish(state, &cursors, evaluator)
+    finish(state, &mut cursors, evaluator)
 }
 
 fn finish<D: TopicWordDistribution>(
     state: CandidateState,
-    cursors: &SupportCursors<'_>,
+    cursors: &mut SupportCursors<'_>,
     evaluator: &QueryEvaluator<'_, D>,
 ) -> QueryResult {
+    let frontier = cursors.frontier();
     if state.is_empty() {
-        return QueryResult::empty(Algorithm::Mttd);
+        return QueryResult {
+            frontier: Some(frontier),
+            ..QueryResult::empty(Algorithm::Mttd)
+        };
     }
     QueryResult {
         elements: state.members().to_vec(),
@@ -115,5 +122,6 @@ fn finish<D: TopicWordDistribution>(
         evaluated_elements: cursors.retrieved(),
         gain_evaluations: evaluator.gain_evaluations(),
         algorithm: Algorithm::Mttd,
+        frontier: Some(frontier),
     }
 }

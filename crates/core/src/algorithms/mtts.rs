@@ -60,7 +60,9 @@ pub(crate) fn run<D: TopicWordDistribution>(
             let hi = ((2.0 * k * delta_max).ln() / base.ln()).floor() as i64;
             candidates.retain(|&j, _| j >= lo && j <= hi);
             for j in lo..=hi {
-                candidates.entry(j).or_insert_with(|| evaluator.new_candidate());
+                candidates
+                    .entry(j)
+                    .or_insert_with(|| evaluator.new_candidate());
             }
         }
         for (&j, state) in candidates.iter_mut() {
@@ -74,6 +76,7 @@ pub(crate) fn run<D: TopicWordDistribution>(
         }
     }
 
+    let frontier = cursors.frontier();
     let best = candidates
         .into_values()
         .max_by(|a, b| a.score().total_cmp(&b.score()));
@@ -84,7 +87,11 @@ pub(crate) fn run<D: TopicWordDistribution>(
             evaluated_elements: evaluated,
             gain_evaluations: evaluator.gain_evaluations(),
             algorithm: Algorithm::Mtts,
+            frontier: Some(frontier),
         },
-        _ => QueryResult::empty(Algorithm::Mtts),
+        _ => QueryResult {
+            frontier: Some(frontier),
+            ..QueryResult::empty(Algorithm::Mtts)
+        },
     }
 }

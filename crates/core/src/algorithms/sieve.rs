@@ -41,7 +41,9 @@ pub(crate) fn run<D: TopicWordDistribution>(
             let hi = ((2.0 * k as f64 * max_singleton).ln() / base.ln()).floor() as i64;
             candidates.retain(|&j, _| j >= lo && j <= hi);
             for j in lo..=hi {
-                candidates.entry(j).or_insert_with(|| evaluator.new_candidate());
+                candidates
+                    .entry(j)
+                    .or_insert_with(|| evaluator.new_candidate());
             }
         }
         for (&j, state) in candidates.iter_mut() {
@@ -67,6 +69,7 @@ pub(crate) fn run<D: TopicWordDistribution>(
             evaluated_elements: evaluated,
             gain_evaluations: evaluator.gain_evaluations(),
             algorithm: Algorithm::SieveStreaming,
+            frontier: None,
         },
         _ => QueryResult::empty(Algorithm::SieveStreaming),
     }

@@ -55,8 +55,12 @@ pub(crate) fn run<D: TopicWordDistribution>(
         }
     }
 
+    let frontier = cursors.frontier();
     if top.is_empty() {
-        return QueryResult::empty(Algorithm::TopkRepresentative);
+        return QueryResult {
+            frontier: Some(frontier),
+            ..QueryResult::empty(Algorithm::TopkRepresentative)
+        };
     }
     let mut selected: Vec<ScoredElement> = top.into_iter().map(|Reverse(e)| e).collect();
     selected.sort_by(|a, b| b.cmp(a));
@@ -70,5 +74,6 @@ pub(crate) fn run<D: TopicWordDistribution>(
         evaluated_elements: evaluated,
         gain_evaluations: evaluator.gain_evaluations(),
         algorithm: Algorithm::TopkRepresentative,
+        frontier: Some(frontier),
     }
 }

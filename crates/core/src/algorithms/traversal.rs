@@ -13,9 +13,11 @@ use std::collections::HashSet;
 use ksir_stream::{RankedListCursor, RankedLists};
 use ksir_types::{ElementId, TopicId};
 
+use crate::query::QueryFrontier;
+
 /// Cursors over the ranked lists of the query's support topics.
 pub(crate) struct SupportCursors<'a> {
-    cursors: Vec<(f64, RankedListCursor<'a>)>,
+    cursors: Vec<(TopicId, f64, RankedListCursor<'a>)>,
     visited: HashSet<ElementId>,
 }
 
@@ -25,12 +27,25 @@ impl<'a> SupportCursors<'a> {
         let cursors = support
             .iter()
             .filter(|(topic, _)| topic.index() < ranked.num_topics())
-            .map(|&(topic, weight)| (weight, ranked.list(topic).cursor()))
+            .map(|&(topic, weight)| (topic, weight, ranked.list(topic).cursor()))
             .collect();
         SupportCursors {
             cursors,
             visited: HashSet::new(),
         }
+    }
+
+    /// The traversal frontier: per support topic, the score of the first
+    /// tuple this traversal has *not* read (`None` once the list is
+    /// exhausted).  Captured at termination it is exactly the
+    /// [`QueryFrontier`](crate::query::QueryFrontier) invalidation floor.
+    pub fn frontier(&mut self) -> QueryFrontier {
+        let floors = self
+            .cursors
+            .iter_mut()
+            .map(|(topic, _, cursor)| (*topic, cursor.current().map(|(_, score, _)| score)))
+            .collect();
+        QueryFrontier { floors }
     }
 
     /// The upper bound `UB(x)` on the score of any unretrieved element:
@@ -39,13 +54,15 @@ impl<'a> SupportCursors<'a> {
     pub fn upper_bound(&mut self) -> f64 {
         self.cursors
             .iter_mut()
-            .map(|(w, c)| c.current().map(|(_, s, _)| *w * s).unwrap_or(0.0))
+            .map(|(_, w, c)| c.current().map(|(_, s, _)| *w * s).unwrap_or(0.0))
             .sum()
     }
 
     /// Returns `true` once every cursor is exhausted.
     pub fn exhausted(&mut self) -> bool {
-        self.cursors.iter_mut().all(|(_, c)| c.current().is_none())
+        self.cursors
+            .iter_mut()
+            .all(|(_, _, c)| c.current().is_none())
     }
 
     /// Number of distinct elements retrieved so far.
@@ -58,7 +75,7 @@ impl<'a> SupportCursors<'a> {
     pub fn pop_next(&mut self) -> Option<ElementId> {
         loop {
             let mut best: Option<(usize, f64)> = None;
-            for (idx, (weight, cursor)) in self.cursors.iter_mut().enumerate() {
+            for (idx, (_, weight, cursor)) in self.cursors.iter_mut().enumerate() {
                 if let Some((_, score, _)) = cursor.current() {
                     let value = *weight * score;
                     let better = match best {
@@ -72,10 +89,10 @@ impl<'a> SupportCursors<'a> {
             }
             let (idx, _) = best?;
             let (id, _, _) = self.cursors[idx]
-                .1
+                .2
                 .current()
                 .expect("cursor selected as argmax has a current element");
-            self.cursors[idx].1.advance();
+            self.cursors[idx].2.advance();
             if self.visited.insert(id) {
                 return Some(id);
             }
@@ -127,6 +144,30 @@ mod tests {
         // 0.9·0.56 = 0.504 beats 0.1·0.65 = 0.065 → e1 first
         assert_eq!(cursors.pop_next(), Some(ElementId(1)));
         assert_eq!(cursors.pop_next(), Some(ElementId(6)));
+    }
+
+    #[test]
+    fn frontier_reports_first_unread_scores() {
+        let rls = lists();
+        let support = [(TopicId(0), 0.5), (TopicId(1), 0.5)];
+        let mut cursors = SupportCursors::new(&rls, &support);
+        // Before any pop, the frontier sits on the list heads.
+        let f = cursors.frontier();
+        assert_eq!(
+            f.floors,
+            vec![(TopicId(0), Some(0.65)), (TopicId(1), Some(0.56))]
+        );
+        // e3 (topic 0 head) is popped; topic 0's frontier descends to e6.
+        cursors.pop_next();
+        let f = cursors.frontier();
+        assert_eq!(
+            f.floors,
+            vec![(TopicId(0), Some(0.48)), (TopicId(1), Some(0.56))]
+        );
+        // Exhausting everything leaves no floors.
+        while cursors.pop_next().is_some() {}
+        let f = cursors.frontier();
+        assert_eq!(f.floors, vec![(TopicId(0), None), (TopicId(1), None)]);
     }
 
     #[test]

@@ -156,7 +156,9 @@ impl EngineConfig {
 
     /// Validates numeric fields that the builders cannot enforce by type.
     pub fn validate(&self) -> Result<()> {
-        if !self.min_topic_prob.is_finite() || self.min_topic_prob < 0.0 || self.min_topic_prob > 1.0
+        if !self.min_topic_prob.is_finite()
+            || self.min_topic_prob < 0.0
+            || self.min_topic_prob > 1.0
         {
             return Err(KsirError::invalid_parameter(
                 "min_topic_prob",
@@ -228,12 +230,9 @@ mod tests {
         let cfg = EngineConfig::new(w, ScoringConfig::default());
         assert!(cfg.validate().is_ok());
         assert_eq!(cfg.max_topics_per_element, Some(2));
-        assert!(cfg
-            .with_min_topic_prob(1.5)
-            .validate()
-            .is_err());
-        let cfg = EngineConfig::new(w, ScoringConfig::default())
-            .with_max_topics_per_element(Some(0));
+        assert!(cfg.with_min_topic_prob(1.5).validate().is_err());
+        let cfg =
+            EngineConfig::new(w, ScoringConfig::default()).with_max_topics_per_element(Some(0));
         assert!(cfg.validate().is_err());
         let cfg = EngineConfig::new(w, ScoringConfig::default())
             .with_max_topics_per_element(None)
@@ -246,8 +245,17 @@ mod tests {
         let w = WindowConfig::new(24, 4).unwrap();
         let base = EngineConfig::new(w, ScoringConfig::default());
         assert_eq!(base.archive, ArchiveRetention::Unbounded);
-        assert!(base.with_archive(ArchiveRetention::Ticks(0)).validate().is_err());
-        assert!(base.with_archive(ArchiveRetention::Ticks(48)).validate().is_ok());
-        assert!(base.with_archive(ArchiveRetention::Disabled).validate().is_ok());
+        assert!(base
+            .with_archive(ArchiveRetention::Ticks(0))
+            .validate()
+            .is_err());
+        assert!(base
+            .with_archive(ArchiveRetention::Ticks(48))
+            .validate()
+            .is_ok());
+        assert!(base
+            .with_archive(ArchiveRetention::Disabled)
+            .validate()
+            .is_ok());
     }
 }

@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use ksir_stream::{ActiveWindow, RankedLists};
+use ksir_stream::{ActiveWindow, RankedLists, WindowDelta};
 use ksir_types::{
     ElementId, KsirError, QueryVector, Result, SocialElement, Timestamp, TopicId, TopicVector,
     TopicWordDistribution,
@@ -34,7 +34,7 @@ pub struct EngineStats {
 }
 
 /// Summary of one [`KsirEngine::ingest_bucket`] call.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IngestReport {
     /// Elements inserted from the bucket.
     pub inserted: usize,
@@ -46,6 +46,10 @@ pub struct IngestReport {
     /// Previously expired elements brought back into the active set because a
     /// bucket element references them.
     pub resurrected: usize,
+    /// Everything the slide changed — element churn plus per-topic
+    /// ranked-list touch depths — for incremental consumers such as the
+    /// standing-query manager in `ksir-continuous`.
+    pub delta: WindowDelta,
 }
 
 /// The k-SIR engine over a fixed topic-word distribution.
@@ -203,6 +207,11 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
             }
         }
 
+        // Start the slide's touch log from a clean slate so the report's
+        // delta only covers this bucket.
+        let slide_from = self.window.now();
+        self.ranked.take_delta();
+
         // Parents whose influence sets will shrink once the window slides.
         let mut touched: BTreeSet<ElementId> = self
             .window
@@ -211,7 +220,7 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
             .collect();
 
         let mut new_ids = Vec::with_capacity(bucket.len());
-        let mut resurrected = 0;
+        let mut resurrected = Vec::new();
         for (element, tv) in bucket {
             let id = element.id;
             // A_t includes every element referenced by a window element, so a
@@ -223,7 +232,7 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
                         self.window.insert(archived)?;
                         self.topic_vectors.insert(parent, archived_tv);
                         touched.insert(parent);
-                        resurrected += 1;
+                        resurrected.push(parent);
                     }
                 }
             }
@@ -246,12 +255,12 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
         }
         self.prune_archive(bucket_end);
 
-        let mut refreshed = 0;
+        let mut refreshed = Vec::new();
         for &id in new_ids.iter().chain(touched.iter()) {
             if self.window.contains(id) {
                 self.refresh_tuples(id);
                 if !new_ids.contains(&id) {
-                    refreshed += 1;
+                    refreshed.push(id);
                 }
             }
         }
@@ -263,8 +272,17 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
         Ok(IngestReport {
             inserted: new_ids.len(),
             expired: expired.len(),
-            refreshed,
-            resurrected,
+            refreshed: refreshed.len(),
+            resurrected: resurrected.len(),
+            delta: WindowDelta {
+                from: slide_from,
+                to: bucket_end,
+                activated: new_ids,
+                expired,
+                resurrected,
+                refreshed,
+                ranked: self.ranked.take_delta(),
+            },
         })
     }
 
@@ -284,25 +302,9 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
         I: IntoIterator<Item = (SocialElement, TopicVector)>,
     {
         let bucket_len = self.config.window.bucket_len();
-        let mut pending: Vec<(SocialElement, TopicVector)> = Vec::new();
-        let mut current_end = Timestamp(self.window.now().raw().max(bucket_len));
-        if !current_end.raw().is_multiple_of(bucket_len) {
-            current_end = Timestamp(current_end.raw().div_ceil(bucket_len) * bucket_len);
-        }
-        let mut buckets = 0;
-        for (element, tv) in stream {
-            while element.ts > current_end {
-                self.ingest_bucket(std::mem::take(&mut pending), current_end)?;
-                buckets += 1;
-                current_end = Timestamp(current_end.raw() + bucket_len);
-            }
-            pending.push((element, tv));
-        }
-        if !pending.is_empty() {
-            self.ingest_bucket(pending, current_end)?;
-            buckets += 1;
-        }
-        Ok(buckets)
+        ksir_stream::for_each_bucket(bucket_len, self.window.now(), stream, |bucket, end| {
+            self.ingest_bucket(bucket, end).map(|_| ())
+        })
     }
 
     /// Truncates and renormalises a topic distribution according to the
@@ -474,6 +476,7 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
             evaluated_elements: ids.len(),
             gain_evaluations: evaluator.gain_evaluations(),
             algorithm: Algorithm::Celf,
+            frontier: None,
         })
     }
 }
@@ -507,10 +510,7 @@ mod tests {
     #[test]
     fn new_rejects_empty_topic_model() {
         let phi = DenseTopicWordTable::uniform(0, 4);
-        let config = EngineConfig::new(
-            WindowConfig::new(4, 1).unwrap(),
-            ScoringConfig::default(),
-        );
+        let config = EngineConfig::new(WindowConfig::new(4, 1).unwrap(), ScoringConfig::default());
         assert!(KsirEngine::new(phi, config).is_err());
     }
 
@@ -550,7 +550,10 @@ mod tests {
             .ingest_bucket(vec![(e1, tv(&[0.9, 0.1]))], Timestamp(1))
             .unwrap();
         assert_eq!(r.inserted, 1);
-        assert!(engine.ranked_lists().list(TopicId(0)).contains(ElementId(1)));
+        assert!(engine
+            .ranked_lists()
+            .list(TopicId(0))
+            .contains(ElementId(1)));
         let before = engine
             .ranked_lists()
             .list(TopicId(0))
@@ -578,6 +581,59 @@ mod tests {
     }
 
     #[test]
+    fn ingest_report_delta_records_churn_and_touch_depths() {
+        let mut engine = tiny_engine();
+        let e1 = SocialElementBuilder::new(1).at(1).words([0, 1]).build();
+        let r = engine
+            .ingest_bucket(vec![(e1, tv(&[0.9, 0.1]))], Timestamp(1))
+            .unwrap();
+        assert_eq!(r.delta.from, Timestamp(0));
+        assert_eq!(r.delta.to, Timestamp(1));
+        assert_eq!(r.delta.activated, vec![ElementId(1)]);
+        assert!(r.delta.expired.is_empty() && r.delta.refreshed.is_empty());
+        // e1's tuples were inserted into both of its support topics' lists.
+        assert!(r.delta.ranked.touched(TopicId(0)));
+        assert!(r.delta.ranked.touched(TopicId(1)));
+        let (s0, _) = engine
+            .ranked_lists()
+            .list(TopicId(0))
+            .get(ElementId(1))
+            .unwrap();
+        assert_eq!(r.delta.ranked.touch(TopicId(0)).unwrap().high, s0);
+
+        // e2 references e1: e1 is refreshed and its topic-0 touch covers the
+        // higher (new) score.
+        let e2 = SocialElementBuilder::new(2)
+            .at(3)
+            .words([2, 3])
+            .referencing(1)
+            .build();
+        let r = engine
+            .ingest_bucket(vec![(e2, tv(&[0.2, 0.8]))], Timestamp(3))
+            .unwrap();
+        assert_eq!(r.delta.activated, vec![ElementId(2)]);
+        assert_eq!(r.delta.refreshed, vec![ElementId(1)]);
+        let (s0_after, _) = engine
+            .ranked_lists()
+            .list(TopicId(0))
+            .get(ElementId(1))
+            .unwrap();
+        assert!(r.delta.ranked.touch(TopicId(0)).unwrap().high >= s0_after);
+
+        // Expiry shows up in `expired` and touches the lists at the removed
+        // scores.
+        let r = engine.ingest_bucket(vec![], Timestamp(20)).unwrap();
+        assert_eq!(r.delta.expired, vec![ElementId(1), ElementId(2)]);
+        assert!(r.delta.lost(ElementId(1)));
+        assert!(!r.delta.lost(ElementId(3)));
+        assert!(r.delta.ranked.touch(TopicId(0)).unwrap().high >= s0_after);
+
+        // A slide over an empty window changes nothing.
+        let r = engine.ingest_bucket(vec![], Timestamp(24)).unwrap();
+        assert!(r.delta.is_empty());
+    }
+
+    #[test]
     fn expired_parents_are_resurrected_by_new_references() {
         // Mirrors Table 1: e2 (ts = 2) expires at t = 6 under T = 4 but must
         // be active again at t = 7 because e7 references it.
@@ -599,17 +655,17 @@ mod tests {
             .unwrap();
         assert_eq!(r.resurrected, 1);
         assert!(engine.is_active(ElementId(2)));
-        assert!(engine.ranked_lists().list(TopicId(0)).contains(ElementId(2)));
+        assert!(engine
+            .ranked_lists()
+            .list(TopicId(0))
+            .contains(ElementId(2)));
     }
 
     #[test]
     fn disabled_archive_ignores_references_to_expired_parents() {
         let phi = DenseTopicWordTable::uniform(2, 4);
-        let config = EngineConfig::new(
-            WindowConfig::new(4, 1).unwrap(),
-            ScoringConfig::default(),
-        )
-        .with_archive(crate::config::ArchiveRetention::Disabled);
+        let config = EngineConfig::new(WindowConfig::new(4, 1).unwrap(), ScoringConfig::default())
+            .with_archive(crate::config::ArchiveRetention::Disabled);
         let mut engine = KsirEngine::new(phi, config).unwrap();
         let e1 = SocialElementBuilder::new(1).at(1).words([0]).build();
         engine
@@ -632,11 +688,8 @@ mod tests {
     #[test]
     fn archive_retention_in_ticks_prunes_old_elements() {
         let phi = DenseTopicWordTable::uniform(2, 4);
-        let config = EngineConfig::new(
-            WindowConfig::new(4, 1).unwrap(),
-            ScoringConfig::default(),
-        )
-        .with_archive(crate::config::ArchiveRetention::Ticks(10));
+        let config = EngineConfig::new(WindowConfig::new(4, 1).unwrap(), ScoringConfig::default())
+            .with_archive(crate::config::ArchiveRetention::Ticks(10));
         let mut engine = KsirEngine::new(phi, config).unwrap();
         let e1 = SocialElementBuilder::new(1).at(1).words([0]).build();
         engine
@@ -666,19 +719,13 @@ mod tests {
     #[test]
     fn sparsification_truncates_and_renormalises() {
         let phi = DenseTopicWordTable::uniform(4, 4);
-        let config = EngineConfig::new(
-            WindowConfig::new(4, 1).unwrap(),
-            ScoringConfig::default(),
-        )
-        .with_max_topics_per_element(Some(2))
-        .with_min_topic_prob(0.05);
+        let config = EngineConfig::new(WindowConfig::new(4, 1).unwrap(), ScoringConfig::default())
+            .with_max_topics_per_element(Some(2))
+            .with_min_topic_prob(0.05);
         let mut engine = KsirEngine::new(phi, config).unwrap();
         let e = SocialElementBuilder::new(1).at(1).words([0]).build();
         engine
-            .ingest_bucket(
-                vec![(e, tv(&[0.5, 0.3, 0.15, 0.05]))],
-                Timestamp(1),
-            )
+            .ingest_bucket(vec![(e, tv(&[0.5, 0.3, 0.15, 0.05]))], Timestamp(1))
             .unwrap();
         let stored = engine.topic_vector(ElementId(1)).unwrap();
         assert_eq!(stored.support_size(), 2);
@@ -686,17 +733,20 @@ mod tests {
         assert!(stored.value(TopicId(0)) > stored.value(TopicId(1)));
         assert_eq!(stored.value(TopicId(2)), 0.0);
         // ranked lists only hold tuples for the retained topics
-        assert!(engine.ranked_lists().list(TopicId(0)).contains(ElementId(1)));
-        assert!(!engine.ranked_lists().list(TopicId(2)).contains(ElementId(1)));
+        assert!(engine
+            .ranked_lists()
+            .list(TopicId(0))
+            .contains(ElementId(1)));
+        assert!(!engine
+            .ranked_lists()
+            .list(TopicId(2))
+            .contains(ElementId(1)));
     }
 
     #[test]
     fn ingest_stream_cuts_buckets_of_length_l() {
         let phi = DenseTopicWordTable::uniform(2, 4);
-        let config = EngineConfig::new(
-            WindowConfig::new(10, 5).unwrap(),
-            ScoringConfig::default(),
-        );
+        let config = EngineConfig::new(WindowConfig::new(10, 5).unwrap(), ScoringConfig::default());
         let mut engine = KsirEngine::new(phi, config).unwrap();
         let stream: Vec<_> = (1..=12u64)
             .map(|i| {
@@ -734,6 +784,10 @@ mod tests {
             vec![ElementId(1), ElementId(3)],
             "Example 3.4: S* = {{e1, e3}}"
         );
-        assert!((opt.score - 0.65).abs() < 0.02, "OPT ≈ 0.65, got {}", opt.score);
+        assert!(
+            (opt.score - 0.65).abs() < 0.02,
+            "OPT ≈ 0.65, got {}",
+            opt.score
+        );
     }
 }

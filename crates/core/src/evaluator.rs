@@ -289,9 +289,18 @@ mod tests {
                 .build(),
         ];
         let mut tvs = HashMap::new();
-        tvs.insert(ElementId(1), TopicVector::from_values(vec![0.9, 0.1]).unwrap());
-        tvs.insert(ElementId(2), TopicVector::from_values(vec![0.1, 0.9]).unwrap());
-        tvs.insert(ElementId(3), TopicVector::from_values(vec![0.5, 0.5]).unwrap());
+        tvs.insert(
+            ElementId(1),
+            TopicVector::from_values(vec![0.9, 0.1]).unwrap(),
+        );
+        tvs.insert(
+            ElementId(2),
+            TopicVector::from_values(vec![0.1, 0.9]).unwrap(),
+        );
+        tvs.insert(
+            ElementId(3),
+            TopicVector::from_values(vec![0.5, 0.5]).unwrap(),
+        );
         for e in elements {
             window.insert(e).unwrap();
         }

@@ -10,7 +10,7 @@
 
 use ksir_stream::WindowConfig;
 use ksir_types::{
-    DenseTopicWordTable, ElementId, SocialElementBuilder, SocialElement, Timestamp, TopicVector,
+    DenseTopicWordTable, ElementId, SocialElement, SocialElementBuilder, Timestamp, TopicVector,
     Vocabulary,
 };
 
@@ -60,8 +60,7 @@ pub fn paper_example() -> PaperExample {
         0.0, 0.06, 0.09, 0.1, 0.05, 0.11, 0.12, 0.0, 0.0, 0.11, 0.0, 0.15, 0.08, 0.0, 0.13, 0.0,
     ];
     let theta2 = vec![
-        0.03, 0.04, 0.0, 0.09, 0.04, 0.12, 0.0, 0.06, 0.07, 0.0, 0.11, 0.14, 0.0, 0.07, 0.12,
-        0.11,
+        0.03, 0.04, 0.0, 0.09, 0.04, 0.12, 0.0, 0.06, 0.07, 0.0, 0.11, 0.14, 0.0, 0.07, 0.12, 0.11,
     ];
     let phi = DenseTopicWordTable::from_rows(vec![theta1, theta2])
         .expect("paper topic-word table is well-formed");
@@ -75,14 +74,54 @@ pub fn paper_example() -> PaperExample {
         refs: &'static [u64],
     }
     let rows = [
-        Row { id: 1, words: &[1, 6, 8, 14, 16], theta: [0.2, 0.8], refs: &[] },
-        Row { id: 2, words: &[4, 9, 11], theta: [0.26, 0.74], refs: &[] },
-        Row { id: 3, words: &[3, 5, 10, 13], theta: [0.89, 0.11], refs: &[] },
-        Row { id: 4, words: &[7, 10], theta: [1.0, 0.0], refs: &[3] },
-        Row { id: 5, words: &[6, 8, 16], theta: [0.29, 0.71], refs: &[1] },
-        Row { id: 6, words: &[2, 7, 10, 12], theta: [0.7, 0.3], refs: &[3] },
-        Row { id: 7, words: &[4, 11], theta: [0.33, 0.67], refs: &[2] },
-        Row { id: 8, words: &[10, 11, 15], theta: [0.51, 0.49], refs: &[2, 3, 6] },
+        Row {
+            id: 1,
+            words: &[1, 6, 8, 14, 16],
+            theta: [0.2, 0.8],
+            refs: &[],
+        },
+        Row {
+            id: 2,
+            words: &[4, 9, 11],
+            theta: [0.26, 0.74],
+            refs: &[],
+        },
+        Row {
+            id: 3,
+            words: &[3, 5, 10, 13],
+            theta: [0.89, 0.11],
+            refs: &[],
+        },
+        Row {
+            id: 4,
+            words: &[7, 10],
+            theta: [1.0, 0.0],
+            refs: &[3],
+        },
+        Row {
+            id: 5,
+            words: &[6, 8, 16],
+            theta: [0.29, 0.71],
+            refs: &[1],
+        },
+        Row {
+            id: 6,
+            words: &[2, 7, 10, 12],
+            theta: [0.7, 0.3],
+            refs: &[3],
+        },
+        Row {
+            id: 7,
+            words: &[4, 11],
+            theta: [0.33, 0.67],
+            refs: &[2],
+        },
+        Row {
+            id: 8,
+            words: &[10, 11, 15],
+            theta: [0.51, 0.49],
+            refs: &[2, 3, 6],
+        },
     ];
 
     let mut elements = Vec::with_capacity(rows.len());
@@ -146,16 +185,33 @@ impl PaperExample {
         &self.topic_vectors[idx]
     }
 
+    /// Builds a [`KsirEngine`] over the paper's topic model with nothing
+    /// ingested yet (time 0) — the starting point for replaying the example
+    /// stream bucket by bucket.
+    pub fn empty_engine(&self) -> KsirEngine<DenseTopicWordTable> {
+        KsirEngine::new(self.phi.clone(), Self::engine_config())
+            .expect("paper engine configuration is valid")
+    }
+
+    /// The example's eight `(element, topic vector)` pairs in timestamp
+    /// order, cloned for ingestion.
+    pub fn stream(&self) -> Vec<(SocialElement, TopicVector)> {
+        self.elements
+            .iter()
+            .cloned()
+            .zip(self.topic_vectors.iter().cloned())
+            .collect()
+    }
+
     /// Builds a [`KsirEngine`] over the paper's topic model and ingests the
     /// whole eight-element stream, leaving the engine at time `t = 8` (the
     /// moment all the worked examples are evaluated at).
     pub fn build_engine(&self) -> KsirEngine<DenseTopicWordTable> {
-        let mut engine = KsirEngine::new(self.phi.clone(), Self::engine_config())
-            .expect("paper engine configuration is valid");
-        for (element, tv) in self.elements.iter().zip(self.topic_vectors.iter()) {
+        let mut engine = self.empty_engine();
+        for (element, tv) in self.stream() {
             let end = element.ts;
             engine
-                .ingest_bucket(vec![(element.clone(), tv.clone())], end)
+                .ingest_bucket(vec![(element, tv)], end)
                 .expect("paper stream is well-formed");
         }
         debug_assert_eq!(engine.now(), Timestamp(8));

@@ -1,6 +1,7 @@
 //! Query and result types for k-SIR processing.
 
-use ksir_types::{ElementId, KsirError, QueryVector, Result};
+use ksir_stream::RankedDelta;
+use ksir_types::{ElementId, KsirError, QueryVector, Result, TopicId};
 
 /// A k-SIR query `q_t(k, x)`: retrieve at most `k` active elements maximising
 /// the representativeness score w.r.t. the query vector `x`.
@@ -113,6 +114,38 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+/// How deep into each support topic's ranked list a query traversal reached.
+///
+/// For every topic in the query support this records the score of the first
+/// tuple the traversal did **not** read — `None` when the list was exhausted.
+/// The traversal's behaviour depends only on the tuples at or above these
+/// floors: a later index mutation whose touch score (see
+/// [`ksir_stream::delta`]) stays strictly below every floor cannot change
+/// what the same query would retrieve, evaluate, or return.  This is the
+/// invariant the `ksir-continuous` subscription manager uses to skip
+/// refreshing standing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFrontier {
+    /// `(topic, first-unread score)` per support topic; `None` = exhausted.
+    pub floors: Vec<(TopicId, Option<f64>)>,
+}
+
+impl QueryFrontier {
+    /// Returns `true` if the given slide delta could have changed the result
+    /// of the traversal that produced this frontier: some support topic was
+    /// touched at or above its floor (an exhausted list is "touched" by any
+    /// mutation at all).
+    pub fn disturbed_by(&self, delta: &RankedDelta) -> bool {
+        self.floors
+            .iter()
+            .any(|&(topic, floor)| match (delta.touch(topic), floor) {
+                (None, _) => false,
+                (Some(_), None) => true,
+                (Some(touch), Some(floor)) => touch.high >= floor - 1e-12,
+            })
+    }
+}
+
 /// The result of processing one k-SIR query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
@@ -128,6 +161,10 @@ pub struct QueryResult {
     pub gain_evaluations: usize,
     /// Algorithm that produced the result.
     pub algorithm: Algorithm,
+    /// Ranked-list traversal floors, for the index-based algorithms (MTTS,
+    /// MTTD, Top-k Representative); `None` for the exhaustive baselines,
+    /// whose results can be invalidated by any index change.
+    pub frontier: Option<QueryFrontier>,
 }
 
 impl QueryResult {
@@ -139,6 +176,7 @@ impl QueryResult {
             evaluated_elements: 0,
             gain_evaluations: 0,
             algorithm,
+            frontier: None,
         }
     }
 
@@ -195,6 +233,32 @@ mod tests {
     }
 
     #[test]
+    fn frontier_disturbance_rules() {
+        let frontier = QueryFrontier {
+            floors: vec![(TopicId(0), Some(0.5)), (TopicId(1), None)],
+        };
+        // Untouched index: undisturbed.
+        let clean = RankedDelta::new(3);
+        assert!(!frontier.disturbed_by(&clean));
+        // Touch strictly below the floor of a non-exhausted list: invisible.
+        let mut below = RankedDelta::new(3);
+        below.record(TopicId(0), 0.3);
+        assert!(!frontier.disturbed_by(&below));
+        // Touch at/above the floor: disturbed.
+        let mut at = RankedDelta::new(3);
+        at.record(TopicId(0), 0.5);
+        assert!(frontier.disturbed_by(&at));
+        // Any touch on an exhausted list: disturbed.
+        let mut exhausted = RankedDelta::new(3);
+        exhausted.record(TopicId(1), 1e-9);
+        assert!(frontier.disturbed_by(&exhausted));
+        // Touches outside the support are ignored.
+        let mut outside = RankedDelta::new(3);
+        outside.record(TopicId(2), 10.0);
+        assert!(!frontier.disturbed_by(&outside));
+    }
+
+    #[test]
     fn result_helpers() {
         let r = QueryResult {
             elements: vec![ElementId(3), ElementId(1)],
@@ -202,6 +266,7 @@ mod tests {
             evaluated_elements: 4,
             gain_evaluations: 9,
             algorithm: Algorithm::Mtts,
+            frontier: None,
         };
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());

@@ -198,8 +198,10 @@ impl<'a, D: TopicWordDistribution> Scorer<'a, D> {
 
     /// The per-topic score `f_i(S)` of a set (Equation 2).
     pub fn topicwise_set(&self, topic: TopicId, ids: &[ElementId]) -> f64 {
-        self.config
-            .combine(self.semantic_set(topic, ids), self.influence_set(topic, ids))
+        self.config.combine(
+            self.semantic_set(topic, ids),
+            self.influence_set(topic, ids),
+        )
     }
 
     /// The singleton score `δ(e, x) = f({e}, x)` w.r.t. a query vector.

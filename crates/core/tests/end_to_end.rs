@@ -67,7 +67,9 @@ fn build_engine(
         }
         let element = builder.build();
         let tv = model.infer_document(doc);
-        engine.ingest_bucket(vec![(element, tv)], Timestamp(ts)).unwrap();
+        engine
+            .ingest_bucket(vec![(element, tv)], Timestamp(ts))
+            .unwrap();
     }
     engine
 }
@@ -122,8 +124,18 @@ fn mtts_and_mttd_agree_with_celf_quality_on_the_pipeline() {
     let mttd = engine.query(&q, Algorithm::Mttd).unwrap();
     assert!(celf.score > 0.0);
     // The paper reports ≥95% (MTTS) and ≥99% (MTTD) of CELF's quality.
-    assert!(mtts.score >= 0.90 * celf.score, "MTTS {} vs CELF {}", mtts.score, celf.score);
-    assert!(mttd.score >= 0.95 * celf.score, "MTTD {} vs CELF {}", mttd.score, celf.score);
+    assert!(
+        mtts.score >= 0.90 * celf.score,
+        "MTTS {} vs CELF {}",
+        mtts.score,
+        celf.score
+    );
+    assert!(
+        mttd.score >= 0.95 * celf.score,
+        "MTTD {} vs CELF {}",
+        mttd.score,
+        celf.score
+    );
 }
 
 #[test]

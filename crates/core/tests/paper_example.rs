@@ -23,7 +23,10 @@ fn example_3_1_semantic_score_of_e2_e7() {
     let engine = ex.build_engine();
     let scorer = engine.scorer();
     let r2 = scorer.semantic_set(TopicId(1), &ids(&[2, 7]));
-    assert!(close(r2, 0.53, 0.02), "R_2({{e2,e7}}) = {r2}, paper says 0.53");
+    assert!(
+        close(r2, 0.53, 0.02),
+        "R_2({{e2,e7}}) = {r2}, paper says 0.53"
+    );
     // e7 contributes nothing: every word of e7 is covered better by e2.
     let r2_e2_only = scorer.semantic_set(TopicId(1), &ids(&[2]));
     assert!(close(r2, r2_e2_only, 1e-9));
@@ -31,11 +34,31 @@ fn example_3_1_semantic_score_of_e2_e7() {
     let w4 = ksir_types::WordId(3); // "champion"
     let w9 = ksir_types::WordId(8); // "manutd"
     let w11 = ksir_types::WordId(10); // "pl"
-    assert!(close(scorer.word_weight_of(TopicId(1), ElementId(2), w4), 0.18, 0.01));
-    assert!(close(scorer.word_weight_of(TopicId(1), ElementId(2), w9), 0.15, 0.01));
-    assert!(close(scorer.word_weight_of(TopicId(1), ElementId(2), w11), 0.20, 0.01));
-    assert!(close(scorer.word_weight_of(TopicId(1), ElementId(7), w4), 0.17, 0.01));
-    assert!(close(scorer.word_weight_of(TopicId(1), ElementId(7), w11), 0.19, 0.01));
+    assert!(close(
+        scorer.word_weight_of(TopicId(1), ElementId(2), w4),
+        0.18,
+        0.01
+    ));
+    assert!(close(
+        scorer.word_weight_of(TopicId(1), ElementId(2), w9),
+        0.15,
+        0.01
+    ));
+    assert!(close(
+        scorer.word_weight_of(TopicId(1), ElementId(2), w11),
+        0.20,
+        0.01
+    ));
+    assert!(close(
+        scorer.word_weight_of(TopicId(1), ElementId(7), w4),
+        0.17,
+        0.01
+    ));
+    assert!(close(
+        scorer.word_weight_of(TopicId(1), ElementId(7), w11),
+        0.19,
+        0.01
+    ));
 }
 
 /// Example 3.2: the influence score `I_{2,8}({e2, e3})` on θ2 at t = 8 is ≈ 0.93.
@@ -45,9 +68,16 @@ fn example_3_2_influence_score_of_e2_e3() {
     let engine = ex.build_engine();
     let scorer = engine.scorer();
     let i2 = scorer.influence_set(TopicId(1), &ids(&[2, 3]));
-    assert!(close(i2, 0.93, 0.02), "I_2,8({{e2,e3}}) = {i2}, paper says 0.93");
+    assert!(
+        close(i2, 0.93, 0.02),
+        "I_2,8({{e2,e3}}) = {i2}, paper says 0.93"
+    );
     // The singleton propagation probabilities quoted in the example.
-    assert!(close(scorer.influence_element(TopicId(1), ElementId(3)), 0.03 + 0.054, 0.02));
+    assert!(close(
+        scorer.influence_element(TopicId(1), ElementId(3)),
+        0.03 + 0.054,
+        0.02
+    ));
     // e3's influence on θ2 is low even though it is referenced a lot.
     assert!(scorer.influence_element(TopicId(1), ElementId(3)) < 0.1);
     assert!(scorer.influence_element(TopicId(0), ElementId(3)) > 0.5);
@@ -119,15 +149,7 @@ fn ranked_list_scores_match_figure_5() {
 fn ranked_list_timestamps_match_figure_5() {
     let ex = paper_example();
     let engine = ex.build_engine();
-    let expected = [
-        (1u64, 5u64),
-        (2, 8),
-        (3, 8),
-        (5, 5),
-        (6, 8),
-        (7, 7),
-        (8, 8),
-    ];
+    let expected = [(1u64, 5u64), (2, 8), (3, 8), (5, 5), (6, 8), (7, 7), (8, 8)];
     let list = engine.ranked_lists().list(TopicId(0));
     for (n, te) in expected {
         let (_, ts) = list.get(ElementId(n)).unwrap();
@@ -175,7 +197,11 @@ fn example_4_1_mtts_returns_e1_e3() {
     assert_eq!(r.algorithm, Algorithm::Mtts);
     // The example evaluates e3, e1, e6 and e2 before terminating — strictly
     // fewer than the 7 active elements.
-    assert!(r.evaluated_elements <= 5, "evaluated {}", r.evaluated_elements);
+    assert!(
+        r.evaluated_elements <= 5,
+        "evaluated {}",
+        r.evaluated_elements
+    );
     assert!(r.evaluated_elements >= 2);
 }
 
@@ -210,7 +236,10 @@ fn all_algorithms_meet_their_guarantees_on_the_example() {
         let opt = engine.exhaustive_optimum(&q).unwrap().score;
         for (alg, ratio) in [
             (Algorithm::Celf, 1.0 - 1.0 / std::f64::consts::E),
-            (Algorithm::Mttd, 1.0 - 1.0 / std::f64::consts::E - q.epsilon()),
+            (
+                Algorithm::Mttd,
+                1.0 - 1.0 / std::f64::consts::E - q.epsilon(),
+            ),
             (Algorithm::Mtts, 0.5 - q.epsilon()),
             (Algorithm::SieveStreaming, 0.5 - q.epsilon()),
             (Algorithm::TopkRepresentative, 1.0 / q.k() as f64),

@@ -18,9 +18,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng as _};
 
-use ksir_core::{
-    Algorithm, EngineConfig, KsirEngine, KsirQuery, QueryEvaluator, ScoringConfig,
-};
+use ksir_core::{Algorithm, EngineConfig, KsirEngine, KsirQuery, QueryEvaluator, ScoringConfig};
 use ksir_stream::WindowConfig;
 use ksir_types::{
     DenseTopicWordTable, ElementId, QueryVector, SocialElement, SocialElementBuilder, Timestamp,
@@ -94,7 +92,7 @@ fn build_instance(p: &InstanceParams) -> Instance {
     // earlier elements, random (normalised) topic vectors.
     let mut ts = 0u64;
     for i in 1..=p.num_elements as u64 {
-        ts += rng.gen_range(1..=2);
+        ts += rng.gen_range(1..=2u64);
         let num_words = rng.gen_range(1..=5);
         let words: Vec<u32> = (0..num_words)
             .map(|_| rng.gen_range(0..p.vocab_size as u32))

@@ -51,9 +51,7 @@ impl PlantedTopicModel {
         if core_pool < num_topics {
             return Err(KsirError::invalid_parameter(
                 "vocab_size",
-                format!(
-                    "vocabulary of {vocab_size} words is too small for {num_topics} topics"
-                ),
+                format!("vocabulary of {vocab_size} words is too small for {num_topics} topics"),
             ));
         }
         let core_size = core_pool / num_topics;
@@ -154,12 +152,7 @@ impl PlantedTopicModel {
     }
 
     /// Samples a document of `len` tokens from a topic mixture.
-    pub fn sample_document(
-        &self,
-        rng: &mut StdRng,
-        mixture: &TopicVector,
-        len: usize,
-    ) -> Document {
+    pub fn sample_document(&self, rng: &mut StdRng, mixture: &TopicVector, len: usize) -> Document {
         let support = mixture.support();
         let mut doc = Document::new();
         if support.is_empty() {
@@ -207,7 +200,9 @@ mod tests {
     #[test]
     fn core_words_are_disjoint_and_dominant() {
         let m = PlantedTopicModel::new(3, 90, 1.0).unwrap();
-        let cores: Vec<_> = (0..3u32).map(|t| m.core_words(TopicId(t)).to_vec()).collect();
+        let cores: Vec<_> = (0..3u32)
+            .map(|t| m.core_words(TopicId(t)).to_vec())
+            .collect();
         // Disjoint blocks.
         for i in 0..3 {
             for j in (i + 1)..3 {
@@ -239,7 +234,10 @@ mod tests {
             }
         }
         // Roughly 70% single-topic.
-        assert!(single > 100 && single < 190, "got {single} single-topic mixtures");
+        assert!(
+            single > 100 && single < 190,
+            "got {single} single-topic mixtures"
+        );
     }
 
     #[test]
@@ -256,7 +254,10 @@ mod tests {
             .iter()
             .filter(|w| core0.contains(w) || w.index() < 25)
             .count();
-        assert!(on_topic as f64 > 0.95 * 200.0, "only {on_topic}/200 on-topic tokens");
+        assert!(
+            on_topic as f64 > 0.95 * 200.0,
+            "only {on_topic}/200 on-topic tokens"
+        );
     }
 
     #[test]

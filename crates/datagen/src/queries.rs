@@ -107,10 +107,7 @@ impl<'a> QueryWorkloadGenerator<'a> {
 /// inferred query vectors (and the ones the paper's experiments use) are
 /// sparse — "the number of non-zero entries in the query vector" `d` is small,
 /// which is what the multi-topic traversal of MTTS/MTTD exploits.
-pub fn infer_query_vector(
-    planted: &PlantedTopicModel,
-    keywords: &Document,
-) -> Result<QueryVector> {
+pub fn infer_query_vector(planted: &PlantedTopicModel, keywords: &Document) -> Result<QueryVector> {
     let z = planted.num_topics();
     let mut weights = vec![0.0; z];
     for (word, freq) in keywords.iter() {
@@ -164,15 +161,24 @@ mod tests {
     #[test]
     fn workload_is_deterministic_per_seed() {
         let p = planted();
-        let a = QueryWorkloadGenerator::new(&p, 4).generate(10, Timestamp(100)).unwrap();
-        let b = QueryWorkloadGenerator::new(&p, 4).generate(10, Timestamp(100)).unwrap();
+        let a = QueryWorkloadGenerator::new(&p, 4)
+            .generate(10, Timestamp(100))
+            .unwrap();
+        let b = QueryWorkloadGenerator::new(&p, 4)
+            .generate(10, Timestamp(100))
+            .unwrap();
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.keywords, y.keywords);
             assert_eq!(x.timestamp, y.timestamp);
         }
-        let c = QueryWorkloadGenerator::new(&p, 5).generate(10, Timestamp(100)).unwrap();
-        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.keywords != y.keywords));
+        let c = QueryWorkloadGenerator::new(&p, 5)
+            .generate(10, Timestamp(100))
+            .unwrap();
+        assert!(a
+            .iter()
+            .zip(c.iter())
+            .any(|(x, y)| x.keywords != y.keywords));
     }
 
     #[test]
@@ -188,7 +194,12 @@ mod tests {
         let peaked = queries
             .iter()
             .filter(|q| {
-                let top = q.vector.support().iter().map(|(_, w)| *w).fold(0.0, f64::max);
+                let top = q
+                    .vector
+                    .support()
+                    .iter()
+                    .map(|(_, w)| *w)
+                    .fold(0.0, f64::max);
                 top > 0.5
             })
             .count();
@@ -198,9 +209,15 @@ mod tests {
     #[test]
     fn invalid_parameters_are_rejected() {
         let p = planted();
-        assert!(QueryWorkloadGenerator::new(&p, 1).with_word_range(0, 3).is_err());
-        assert!(QueryWorkloadGenerator::new(&p, 1).with_word_range(4, 2).is_err());
-        assert!(QueryWorkloadGenerator::new(&p, 1).generate(5, Timestamp::ZERO).is_err());
+        assert!(QueryWorkloadGenerator::new(&p, 1)
+            .with_word_range(0, 3)
+            .is_err());
+        assert!(QueryWorkloadGenerator::new(&p, 1)
+            .with_word_range(4, 2)
+            .is_err());
+        assert!(QueryWorkloadGenerator::new(&p, 1)
+            .generate(5, Timestamp::ZERO)
+            .is_err());
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl GeneratedStream {
 
     /// Timestamp of the last element (`t_n`).
     pub fn end_time(&self) -> Timestamp {
-        self.elements.last().map(|e| e.ts).unwrap_or(Timestamp::ZERO)
+        self.elements
+            .last()
+            .map(|e| e.ts)
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// Iterates over `(element, topic vector)` pairs by value, ready to feed
@@ -54,7 +57,11 @@ impl GeneratedStream {
         if self.elements.is_empty() {
             return 0.0;
         }
-        self.elements.iter().map(|e| e.doc.len() as f64).sum::<f64>() / self.elements.len() as f64
+        self.elements
+            .iter()
+            .map(|e| e.doc.len() as f64)
+            .sum::<f64>()
+            / self.elements.len() as f64
     }
 
     /// Average number of references per element (calibration check).
@@ -106,8 +113,7 @@ impl StreamGenerator {
     /// stream.
     pub fn generate(&self) -> Result<GeneratedStream> {
         let p = &self.profile;
-        let planted =
-            PlantedTopicModel::new(p.num_topics, p.vocab_size, p.zipf_exponent)?;
+        let planted = PlantedTopicModel::new(p.num_topics, p.vocab_size, p.zipf_exponent)?;
         let mut rng = seeded_rng(derive_seed(self.seed, "stream"));
 
         let n = p.num_elements;
@@ -254,9 +260,7 @@ mod tests {
     use super::*;
 
     fn small_profile() -> DatasetProfile {
-        DatasetProfile::reddit()
-            .scaled(0.1)
-            .with_topics(10)
+        DatasetProfile::reddit().scaled(0.1).with_topics(10)
     }
 
     #[test]
@@ -266,7 +270,10 @@ mod tests {
         let b = g.generate().unwrap();
         assert_eq!(a.elements, b.elements);
         assert_eq!(a.topic_vectors, b.topic_vectors);
-        let c = StreamGenerator::new(small_profile(), 43).unwrap().generate().unwrap();
+        let c = StreamGenerator::new(small_profile(), 43)
+            .unwrap()
+            .generate()
+            .unwrap();
         assert_ne!(a.elements, c.elements);
     }
 

@@ -27,7 +27,9 @@ pub fn linearly_weighted_kappa(a: &[usize], b: &[usize], num_categories: usize) 
         observed[x][y] += 1.0;
     }
     let row_marginals: Vec<f64> = (0..c).map(|i| observed[i].iter().sum()).collect();
-    let col_marginals: Vec<f64> = (0..c).map(|j| (0..c).map(|i| observed[i][j]).sum()).collect();
+    let col_marginals: Vec<f64> = (0..c)
+        .map(|j| (0..c).map(|i| observed[i][j]).sum())
+        .collect();
 
     // Linear disagreement weights w_ij = |i - j| / (c - 1).
     let weight = |i: usize, j: usize| {
@@ -113,7 +115,10 @@ mod tests {
 
     #[test]
     fn single_category_agreement() {
-        assert_eq!(linearly_weighted_kappa(&[2, 2, 2], &[2, 2, 2], 5), Some(1.0));
+        assert_eq!(
+            linearly_weighted_kappa(&[2, 2, 2], &[2, 2, 2], 5),
+            Some(1.0)
+        );
     }
 
     #[test]

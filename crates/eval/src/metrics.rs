@@ -133,7 +133,10 @@ mod tests {
         let q = QueryVector::new(vec![0.5, 0.5]).unwrap();
         let one = coverage_score(&pool, &q, &[ElementId(1)]);
         let two = coverage_score(&pool, &q, &[ElementId(1), ElementId(4)]);
-        assert!(two >= one, "covering both clusters cannot hurt: {two} < {one}");
+        assert!(
+            two >= one,
+            "covering both clusters cannot hurt: {two} < {one}"
+        );
     }
 
     #[test]

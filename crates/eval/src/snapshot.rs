@@ -41,15 +41,15 @@ mod tests {
         let engine = ex.build_engine();
         let pool = pool_from_engine(&engine);
         assert_eq!(pool.len(), engine.active_count());
-        assert!(pool.get(ElementId(4)).is_none(), "expired elements excluded");
+        assert!(
+            pool.get(ElementId(4)).is_none(),
+            "expired elements excluded"
+        );
         // e3 is referenced by e6 and e8 inside the window at t = 8.
         assert_eq!(pool.get(ElementId(3)).unwrap().referenced_by, 2);
         // e8 carries its outgoing references.
         assert_eq!(pool.get(ElementId(8)).unwrap().refs.len(), 3);
         // topic vectors travel with the items
-        assert_eq!(
-            pool.get(ElementId(1)).unwrap().topic_vector.num_topics(),
-            2
-        );
+        assert_eq!(pool.get(ElementId(1)).unwrap().topic_vector.num_topics(), 2);
     }
 }

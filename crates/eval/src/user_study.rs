@@ -120,7 +120,9 @@ impl UserStudy {
 
             for judge in 0..self.num_judges {
                 let mut rng = StdRng::seed_from_u64(
-                    self.seed ^ (judge as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (qi as u64) << 17,
+                    self.seed
+                        ^ (judge as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        ^ (qi as u64) << 17,
                 );
                 let rep_ranks = self.rank_with_noise(&rep_quality, &mut rng);
                 let imp_ranks = self.rank_with_noise(&imp_quality, &mut rng);
@@ -156,10 +158,7 @@ impl UserStudy {
             .results
             .iter()
             .map(|result| {
-                let members: Vec<_> = result
-                    .iter()
-                    .filter_map(|id| query.pool.get(*id))
-                    .collect();
+                let members: Vec<_> = result.iter().filter_map(|id| query.pool.get(*id)).collect();
                 if members.is_empty() {
                     return 0.0;
                 }
@@ -256,7 +255,11 @@ mod tests {
         assert!(outcome.representativeness[0] > outcome.representativeness[1]);
         assert!(outcome.impact[0] > outcome.impact[1]);
         // Ratings live on the 1..=num_methods scale.
-        for r in outcome.representativeness.iter().chain(outcome.impact.iter()) {
+        for r in outcome
+            .representativeness
+            .iter()
+            .chain(outcome.impact.iter())
+        {
             assert!(*r >= 1.0 && *r <= 2.0);
         }
     }

@@ -1,0 +1,237 @@
+//! Per-slide change summaries for incremental (standing-query) consumers.
+//!
+//! Re-running MTTS/MTTD for every standing query on every window slide wastes
+//! work whenever the slide did not disturb the part of the index the query
+//! actually traversed.  To decide that cheaply, the ranked lists record, per
+//! topic, *how high* in the list the slide reached: every insert, score
+//! adjustment or removal is logged as a **touch** at the score of the affected
+//! tuple (for adjustments, the higher of the old and new scores — a tuple
+//! moving in either direction can only influence traversals that reach the
+//! higher of the two positions).
+//!
+//! A consumer that remembers the score floor its last traversal descended to
+//! on each list can then skip refreshing whenever every touch in its support
+//! topics happened **strictly below** that floor: the traversal would read the
+//! exact same prefix of every list and terminate at the same point, so its
+//! result is unchanged.  `ksir-continuous` builds its subscription refresh
+//! policy on exactly this invariant.
+//!
+//! [`WindowDelta`] bundles the ranked-list touches with the element-level
+//! churn (activated / expired / resurrected / refreshed ids) of one bucket
+//! ingestion, and is surfaced by `ksir-core`'s `IngestReport`.
+
+use ksir_types::{ElementId, Timestamp, TopicId};
+
+/// Touch summary of one topic's ranked list over one window slide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopicTouch {
+    /// Number of tuple operations (inserts, adjustments, removals).
+    pub count: usize,
+    /// Highest score involved in any touch: the list is guaranteed unchanged
+    /// at ranks whose scores are strictly greater than this.
+    pub high: f64,
+}
+
+/// Per-topic ranked-list touches accumulated over one window slide.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankedDelta {
+    touches: Vec<Option<TopicTouch>>,
+}
+
+impl RankedDelta {
+    /// An empty delta for `num_topics` lists.
+    pub fn new(num_topics: usize) -> Self {
+        RankedDelta {
+            touches: vec![None; num_topics],
+        }
+    }
+
+    /// Number of topics covered.
+    pub fn num_topics(&self) -> usize {
+        self.touches.len()
+    }
+
+    /// Records one touch of `topic`'s list at `score`.
+    pub fn record(&mut self, topic: TopicId, score: f64) {
+        let Some(slot) = self.touches.get_mut(topic.index()) else {
+            return;
+        };
+        match slot {
+            Some(touch) => {
+                touch.count += 1;
+                if score > touch.high {
+                    touch.high = score;
+                }
+            }
+            None => {
+                *slot = Some(TopicTouch {
+                    count: 1,
+                    high: score,
+                })
+            }
+        }
+    }
+
+    /// The touch summary of one topic, if it was touched at all.
+    pub fn touch(&self, topic: TopicId) -> Option<TopicTouch> {
+        self.touches.get(topic.index()).copied().flatten()
+    }
+
+    /// Returns `true` if `topic`'s list was modified during the slide.
+    pub fn touched(&self, topic: TopicId) -> bool {
+        self.touch(topic).is_some()
+    }
+
+    /// Iterates over the touched topics and their summaries.
+    pub fn iter_touched(&self) -> impl Iterator<Item = (TopicId, TopicTouch)> + '_ {
+        self.touches
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (TopicId(i as u32), t)))
+    }
+
+    /// Number of touched topics.
+    pub fn touched_topics(&self) -> usize {
+        self.touches.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Returns `true` if no list was modified.
+    pub fn is_empty(&self) -> bool {
+        self.touches.iter().all(|t| t.is_none())
+    }
+
+    /// Folds another delta into this one (used when aggregating several
+    /// slides, e.g. across the buckets of one `ingest_stream` call).
+    pub fn merge(&mut self, other: &RankedDelta) {
+        if self.touches.len() < other.touches.len() {
+            self.touches.resize(other.touches.len(), None);
+        }
+        for (i, touch) in other.touches.iter().enumerate() {
+            if let Some(t) = touch {
+                let slot = &mut self.touches[i];
+                match slot {
+                    Some(existing) => {
+                        existing.count += t.count;
+                        if t.high > existing.high {
+                            existing.high = t.high;
+                        }
+                    }
+                    None => *slot = Some(*t),
+                }
+            }
+        }
+    }
+}
+
+/// Everything that changed during one window slide (one ingested bucket).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowDelta {
+    /// Logical time before the slide.
+    pub from: Timestamp,
+    /// Logical time after the slide (the bucket end).
+    pub to: Timestamp,
+    /// Ids of elements inserted from the bucket, in insertion order.
+    pub activated: Vec<ElementId>,
+    /// Ids of elements that expired out of the active window, sorted.
+    pub expired: Vec<ElementId>,
+    /// Previously expired elements brought back by a fresh reference.
+    pub resurrected: Vec<ElementId>,
+    /// Pre-existing elements whose ranked-list tuples were recomputed
+    /// (referenced parents and elements whose influence sets shrank).
+    pub refreshed: Vec<ElementId>,
+    /// Per-topic ranked-list touch summary.
+    pub ranked: RankedDelta,
+}
+
+impl WindowDelta {
+    /// Returns `true` if the slide changed nothing observable.
+    pub fn is_empty(&self) -> bool {
+        self.activated.is_empty()
+            && self.expired.is_empty()
+            && self.resurrected.is_empty()
+            && self.refreshed.is_empty()
+            && self.ranked.is_empty()
+    }
+
+    /// Returns `true` if `id` expired during this slide.
+    pub fn lost(&self, id: ElementId) -> bool {
+        self.expired.binary_search(&id).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_count_and_high_water_mark() {
+        let mut d = RankedDelta::new(3);
+        assert!(d.is_empty());
+        assert!(!d.touched(TopicId(1)));
+        d.record(TopicId(1), 0.4);
+        d.record(TopicId(1), 0.9);
+        d.record(TopicId(1), 0.2);
+        let t = d.touch(TopicId(1)).unwrap();
+        assert_eq!(t.count, 3);
+        assert_eq!(t.high, 0.9);
+        assert!(d.touched(TopicId(1)));
+        assert!(!d.touched(TopicId(0)));
+        assert_eq!(d.touched_topics(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_topics_are_ignored() {
+        let mut d = RankedDelta::new(2);
+        d.record(TopicId(7), 1.0);
+        assert!(d.is_empty());
+        assert_eq!(d.touch(TopicId(7)), None);
+    }
+
+    #[test]
+    fn iter_touched_yields_only_touched_topics() {
+        let mut d = RankedDelta::new(4);
+        d.record(TopicId(0), 0.1);
+        d.record(TopicId(3), 0.5);
+        let touched: Vec<(TopicId, TopicTouch)> = d.iter_touched().collect();
+        assert_eq!(touched.len(), 2);
+        assert_eq!(touched[0].0, TopicId(0));
+        assert_eq!(touched[1].0, TopicId(3));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_maxima() {
+        let mut a = RankedDelta::new(2);
+        a.record(TopicId(0), 0.3);
+        let mut b = RankedDelta::new(2);
+        b.record(TopicId(0), 0.8);
+        b.record(TopicId(1), 0.1);
+        a.merge(&b);
+        assert_eq!(
+            a.touch(TopicId(0)),
+            Some(TopicTouch {
+                count: 2,
+                high: 0.8
+            })
+        );
+        assert_eq!(
+            a.touch(TopicId(1)),
+            Some(TopicTouch {
+                count: 1,
+                high: 0.1
+            })
+        );
+    }
+
+    #[test]
+    fn window_delta_lost_uses_sorted_expired() {
+        let delta = WindowDelta {
+            expired: vec![ElementId(2), ElementId(5), ElementId(9)],
+            ..WindowDelta::default()
+        };
+        assert!(delta.lost(ElementId(5)));
+        assert!(!delta.lost(ElementId(4)));
+        assert!(!delta.is_empty());
+        assert!(WindowDelta::default().is_empty());
+    }
+}

@@ -20,6 +20,10 @@
 //!   representativeness score `δ_i(e)`, supporting ordered traversal
 //!   (`first` / `next` in the paper) and score adjustment when new references
 //!   arrive.
+//! * [`delta::WindowDelta`] / [`delta::RankedDelta`] — per-slide change
+//!   summaries (element churn plus per-topic ranked-list touch depths) that
+//!   let standing-query consumers decide whether a slide could possibly have
+//!   changed their result.
 //!
 //! Scoring itself (computing `δ_i(e)`) lives in `ksir-core`; this crate only
 //! stores and orders the scores it is given, which keeps the data structures
@@ -30,10 +34,12 @@
 
 pub mod active;
 pub mod bucket;
+pub mod delta;
 pub mod ranked_list;
 pub mod window;
 
 pub use active::ActiveWindow;
-pub use bucket::{Bucket, Bucketizer};
+pub use bucket::{for_each_bucket, Bucket, Bucketizer};
+pub use delta::{RankedDelta, TopicTouch, WindowDelta};
 pub use ranked_list::{RankedList, RankedListCursor, RankedLists};
 pub use window::WindowConfig;

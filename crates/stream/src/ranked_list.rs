@@ -17,6 +17,8 @@ use std::collections::{BTreeSet, HashMap};
 
 use ksir_types::{ElementId, Timestamp, TopicId};
 
+use crate::delta::RankedDelta;
+
 /// Key ordering entries by descending score, breaking ties by element id.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct ScoreKey {
@@ -87,14 +89,12 @@ impl RankedList {
         self.order.insert(ScoreKey { score, id });
     }
 
-    /// Removes an element (no-op if absent).  Returns `true` if it was present.
-    pub fn remove(&mut self, id: ElementId) -> bool {
-        if let Some((score, _)) = self.entries.remove(&id) {
-            self.order.remove(&ScoreKey { score, id });
-            true
-        } else {
-            false
-        }
+    /// Removes an element (no-op if absent).  Returns the removed tuple so
+    /// callers can log the position the removal touched.
+    pub fn remove(&mut self, id: ElementId) -> Option<(f64, Timestamp)> {
+        let (score, ts) = self.entries.remove(&id)?;
+        self.order.remove(&ScoreKey { score, id });
+        Some((score, ts))
     }
 
     /// The highest-scored entry (`RL_i.first` in the paper).
@@ -166,9 +166,17 @@ impl RankedListCursor<'_> {
 }
 
 /// The full set of ranked lists, one per topic.
+///
+/// Every mutation routed through [`RankedLists::upsert`] /
+/// [`RankedLists::remove_everywhere`] is additionally logged into a
+/// [`RankedDelta`] so incremental consumers (standing queries in
+/// `ksir-continuous`) can tell how high in each list a window slide reached.
+/// Call [`RankedLists::take_delta`] to drain the log; see the
+/// [`crate::delta`] module docs for the exact invariant the log guarantees.
 #[derive(Debug)]
 pub struct RankedLists {
     lists: Vec<RankedList>,
+    delta: RankedDelta,
 }
 
 impl RankedLists {
@@ -176,6 +184,7 @@ impl RankedLists {
     pub fn new(num_topics: usize) -> Self {
         RankedLists {
             lists: (0..num_topics).map(|_| RankedList::new()).collect(),
+            delta: RankedDelta::new(num_topics),
         }
     }
 
@@ -191,18 +200,48 @@ impl RankedLists {
     }
 
     /// Mutable access to one topic's list.
+    ///
+    /// Mutations through this escape hatch bypass the touch log; incremental
+    /// consumers relying on [`RankedLists::take_delta`] should route all
+    /// changes through [`RankedLists::upsert`] and
+    /// [`RankedLists::remove_everywhere`] instead.
     pub fn list_mut(&mut self, topic: TopicId) -> &mut RankedList {
         &mut self.lists[topic.index()]
     }
 
-    /// Upserts an element's tuple in the given topic's list.
+    /// Upserts an element's tuple in the given topic's list, logging a touch
+    /// at the higher of the old and new scores.
     pub fn upsert(&mut self, topic: TopicId, id: ElementId, score: f64, ts: Timestamp) {
-        self.lists[topic.index()].upsert(id, score, ts);
+        let list = &mut self.lists[topic.index()];
+        let touched = match list.get(id) {
+            Some((old_score, _)) => old_score.max(score),
+            None => score,
+        };
+        self.delta.record(topic, touched);
+        list.upsert(id, score, ts);
     }
 
-    /// Removes an element from every list.  Returns how many lists held it.
+    /// Removes an element from every list, logging a touch at each removed
+    /// tuple's score.  Returns how many lists held it.
     pub fn remove_everywhere(&mut self, id: ElementId) -> usize {
-        self.lists.iter_mut().map(|l| l.remove(id) as usize).sum()
+        let mut removed = 0;
+        for (i, list) in self.lists.iter_mut().enumerate() {
+            if let Some((score, _)) = list.remove(id) {
+                self.delta.record(TopicId(i as u32), score);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// The touches accumulated since the last [`RankedLists::take_delta`].
+    pub fn pending_delta(&self) -> &RankedDelta {
+        &self.delta
+    }
+
+    /// Drains and returns the accumulated touch log.
+    pub fn take_delta(&mut self) -> RankedDelta {
+        std::mem::replace(&mut self.delta, RankedDelta::new(self.lists.len()))
     }
 
     /// Total number of tuples across all lists (an element appears once per
@@ -258,8 +297,8 @@ mod tests {
     fn remove_works_and_is_idempotent() {
         let mut rl = RankedList::new();
         rl.upsert(id(1), 0.3, Timestamp(1));
-        assert!(rl.remove(id(1)));
-        assert!(!rl.remove(id(1)));
+        assert_eq!(rl.remove(id(1)), Some((0.3, Timestamp(1))));
+        assert_eq!(rl.remove(id(1)), None);
         assert!(rl.is_empty());
         assert_eq!(rl.first(), None);
     }
@@ -300,6 +339,37 @@ mod tests {
         assert_eq!(rls.remove_everywhere(id(1)), 2);
         assert_eq!(rls.total_entries(), 1);
         assert_eq!(rls.remove_everywhere(id(1)), 0);
+    }
+
+    #[test]
+    fn touch_log_tracks_upserts_adjustments_and_removals() {
+        let mut rls = RankedLists::new(3);
+        assert!(rls.pending_delta().is_empty());
+        // fresh insert touches at the new score
+        rls.upsert(TopicId(0), id(1), 0.4, Timestamp(1));
+        assert_eq!(rls.pending_delta().touch(TopicId(0)).unwrap().high, 0.4);
+        // a downward adjustment touches at the *old* (higher) score
+        rls.upsert(TopicId(0), id(1), 0.1, Timestamp(2));
+        let t = rls.pending_delta().touch(TopicId(0)).unwrap();
+        assert_eq!(t.high, 0.4);
+        assert_eq!(t.count, 2);
+        // an upward adjustment touches at the new score
+        rls.upsert(TopicId(0), id(1), 0.9, Timestamp(3));
+        assert_eq!(rls.pending_delta().touch(TopicId(0)).unwrap().high, 0.9);
+        // untouched topics stay clean
+        assert!(!rls.pending_delta().touched(TopicId(1)));
+        // draining resets the log
+        let drained = rls.take_delta();
+        assert_eq!(drained.touch(TopicId(0)).unwrap().count, 3);
+        assert!(rls.pending_delta().is_empty());
+        // removal touches every list that held the element, at the old scores
+        rls.upsert(TopicId(1), id(1), 0.7, Timestamp(4));
+        rls.take_delta();
+        rls.remove_everywhere(id(1));
+        let d = rls.take_delta();
+        assert_eq!(d.touch(TopicId(0)).unwrap().high, 0.9);
+        assert_eq!(d.touch(TopicId(1)).unwrap().high, 0.7);
+        assert!(!d.touched(TopicId(2)));
     }
 
     #[test]

@@ -62,10 +62,7 @@ pub fn cosine_sparse(a: &TfIdfVector, b: &TfIdfVector) -> f64 {
     }
     // Merge-join over the sorted maps; iterate the smaller one.
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let dot: f64 = small
-        .iter()
-        .map(|(w, v)| v * large.weight(w))
-        .sum();
+    let dot: f64 = small.iter().map(|(w, v)| v * large.weight(w)).sum();
     let denom = a.norm() * b.norm();
     if denom == 0.0 {
         0.0
@@ -127,12 +124,7 @@ mod tests {
     }
 
     fn corpus() -> Vec<Document> {
-        vec![
-            doc(&[1, 2, 3]),
-            doc(&[1, 4]),
-            doc(&[1, 5, 5]),
-            doc(&[6, 7]),
-        ]
+        vec![doc(&[1, 2, 3]), doc(&[1, 4]), doc(&[1, 5, 5]), doc(&[6, 7])]
     }
 
     #[test]

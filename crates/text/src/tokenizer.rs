@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn punctuation_inside_words_splits() {
-        assert_eq!(tokenize("state-of-the-art"), vec!["state", "of", "the", "art"]);
+        assert_eq!(
+            tokenize("state-of-the-art"),
+            vec!["state", "of", "the", "art"]
+        );
     }
 
     #[test]

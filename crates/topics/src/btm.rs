@@ -241,9 +241,7 @@ mod tests {
             .train(&short_corpus(), 8)
             .unwrap();
         for t in 0..3u32 {
-            let sum: f64 = (0..8)
-                .map(|w| model.word_prob(TopicId(t), WordId(w)))
-                .sum();
+            let sum: f64 = (0..8).map(|w| model.word_prob(TopicId(t), WordId(w))).sum();
             assert!((sum - 1.0).abs() < 1e-9);
         }
     }
@@ -264,7 +262,10 @@ mod tests {
         let t0_low = mass(0, 0, 4);
         let t1_low = mass(1, 0, 4);
         let separated = (t0_low > 0.75 && t1_low < 0.25) || (t1_low > 0.75 && t0_low < 0.25);
-        assert!(separated, "BTM failed to separate: {t0_low:.2} vs {t1_low:.2}");
+        assert!(
+            separated,
+            "BTM failed to separate: {t0_low:.2} vs {t1_low:.2}"
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 
 use ksir_types::{
-    DenseTopicWordTable, Document, ElementId, KsirError, QueryVector, Result, TopicId,
-    TopicVector, TopicWordDistribution, WordId,
+    DenseTopicWordTable, Document, ElementId, KsirError, QueryVector, Result, TopicId, TopicVector,
+    TopicWordDistribution, WordId,
 };
 
 use crate::model::TopicModel;
@@ -147,11 +147,8 @@ mod tests {
     use super::*;
 
     fn table() -> DenseTopicWordTable {
-        DenseTopicWordTable::from_rows(vec![
-            vec![0.6, 0.4, 0.0, 0.0],
-            vec![0.0, 0.0, 0.5, 0.5],
-        ])
-        .unwrap()
+        DenseTopicWordTable::from_rows(vec![vec![0.6, 0.4, 0.0, 0.0], vec![0.0, 0.0, 0.5, 0.5]])
+            .unwrap()
     }
 
     fn doc(words: &[u32]) -> Document {
@@ -176,9 +173,7 @@ mod tests {
         assert_eq!(o.pinned(ElementId(8)), None);
         assert_eq!(o.pinned_count(), 1);
         // wrong dimensionality rejected
-        assert!(o
-            .pin_element(ElementId(9), TopicVector::zeros(3))
-            .is_err());
+        assert!(o.pin_element(ElementId(9), TopicVector::zeros(3)).is_err());
     }
 
     #[test]

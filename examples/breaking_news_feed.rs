@@ -13,7 +13,10 @@
 //! Run with `cargo run --release --example breaking_news_feed`.
 
 use ksir::datagen::{DatasetProfile, StreamGenerator};
-use ksir::{Algorithm, EngineConfig, KsirEngine, KsirQuery, QueryVector, ScoringConfig, Timestamp, TopicId, WindowConfig};
+use ksir::{
+    Algorithm, EngineConfig, KsirEngine, KsirQuery, QueryVector, ScoringConfig, Timestamp, TopicId,
+    WindowConfig,
+};
 
 fn main() -> Result<(), ksir::KsirError> {
     // A Twitter-shaped stream: short posts, rare but bursty retweets.

@@ -35,7 +35,8 @@ fn main() -> Result<(), ksir::KsirError> {
         engine.active_count()
     );
 
-    let queries = QueryWorkloadGenerator::new(&stream.planted, 5).generate(10, stream.end_time())?;
+    let queries =
+        QueryWorkloadGenerator::new(&stream.planted, 5).generate(10, stream.end_time())?;
     let pool = pool_from_engine(&engine);
     let k = 5;
 
@@ -62,10 +63,16 @@ fn main() -> Result<(), ksir::KsirError> {
             influence[m] += normalized_influence_score(&pool, result) / queries.len() as f64;
         }
     }
-    println!("== Result quality over {} keyword queries (k = {k}) ==", queries.len());
+    println!(
+        "== Result quality over {} keyword queries (k = {k}) ==",
+        queries.len()
+    );
     println!("{:<10} {:>10} {:>10}", "method", "coverage", "influence");
     for m in 0..names.len() {
-        println!("{:<10} {:>10.4} {:>10.4}", names[m], coverage[m], influence[m]);
+        println!(
+            "{:<10} {:>10.4} {:>10.4}",
+            names[m], coverage[m], influence[m]
+        );
     }
 
     // --- Efficiency: cost of answering the same k-SIR queries ---------------

@@ -24,6 +24,7 @@
 //! | [`topics`] | `ksir-topics` | LDA and BTM trainers, topic-model oracle |
 //! | [`stream`] | `ksir-stream` | sliding window, active elements, ranked lists |
 //! | [`core`] | `ksir-core` | scoring, the engine, MTTS/MTTD/CELF/SieveStreaming/Top-k |
+//! | [`continuous`] | `ksir-continuous` | standing queries with delta-driven result maintenance |
 //! | [`baselines`] | `ksir-baselines` | TF-IDF, DIV, Sumblr, REL effectiveness baselines |
 //! | [`datagen`] | `ksir-datagen` | synthetic streams calibrated to the paper's datasets |
 //! | [`eval`] | `ksir-eval` | coverage/influence metrics, proxy user study, kappa |
@@ -51,6 +52,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use ksir_baselines as baselines;
+pub use ksir_continuous as continuous;
 pub use ksir_core as core;
 pub use ksir_datagen as datagen;
 pub use ksir_eval as eval;
@@ -59,10 +61,12 @@ pub use ksir_text as text;
 pub use ksir_topics as topics;
 pub use ksir_types as types;
 
+pub use ksir_continuous::{ResultDelta, SubscriptionId, SubscriptionManager};
 pub use ksir_core::{
-    Algorithm, EngineConfig, KsirEngine, KsirQuery, QueryResult, Scorer, ScoringConfig,
+    Algorithm, EngineConfig, IngestReport, KsirEngine, KsirQuery, QueryFrontier, QueryResult,
+    Scorer, ScoringConfig,
 };
-pub use ksir_stream::WindowConfig;
+pub use ksir_stream::{WindowConfig, WindowDelta};
 pub use ksir_topics::{BtmTrainer, LdaTrainer, TopicModel, TopicOracle};
 pub use ksir_types::{
     Document, ElementId, KsirError, QueryVector, SocialElement, SocialElementBuilder, Timestamp,

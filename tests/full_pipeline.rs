@@ -34,7 +34,10 @@ fn build_engine(
 fn streaming_engine_answers_queries_from_generated_data() {
     let stream = generate();
     let engine = build_engine(&stream);
-    assert!(engine.active_count() > 10, "window should retain recent elements");
+    assert!(
+        engine.active_count() > 10,
+        "window should retain recent elements"
+    );
     assert!(engine.active_count() <= stream.len());
 
     let queries = QueryWorkloadGenerator::new(&stream.planted, 5)

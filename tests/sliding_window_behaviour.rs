@@ -3,7 +3,7 @@
 //! and expired-but-referenced elements stay retrievable.
 
 use ksir::{
-    Algorithm, EngineConfig, ElementId, KsirEngine, KsirQuery, QueryVector, ScoringConfig,
+    Algorithm, ElementId, EngineConfig, KsirEngine, KsirQuery, QueryVector, ScoringConfig,
     SocialElementBuilder, Timestamp, TopicVector, WindowConfig,
 };
 
@@ -30,14 +30,24 @@ fn query_results_track_the_sliding_window() {
     let mut engine = engine(3);
     // One early burst about topic 0, one later burst about topic 0 with
     // different words; with a 3-tick window only the recent burst is active.
-    for (id, ts, words) in [(1u64, 1u64, [0u32, 1]), (2, 2, [0, 2]), (3, 6, [1, 2]), (4, 7, [0, 1])] {
+    for (id, ts, words) in [
+        (1u64, 1u64, [0u32, 1]),
+        (2, 2, [0, 2]),
+        (3, 6, [1, 2]),
+        (4, 7, [0, 1]),
+    ] {
         let e = SocialElementBuilder::new(id).at(ts).words(words).build();
-        engine.ingest_bucket(vec![(e, tv(1.0, 0.0))], Timestamp(ts)).unwrap();
+        engine
+            .ingest_bucket(vec![(e, tv(1.0, 0.0))], Timestamp(ts))
+            .unwrap();
     }
     let query = KsirQuery::new(2, QueryVector::single_topic(2, ksir::TopicId(0)).unwrap()).unwrap();
     let result = engine.query(&query, Algorithm::Mttd).unwrap();
     assert!(result.contains(ElementId(3)) || result.contains(ElementId(4)));
-    assert!(!result.contains(ElementId(1)), "expired elements must not be returned");
+    assert!(
+        !result.contains(ElementId(1)),
+        "expired elements must not be returned"
+    );
     assert!(!result.contains(ElementId(2)));
 }
 
@@ -47,10 +57,18 @@ fn influence_fades_as_referencing_elements_expire() {
     // e1 is retweeted twice right away; later the retweets fall out of the
     // window, so e1's influence-driven score must drop.
     let e1 = SocialElementBuilder::new(1).at(1).words([0, 1]).build();
-    engine.ingest_bucket(vec![(e1, tv(1.0, 0.0))], Timestamp(1)).unwrap();
+    engine
+        .ingest_bucket(vec![(e1, tv(1.0, 0.0))], Timestamp(1))
+        .unwrap();
     for (id, ts) in [(2u64, 2u64), (3, 3)] {
-        let e = SocialElementBuilder::new(id).at(ts).words([2]).referencing(1).build();
-        engine.ingest_bucket(vec![(e, tv(1.0, 0.0))], Timestamp(ts)).unwrap();
+        let e = SocialElementBuilder::new(id)
+            .at(ts)
+            .words([2])
+            .referencing(1)
+            .build();
+        engine
+            .ingest_bucket(vec![(e, tv(1.0, 0.0))], Timestamp(ts))
+            .unwrap();
     }
     let early = engine
         .ranked_lists()
@@ -60,8 +78,14 @@ fn influence_fades_as_referencing_elements_expire() {
         .0;
     // Keep e1 alive with one fresh retweet at t = 6, by which time both early
     // retweets (t = 2, 3) have slid out of the 3-tick window.
-    let e4 = SocialElementBuilder::new(4).at(6).words([2]).referencing(1).build();
-    engine.ingest_bucket(vec![(e4, tv(1.0, 0.0))], Timestamp(6)).unwrap();
+    let e4 = SocialElementBuilder::new(4)
+        .at(6)
+        .words([2])
+        .referencing(1)
+        .build();
+    engine
+        .ingest_bucket(vec![(e4, tv(1.0, 0.0))], Timestamp(6))
+        .unwrap();
     let late = engine
         .ranked_lists()
         .list(ksir::TopicId(0))
@@ -78,14 +102,22 @@ fn influence_fades_as_referencing_elements_expire() {
 fn referenced_parents_remain_selectable_after_expiring() {
     let mut engine = engine(3);
     let e1 = SocialElementBuilder::new(1).at(1).words([0, 1, 2]).build();
-    engine.ingest_bucket(vec![(e1, tv(1.0, 0.0))], Timestamp(1)).unwrap();
+    engine
+        .ingest_bucket(vec![(e1, tv(1.0, 0.0))], Timestamp(1))
+        .unwrap();
     // Nothing happens for a while: e1 expires.
     engine.ingest_bucket(vec![], Timestamp(5)).unwrap();
     assert!(!engine.is_active(ElementId(1)));
     // A new element cites e1, pulling it back into the active set (A_t
     // includes referenced parents), so a query can return it again.
-    let e2 = SocialElementBuilder::new(2).at(6).words([3]).referencing(1).build();
-    engine.ingest_bucket(vec![(e2, tv(0.0, 1.0))], Timestamp(6)).unwrap();
+    let e2 = SocialElementBuilder::new(2)
+        .at(6)
+        .words([3])
+        .referencing(1)
+        .build();
+    engine
+        .ingest_bucket(vec![(e2, tv(0.0, 1.0))], Timestamp(6))
+        .unwrap();
     assert!(engine.is_active(ElementId(1)));
     let query = KsirQuery::new(1, QueryVector::single_topic(2, ksir::TopicId(0)).unwrap()).unwrap();
     let result = engine.query(&query, Algorithm::Celf).unwrap();

@@ -1,0 +1,286 @@
+//! Offline drop-in subset of the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing API.
+//!
+//! The build environment has no crates.io access, so this stub implements the
+//! surface the workspace's property tests use: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, [`prelude::ProptestConfig`],
+//! the [`prelude::Strategy`] trait with `prop_map`, strategies for integer
+//! ranges / `any::<T>()` / tuples, and the `prop_assume!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are generated from a fixed deterministic seed sequence (no
+//!   persistence files, no env-var overrides), so failures reproduce on every
+//!   run without extra state;
+//! * there is no shrinking — the failing case's inputs are printed instead;
+//! * `prop_assume!` rejects the case without counting it towards the total.
+
+use rand::rngs::StdRng;
+
+/// Marker describing why a generated case was rejected by `prop_assume!`.
+#[derive(Debug, Clone, Copy)]
+pub struct TestCaseRejection;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Generates values of `Self::Value` from a seeded RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy for the full value domain of `T` (see [`any`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    /// The strategy generating any value of `T` (`any::<u64>()`, …).
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen::<f64>()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// Runner configuration (subset of proptest's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-case RNG used by the [`proptest!`] expansion.
+pub fn case_rng(case: u64) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(0x5eed_cafe_f00d_0001 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+pub mod prelude {
+    //! Commonly used items, mirroring `proptest::prelude`.
+    pub use super::strategy::{any, Strategy};
+    pub use super::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Rejects the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseRejection);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseRejection);
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the test on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property, failing the test on violation.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests, mirroring proptest's macro for the
+/// `fn name(binding in strategy) { body }` form.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( $(#[$attr:meta])* fn $name:ident($arg:ident in $strat:expr) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = $strat;
+                let mut accepted: u32 = 0;
+                let mut case: u64 = 0;
+                // Bound total draws so a property rejecting every case (via
+                // prop_assume!) terminates instead of spinning forever.
+                let max_draws = (config.cases as u64) * 20 + 64;
+                while accepted < config.cases && case < max_draws {
+                    let mut rng = $crate::case_rng(case);
+                    case += 1;
+                    let $arg = $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                    // The closure gives `prop_assume!` an early-return scope;
+                    // immediate invocation is the point.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseRejection> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Mapped tuple strategies produce values inside the source ranges.
+        #[test]
+        fn tuple_and_map_strategies_work(v in (1u64..=8, 2usize..5).prop_map(|(a, b)| a as usize + b)) {
+            prop_assert!((3..=12).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in any::<u64>()) {
+            prop_assume!(x.is_multiple_of(2));
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generated_properties_run() {
+        tuple_and_map_strategies_work();
+        assume_rejects_without_failing();
+    }
+}
