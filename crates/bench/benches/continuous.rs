@@ -1,100 +1,35 @@
 //! Standing-query maintenance: delta-driven refresh vs recompute-per-slide.
 //!
 //! The workload the `ksir-continuous` subsystem exists for: a 10k-element
-//! Twitter-shaped stream replayed bucket by bucket while ≥16 standing queries
-//! must be kept current.  `delta_refresh` maintains them through the
-//! `SubscriptionManager` (skipping subscriptions whose support topics were
-//! not disturbed above their traversal floors); `recompute_per_slide` is the
-//! naive baseline that re-runs every query after every bucket.  Both replay
-//! the same pre-generated stream from a fresh engine, so the measured gap is
-//! exactly the maintenance saving.
+//! Twitter-shaped stream replayed bucket by bucket while 16 standing queries
+//! must be kept current (the shared [`MaintenanceScenario`]).
+//! `delta_refresh` maintains them through the `SubscriptionManager` in its
+//! PR-1 serial configuration (skipping subscriptions whose support topics
+//! were not disturbed above their traversal floors); `recompute_per_slide`
+//! is the naive baseline that re-runs every query after every bucket.  Both
+//! replay the same pre-generated stream from a fresh engine, so the measured
+//! gap is exactly the maintenance saving.  The sharded configurations are
+//! measured separately in `continuous_sharded.rs`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ksir_continuous::SubscriptionManager;
-use ksir_core::{Algorithm, EngineConfig, KsirEngine, KsirQuery, ScoringConfig};
-use ksir_datagen::{DatasetProfile, GeneratedStream, StreamGenerator};
-use ksir_stream::WindowConfig;
-use ksir_types::{DenseTopicWordTable, QueryVector};
-
-const NUM_SUBSCRIPTIONS: usize = 16;
-const K: usize = 10;
-
-fn make_stream() -> GeneratedStream {
-    // ~10k elements over ~28 hours, 50 planted topics.
-    let profile = DatasetProfile::twitter().scaled(1.67).with_topics(50);
-    StreamGenerator::new(profile, 4242)
-        .unwrap()
-        .generate()
-        .unwrap()
-}
-
-fn make_engine(stream: &GeneratedStream) -> KsirEngine<DenseTopicWordTable> {
-    // 6-hour window, 15-minute buckets.
-    let config = EngineConfig::new(
-        WindowConfig::new(6 * 60, 15).unwrap(),
-        ScoringConfig::new(0.5, 1.0).unwrap(),
-    );
-    KsirEngine::new(stream.planted.phi().clone(), config).unwrap()
-}
-
-/// Narrow standing interests (1–2 topics each), the realistic subscription
-/// shape: users follow a handful of topics, not all fifty.
-fn make_queries(num_topics: usize) -> Vec<(KsirQuery, Algorithm)> {
-    (0..NUM_SUBSCRIPTIONS)
-        .map(|i| {
-            let mut weights = vec![0.0; num_topics];
-            weights[(3 * i) % num_topics] = 0.8;
-            weights[(3 * i + 1) % num_topics] = 0.2;
-            let query = KsirQuery::new(K, QueryVector::new(weights).unwrap()).unwrap();
-            let algorithm = if i % 2 == 0 {
-                Algorithm::Mttd
-            } else {
-                Algorithm::Mtts
-            };
-            (query, algorithm)
-        })
-        .collect()
-}
+use ksir_bench::MaintenanceScenario;
+use ksir_continuous::ShardConfig;
 
 fn bench_standing_queries(c: &mut Criterion) {
-    let stream = make_stream();
-    let queries = make_queries(stream.planted.num_topics());
+    let scenario = MaintenanceScenario::standard();
     let mut group = c.benchmark_group("continuous");
     group.sample_size(10);
 
-    group.bench_function(BenchmarkId::new("delta_refresh", stream.len()), |b| {
-        b.iter(|| {
-            let mut mgr = SubscriptionManager::new(make_engine(&stream));
-            for (query, algorithm) in &queries {
-                mgr.subscribe(query.clone(), *algorithm).unwrap();
-            }
-            let outcomes = mgr.ingest_stream(stream.iter_pairs()).unwrap();
-            std::hint::black_box(outcomes.len())
-        })
-    });
+    group.bench_function(
+        BenchmarkId::new("delta_refresh", scenario.stream.len()),
+        |b| b.iter(|| scenario.run_managed(ShardConfig::unsharded()).stats),
+    );
 
-    group.bench_function(BenchmarkId::new("recompute_per_slide", stream.len()), |b| {
-        b.iter(|| {
-            let mut engine = make_engine(&stream);
-            let bucket_len = engine.config().window.bucket_len();
-            let mut total_results = 0usize;
-            ksir_stream::for_each_bucket(
-                bucket_len,
-                engine.now(),
-                stream.iter_pairs(),
-                |bucket, end| {
-                    engine.ingest_bucket(bucket, end)?;
-                    for (query, algorithm) in &queries {
-                        total_results += engine.query(query, *algorithm)?.len();
-                    }
-                    Ok(())
-                },
-            )
-            .unwrap();
-            std::hint::black_box(total_results)
-        })
-    });
+    group.bench_function(
+        BenchmarkId::new("recompute_per_slide", scenario.stream.len()),
+        |b| b.iter(|| scenario.run_recompute().stats),
+    );
 
     group.finish();
 }
@@ -102,24 +37,18 @@ fn bench_standing_queries(c: &mut Criterion) {
 /// One-shot report of how much work the delta rules skip on this workload
 /// (printed alongside the timings so the bench output is self-explaining).
 fn report_skip_rate(c: &mut Criterion) {
-    let stream = make_stream();
-    let queries = make_queries(stream.planted.num_topics());
-    let mut mgr = SubscriptionManager::new(make_engine(&stream));
-    for (query, algorithm) in &queries {
-        mgr.subscribe(query.clone(), *algorithm).unwrap();
-    }
-    mgr.ingest_stream(stream.iter_pairs()).unwrap();
-    let stats = mgr.stats();
-    let potential = stats.slides * queries.len();
+    let scenario = MaintenanceScenario::standard();
+    let run = scenario.run_managed(ShardConfig::unsharded());
+    let potential = run.stats.slides * scenario.queries.len();
     println!(
         "continuous/skip_rate: {} slides x {} subscriptions = {} evaluations; \
          {} refreshes, {} skips ({:.1}% saved)",
-        stats.slides,
-        queries.len(),
+        run.stats.slides,
+        scenario.queries.len(),
         potential,
-        stats.refreshes,
-        stats.skips,
-        100.0 * stats.skips as f64 / potential.max(1) as f64,
+        run.stats.refreshes,
+        run.stats.skips,
+        100.0 * run.skip_ratio(),
     );
     let _ = c;
 }

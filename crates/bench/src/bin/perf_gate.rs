@@ -1,0 +1,115 @@
+//! CI perf-regression gate for standing-query maintenance.
+//!
+//! Runs the shared [`MaintenanceScenario`] (10k-element stream, 16 standing
+//! queries) under three strategies — recompute-per-slide, serial delta
+//! refresh (PR-1 behaviour), and sharded multi-core refresh — and writes the
+//! wall times plus skip ratios to `BENCH_continuous.json` (override the path
+//! with the first CLI argument or `BENCH_OUT`).
+//!
+//! The gate **fails** (exit code 1) when the sharded path's wall time
+//! exceeds the serial delta-refresh path by more than the tolerance
+//! (`PERF_GATE_TOLERANCE`, default 0.15 — i.e. sharded may be at most 15%
+//! slower, absorbing runner noise on single-core CI hosts where the scoped
+//! thread pool degenerates to the serial path).  Each strategy is run three
+//! times and the fastest run is kept, which damps scheduler noise further.
+
+use std::time::Duration;
+
+use ksir_bench::{MaintenanceRun, MaintenanceScenario};
+use ksir_continuous::ShardConfig;
+
+const RUNS_PER_STRATEGY: usize = 3;
+
+fn best_of<F: Fn() -> MaintenanceRun>(run: F) -> MaintenanceRun {
+    (0..RUNS_PER_STRATEGY)
+        .map(|_| run())
+        .min_by_key(|r| r.elapsed)
+        .expect("at least one run")
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_continuous.json".to_string());
+    let tolerance: f64 = std::env::var("PERF_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.15);
+
+    let scenario = MaintenanceScenario::standard();
+    eprintln!(
+        "perf_gate: {} elements, {} subscriptions, best of {RUNS_PER_STRATEGY} runs per strategy",
+        scenario.stream.len(),
+        scenario.queries.len(),
+    );
+
+    let recompute = best_of(|| scenario.run_recompute());
+    let serial = best_of(|| scenario.run_managed(ShardConfig::unsharded()));
+    let sharded = best_of(|| scenario.run_managed(ShardConfig::default()));
+    let threads = ShardConfig::default().worker_threads();
+
+    // Identical refresh decisions are a correctness invariant (pinned in the
+    // continuous crate's tests); check it here too so a gate pass can never
+    // come from the sharded path silently doing less work.
+    assert_eq!(
+        serial.stats, sharded.stats,
+        "sharded and serial paths must make identical refresh decisions"
+    );
+
+    let budget = ms(serial.elapsed) * (1.0 + tolerance);
+    let pass = ms(sharded.elapsed) <= budget;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": {{ \"elements\": {}, \"subscriptions\": {}, \"slides\": {} }},\n",
+            "  \"recompute_ms\": {:.3},\n",
+            "  \"delta_serial_ms\": {:.3},\n",
+            "  \"delta_sharded_ms\": {:.3},\n",
+            "  \"skip_ratio\": {:.4},\n",
+            "  \"shards\": {},\n",
+            "  \"worker_threads\": {},\n",
+            "  \"tolerance\": {:.2},\n",
+            "  \"gate\": \"{}\"\n",
+            "}}\n"
+        ),
+        scenario.stream.len(),
+        scenario.queries.len(),
+        serial.stats.slides,
+        ms(recompute.elapsed),
+        ms(serial.elapsed),
+        ms(sharded.elapsed),
+        sharded.skip_ratio(),
+        sharded.shard_stats.len(),
+        threads,
+        tolerance,
+        if pass { "pass" } else { "fail" },
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_continuous.json");
+    print!("{json}");
+    eprintln!(
+        "perf_gate: recompute {:.0} ms | delta-serial {:.0} ms | delta-sharded {:.0} ms \
+         ({:.1}% evals skipped, {} shards, {} worker threads) -> {}",
+        ms(recompute.elapsed),
+        ms(serial.elapsed),
+        ms(sharded.elapsed),
+        100.0 * sharded.skip_ratio(),
+        sharded.shard_stats.len(),
+        threads,
+        if pass { "PASS" } else { "FAIL" },
+    );
+    if !pass {
+        eprintln!(
+            "perf_gate: sharded refresh regressed past the serial path \
+             ({:.0} ms > {:.0} ms budget)",
+            ms(sharded.elapsed),
+            budget,
+        );
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`effectiveness`] — runs the k-SIR query and the four effectiveness
 //!   baselines over the same workloads and scores them with the coverage /
 //!   influence metrics and the proxy user study (Tables 5 and 6).
+//! * [`maintenance`] — the standing-query maintenance scenario shared by the
+//!   `continuous*` benches and the CI perf gate: recompute-per-slide vs
+//!   serial delta refresh vs sharded multi-core refresh over one stream.
 //! * [`table`] — plain-text table rendering so each `exp_*` binary prints
 //!   rows in the same layout as the paper.
 //!
@@ -22,10 +25,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod effectiveness;
+pub mod maintenance;
 pub mod scenario;
 pub mod table;
 
 pub use effectiveness::{run_effectiveness, EffectivenessConfig, EffectivenessReport};
+pub use maintenance::{MaintenanceRun, MaintenanceScenario};
 pub use scenario::{
     build_engine, replay_with_queries, ProcessingConfig, ProcessingReport, QueryMeasurement,
 };

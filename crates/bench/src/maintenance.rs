@@ -1,0 +1,197 @@
+//! Standing-query maintenance scenario shared by the `continuous*` benches
+//! and the CI perf gate (`perf_gate`).
+//!
+//! The workload the `ksir-continuous` subsystem exists for: a Twitter-shaped
+//! stream replayed bucket by bucket while a panel of standing queries must be
+//! kept current.  Three maintenance strategies are measured over the *same*
+//! pre-generated stream from a fresh engine each run, so timing differences
+//! are exactly the maintenance saving:
+//!
+//! * [`MaintenanceScenario::run_recompute`] — the naive baseline: re-run
+//!   every query after every bucket, no delta rules at all.
+//! * [`MaintenanceScenario::run_managed`] with
+//!   [`ShardConfig::unsharded`](ksir_continuous::ShardConfig::unsharded) —
+//!   PR-1's serial delta refresh: one shard, one thread, per-subscription
+//!   skip rules.
+//! * [`MaintenanceScenario::run_managed`] with the default config — the
+//!   sharded path: topic-keyed shards scheduled by projected touch filters,
+//!   refreshed on scoped worker threads.
+
+use std::time::{Duration, Instant};
+
+use ksir_continuous::{ManagerStats, ShardConfig, ShardStats, SubscriptionManager};
+use ksir_core::{Algorithm, EngineConfig, KsirEngine, KsirQuery, ScoringConfig};
+use ksir_datagen::{DatasetProfile, GeneratedStream, StreamGenerator};
+use ksir_stream::WindowConfig;
+use ksir_types::{DenseTopicWordTable, QueryVector};
+
+/// A pre-generated stream plus the standing-query panel to maintain over it.
+#[derive(Debug)]
+pub struct MaintenanceScenario {
+    /// The element stream, replayed identically by every strategy.
+    pub stream: GeneratedStream,
+    /// The standing queries and their algorithms.
+    pub queries: Vec<(KsirQuery, Algorithm)>,
+    window: WindowConfig,
+    scoring: ScoringConfig,
+}
+
+/// Timing and work counters of one maintenance run.
+#[derive(Debug, Clone)]
+pub struct MaintenanceRun {
+    /// Wall-clock time for the full replay (ingestion + refreshes).
+    pub elapsed: Duration,
+    /// Slide/refresh/skip counters (recompute runs report all-refresh).
+    pub stats: ManagerStats,
+    /// Per-shard counters (empty for the recompute baseline).
+    pub shard_stats: Vec<ShardStats>,
+}
+
+impl MaintenanceRun {
+    /// Fraction of slide-time evaluations the delta rules skipped.
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.stats.refreshes + self.stats.skips;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.skips as f64 / total as f64
+        }
+    }
+
+    /// Maintained subscription-slides per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        let evaluations = self.stats.refreshes + self.stats.skips;
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            evaluations as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+impl MaintenanceScenario {
+    /// The standard workload: a ~10k-element / 50-topic Twitter-shaped
+    /// stream, a 6-hour window with 15-minute buckets, and 16 narrow
+    /// standing queries (1–2 support topics each — users follow a handful of
+    /// topics, not all fifty), alternating MTTD and MTTS.
+    pub fn standard() -> Self {
+        Self::sized(1.67, 16)
+    }
+
+    /// A scaled-down variant for smoke tests.
+    pub fn smoke() -> Self {
+        Self::sized(0.1, 8)
+    }
+
+    fn sized(scale: f64, num_subscriptions: usize) -> Self {
+        let profile = DatasetProfile::twitter().scaled(scale).with_topics(50);
+        let stream = StreamGenerator::new(profile, 4242)
+            .unwrap()
+            .generate()
+            .unwrap();
+        let num_topics = stream.planted.num_topics();
+        let queries = (0..num_subscriptions)
+            .map(|i| {
+                let mut weights = vec![0.0; num_topics];
+                weights[(3 * i) % num_topics] = 0.8;
+                weights[(3 * i + 1) % num_topics] = 0.2;
+                let query = KsirQuery::new(10, QueryVector::new(weights).unwrap()).unwrap();
+                let algorithm = if i % 2 == 0 {
+                    Algorithm::Mttd
+                } else {
+                    Algorithm::Mtts
+                };
+                (query, algorithm)
+            })
+            .collect();
+        MaintenanceScenario {
+            stream,
+            queries,
+            window: WindowConfig::new(6 * 60, 15).unwrap(),
+            scoring: ScoringConfig::new(0.5, 1.0).unwrap(),
+        }
+    }
+
+    /// A fresh, empty engine over the scenario's planted topic model.
+    pub fn engine(&self) -> KsirEngine<DenseTopicWordTable> {
+        KsirEngine::new(
+            self.stream.planted.phi().clone(),
+            EngineConfig::new(self.window, self.scoring),
+        )
+        .unwrap()
+    }
+
+    /// Replays the stream through a [`SubscriptionManager`] under `config`.
+    pub fn run_managed(&self, config: ShardConfig) -> MaintenanceRun {
+        let started = Instant::now();
+        let mut mgr = SubscriptionManager::with_shard_config(self.engine(), config);
+        for (query, algorithm) in &self.queries {
+            mgr.subscribe(query.clone(), *algorithm).unwrap();
+        }
+        let outcomes = mgr.ingest_stream(self.stream.iter_pairs()).unwrap();
+        std::hint::black_box(outcomes.len());
+        MaintenanceRun {
+            elapsed: started.elapsed(),
+            stats: mgr.stats(),
+            shard_stats: mgr.shard_stats(),
+        }
+    }
+
+    /// Replays the stream re-running every query after every bucket — the
+    /// baseline with no delta rules.
+    pub fn run_recompute(&self) -> MaintenanceRun {
+        let started = Instant::now();
+        let mut engine = self.engine();
+        let bucket_len = engine.config().window.bucket_len();
+        let mut slides = 0usize;
+        let mut total_results = 0usize;
+        ksir_stream::for_each_bucket(
+            bucket_len,
+            engine.now(),
+            self.stream.iter_pairs(),
+            |bucket, end| {
+                engine.ingest_bucket(bucket, end)?;
+                slides += 1;
+                for (query, algorithm) in &self.queries {
+                    total_results += engine.query(query, *algorithm)?.len();
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        std::hint::black_box(total_results);
+        MaintenanceRun {
+            elapsed: started.elapsed(),
+            stats: ManagerStats {
+                slides,
+                refreshes: slides * self.queries.len(),
+                skips: 0,
+            },
+            shard_stats: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenario_strategies_agree_on_work_accounting() {
+        let scenario = MaintenanceScenario::smoke();
+        let recompute = scenario.run_recompute();
+        let serial = scenario.run_managed(ShardConfig::unsharded());
+        let sharded = scenario.run_managed(ShardConfig::default());
+        assert_eq!(recompute.stats.slides, serial.stats.slides);
+        assert_eq!(serial.stats, sharded.stats, "identical refresh decisions");
+        assert_eq!(
+            serial.stats.refreshes + serial.stats.skips,
+            serial.stats.slides * scenario.queries.len()
+        );
+        assert!(recompute.skip_ratio() == 0.0);
+        assert!(sharded.skip_ratio() >= 0.0);
+        assert!(sharded.throughput() > 0.0);
+        assert!(!sharded.shard_stats.is_empty());
+        assert!(recompute.shard_stats.is_empty());
+    }
+}

@@ -45,6 +45,26 @@
 //! hinges on the frontier bookkeeping, and so that frontier-less algorithms
 //! still recompute after expiry.
 //!
+//! ## Sharded refresh
+//!
+//! Subscriptions are partitioned into **topic-keyed shards** (see
+//! [`shard`]): each standing query lives in the shard of its dominant
+//! support topic, and queries broader than
+//! [`ShardConfig::overflow_support_threshold`] rendezvous in a dedicated
+//! overflow shard.  After every slide the [`WindowDelta`] is projected onto
+//! per-shard *touch filters* — the loosest traversal floor per watched topic
+//! (a [`FloorAggregate`](ksir_core::FloorAggregate)), the union of resident
+//! result members, and a pending-first-evaluation count — so that whole
+//! shards are proven undisturbed without classifying a single resident.
+//! Scheduled shards refresh concurrently on scoped worker threads
+//! (`std::thread::scope`); within a shard the rules above run unchanged, so
+//! the per-subscription refresh/skip decisions — and the work counters,
+//! which still reconcile to `slides × subscriptions` — are identical to a
+//! serial walk.  [`SubscriptionManager::shard_stats`] exposes per-shard
+//! [`ShardStats`] for dashboards and benches.
+//!
+//! [`WindowDelta`]: ksir_stream::WindowDelta
+//!
 //! Because every refresh re-runs the subscription's own algorithm against
 //! the same index an ad-hoc query would use, maintained results are
 //! **score-equivalent to from-scratch queries at every slide** — the
@@ -83,7 +103,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod manager;
+pub mod shard;
 pub mod subscription;
 
 pub use manager::{ManagerStats, SlideOutcome, SubscriptionManager};
+pub use shard::{ShardConfig, ShardKey, ShardStats};
 pub use subscription::{RefreshReason, ResultDelta, SubscriptionId, SubscriptionStats};

@@ -1,13 +1,11 @@
-//! The subscription manager: ingestion plus delta-driven refresh.
+//! The subscription manager: ingestion plus sharded, delta-driven refresh.
 
 use std::collections::BTreeMap;
 
 use ksir_core::{Algorithm, IngestReport, KsirEngine, KsirQuery, QueryResult};
-use ksir_stream::WindowDelta;
-use ksir_types::{
-    ElementId, KsirError, Result, SocialElement, Timestamp, TopicVector, TopicWordDistribution,
-};
+use ksir_types::{KsirError, Result, SocialElement, Timestamp, TopicVector, TopicWordDistribution};
 
+use crate::shard::{refresh_one, Shard, ShardConfig, ShardKey, ShardSlide, ShardStats};
 use crate::subscription::{
     RefreshReason, ResultDelta, Subscription, SubscriptionId, SubscriptionStats,
 };
@@ -31,39 +29,67 @@ pub struct ManagerStats {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlideOutcome {
     /// The engine's ingestion report (including the [`WindowDelta`]).
+    ///
+    /// [`WindowDelta`]: ksir_stream::WindowDelta
     pub report: IngestReport,
-    /// Result deltas of the subscriptions whose stored result *changed*.
-    /// Refreshes that merely confirmed the previous result are counted in
-    /// [`SlideOutcome::refreshed`] but produce no entry here.
+    /// Result deltas of the subscriptions whose stored result *changed*,
+    /// ordered by subscription id.  Refreshes that merely confirmed the
+    /// previous result are counted in [`SlideOutcome::refreshed`] but produce
+    /// no entry here.
     pub updates: Vec<ResultDelta>,
     /// Number of subscriptions whose query was re-run this slide.
     pub refreshed: usize,
     /// Number of subscriptions skipped by the delta rules this slide.
     pub skipped: usize,
+    /// Shards whose touch filters fired and whose residents were classified.
+    pub shards_scheduled: usize,
+    /// Shards proven undisturbed as a whole (their residents were all
+    /// skipped without classification).
+    pub shards_skipped: usize,
 }
 
-/// Manages standing k-SIR queries over an owned [`KsirEngine`].
+/// Manages standing k-SIR queries over an owned [`KsirEngine`], partitioned
+/// into topic-keyed shards.
 ///
 /// Ingest buckets through the manager instead of the engine; after updating
-/// the index it applies the delta-refresh rules (see the crate docs) to every
-/// registered subscription and returns the result changes.
+/// the index it projects the slide's [`WindowDelta`](ksir_stream::WindowDelta)
+/// onto the shards' touch filters, refreshes the scheduled shards (in
+/// parallel on a scoped thread pool when the [`ShardConfig`] allows), and
+/// returns the result changes.  See the crate docs for the delta-refresh
+/// rules and [`crate::shard`] for the sharding scheme.
 #[derive(Debug)]
 pub struct SubscriptionManager<D> {
     engine: KsirEngine<D>,
-    subscriptions: BTreeMap<SubscriptionId, Subscription>,
+    config: ShardConfig,
+    shards: BTreeMap<ShardKey, Shard>,
+    /// Home shard of every live subscription.
+    route_of: BTreeMap<SubscriptionId, ShardKey>,
     next_id: u64,
     stats: ManagerStats,
 }
 
 impl<D: TopicWordDistribution> SubscriptionManager<D> {
-    /// Wraps an engine (empty or pre-loaded) for standing-query serving.
+    /// Wraps an engine (empty or pre-loaded) for standing-query serving with
+    /// the default [`ShardConfig`].
     pub fn new(engine: KsirEngine<D>) -> Self {
+        Self::with_shard_config(engine, ShardConfig::default())
+    }
+
+    /// Wraps an engine with an explicit sharding configuration.
+    pub fn with_shard_config(engine: KsirEngine<D>, config: ShardConfig) -> Self {
         SubscriptionManager {
             engine,
-            subscriptions: BTreeMap::new(),
+            config,
+            shards: BTreeMap::new(),
+            route_of: BTreeMap::new(),
             next_id: 0,
             stats: ManagerStats::default(),
         }
+    }
+
+    /// The sharding configuration in use.
+    pub fn shard_config(&self) -> ShardConfig {
+        self.config
     }
 
     /// Read access to the underlying engine (for ad-hoc queries, stats, …).
@@ -78,7 +104,23 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
 
     /// Number of registered subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.subscriptions.len()
+        self.route_of.len()
+    }
+
+    /// Number of (non-empty or previously used) shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a subscription currently resides in.
+    pub fn shard_of(&self, id: SubscriptionId) -> Option<ShardKey> {
+        self.route_of.get(&id).copied()
+    }
+
+    /// Per-shard work counters, ordered by shard key (topic shards first,
+    /// overflow last).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.values().map(|s| s.stats()).collect()
     }
 
     /// Aggregate work counters.
@@ -87,7 +129,8 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     }
 
     /// Registers a standing query, evaluating it immediately against the
-    /// engine's current state.
+    /// engine's current state and routing it to its home shard (dominant
+    /// support topic, or the overflow shard for broad queries).
     ///
     /// Returns the subscription handle; the initial result is available via
     /// [`SubscriptionManager::result`] right away.
@@ -100,71 +143,140 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         }
         let id = SubscriptionId(self.next_id);
         self.next_id += 1;
+        let key = self.config.route(&query);
         let mut sub = Subscription::new(query, algorithm);
         // The initial evaluation is not a slide, so it is deliberately left
         // out of the refresh/skip counters — they must reconcile with
         // `slides x subscriptions`.
-        Self::refresh_one(&self.engine, id, &mut sub, RefreshReason::Initial);
-        self.subscriptions.insert(id, sub);
+        refresh_one(&self.engine, id, &mut sub, RefreshReason::Initial);
+        self.shards
+            .entry(key)
+            .or_insert_with(|| Shard::new(key))
+            .insert(id, sub);
+        self.route_of.insert(id, key);
         Ok(id)
     }
 
     /// Removes a subscription.  Returns `true` if it existed.
     pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
-        self.subscriptions.remove(&id).is_some()
+        let Some(key) = self.route_of.remove(&id) else {
+            return false;
+        };
+        self.shards
+            .get_mut(&key)
+            .and_then(|shard| shard.remove(id))
+            .is_some()
     }
 
     /// The current maintained result of a subscription.
     pub fn result(&self, id: SubscriptionId) -> Option<&QueryResult> {
-        self.subscriptions.get(&id)?.result.as_ref()
+        self.subscription(id)?.result.as_ref()
     }
 
     /// The work counters of one subscription.
     pub fn subscription_stats(&self, id: SubscriptionId) -> Option<SubscriptionStats> {
-        self.subscriptions.get(&id).map(|s| s.stats)
+        self.subscription(id).map(|s| s.stats)
+    }
+
+    fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
+        let key = self.route_of.get(&id)?;
+        self.shards.get(key)?.get(id)
     }
 
     /// Forces a refresh of one subscription, returning the delta if the
     /// result changed.
     pub fn refresh(&mut self, id: SubscriptionId) -> Option<ResultDelta> {
-        let sub = self.subscriptions.get_mut(&id)?;
-        Self::refresh_one(&self.engine, id, sub, RefreshReason::Forced)
+        let key = self.route_of.get(&id)?;
+        let shard = self.shards.get_mut(key)?;
+        let sub = shard.get_mut(id)?;
+        let update = refresh_one(&self.engine, id, sub, RefreshReason::Forced);
+        // The stored result (and with it the shard's floors/members) may have
+        // changed even when no delta is reported.
+        shard.rebuild_filters();
+        update
     }
 
     /// Ingests one bucket through the engine, then refreshes exactly the
-    /// subscriptions the slide could have affected.
+    /// shards — and within them the subscriptions — the slide could have
+    /// affected.  Scheduled shards refresh concurrently on scoped worker
+    /// threads when the configuration and hardware allow.
     pub fn ingest_bucket(
         &mut self,
         bucket: Vec<(SocialElement, TopicVector)>,
         bucket_end: Timestamp,
-    ) -> Result<SlideOutcome> {
+    ) -> Result<SlideOutcome>
+    where
+        D: Sync,
+    {
         let report = self.engine.ingest_bucket(bucket, bucket_end)?;
         self.stats.slides += 1;
-        let mut updates = Vec::new();
-        let mut refreshed = 0;
-        let mut skipped = 0;
-        for (&id, sub) in self.subscriptions.iter_mut() {
-            match Self::classify(sub, &report.delta) {
-                Some(reason) => {
-                    refreshed += 1;
-                    sub.stats.refreshes += 1;
-                    self.stats.refreshes += 1;
-                    if let Some(delta) = Self::refresh_one(&self.engine, id, sub, reason) {
-                        updates.push(delta);
-                    }
+
+        // Project the slide delta onto every shard's touch filters.
+        let mut scheduled: Vec<&mut Shard> = Vec::new();
+        let mut skipped = 0usize;
+        let mut shards_skipped = 0usize;
+        for shard in self.shards.values_mut() {
+            if shard.is_touched_by(&report.delta) {
+                scheduled.push(shard);
+            } else {
+                if shard.len() > 0 {
+                    shards_skipped += 1;
                 }
-                None => {
-                    skipped += 1;
-                    sub.stats.skips += 1;
-                    self.stats.skips += 1;
-                }
+                skipped += shard.skip_all();
             }
         }
+        let shards_scheduled = scheduled.len();
+
+        // Refresh the scheduled shards, fanning out across worker threads
+        // when more than one is both allowed and useful.
+        let threads = self.config.threads_for(scheduled.len());
+        let engine = &self.engine;
+        let delta = &report.delta;
+        let mut slides: Vec<ShardSlide> = Vec::with_capacity(scheduled.len());
+        if threads <= 1 || scheduled.len() <= 1 {
+            for shard in &mut scheduled {
+                slides.push(shard.refresh_scheduled(engine, delta));
+            }
+        } else {
+            let chunk_len = scheduled.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = scheduled
+                    .chunks_mut(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .map(|shard| shard.refresh_scheduled(engine, delta))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    slides.extend(handle.join().expect("shard refresh worker panicked"));
+                }
+            });
+        }
+
+        let mut updates = Vec::new();
+        let mut refreshed = 0usize;
+        for slide in slides {
+            refreshed += slide.refreshed;
+            skipped += slide.skipped;
+            updates.extend(slide.updates);
+        }
+        // Shards complete out of order under parallel refresh; present the
+        // deltas deterministically.
+        updates.sort_by_key(|u| u.subscription);
+
+        self.stats.refreshes += refreshed;
+        self.stats.skips += skipped;
         Ok(SlideOutcome {
             report,
             updates,
             refreshed,
             skipped,
+            shards_scheduled,
+            shards_skipped,
         })
     }
 
@@ -176,6 +288,7 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     pub fn ingest_stream<I>(&mut self, stream: I) -> Result<Vec<SlideOutcome>>
     where
         I: IntoIterator<Item = (SocialElement, TopicVector)>,
+        D: Sync,
     {
         let bucket_len = self.engine.config().window.bucket_len();
         let mut outcomes = Vec::new();
@@ -185,90 +298,13 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         })?;
         Ok(outcomes)
     }
-
-    /// Applies the delta-refresh rules to one subscription.  `Some(reason)`
-    /// means the query must be re-run; `None` means the stored result is
-    /// provably what a fresh run would return.
-    fn classify(sub: &Subscription, delta: &WindowDelta) -> Option<RefreshReason> {
-        let Some(result) = &sub.result else {
-            return Some(RefreshReason::Initial);
-        };
-        // Rule 2: a stored member expired out of the active window.
-        if result.elements.iter().any(|&id| delta.lost(id)) {
-            return Some(RefreshReason::MemberExpired);
-        }
-        // Rule 3: a support topic was disturbed at or above the traversal
-        // floor; without a frontier, any support-topic touch disturbs.
-        let disturbed = match sub.frontier() {
-            Some(frontier) => frontier.disturbed_by(&delta.ranked),
-            None => sub
-                .query
-                .vector()
-                .support()
-                .iter()
-                .any(|&(topic, _)| delta.ranked.touched(topic)),
-        };
-        if disturbed {
-            return Some(RefreshReason::TopicDisturbed);
-        }
-        None
-    }
-
-    /// Re-runs one subscription's query and stores the fresh result.
-    /// Returns the delta when the result set or score changed.  Callers own
-    /// the refresh/skip accounting (only slide-classified refreshes count).
-    fn refresh_one(
-        engine: &KsirEngine<D>,
-        id: SubscriptionId,
-        sub: &mut Subscription,
-        reason: RefreshReason,
-    ) -> Option<ResultDelta> {
-        let fresh = engine
-            .query(&sub.query, sub.algorithm)
-            .expect("subscription dimensions were validated at subscribe time");
-
-        let (old_elements, score_before) = match &sub.result {
-            Some(old) => (old.elements.clone(), old.score),
-            None => (Vec::new(), 0.0),
-        };
-        let added: Vec<ElementId> = fresh
-            .elements
-            .iter()
-            .copied()
-            .filter(|id| !old_elements.contains(id))
-            .collect();
-        let mut removed: Vec<ElementId> = old_elements
-            .iter()
-            .copied()
-            .filter(|id| !fresh.elements.contains(id))
-            .collect();
-        removed.sort_unstable();
-
-        let score_after = fresh.score;
-        sub.result = Some(fresh);
-
-        let changed =
-            !added.is_empty() || !removed.is_empty() || (score_after - score_before).abs() > 1e-12;
-        if !changed {
-            return None;
-        }
-        sub.stats.result_changes += 1;
-        Some(ResultDelta {
-            subscription: id,
-            reason,
-            added,
-            removed,
-            score_before,
-            score_after,
-        })
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ksir_core::fixtures::paper_example;
-    use ksir_types::QueryVector;
+    use ksir_types::{QueryVector, TopicId};
 
     fn query(k: usize, weights: &[f64]) -> KsirQuery {
         KsirQuery::new(k, QueryVector::new(weights.to_vec()).unwrap()).unwrap()
@@ -283,6 +319,7 @@ mod tests {
             Err(KsirError::DimensionMismatch { .. })
         ));
         assert_eq!(mgr.subscription_count(), 0);
+        assert_eq!(mgr.shard_count(), 0);
     }
 
     #[test]
@@ -298,6 +335,25 @@ mod tests {
         assert!(mgr.unsubscribe(id));
         assert!(!mgr.unsubscribe(id));
         assert!(mgr.result(id).is_none());
+        assert!(mgr.shard_of(id).is_none());
+    }
+
+    #[test]
+    fn subscriptions_route_to_dominant_topic_shards() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.build_engine());
+        let narrow0 = mgr
+            .subscribe(query(1, &[1.0, 0.0]), Algorithm::Mtts)
+            .unwrap();
+        let narrow1 = mgr
+            .subscribe(query(1, &[0.2, 0.8]), Algorithm::Mttd)
+            .unwrap();
+        assert_eq!(mgr.shard_of(narrow0), Some(ShardKey::Topic(TopicId(0))));
+        assert_eq!(mgr.shard_of(narrow1), Some(ShardKey::Topic(TopicId(1))));
+        assert_eq!(mgr.shard_count(), 2);
+        let stats = mgr.shard_stats();
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.subscriptions == 1));
     }
 
     #[test]
@@ -327,9 +383,9 @@ mod tests {
     }
 
     #[test]
-    fn disjoint_topic_subscription_is_skipped() {
+    fn disjoint_topic_subscription_is_skipped_with_its_shard() {
         // A subscription whose support is topic 1 only must be skipped when
-        // a slide touches only topic 0.
+        // a slide touches only topic 0 — and its whole shard with it.
         let ex = paper_example();
         let mut mgr = SubscriptionManager::new(ex.empty_engine());
         // e3 is almost pure topic 0; subscribe to pure topic 1 and ingest an
@@ -342,7 +398,14 @@ mod tests {
         let outcome = mgr.ingest_bucket(vec![(e3, tv3)], Timestamp(3)).unwrap();
         assert_eq!(outcome.skipped, 1);
         assert_eq!(outcome.refreshed, 0);
+        assert_eq!(outcome.shards_scheduled, 0);
+        assert_eq!(outcome.shards_skipped, 1);
         assert_eq!(mgr.subscription_stats(id).unwrap().skips, 1);
+        let shard = &mgr.shard_stats()[0];
+        assert_eq!(shard.key, ShardKey::Topic(TopicId(1)));
+        assert_eq!(shard.skips, 1);
+        assert_eq!(shard.skipped_slides, 1);
+        assert_eq!(shard.scheduled_slides, 0);
     }
 
     #[test]
@@ -375,5 +438,27 @@ mod tests {
             mgr.result(id).unwrap().sorted_elements(),
             fresh.sorted_elements()
         );
+    }
+
+    #[test]
+    fn counters_reconcile_across_shards() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.empty_engine());
+        for weights in [[1.0, 0.0], [0.0, 1.0], [0.5, 0.5], [0.8, 0.2], [0.3, 0.7]] {
+            mgr.subscribe(query(2, &weights), Algorithm::Mttd).unwrap();
+        }
+        mgr.ingest_stream(ex.stream()).unwrap();
+        let stats = mgr.stats();
+        assert_eq!(
+            stats.refreshes + stats.skips,
+            stats.slides * mgr.subscription_count(),
+            "manager counters must reconcile"
+        );
+        let (shard_refreshes, shard_skips) = mgr
+            .shard_stats()
+            .iter()
+            .fold((0, 0), |(r, s), st| (r + st.refreshes, s + st.skips));
+        assert_eq!(shard_refreshes, stats.refreshes);
+        assert_eq!(shard_skips, stats.skips);
     }
 }

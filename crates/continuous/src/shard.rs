@@ -1,0 +1,527 @@
+//! Topic-keyed shards of the subscription table.
+//!
+//! The serial subscription manager of PR 1 walked every subscription after
+//! every slide.  Sharding exploits the observation that a slide's
+//! [`WindowDelta`] names exactly the topics it touched: if subscriptions are
+//! partitioned by the **dominant support topic** of their query vector, the
+//! delta can be projected onto per-shard *touch filters* and whole shards
+//! proven undisturbed without looking at a single resident.
+//!
+//! Every shard maintains three conservative filters over its residents,
+//! rebuilt whenever a resident's stored result changes:
+//!
+//! * a [`FloorAggregate`] — the loosest traversal floor per watched topic
+//!   across all resident frontiers (frontier-less residents watch each of
+//!   their support topics at *any-touch* level),
+//! * the union of resident **result members**, so an expiry of any stored
+//!   element schedules the shard (refresh rule 2),
+//! * a count of residents awaiting their first evaluation (defensive —
+//!   `subscribe` evaluates immediately, so this only fires if a result-less
+//!   resident is ever introduced by a future registration path).
+//!
+//! A slide schedules a shard iff one of the filters fires; scheduled shards
+//! then run the exact per-subscription delta-refresh rules of the serial
+//! manager, so the refresh/skip decision for every individual subscription —
+//! and therefore the work counters — are **identical** to the serial walk.
+//! Unscheduled shards charge one skip per resident without touching them.
+//!
+//! Queries whose support is broader than
+//! [`ShardConfig::overflow_support_threshold`] topics have no meaningful
+//! dominant topic; they rendezvous in the dedicated
+//! [`ShardKey::Overflow`] shard instead of pinning an arbitrary topic shard
+//! to a near-global topic set.
+
+use std::collections::{BTreeMap, HashSet};
+
+use ksir_core::{FloorAggregate, KsirEngine, KsirQuery};
+use ksir_stream::WindowDelta;
+use ksir_types::{ElementId, TopicId, TopicWordDistribution};
+
+use crate::subscription::{RefreshReason, ResultDelta, Subscription, SubscriptionId};
+
+/// Identity of one shard of the subscription table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShardKey {
+    /// Subscriptions whose dominant support topic is this topic.
+    Topic(TopicId),
+    /// Rendezvous shard for broad subscriptions (support wider than the
+    /// configured threshold) and degenerate queries with no dominant topic.
+    Overflow,
+}
+
+impl ShardKey {
+    /// Returns `true` for the overflow shard.
+    pub fn is_overflow(&self) -> bool {
+        matches!(self, ShardKey::Overflow)
+    }
+}
+
+impl std::fmt::Display for ShardKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardKey::Topic(topic) => write!(f, "shard[{topic}]"),
+            ShardKey::Overflow => write!(f, "shard[overflow]"),
+        }
+    }
+}
+
+/// Sharding and parallelism settings of a
+/// [`SubscriptionManager`](crate::SubscriptionManager).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Queries with support (non-zero topics) strictly wider than this route
+    /// to the [`ShardKey::Overflow`] shard instead of a topic shard.
+    pub overflow_support_threshold: usize,
+    /// Upper bound on refresh worker threads per slide; `None` uses
+    /// [`std::thread::available_parallelism`].  `Some(1)` refreshes scheduled
+    /// shards serially on the caller's thread.
+    pub max_threads: Option<usize>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            overflow_support_threshold: 4,
+            max_threads: None,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Topic-sharded routing, but all refreshes on the caller's thread.
+    pub fn serial() -> Self {
+        ShardConfig::default().with_threads(Some(1))
+    }
+
+    /// The PR-1 behaviour: a single (overflow) shard walked serially.
+    /// Useful as the baseline the sharded paths are benchmarked against.
+    pub fn unsharded() -> Self {
+        ShardConfig {
+            overflow_support_threshold: 0,
+            max_threads: Some(1),
+        }
+    }
+
+    /// Overrides the worker-thread bound (`None` = auto).
+    pub fn with_threads(mut self, max_threads: Option<usize>) -> Self {
+        self.max_threads = max_threads;
+        self
+    }
+
+    /// Overrides the overflow routing threshold.
+    pub fn with_overflow_support_threshold(mut self, threshold: usize) -> Self {
+        self.overflow_support_threshold = threshold;
+        self
+    }
+
+    /// The shard a query routes to under this configuration: its dominant
+    /// support topic, or the overflow shard when the support is broader than
+    /// the threshold.
+    pub fn route(&self, query: &KsirQuery) -> ShardKey {
+        let vector = query.vector();
+        if vector.support_size() > self.overflow_support_threshold {
+            return ShardKey::Overflow;
+        }
+        match vector.as_topic_vector().dominant_topic() {
+            Some(topic) => ShardKey::Topic(topic),
+            // Unreachable for valid QueryVectors (all-zero is rejected), but
+            // the overflow shard is always a safe home.
+            None => ShardKey::Overflow,
+        }
+    }
+
+    /// The effective refresh worker-thread cap: `max_threads`, or the host's
+    /// [`std::thread::available_parallelism`] when unset.
+    pub fn worker_threads(&self) -> usize {
+        self.max_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+
+    /// Number of refresh worker threads to use for `scheduled` shards.
+    pub(crate) fn threads_for(&self, scheduled: usize) -> usize {
+        self.worker_threads().clamp(1, scheduled.max(1))
+    }
+}
+
+/// Cumulative work counters of one shard.
+///
+/// `refreshes + skips` over all shards reconciles to `slides ×
+/// subscriptions` exactly like the serial manager's counters:
+/// every resident of a scheduled shard is classified individually, and every
+/// resident of an unscheduled shard is charged one skip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Which shard these counters belong to.
+    pub key: ShardKey,
+    /// Current number of resident subscriptions.
+    pub subscriptions: usize,
+    /// Slide-driven query re-runs across all residents.
+    pub refreshes: usize,
+    /// Slide-time evaluations skipped (shard-level and per-resident).
+    pub skips: usize,
+    /// Slides for which the shard's filters fired and residents were
+    /// classified.
+    pub scheduled_slides: usize,
+    /// Slides the shard was proven undisturbed as a whole.
+    pub skipped_slides: usize,
+}
+
+impl ShardStats {
+    /// Fraction of slide-time evaluations the delta rules skipped.
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.refreshes + self.skips;
+        if total == 0 {
+            0.0
+        } else {
+            self.skips as f64 / total as f64
+        }
+    }
+}
+
+/// The work a scheduled shard performed on one slide.
+#[derive(Debug, Default)]
+pub(crate) struct ShardSlide {
+    pub(crate) updates: Vec<ResultDelta>,
+    pub(crate) refreshed: usize,
+    pub(crate) skipped: usize,
+}
+
+/// One shard: resident subscriptions plus the slide-time touch filters.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    key: ShardKey,
+    subs: BTreeMap<SubscriptionId, Subscription>,
+    /// Loosest traversal floor per watched topic across residents.
+    floors: FloorAggregate,
+    /// Union of resident result members (refresh rule 2 at shard level).
+    members: HashSet<ElementId>,
+    /// Residents that have never been evaluated (refresh rule 1).
+    pending_initial: usize,
+    refreshes: usize,
+    skips: usize,
+    scheduled_slides: usize,
+    skipped_slides: usize,
+}
+
+impl Shard {
+    pub(crate) fn new(key: ShardKey) -> Self {
+        Shard {
+            key,
+            subs: BTreeMap::new(),
+            floors: FloorAggregate::new(),
+            members: HashSet::new(),
+            pending_initial: 0,
+            refreshes: 0,
+            skips: 0,
+            scheduled_slides: 0,
+            skipped_slides: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    pub(crate) fn get(&self, id: SubscriptionId) -> Option<&Subscription> {
+        self.subs.get(&id)
+    }
+
+    pub(crate) fn get_mut(&mut self, id: SubscriptionId) -> Option<&mut Subscription> {
+        self.subs.get_mut(&id)
+    }
+
+    pub(crate) fn insert(&mut self, id: SubscriptionId, sub: Subscription) {
+        // The filters are monotone unions, so one new resident only needs an
+        // incremental absorb — a full rebuild here would make bulk
+        // registration O(residents²) per shard.
+        self.absorb_resident(&sub);
+        self.subs.insert(id, sub);
+    }
+
+    pub(crate) fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
+        let removed = self.subs.remove(&id);
+        if removed.is_some() {
+            self.rebuild_filters();
+        }
+        removed
+    }
+
+    pub(crate) fn stats(&self) -> ShardStats {
+        ShardStats {
+            key: self.key,
+            subscriptions: self.subs.len(),
+            refreshes: self.refreshes,
+            skips: self.skips,
+            scheduled_slides: self.scheduled_slides,
+            skipped_slides: self.skipped_slides,
+        }
+    }
+
+    /// Folds one resident's state into the touch filters;
+    /// `O(k + support)`.
+    fn absorb_resident(&mut self, sub: &Subscription) {
+        match &sub.result {
+            // Defensive: `subscribe` evaluates before insertion, so in the
+            // manager's lifecycle a resident always has a result — but the
+            // filters must stay a conservative union of `classify`, whose
+            // rule 1 refreshes result-less subscriptions unconditionally.
+            None => self.pending_initial += 1,
+            Some(result) => {
+                self.members.extend(result.elements.iter().copied());
+                match &result.frontier {
+                    Some(frontier) => self.floors.absorb(frontier),
+                    // Frontier-less residents refresh on any touch of a
+                    // support topic (classify's rule-3 fallback).
+                    None => {
+                        for (topic, _) in sub.query.vector().support() {
+                            self.floors.watch_any(topic);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recomputes the shard's touch filters from its residents.  Called after
+    /// any refresh or removal; `O(residents × (k + support))`.
+    pub(crate) fn rebuild_filters(&mut self) {
+        self.floors.clear();
+        self.members.clear();
+        self.pending_initial = 0;
+        let subs = std::mem::take(&mut self.subs);
+        for sub in subs.values() {
+            self.absorb_resident(sub);
+        }
+        self.subs = subs;
+    }
+
+    /// Projects the slide delta onto this shard's filters: `true` iff some
+    /// resident could be disturbed, i.e. the shard must be scheduled.
+    pub(crate) fn is_touched_by(&self, delta: &WindowDelta) -> bool {
+        if self.subs.is_empty() {
+            return false;
+        }
+        if self.pending_initial > 0 {
+            return true;
+        }
+        if delta.lost_any(self.members.iter().copied()) {
+            return true;
+        }
+        self.floors.disturbed_by(&delta.ranked)
+    }
+
+    /// Classifies and (where needed) refreshes every resident against the
+    /// slide, then rebuilds the touch filters.  Runs on a worker thread when
+    /// the manager refreshes shards in parallel.
+    pub(crate) fn refresh_scheduled<D: TopicWordDistribution>(
+        &mut self,
+        engine: &KsirEngine<D>,
+        delta: &WindowDelta,
+    ) -> ShardSlide {
+        let mut slide = ShardSlide::default();
+        for (&id, sub) in self.subs.iter_mut() {
+            match classify(sub, delta) {
+                Some(reason) => {
+                    slide.refreshed += 1;
+                    sub.stats.refreshes += 1;
+                    if let Some(update) = refresh_one(engine, id, sub, reason) {
+                        slide.updates.push(update);
+                    }
+                }
+                None => {
+                    slide.skipped += 1;
+                    sub.stats.skips += 1;
+                }
+            }
+        }
+        self.scheduled_slides += 1;
+        self.refreshes += slide.refreshed;
+        self.skips += slide.skipped;
+        // Stored results — and therefore the filters derived from them —
+        // only change when at least one resident actually refreshed; a shard
+        // scheduled conservatively but skipped throughout keeps its filters.
+        if slide.refreshed > 0 {
+            self.rebuild_filters();
+        }
+        slide
+    }
+
+    /// Charges one skip to every resident of an unscheduled shard.  Returns
+    /// the number of skips charged.
+    pub(crate) fn skip_all(&mut self) -> usize {
+        for sub in self.subs.values_mut() {
+            sub.stats.skips += 1;
+        }
+        let skipped = self.subs.len();
+        self.skips += skipped;
+        self.skipped_slides += 1;
+        skipped
+    }
+}
+
+/// Applies the delta-refresh rules to one subscription.  `Some(reason)` means
+/// the query must be re-run; `None` means the stored result is provably what
+/// a fresh run would return.
+pub(crate) fn classify(sub: &Subscription, delta: &WindowDelta) -> Option<RefreshReason> {
+    let Some(result) = &sub.result else {
+        return Some(RefreshReason::Initial);
+    };
+    // Rule 2: a stored member expired out of the active window.
+    if result.elements.iter().any(|&id| delta.lost(id)) {
+        return Some(RefreshReason::MemberExpired);
+    }
+    // Rule 3: a support topic was disturbed at or above the traversal floor;
+    // without a frontier, any support-topic touch disturbs.
+    let disturbed = match sub.frontier() {
+        Some(frontier) => frontier.disturbed_by(&delta.ranked),
+        None => sub
+            .query
+            .vector()
+            .support()
+            .iter()
+            .any(|&(topic, _)| delta.ranked.touched(topic)),
+    };
+    if disturbed {
+        return Some(RefreshReason::TopicDisturbed);
+    }
+    None
+}
+
+/// Re-runs one subscription's query and stores the fresh result.  Returns the
+/// delta when the result set or score changed.  Callers own the refresh/skip
+/// accounting (only slide-classified refreshes count).
+pub(crate) fn refresh_one<D: TopicWordDistribution>(
+    engine: &KsirEngine<D>,
+    id: SubscriptionId,
+    sub: &mut Subscription,
+    reason: RefreshReason,
+) -> Option<ResultDelta> {
+    let fresh = engine
+        .query(&sub.query, sub.algorithm)
+        .expect("subscription dimensions were validated at subscribe time");
+
+    let (old_elements, score_before) = match &sub.result {
+        Some(old) => (old.elements.clone(), old.score),
+        None => (Vec::new(), 0.0),
+    };
+    let added: Vec<ElementId> = fresh
+        .elements
+        .iter()
+        .copied()
+        .filter(|id| !old_elements.contains(id))
+        .collect();
+    let mut removed: Vec<ElementId> = old_elements
+        .iter()
+        .copied()
+        .filter(|id| !fresh.elements.contains(id))
+        .collect();
+    removed.sort_unstable();
+
+    let score_after = fresh.score;
+    sub.result = Some(fresh);
+
+    let changed =
+        !added.is_empty() || !removed.is_empty() || (score_after - score_before).abs() > 1e-12;
+    if !changed {
+        return None;
+    }
+    sub.stats.result_changes += 1;
+    Some(ResultDelta {
+        subscription: id,
+        reason,
+        added,
+        removed,
+        score_before,
+        score_after,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_core::Algorithm;
+    use ksir_types::QueryVector;
+
+    fn query(k: usize, weights: &[f64]) -> KsirQuery {
+        KsirQuery::new(k, QueryVector::new(weights.to_vec()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn routing_picks_dominant_topic_for_narrow_queries() {
+        let config = ShardConfig::default();
+        assert_eq!(
+            config.route(&query(2, &[0.1, 0.9, 0.0])),
+            ShardKey::Topic(TopicId(1))
+        );
+        assert_eq!(
+            config.route(&query(2, &[1.0, 0.0, 0.0])),
+            ShardKey::Topic(TopicId(0))
+        );
+    }
+
+    #[test]
+    fn routing_sends_broad_queries_to_overflow() {
+        let config = ShardConfig::default().with_overflow_support_threshold(2);
+        assert_eq!(
+            config.route(&query(2, &[0.5, 0.3, 0.2])),
+            ShardKey::Overflow
+        );
+        assert_eq!(
+            config.route(&query(2, &[0.5, 0.5, 0.0])),
+            ShardKey::Topic(TopicId(0)),
+            "ties break toward the first maximal topic"
+        );
+        // unsharded(): everything overflows.
+        assert_eq!(
+            ShardConfig::unsharded().route(&query(2, &[1.0, 0.0, 0.0])),
+            ShardKey::Overflow
+        );
+    }
+
+    #[test]
+    fn thread_budget_is_clamped_to_scheduled_shards() {
+        let auto = ShardConfig::default();
+        assert!(auto.threads_for(8) >= 1);
+        assert_eq!(ShardConfig::serial().threads_for(8), 1);
+        assert_eq!(
+            ShardConfig::default().with_threads(Some(4)).threads_for(2),
+            2
+        );
+        assert_eq!(
+            ShardConfig::default().with_threads(Some(4)).threads_for(0),
+            1
+        );
+    }
+
+    #[test]
+    fn shard_key_display_and_overflow_flag() {
+        assert_eq!(ShardKey::Topic(TopicId(3)).to_string(), "shard[θ3]");
+        assert_eq!(ShardKey::Overflow.to_string(), "shard[overflow]");
+        assert!(ShardKey::Overflow.is_overflow());
+        assert!(!ShardKey::Topic(TopicId(0)).is_overflow());
+    }
+
+    #[test]
+    fn empty_shard_is_never_touched() {
+        let shard = Shard::new(ShardKey::Overflow);
+        let delta = WindowDelta::default();
+        assert!(!shard.is_touched_by(&delta));
+        assert_eq!(shard.stats().subscriptions, 0);
+        assert_eq!(shard.stats().skip_rate(), 0.0);
+    }
+
+    #[test]
+    fn pending_initial_resident_always_schedules() {
+        let mut shard = Shard::new(ShardKey::Topic(TopicId(0)));
+        shard.insert(
+            SubscriptionId(0),
+            Subscription::new(query(1, &[1.0, 0.0]), Algorithm::Mtts),
+        );
+        assert!(shard.is_touched_by(&WindowDelta::default()));
+    }
+}

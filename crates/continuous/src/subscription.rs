@@ -30,7 +30,9 @@ pub enum RefreshReason {
     MemberExpired,
     /// A support topic's ranked list was touched at or above the score floor
     /// of the subscription's last traversal (or the subscription's algorithm
-    /// carries no frontier and a support topic was touched at all).
+    /// carries no frontier and a support topic was touched at all).  Under
+    /// sharding, the same floors — aggregated per shard — also decide which
+    /// shards a slide schedules at all.
     TopicDisturbed,
     /// The caller forced a refresh via
     /// [`crate::SubscriptionManager::refresh`].
@@ -79,6 +81,11 @@ pub struct SubscriptionStats {
 }
 
 /// One registered standing query.
+///
+/// Subscriptions live inside their home [`Shard`](crate::shard::Shard) —
+/// keyed by the dominant support topic of `query`, or the overflow shard for
+/// broad queries — and are only ever touched by that shard's refresh worker,
+/// which is what makes the per-shard refresh embarrassingly parallel.
 #[derive(Debug)]
 pub(crate) struct Subscription {
     pub(crate) query: KsirQuery,

@@ -210,7 +210,7 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
         // Start the slide's touch log from a clean slate so the report's
         // delta only covers this bucket.
         let slide_from = self.window.now();
-        self.ranked.take_delta();
+        self.ranked.clear_delta();
 
         // Parents whose influence sets will shrink once the window slides.
         let mut touched: BTreeSet<ElementId> = self

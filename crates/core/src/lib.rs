@@ -57,5 +57,5 @@ pub mod scorer;
 pub use config::{EngineConfig, ScoringConfig};
 pub use engine::{EngineStats, IngestReport, KsirEngine};
 pub use evaluator::{CandidateState, QueryEvaluator};
-pub use query::{Algorithm, KsirQuery, QueryFrontier, QueryResult};
+pub use query::{Algorithm, FloorAggregate, KsirQuery, QueryFrontier, QueryResult};
 pub use scorer::{entropy_weight, propagation_prob, word_weight, Scorer};

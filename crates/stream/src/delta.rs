@@ -14,13 +14,24 @@
 //! topics happened **strictly below** that floor: the traversal would read the
 //! exact same prefix of every list and terminate at the same point, so its
 //! result is unchanged.  `ksir-continuous` builds its subscription refresh
-//! policy on exactly this invariant.
+//! policy on exactly this invariant — and its shard scheduler projects the
+//! compact [`RankedDelta::touches`] slice onto per-shard topic floors to
+//! decide which shards a slide can disturb at all.
+//!
+//! The log is stored sparsely: one [`Touch`] entry per touched topic, in
+//! first-touch order, plus a lazily built dense topic index for `O(1)`
+//! recording.  Quiet slides therefore allocate nothing, clearing the log
+//! between slides reuses the buffers (see [`RankedDelta::clear`]), and
+//! iterating the touches is `O(touched topics)` rather than `O(z)`.
 //!
 //! [`WindowDelta`] bundles the ranked-list touches with the element-level
 //! churn (activated / expired / resurrected / refreshed ids) of one bucket
 //! ingestion, and is surfaced by `ksir-core`'s `IngestReport`.
 
 use ksir_types::{ElementId, Timestamp, TopicId};
+
+/// Sentinel marking an unused slot of the dense topic index.
+const UNTOUCHED: u32 = u32::MAX;
 
 /// Touch summary of one topic's ranked list over one window slide.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,94 +43,208 @@ pub struct TopicTouch {
     pub high: f64,
 }
 
+/// One touched topic together with its touch summary — the sparse entry type
+/// behind [`RankedDelta::touches`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Touch {
+    /// The topic whose ranked list was modified.
+    pub topic: TopicId,
+    /// Number of tuple operations (inserts, adjustments, removals).
+    pub count: usize,
+    /// Highest score involved in any touch of this topic's list.
+    pub high: f64,
+}
+
+impl Touch {
+    /// The topic-less summary of this touch.
+    pub fn summary(&self) -> TopicTouch {
+        TopicTouch {
+            count: self.count,
+            high: self.high,
+        }
+    }
+}
+
 /// Per-topic ranked-list touches accumulated over one window slide.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Stored sparsely: [`RankedDelta::touches`] returns one entry per touched
+/// topic in first-touch order.  A dense `topic → entry` index is built lazily
+/// on the recording side so the hot ingestion path stays `O(1)` per touch;
+/// consumers that only read a drained delta fall back to a linear scan over
+/// the (typically short) entry list.
+#[derive(Debug, Clone, Default)]
 pub struct RankedDelta {
-    touches: Vec<Option<TopicTouch>>,
+    num_topics: usize,
+    entries: Vec<Touch>,
+    /// Dense `topic.index() → entries index` map ([`UNTOUCHED`] = absent).
+    /// Empty when the index has not been (re)built for `num_topics` yet.
+    index: Vec<u32>,
 }
 
 impl RankedDelta {
-    /// An empty delta for `num_topics` lists.
+    /// An empty delta for `num_topics` lists.  Allocation is deferred until
+    /// the first touch is recorded.
     pub fn new(num_topics: usize) -> Self {
         RankedDelta {
-            touches: vec![None; num_topics],
+            num_topics,
+            entries: Vec::new(),
+            index: Vec::new(),
         }
     }
 
     /// Number of topics covered.
     pub fn num_topics(&self) -> usize {
-        self.touches.len()
+        self.num_topics
+    }
+
+    /// Position of `topic`'s entry, via the dense index when it is built and
+    /// by linear scan otherwise.
+    fn position(&self, topic: TopicId) -> Option<usize> {
+        if topic.index() >= self.num_topics {
+            return None;
+        }
+        if self.index.len() == self.num_topics {
+            match self.index[topic.index()] {
+                UNTOUCHED => None,
+                i => Some(i as usize),
+            }
+        } else {
+            self.entries.iter().position(|t| t.topic == topic)
+        }
+    }
+
+    /// (Re)builds the dense index so that recording is `O(1)`.
+    fn ensure_index(&mut self) {
+        if self.index.len() != self.num_topics {
+            self.index.clear();
+            self.index.resize(self.num_topics, UNTOUCHED);
+            for (i, t) in self.entries.iter().enumerate() {
+                self.index[t.topic.index()] = i as u32;
+            }
+        }
     }
 
     /// Records one touch of `topic`'s list at `score`.
     pub fn record(&mut self, topic: TopicId, score: f64) {
-        let Some(slot) = self.touches.get_mut(topic.index()) else {
+        if topic.index() >= self.num_topics {
             return;
-        };
-        match slot {
-            Some(touch) => {
+        }
+        self.ensure_index();
+        match self.index[topic.index()] {
+            UNTOUCHED => {
+                self.index[topic.index()] = self.entries.len() as u32;
+                self.entries.push(Touch {
+                    topic,
+                    count: 1,
+                    high: score,
+                });
+            }
+            i => {
+                let touch = &mut self.entries[i as usize];
                 touch.count += 1;
                 if score > touch.high {
                     touch.high = score;
                 }
             }
-            None => {
-                *slot = Some(TopicTouch {
-                    count: 1,
-                    high: score,
-                })
-            }
         }
+    }
+
+    /// The touched topics in first-touch order, as a borrowed slice — the
+    /// projection surface shard schedulers and other incremental consumers
+    /// iterate instead of scanning all `z` topics.
+    pub fn touches(&self) -> &[Touch] {
+        &self.entries
     }
 
     /// The touch summary of one topic, if it was touched at all.
     pub fn touch(&self, topic: TopicId) -> Option<TopicTouch> {
-        self.touches.get(topic.index()).copied().flatten()
+        self.position(topic).map(|i| self.entries[i].summary())
     }
 
     /// Returns `true` if `topic`'s list was modified during the slide.
     pub fn touched(&self, topic: TopicId) -> bool {
-        self.touch(topic).is_some()
+        self.position(topic).is_some()
     }
 
-    /// Iterates over the touched topics and their summaries.
+    /// Iterates over the touched topics and their summaries, in first-touch
+    /// order.
     pub fn iter_touched(&self) -> impl Iterator<Item = (TopicId, TopicTouch)> + '_ {
-        self.touches
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.map(|t| (TopicId(i as u32), t)))
+        self.entries.iter().map(|t| (t.topic, t.summary()))
     }
 
     /// Number of touched topics.
     pub fn touched_topics(&self) -> usize {
-        self.touches.iter().filter(|t| t.is_some()).count()
+        self.entries.len()
     }
 
     /// Returns `true` if no list was modified.
     pub fn is_empty(&self) -> bool {
-        self.touches.iter().all(|t| t.is_none())
+        self.entries.is_empty()
+    }
+
+    /// Clears the log in place, retaining both buffers so the next slide
+    /// records without allocating.  `O(touched topics)`.
+    pub fn clear(&mut self) {
+        if self.index.len() == self.num_topics {
+            for t in &self.entries {
+                self.index[t.topic.index()] = UNTOUCHED;
+            }
+        }
+        self.entries.clear();
+    }
+
+    /// Moves the accumulated touches into a new owned delta, leaving `self`
+    /// empty but with its dense index buffer intact for the next slide.
+    pub fn drain(&mut self) -> RankedDelta {
+        let entries = std::mem::take(&mut self.entries);
+        if self.index.len() == self.num_topics {
+            for t in &entries {
+                self.index[t.topic.index()] = UNTOUCHED;
+            }
+        }
+        RankedDelta {
+            num_topics: self.num_topics,
+            entries,
+            index: Vec::new(),
+        }
     }
 
     /// Folds another delta into this one (used when aggregating several
     /// slides, e.g. across the buckets of one `ingest_stream` call).
     pub fn merge(&mut self, other: &RankedDelta) {
-        if self.touches.len() < other.touches.len() {
-            self.touches.resize(other.touches.len(), None);
+        if self.num_topics < other.num_topics {
+            self.num_topics = other.num_topics;
+            self.index.clear(); // stale size; rebuilt on demand
         }
-        for (i, touch) in other.touches.iter().enumerate() {
-            if let Some(t) = touch {
-                let slot = &mut self.touches[i];
-                match slot {
-                    Some(existing) => {
-                        existing.count += t.count;
-                        if t.high > existing.high {
-                            existing.high = t.high;
-                        }
+        for t in &other.entries {
+            self.ensure_index();
+            match self.index[t.topic.index()] {
+                UNTOUCHED => {
+                    self.index[t.topic.index()] = self.entries.len() as u32;
+                    self.entries.push(*t);
+                }
+                i => {
+                    let existing = &mut self.entries[i as usize];
+                    existing.count += t.count;
+                    if t.high > existing.high {
+                        existing.high = t.high;
                     }
-                    None => *slot = Some(*t),
                 }
             }
         }
+    }
+}
+
+impl PartialEq for RankedDelta {
+    /// Semantic equality: same dimensionality and the same per-topic touch
+    /// summaries, irrespective of recording order or index state.
+    fn eq(&self, other: &Self) -> bool {
+        self.num_topics == other.num_topics
+            && self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .all(|t| other.touch(t.topic) == Some(t.summary()))
     }
 }
 
@@ -157,6 +282,22 @@ impl WindowDelta {
     pub fn lost(&self, id: ElementId) -> bool {
         self.expired.binary_search(&id).is_ok()
     }
+
+    /// Returns `true` if any of `ids` expired during this slide — the
+    /// membership projection shard schedulers run against their resident
+    /// result sets.
+    pub fn lost_any<I>(&self, ids: I) -> bool
+    where
+        I: IntoIterator<Item = ElementId>,
+    {
+        !self.expired.is_empty() && ids.into_iter().any(|id| self.lost(id))
+    }
+
+    /// The slide's ranked-list touches as a borrowed slice, in first-touch
+    /// order (see [`RankedDelta::touches`]).
+    pub fn touches(&self) -> &[Touch] {
+        self.ranked.touches()
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +327,13 @@ mod tests {
         d.record(TopicId(7), 1.0);
         assert!(d.is_empty());
         assert_eq!(d.touch(TopicId(7)), None);
+        // Lookups past the dimensionality stay safe once the dense index is
+        // built, and on the zero-topic default.
+        d.record(TopicId(1), 0.5);
+        assert_eq!(d.touch(TopicId(7)), None);
+        assert!(!d.touched(TopicId(2)));
+        assert!(!RankedDelta::default().touched(TopicId(0)));
+        assert_eq!(RankedDelta::default().touch(TopicId(3)), None);
     }
 
     #[test]
@@ -197,6 +345,44 @@ mod tests {
         assert_eq!(touched.len(), 2);
         assert_eq!(touched[0].0, TopicId(0));
         assert_eq!(touched[1].0, TopicId(3));
+        // The borrowed slice exposes the same entries.
+        let slice = d.touches();
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice[1].topic, TopicId(3));
+        assert_eq!(slice[1].high, 0.5);
+    }
+
+    #[test]
+    fn clear_retains_buffers_and_resets_state() {
+        let mut d = RankedDelta::new(4);
+        d.record(TopicId(2), 0.7);
+        d.record(TopicId(0), 0.2);
+        assert_eq!(d.touched_topics(), 2);
+        d.clear();
+        assert!(d.is_empty());
+        assert!(!d.touched(TopicId(2)));
+        // Recording after a clear starts a fresh log.
+        d.record(TopicId(2), 0.1);
+        let t = d.touch(TopicId(2)).unwrap();
+        assert_eq!(t.count, 1);
+        assert_eq!(t.high, 0.1);
+    }
+
+    #[test]
+    fn drain_moves_touches_and_leaves_an_empty_log() {
+        let mut d = RankedDelta::new(3);
+        d.record(TopicId(1), 0.6);
+        let drained = d.drain();
+        assert!(d.is_empty());
+        assert_eq!(d.num_topics(), 3);
+        assert_eq!(drained.touch(TopicId(1)).unwrap().high, 0.6);
+        // The drained copy answers lookups without a dense index.
+        assert!(drained.touched(TopicId(1)));
+        assert!(!drained.touched(TopicId(0)));
+        // The source keeps recording correctly after the drain.
+        d.record(TopicId(2), 0.9);
+        assert_eq!(d.touch(TopicId(2)).unwrap().high, 0.9);
+        assert!(!d.touched(TopicId(1)));
     }
 
     #[test]
@@ -224,6 +410,19 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_recording_order() {
+        let mut a = RankedDelta::new(3);
+        a.record(TopicId(0), 0.2);
+        a.record(TopicId(2), 0.5);
+        let mut b = RankedDelta::new(3);
+        b.record(TopicId(2), 0.5);
+        b.record(TopicId(0), 0.2);
+        assert_eq!(a, b);
+        b.record(TopicId(1), 0.1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
     fn window_delta_lost_uses_sorted_expired() {
         let delta = WindowDelta {
             expired: vec![ElementId(2), ElementId(5), ElementId(9)],
@@ -231,7 +430,10 @@ mod tests {
         };
         assert!(delta.lost(ElementId(5)));
         assert!(!delta.lost(ElementId(4)));
+        assert!(delta.lost_any([ElementId(4), ElementId(9)]));
+        assert!(!delta.lost_any([ElementId(4), ElementId(6)]));
         assert!(!delta.is_empty());
         assert!(WindowDelta::default().is_empty());
+        assert!(WindowDelta::default().touches().is_empty());
     }
 }

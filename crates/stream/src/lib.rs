@@ -40,6 +40,6 @@ pub mod window;
 
 pub use active::ActiveWindow;
 pub use bucket::{for_each_bucket, Bucket, Bucketizer};
-pub use delta::{RankedDelta, TopicTouch, WindowDelta};
+pub use delta::{RankedDelta, TopicTouch, Touch, WindowDelta};
 pub use ranked_list::{RankedList, RankedListCursor, RankedLists};
 pub use window::WindowConfig;

@@ -234,14 +234,25 @@ impl RankedLists {
         removed
     }
 
-    /// The touches accumulated since the last [`RankedLists::take_delta`].
+    /// The touches accumulated since the last [`RankedLists::take_delta`] /
+    /// [`RankedLists::clear_delta`].
     pub fn pending_delta(&self) -> &RankedDelta {
         &self.delta
     }
 
-    /// Drains and returns the accumulated touch log.
+    /// Drains and returns the accumulated touch log.  The resident log keeps
+    /// its dense index buffer, so subsequent slides record without
+    /// re-allocating it.
     pub fn take_delta(&mut self) -> RankedDelta {
-        std::mem::replace(&mut self.delta, RankedDelta::new(self.lists.len()))
+        self.delta.drain()
+    }
+
+    /// Discards the accumulated touch log in place, reusing its buffers.
+    /// Cheaper than [`RankedLists::take_delta`] when the touches are not
+    /// needed (e.g. resetting the log at the start of a slide): a quiet log
+    /// is cleared without any allocation.
+    pub fn clear_delta(&mut self) {
+        self.delta.clear();
     }
 
     /// Total number of tuples across all lists (an element appears once per

@@ -85,6 +85,21 @@ fn main() -> Result<(), ksir::KsirError> {
         100.0 * stats.skips as f64 / evaluations.max(1) as f64,
     );
 
+    // How the panels spread over topic shards and what each shard skipped.
+    println!("\nPer-shard skip rates:");
+    for shard in dashboard.shard_stats() {
+        println!(
+            "  {}: {} panels, scheduled {}/{} slides, {} refreshes / {} skips ({:.1}% skipped)",
+            shard.key,
+            shard.subscriptions,
+            shard.scheduled_slides,
+            shard.scheduled_slides + shard.skipped_slides,
+            shard.refreshes,
+            shard.skips,
+            100.0 * shard.skip_rate(),
+        );
+    }
+
     // Final state of every panel.
     println!("\nFinal dashboard:");
     for &id in &panels {

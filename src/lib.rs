@@ -61,7 +61,9 @@ pub use ksir_text as text;
 pub use ksir_topics as topics;
 pub use ksir_types as types;
 
-pub use ksir_continuous::{ResultDelta, SubscriptionId, SubscriptionManager};
+pub use ksir_continuous::{
+    ResultDelta, ShardConfig, ShardKey, ShardStats, SubscriptionId, SubscriptionManager,
+};
 pub use ksir_core::{
     Algorithm, EngineConfig, IngestReport, KsirEngine, KsirQuery, QueryFrontier, QueryResult,
     Scorer, ScoringConfig,

@@ -8,6 +8,11 @@
 //! wall-clock measurement loop (median-free mean over an adaptive number of
 //! iterations) instead of criterion's full statistical machinery.  Output is
 //! one line per benchmark: `name … time: <mean> per iter (<iters> iters)`.
+//!
+//! Like real criterion, passing `--test` on the bench binary's command line
+//! (`cargo bench --bench <name> -- --test`) switches to **smoke mode**: each
+//! routine runs exactly once with no measurement loop, so CI can prove bench
+//! code still compiles and runs without paying for stable timings.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -65,12 +70,20 @@ pub enum Throughput {
 #[derive(Debug)]
 pub struct Bencher {
     sample_size: usize,
+    test_mode: bool,
     measured: Option<(Duration, u64)>,
 }
 
 impl Bencher {
-    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    /// Calls `routine` repeatedly and records the mean wall-clock time.  In
+    /// smoke mode (`-- --test`) the routine runs exactly once instead.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(routine());
+            self.measured = Some((start.elapsed(), 1));
+            return;
+        }
         // Warm-up and calibration: run once to size the measurement loop so
         // cheap routines get enough iterations for a stable mean while slow
         // ones stay within a bounded budget.
@@ -101,13 +114,21 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
-fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(label: &str, sample_size: usize, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
         sample_size,
+        test_mode,
         measured: None,
     };
     f(&mut b);
     match b.measured {
+        Some((total, iters)) if test_mode => {
+            let _ = iters;
+            println!(
+                "{label:<60} smoke: {:>12} (1 iter, --test)",
+                format_duration(total)
+            );
+        }
         Some((total, iters)) if iters > 0 => {
             let per_iter = total / iters as u32;
             println!(
@@ -120,9 +141,19 @@ fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
 }
 
 /// Top-level benchmark registry (stub of criterion's `Criterion`).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the bench binary's command line: `--test` selects smoke mode,
+    /// mirroring `cargo bench -- --test` on real criterion.
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
@@ -131,16 +162,18 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.into().label, 10, &mut f);
+        run_one(&id.into().label, 10, self.test_mode, &mut f);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
             sample_size: 10,
+            test_mode,
             throughput: None,
         }
     }
@@ -152,6 +185,7 @@ pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    test_mode: bool,
     throughput: Option<Throughput>,
 }
 
@@ -174,7 +208,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_one(&label, self.sample_size, &mut f);
+        run_one(&label, self.sample_size, self.test_mode, &mut f);
         self
     }
 
@@ -215,6 +249,19 @@ mod tests {
         group.sample_size(5).throughput(Throughput::Elements(3));
         group.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| 2 * 2));
         group.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u32;
+        c.bench_function("counted", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1, "smoke mode must not loop the routine");
+        let mut group_calls = 0u32;
+        let mut group = c.benchmark_group("group");
+        group.bench_function("counted", |b| b.iter(|| group_calls += 1));
+        group.finish();
+        assert_eq!(group_calls, 1);
     }
 
     #[test]
