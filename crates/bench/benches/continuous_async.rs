@@ -1,0 +1,85 @@
+//! Asynchronous (pipelined) vs synchronous standing-query maintenance.
+//!
+//! Same shared [`MaintenanceScenario`] as `continuous.rs` /
+//! `continuous_sharded.rs`, exercising the `ingest_bucket_async` pipeline:
+//!
+//! * `sync_managed` — the synchronous sharded path (baseline: every
+//!   `ingest_bucket` joins on the slowest scheduled shard),
+//! * `async_fast_consumer` — the pipeline with a consumer that drains the
+//!   delivery queues as fast as it can,
+//! * `async_slow_consumer` — the pipeline with a consumer charging 1 ms of
+//!   simulated work per delta.
+//!
+//! The number that matters is the **ingest-return** time of the async runs:
+//! it must not grow with the consumer delay, because bounded delivery queues
+//! (DropOldest) shed a slow subscriber's backlog instead of back-pressuring
+//! the refresh workers.  The CI perf gate (`perf_gate`) enforces exactly
+//! that; this bench exists to observe it interactively.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ksir_bench::MaintenanceScenario;
+use ksir_continuous::ShardConfig;
+
+const SLOW_CONSUMER_DELAY: Duration = Duration::from_millis(1);
+
+fn bench_async_maintenance(c: &mut Criterion) {
+    let scenario = MaintenanceScenario::standard();
+    let mut group = c.benchmark_group("continuous_async");
+    group.sample_size(10);
+
+    group.bench_function(
+        BenchmarkId::new("sync_managed", scenario.stream.len()),
+        |b| b.iter(|| scenario.run_managed(ShardConfig::default()).stats),
+    );
+    group.bench_function(
+        BenchmarkId::new("async_fast_consumer", scenario.stream.len()),
+        |b| {
+            b.iter(|| {
+                scenario
+                    .run_async(ShardConfig::default(), Duration::ZERO)
+                    .ingest_return
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("async_slow_consumer", scenario.stream.len()),
+        |b| {
+            b.iter(|| {
+                scenario
+                    .run_async(ShardConfig::default(), SLOW_CONSUMER_DELAY)
+                    .ingest_return
+            })
+        },
+    );
+    group.finish();
+}
+
+/// One-shot report: ingest-return latency with a fast vs slow consumer, and
+/// how many deltas each run delivered or shed.
+fn report_ingest_latency(c: &mut Criterion) {
+    let scenario = MaintenanceScenario::standard();
+    let fast = scenario.run_async(ShardConfig::default(), Duration::ZERO);
+    let slow = scenario.run_async(ShardConfig::default(), SLOW_CONSUMER_DELAY);
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    println!(
+        "continuous_async/latency: ingest-return fast {:.1} ms (max {:.2} ms) \
+         vs slow {:.1} ms (max {:.2} ms) over {} slides",
+        ms(fast.ingest_return),
+        ms(fast.max_ingest_return),
+        ms(slow.ingest_return),
+        ms(slow.max_ingest_return),
+        fast.stats.slides,
+    );
+    println!(
+        "continuous_async/delivery: fast consumer {} delivered / {} dropped; \
+         slow consumer {} delivered / {} dropped",
+        fast.delivered, fast.dropped, slow.delivered, slow.dropped,
+    );
+    let _ = c;
+}
+
+criterion_group!(benches, bench_async_maintenance, report_ingest_latency);
+criterion_main!(benches);

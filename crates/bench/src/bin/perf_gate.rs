@@ -1,24 +1,38 @@
 //! CI perf-regression gate for standing-query maintenance.
 //!
 //! Runs the shared [`MaintenanceScenario`] (10k-element stream, 16 standing
-//! queries) under three strategies — recompute-per-slide, serial delta
-//! refresh (PR-1 behaviour), and sharded multi-core refresh — and writes the
-//! wall times plus skip ratios to `BENCH_continuous.json` (override the path
-//! with the first CLI argument or `BENCH_OUT`).
+//! queries) under three synchronous strategies — recompute-per-slide, serial
+//! delta refresh (PR-1 behaviour), and sharded multi-core refresh — plus the
+//! asynchronous pipeline with a fast and an artificially slow delivery
+//! consumer, and writes the wall times, ingest-return latencies and skip
+//! ratios to `BENCH_continuous.json` (override the path with the first CLI
+//! argument or `BENCH_OUT`).  The baseline JSON is committed at the repo
+//! root, so the perf trajectory is tracked in-repo and the CI artifact can
+//! be diffed against it.
 //!
-//! The gate **fails** (exit code 1) when the sharded path's wall time
-//! exceeds the serial delta-refresh path by more than the tolerance
-//! (`PERF_GATE_TOLERANCE`, default 0.15 — i.e. sharded may be at most 15%
-//! slower, absorbing runner noise on single-core CI hosts where the scoped
-//! thread pool degenerates to the serial path).  Each strategy is run three
-//! times and the fastest run is kept, which damps scheduler noise further.
+//! Two gates, each failing the process with exit code 1:
+//!
+//! * **sharded**: the sharded path's wall time must not exceed the serial
+//!   delta-refresh path by more than `PERF_GATE_TOLERANCE` (default 0.15 —
+//!   absorbing runner noise on single-core CI hosts where the worker pool
+//!   degenerates to the serial path).
+//! * **async**: the pipeline's total ingest-return latency with a slow
+//!   consumer (1 ms simulated work per delta) must not exceed the
+//!   fast-consumer run by more than `PERF_GATE_ASYNC_TOLERANCE` (default
+//!   0.5).  If ingestion ever waited on delivery, the slow run would blow
+//!   past this by an order of magnitude; the loose bound only absorbs
+//!   scheduler noise.
+//!
+//! Each strategy is run three times and the fastest run is kept, which damps
+//! scheduler noise further.
 
 use std::time::Duration;
 
-use ksir_bench::{MaintenanceRun, MaintenanceScenario};
+use ksir_bench::{AsyncMaintenanceRun, MaintenanceRun, MaintenanceScenario};
 use ksir_continuous::ShardConfig;
 
 const RUNS_PER_STRATEGY: usize = 3;
+const SLOW_CONSUMER_DELAY: Duration = Duration::from_millis(1);
 
 fn best_of<F: Fn() -> MaintenanceRun>(run: F) -> MaintenanceRun {
     (0..RUNS_PER_STRATEGY)
@@ -27,8 +41,22 @@ fn best_of<F: Fn() -> MaintenanceRun>(run: F) -> MaintenanceRun {
         .expect("at least one run")
 }
 
+fn best_of_async<F: Fn() -> AsyncMaintenanceRun>(run: F) -> AsyncMaintenanceRun {
+    (0..RUNS_PER_STRATEGY)
+        .map(|_| run())
+        .min_by_key(|r| r.ingest_return)
+        .expect("at least one run")
+}
+
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+fn env_tolerance(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -36,10 +64,8 @@ fn main() {
         .nth(1)
         .or_else(|| std::env::var("BENCH_OUT").ok())
         .unwrap_or_else(|| "BENCH_continuous.json".to_string());
-    let tolerance: f64 = std::env::var("PERF_GATE_TOLERANCE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.15);
+    let tolerance = env_tolerance("PERF_GATE_TOLERANCE", 0.15);
+    let async_tolerance = env_tolerance("PERF_GATE_ASYNC_TOLERANCE", 0.5);
 
     let scenario = MaintenanceScenario::standard();
     eprintln!(
@@ -51,18 +77,32 @@ fn main() {
     let recompute = best_of(|| scenario.run_recompute());
     let serial = best_of(|| scenario.run_managed(ShardConfig::unsharded()));
     let sharded = best_of(|| scenario.run_managed(ShardConfig::default()));
+    let async_fast = best_of_async(|| scenario.run_async(ShardConfig::default(), Duration::ZERO));
+    let async_slow =
+        best_of_async(|| scenario.run_async(ShardConfig::default(), SLOW_CONSUMER_DELAY));
     let threads = ShardConfig::default().worker_threads();
 
     // Identical refresh decisions are a correctness invariant (pinned in the
     // continuous crate's tests); check it here too so a gate pass can never
-    // come from the sharded path silently doing less work.
+    // come from a faster path silently doing less work.
     assert_eq!(
         serial.stats, sharded.stats,
         "sharded and serial paths must make identical refresh decisions"
     );
+    assert_eq!(
+        serial.stats, async_fast.stats,
+        "the async pipeline must make identical refresh decisions"
+    );
+    assert_eq!(
+        serial.stats, async_slow.stats,
+        "a slow consumer must not change any refresh decision"
+    );
 
     let budget = ms(serial.elapsed) * (1.0 + tolerance);
-    let pass = ms(sharded.elapsed) <= budget;
+    let sharded_pass = ms(sharded.elapsed) <= budget;
+    let async_budget = ms(async_fast.ingest_return) * (1.0 + async_tolerance);
+    let async_pass = ms(async_slow.ingest_return) <= async_budget;
+    let pass = sharded_pass && async_pass;
 
     let json = format!(
         concat!(
@@ -71,11 +111,18 @@ fn main() {
             "  \"recompute_ms\": {:.3},\n",
             "  \"delta_serial_ms\": {:.3},\n",
             "  \"delta_sharded_ms\": {:.3},\n",
+            "  \"async_ingest_fast_consumer_ms\": {:.3},\n",
+            "  \"async_ingest_slow_consumer_ms\": {:.3},\n",
+            "  \"async_max_ingest_ms\": {:.3},\n",
+            "  \"async_delivered\": {},\n",
+            "  \"async_dropped\": {},\n",
             "  \"skip_ratio\": {:.4},\n",
             "  \"shards\": {},\n",
             "  \"worker_threads\": {},\n",
             "  \"tolerance\": {:.2},\n",
-            "  \"gate\": \"{}\"\n",
+            "  \"async_tolerance\": {:.2},\n",
+            "  \"gate\": \"{}\",\n",
+            "  \"async_gate\": \"{}\"\n",
             "}}\n"
         ),
         scenario.stream.len(),
@@ -84,11 +131,18 @@ fn main() {
         ms(recompute.elapsed),
         ms(serial.elapsed),
         ms(sharded.elapsed),
+        ms(async_fast.ingest_return),
+        ms(async_slow.ingest_return),
+        ms(async_slow.max_ingest_return),
+        async_slow.delivered,
+        async_slow.dropped,
         sharded.skip_ratio(),
         sharded.shard_stats.len(),
         threads,
         tolerance,
-        if pass { "pass" } else { "fail" },
+        async_tolerance,
+        if sharded_pass { "pass" } else { "fail" },
+        if async_pass { "pass" } else { "fail" },
     );
     std::fs::write(&out_path, &json).expect("write BENCH_continuous.json");
     print!("{json}");
@@ -101,15 +155,35 @@ fn main() {
         100.0 * sharded.skip_ratio(),
         sharded.shard_stats.len(),
         threads,
-        if pass { "PASS" } else { "FAIL" },
+        if sharded_pass { "PASS" } else { "FAIL" },
     );
-    if !pass {
+    eprintln!(
+        "perf_gate: async ingest-return fast {:.0} ms vs slow-consumer {:.0} ms \
+         (max slide {:.2} ms, {} delivered / {} dropped) -> {}",
+        ms(async_fast.ingest_return),
+        ms(async_slow.ingest_return),
+        ms(async_slow.max_ingest_return),
+        async_slow.delivered,
+        async_slow.dropped,
+        if async_pass { "PASS" } else { "FAIL" },
+    );
+    if !sharded_pass {
         eprintln!(
             "perf_gate: sharded refresh regressed past the serial path \
              ({:.0} ms > {:.0} ms budget)",
             ms(sharded.elapsed),
             budget,
         );
+    }
+    if !async_pass {
+        eprintln!(
+            "perf_gate: ingest-return latency depends on consumer speed \
+             ({:.0} ms > {:.0} ms budget) — the pipeline is back-pressuring on delivery",
+            ms(async_slow.ingest_return),
+            async_budget,
+        );
+    }
+    if !pass {
         std::process::exit(1);
     }
 }

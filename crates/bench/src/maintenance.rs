@@ -17,9 +17,13 @@
 //!   sharded path: topic-keyed shards scheduled by projected touch filters,
 //!   refreshed on scoped worker threads.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ksir_continuous::{ManagerStats, ShardConfig, ShardStats, SubscriptionManager};
+use ksir_continuous::{
+    DeliveryConfig, ManagerStats, OverflowPolicy, ShardConfig, ShardStats, SubscriptionManager,
+};
 use ksir_core::{Algorithm, EngineConfig, KsirEngine, KsirQuery, ScoringConfig};
 use ksir_datagen::{DatasetProfile, GeneratedStream, StreamGenerator};
 use ksir_stream::WindowConfig;
@@ -65,6 +69,41 @@ impl MaintenanceRun {
             0.0
         } else {
             evaluations as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Timing and work counters of one asynchronous (pipelined) maintenance run.
+#[derive(Debug, Clone)]
+pub struct AsyncMaintenanceRun {
+    /// Total time spent inside `ingest_bucket_async` — the latency the
+    /// ingestion path actually observes, excluding all refresh/delivery work
+    /// that runs behind it.
+    pub ingest_return: Duration,
+    /// Worst single-bucket ingest-return latency.
+    pub max_ingest_return: Duration,
+    /// Full wall time of the replay, including the final sync barrier and
+    /// the consumer thread's drain.
+    pub elapsed: Duration,
+    /// Slide/refresh/skip counters after the final sync (decision-identical
+    /// to the synchronous paths).
+    pub stats: ManagerStats,
+    /// Per-shard counters after the final sync.
+    pub shard_stats: Vec<ShardStats>,
+    /// Deltas the consumer thread drained.
+    pub delivered: u64,
+    /// Deltas shed by the bounded queues' overflow policy.
+    pub dropped: u64,
+}
+
+impl AsyncMaintenanceRun {
+    /// Fraction of slide-time evaluations the delta rules skipped.
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.stats.refreshes + self.stats.skips;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.skips as f64 / total as f64
         }
     }
 }
@@ -137,6 +176,100 @@ impl MaintenanceScenario {
         }
     }
 
+    /// Replays the stream through the **asynchronous** pipeline
+    /// ([`SubscriptionManager::ingest_bucket_async`]): every subscription
+    /// gets a bounded delivery queue, a dedicated consumer thread drains all
+    /// of them spending `consumer_delay` of simulated work per delta, and
+    /// each bucket's **ingest-return latency** — the time until
+    /// `ingest_bucket_async` hands control back — is measured separately
+    /// from the run's total wall time.
+    ///
+    /// The slow-subscriber mode (`consumer_delay > 0`) is the scenario the
+    /// pipeline exists for: under the `DropOldest` overflow policy the
+    /// consumer sheds its own backlog instead of back-pressuring the
+    /// workers, so ingest-return latency must be independent of the delay —
+    /// which is exactly what the CI perf gate checks.
+    pub fn run_async(&self, config: ShardConfig, consumer_delay: Duration) -> AsyncMaintenanceRun {
+        let started = Instant::now();
+        let mut mgr = SubscriptionManager::with_shard_config(self.engine(), config);
+        let mut receivers = Vec::new();
+        for (query, algorithm) in &self.queries {
+            let id = mgr.subscribe(query.clone(), *algorithm).unwrap();
+            let rx = mgr
+                .attach_delivery(
+                    id,
+                    DeliveryConfig::default()
+                        .with_capacity(64)
+                        .with_policy(OverflowPolicy::DropOldest),
+                )
+                .expect("subscription just registered");
+            receivers.push(rx);
+        }
+
+        // The consumer: drains every queue, charging `consumer_delay` per
+        // delta; parks briefly on idle passes so it does not busy-steal CPU
+        // from the refresh workers.
+        let stop = Arc::new(AtomicBool::new(false));
+        let consumer = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut delivered = 0u64;
+                loop {
+                    let mut drained_any = false;
+                    for rx in &receivers {
+                        while rx.try_recv().is_some() {
+                            delivered += 1;
+                            drained_any = true;
+                            if !consumer_delay.is_zero() {
+                                std::thread::sleep(consumer_delay);
+                            }
+                        }
+                    }
+                    if !drained_any {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+                (delivered, receivers)
+            })
+        };
+
+        let mut ingest_return = Duration::ZERO;
+        let mut max_ingest_return = Duration::ZERO;
+        let bucket_len = self.window.bucket_len();
+        let start_ts = mgr.engine().now();
+        ksir_stream::for_each_bucket(
+            bucket_len,
+            start_ts,
+            self.stream.iter_pairs(),
+            |bucket, end| {
+                let t0 = Instant::now();
+                mgr.ingest_bucket_async(bucket, end)?;
+                let dt = t0.elapsed();
+                ingest_return += dt;
+                max_ingest_return = max_ingest_return.max(dt);
+                Ok(())
+            },
+        )
+        .unwrap();
+        mgr.sync();
+        stop.store(true, Ordering::Release);
+        let (delivered, receivers) = consumer.join().expect("consumer thread panicked");
+        let dropped = receivers.iter().map(|rx| rx.dropped()).sum();
+
+        AsyncMaintenanceRun {
+            ingest_return,
+            max_ingest_return,
+            elapsed: started.elapsed(),
+            stats: mgr.stats(),
+            shard_stats: mgr.shard_stats(),
+            delivered,
+            dropped,
+        }
+    }
+
     /// Replays the stream re-running every query after every bucket — the
     /// baseline with no delta rules.
     pub fn run_recompute(&self) -> MaintenanceRun {
@@ -193,5 +326,25 @@ mod tests {
         assert!(sharded.throughput() > 0.0);
         assert!(!sharded.shard_stats.is_empty());
         assert!(recompute.shard_stats.is_empty());
+    }
+
+    #[test]
+    fn async_run_makes_identical_decisions_and_accounts_for_every_delta() {
+        let scenario = MaintenanceScenario::smoke();
+        let serial = scenario.run_managed(ShardConfig::unsharded());
+        let fast = scenario.run_async(ShardConfig::default(), Duration::ZERO);
+        let slow = scenario.run_async(ShardConfig::default(), Duration::from_micros(500));
+        assert_eq!(serial.stats, fast.stats, "async path changes no decision");
+        assert_eq!(
+            serial.stats, slow.stats,
+            "slow consumer changes no decision"
+        );
+        assert!(fast.ingest_return <= fast.elapsed);
+        assert!(fast.max_ingest_return <= fast.ingest_return);
+        assert!(fast.delivered > 0, "result changes must be delivered");
+        // A fast consumer over ample time sheds little; either way every
+        // delta is accounted for as delivered or dropped.
+        assert!(fast.delivered + fast.dropped == slow.delivered + slow.dropped);
+        assert!(!fast.shard_stats.is_empty());
     }
 }

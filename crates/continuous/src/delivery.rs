@@ -1,0 +1,386 @@
+//! Per-subscriber delivery queues for the asynchronous pipeline.
+//!
+//! Refresh workers *produce* [`ResultDelta`]s; subscribers *consume* them at
+//! their own pace through a bounded queue.  The bound plus an explicit
+//! [`OverflowPolicy`] is what guarantees a slow consumer back-pressures only
+//! itself: with the default [`OverflowPolicy::DropOldest`], a full queue
+//! sheds its oldest delta (counted in [`DeliveryReceiver::dropped`]) instead
+//! of blocking the shard's refresh worker, so ingestion latency stays
+//! independent of how fast — or whether — any subscriber drains.
+//!
+//! A queue is attached to a live subscription with
+//! [`SubscriptionManager::attach_delivery`](crate::SubscriptionManager::attach_delivery)
+//! and hands back a [`DeliveryReceiver`] — a `Receiver`-style handle that can
+//! be moved to any consumer thread.  Every delta the subscription's refreshes
+//! produce from then on (through either the synchronous or the asynchronous
+//! ingestion API) is enqueued, stamped with the slide number it belongs to,
+//! until the subscription is removed or the queue detached.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::subscription::ResultDelta;
+
+/// What a producer does when a subscriber's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Drop the **oldest** queued delta to make room (the default).  The
+    /// subscriber keeps seeing the freshest changes and the producer never
+    /// blocks; [`DeliveryReceiver::dropped`] counts the shed deltas so a
+    /// consumer can detect the gap and force a full refresh if it cares.
+    #[default]
+    DropOldest,
+    /// Drop the **incoming** delta instead, preserving the queued prefix.
+    /// Useful when a consumer replays deltas in order and would rather lose
+    /// the tail than the head of the sequence.
+    DropNewest,
+    /// Block the producing worker until the consumer makes room.  This
+    /// back-pressures the whole shard (and, through the epoch barrier, the
+    /// next index update) — only for callers that prefer losing throughput
+    /// over losing deltas.
+    Block,
+}
+
+/// One delta as delivered to a subscriber, stamped with the slide (1-based
+/// ingestion epoch) that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The slide this delta belongs to (`ManagerStats::slides` at the time
+    /// the bucket was ingested).
+    pub slide: u64,
+    /// The result change itself.
+    pub delta: ResultDelta,
+}
+
+/// Queue configuration fixed at attach time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryConfig {
+    /// Maximum queued deliveries before the overflow policy applies.
+    pub capacity: usize,
+    /// What to do when the queue is full.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for DeliveryConfig {
+    fn default() -> Self {
+        DeliveryConfig {
+            capacity: 1024,
+            policy: OverflowPolicy::DropOldest,
+        }
+    }
+}
+
+impl DeliveryConfig {
+    /// Overrides the capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the overflow policy.
+    pub fn with_policy(mut self, policy: OverflowPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<Delivery>,
+    dropped: u64,
+    /// Producer side gone: the subscription was removed or detached.
+    closed: bool,
+    /// Consumer side gone: the receiver was dropped.
+    receiver_alive: bool,
+}
+
+#[derive(Debug)]
+struct Channel {
+    state: Mutex<QueueState>,
+    /// Signalled when an item is popped (for [`OverflowPolicy::Block`]
+    /// producers) or when the channel closes.
+    space: Condvar,
+}
+
+/// Producer half, held by the manager's delivery registry and used by refresh
+/// workers.  Crate-internal: subscribers only ever see the receiver.
+#[derive(Debug, Clone)]
+pub(crate) struct DeliverySender {
+    channel: Arc<Channel>,
+    config: DeliveryConfig,
+}
+
+impl DeliverySender {
+    /// Enqueues one delta under the configured overflow policy.
+    pub(crate) fn send(&self, slide: u64, delta: ResultDelta) {
+        let mut state = self.channel.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if !state.receiver_alive || state.closed {
+                // No consumer, or the queue was closed (unsubscribe/detach):
+                // deliveries are shed.  Checking `closed` inside the loop is
+                // what lets a close() unwedge a Block-policy producer whose
+                // consumer stopped draining.
+                return;
+            }
+            if state.items.len() < self.config.capacity {
+                state.items.push_back(Delivery { slide, delta });
+                return;
+            }
+            match self.config.policy {
+                OverflowPolicy::DropOldest => {
+                    state.items.pop_front();
+                    state.dropped += 1;
+                }
+                OverflowPolicy::DropNewest => {
+                    state.dropped += 1;
+                    return;
+                }
+                OverflowPolicy::Block => {
+                    state = self
+                        .channel
+                        .space
+                        .wait(state)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Marks the producer side closed (subscription removed / detached).
+    pub(crate) fn close(&self) {
+        let mut state = self.channel.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.closed = true;
+        self.channel.space.notify_all();
+    }
+}
+
+/// Consumer half of a subscription's delivery queue.
+///
+/// `Receiver`-style: poll with [`DeliveryReceiver::try_recv`] or take
+/// everything queued with [`DeliveryReceiver::drain`].  Dropping the receiver
+/// detaches the consumer; producers then shed this subscription's deltas
+/// without blocking.
+#[derive(Debug)]
+pub struct DeliveryReceiver {
+    channel: Arc<Channel>,
+}
+
+impl DeliveryReceiver {
+    /// Pops the oldest queued delivery, if any.
+    pub fn try_recv(&self) -> Option<Delivery> {
+        let mut state = self.channel.state.lock().unwrap_or_else(|p| p.into_inner());
+        let item = state.items.pop_front();
+        if item.is_some() {
+            self.channel.space.notify_one();
+        }
+        item
+    }
+
+    /// Takes every queued delivery at once, oldest first.
+    pub fn drain(&self) -> Vec<Delivery> {
+        let mut state = self.channel.state.lock().unwrap_or_else(|p| p.into_inner());
+        let items: Vec<Delivery> = state.items.drain(..).collect();
+        if !items.is_empty() {
+            self.channel.space.notify_all();
+        }
+        items
+    }
+
+    /// Number of deliveries currently queued.
+    pub fn len(&self) -> usize {
+        self.channel
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .items
+            .len()
+    }
+
+    /// Returns `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deltas shed by the overflow policy since attach.
+    pub fn dropped(&self) -> u64 {
+        self.channel
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .dropped
+    }
+
+    /// Returns `true` once the producer side is gone (the subscription was
+    /// removed or the queue detached) — no further deliveries will arrive.
+    pub fn is_closed(&self) -> bool {
+        self.channel
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .closed
+    }
+}
+
+impl Drop for DeliveryReceiver {
+    fn drop(&mut self) {
+        let mut state = self.channel.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.receiver_alive = false;
+        state.items.clear();
+        self.channel.space.notify_all();
+    }
+}
+
+/// Creates a connected sender/receiver pair.
+pub(crate) fn delivery_queue(config: DeliveryConfig) -> (DeliverySender, DeliveryReceiver) {
+    let channel = Arc::new(Channel {
+        state: Mutex::new(QueueState {
+            receiver_alive: true,
+            ..QueueState::default()
+        }),
+        space: Condvar::new(),
+    });
+    (
+        DeliverySender {
+            channel: Arc::clone(&channel),
+            config,
+        },
+        DeliveryReceiver { channel },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscription::{RefreshReason, SubscriptionId};
+
+    fn delta(n: u64) -> ResultDelta {
+        ResultDelta {
+            subscription: SubscriptionId(n),
+            reason: RefreshReason::TopicDisturbed,
+            added: Vec::new(),
+            removed: Vec::new(),
+            score_before: 0.0,
+            score_after: n as f64 + 1.0,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_drain() {
+        let (tx, rx) = delivery_queue(DeliveryConfig::default());
+        for i in 0..3 {
+            tx.send(i + 1, delta(i));
+        }
+        assert_eq!(rx.len(), 3);
+        assert_eq!(rx.try_recv().unwrap().slide, 1);
+        let rest = rx.drain();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].slide, 2);
+        assert!(rx.is_empty());
+        assert_eq!(rx.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_oldest_sheds_the_head() {
+        let (tx, rx) = delivery_queue(DeliveryConfig::default().with_capacity(2));
+        for i in 0..4 {
+            tx.send(i + 1, delta(i));
+        }
+        assert_eq!(rx.dropped(), 2);
+        let items = rx.drain();
+        assert_eq!(
+            items.iter().map(|d| d.slide).collect::<Vec<_>>(),
+            vec![3, 4],
+            "the freshest deltas survive"
+        );
+    }
+
+    #[test]
+    fn drop_newest_sheds_the_incoming() {
+        let (tx, rx) = delivery_queue(
+            DeliveryConfig::default()
+                .with_capacity(2)
+                .with_policy(OverflowPolicy::DropNewest),
+        );
+        for i in 0..4 {
+            tx.send(i + 1, delta(i));
+        }
+        assert_eq!(rx.dropped(), 2);
+        let items = rx.drain();
+        assert_eq!(
+            items.iter().map(|d| d.slide).collect::<Vec<_>>(),
+            vec![1, 2],
+            "the queued prefix survives"
+        );
+    }
+
+    #[test]
+    fn block_policy_waits_for_the_consumer() {
+        let (tx, rx) = delivery_queue(
+            DeliveryConfig::default()
+                .with_capacity(1)
+                .with_policy(OverflowPolicy::Block),
+        );
+        tx.send(1, delta(0));
+        let producer = std::thread::spawn(move || {
+            tx.send(2, delta(1)); // blocks until the consumer pops
+            tx.send(3, delta(2));
+        });
+        // Drain until the producer has pushed all three.
+        let mut seen = Vec::new();
+        while seen.len() < 3 {
+            match rx.try_recv() {
+                Some(d) => seen.push(d.slide),
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(rx.dropped(), 0);
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_and_discards() {
+        let (tx, rx) = delivery_queue(
+            DeliveryConfig::default()
+                .with_capacity(1)
+                .with_policy(OverflowPolicy::Block),
+        );
+        tx.send(1, delta(0));
+        let producer = {
+            let tx = tx.clone();
+            std::thread::spawn(move || tx.send(2, delta(1)))
+        };
+        drop(rx);
+        // The producer must return (receiver gone ⇒ deltas shed, not queued).
+        producer.join().unwrap();
+        tx.close();
+    }
+
+    #[test]
+    fn close_unblocks_a_stalled_block_producer() {
+        let (tx, rx) = delivery_queue(
+            DeliveryConfig::default()
+                .with_capacity(1)
+                .with_policy(OverflowPolicy::Block),
+        );
+        tx.send(1, delta(0));
+        let producer = {
+            let tx = tx.clone();
+            std::thread::spawn(move || tx.send(2, delta(1))) // full queue: blocks
+        };
+        // Give the producer a moment to park, then close: it must return
+        // (shedding the delta) even though the consumer never drained.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.close();
+        producer.join().unwrap();
+        assert_eq!(rx.len(), 1, "only the first delta was queued");
+    }
+
+    #[test]
+    fn close_is_visible_to_the_receiver() {
+        let (tx, rx) = delivery_queue(DeliveryConfig::default());
+        assert!(!rx.is_closed());
+        tx.close();
+        assert!(rx.is_closed());
+    }
+}

@@ -65,11 +65,35 @@
 //!
 //! [`WindowDelta`]: ksir_stream::WindowDelta
 //!
+//! ## Asynchronous ingestion
+//!
+//! The sharded refresh of PR 2 still joined on the slowest shard before
+//! `ingest_bucket` could return.  The pipeline decouples the two halves:
+//! [`SubscriptionManager::ingest_bucket_async`] updates the index, projects
+//! the delta onto the shard filters, hands the scheduled shards to a pool of
+//! **long-lived refresh workers** (fed by a channel rather than a per-slide
+//! `std::thread::scope`), and returns a [`SlideTicket`]
+//! immediately.  Each worker streams the [`ResultDelta`]s it produces into
+//! bounded **per-subscriber delivery queues** ([`delivery`]) that consumers
+//! drain through a [`DeliveryReceiver`] at their own pace; under the default
+//! [`OverflowPolicy::DropOldest`] a slow consumer sheds its own oldest deltas
+//! instead of back-pressuring the workers, so ingestion latency is
+//! independent of subscriber count and drain speed.
+//!
+//! Before every index mutation the manager awaits the previous slide's
+//! outstanding refresh work (the *epoch barrier*, exposed as
+//! [`SubscriptionManager::sync`]), so a worker always observes the engine
+//! state its [`WindowDelta`] describes — which is what keeps the pipelined
+//! path **decision-identical** to the synchronous
+//! [`SubscriptionManager::ingest_bucket`] API, which remains available and
+//! returns the complete [`SlideOutcome`] per slide.
+//!
 //! Because every refresh re-runs the subscription's own algorithm against
 //! the same index an ad-hoc query would use, maintained results are
 //! **score-equivalent to from-scratch queries at every slide** — the
 //! integration tests assert exactly that on the paper's Table 1 example and
-//! on randomly planted streams.
+//! on randomly planted streams, and additionally that the deltas drained
+//! from the delivery queues equal the synchronous outcomes slide for slide.
 //!
 //! ## Example
 //!
@@ -102,10 +126,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod delivery;
 pub mod manager;
 pub mod shard;
 pub mod subscription;
+mod worker;
 
-pub use manager::{ManagerStats, SlideOutcome, SubscriptionManager};
+pub use delivery::{Delivery, DeliveryConfig, DeliveryReceiver, OverflowPolicy};
+pub use manager::{ManagerStats, RetiredStats, SlideOutcome, SlideTicket, SubscriptionManager};
 pub use shard::{ShardConfig, ShardKey, ShardStats};
 pub use subscription::{RefreshReason, ResultDelta, SubscriptionId, SubscriptionStats};

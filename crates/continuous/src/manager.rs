@@ -1,14 +1,18 @@
-//! The subscription manager: ingestion plus sharded, delta-driven refresh.
+//! The subscription manager: ingestion plus sharded, delta-driven refresh,
+//! with synchronous and asynchronous (pipelined) maintenance APIs.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLockReadGuard};
 
-use ksir_core::{Algorithm, IngestReport, KsirEngine, KsirQuery, QueryResult};
+use ksir_core::{Algorithm, IngestReport, KsirEngine, KsirQuery, QueryResult, SharedEngine};
 use ksir_types::{KsirError, Result, SocialElement, Timestamp, TopicVector, TopicWordDistribution};
 
+use crate::delivery::{delivery_queue, DeliveryConfig, DeliveryReceiver};
 use crate::shard::{refresh_one, Shard, ShardConfig, ShardKey, ShardSlide, ShardStats};
 use crate::subscription::{
     RefreshReason, ResultDelta, Subscription, SubscriptionId, SubscriptionStats,
 };
+use crate::worker::{deliver, DeliveryRegistry, WorkItem, WorkerPool};
 
 /// Aggregate work counters across all subscriptions and slides.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,6 +27,24 @@ pub struct ManagerStats {
     /// Subscription evaluations skipped because the slide provably could not
     /// have changed the result.
     pub skips: usize,
+}
+
+/// Cumulative counters of shards that were retired because `unsubscribe`
+/// emptied them.  Folded out of the live [`ShardStats`] so that the shard map
+/// never iterates dead shards, while
+/// `Σ live shard counters + retired == ManagerStats` keeps reconciling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetiredStats {
+    /// Shards removed after their last resident unsubscribed.
+    pub shards: usize,
+    /// Slide-driven refreshes performed by retired shards while they lived.
+    pub refreshes: usize,
+    /// Slide-time skips charged by retired shards while they lived.
+    pub skips: usize,
+    /// Slides that scheduled a now-retired shard.
+    pub scheduled_slides: usize,
+    /// Slides that skipped a now-retired shard as a whole.
+    pub skipped_slides: usize,
 }
 
 /// The outcome of one [`SubscriptionManager::ingest_bucket`] call.
@@ -48,24 +70,73 @@ pub struct SlideOutcome {
     pub shards_skipped: usize,
 }
 
-/// Manages standing k-SIR queries over an owned [`KsirEngine`], partitioned
-/// into topic-keyed shards.
+/// The immediately available part of one
+/// [`SubscriptionManager::ingest_bucket_async`] call.
 ///
-/// Ingest buckets through the manager instead of the engine; after updating
-/// the index it projects the slide's [`WindowDelta`](ksir_stream::WindowDelta)
-/// onto the shards' touch filters, refreshes the scheduled shards (in
-/// parallel on a scoped thread pool when the [`ShardConfig`] allows), and
-/// returns the result changes.  See the crate docs for the delta-refresh
-/// rules and [`crate::shard`] for the sharding scheme.
+/// The index update and shard scheduling are complete when this is returned;
+/// the scheduled shards' refreshes run on the worker pool and stream their
+/// [`ResultDelta`]s into the attached delivery queues.  Await them with
+/// [`SubscriptionManager::sync`] or consume them at leisure through the
+/// [`DeliveryReceiver`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlideTicket {
+    /// 1-based slide number; deltas delivered for this slide carry it in
+    /// [`Delivery::slide`](crate::delivery::Delivery::slide).
+    pub slide: u64,
+    /// The engine's ingestion report (including the [`WindowDelta`]).
+    ///
+    /// [`WindowDelta`]: ksir_stream::WindowDelta
+    pub report: IngestReport,
+    /// Shards handed to the worker pool for refresh.
+    pub shards_scheduled: usize,
+    /// Shards proven undisturbed as a whole.
+    pub shards_skipped: usize,
+    /// Skips charged immediately to residents of unscheduled shards.  The
+    /// scheduled shards' refresh/skip split is known only after the workers
+    /// finish (see [`SubscriptionManager::stats`] after a
+    /// [`SubscriptionManager::sync`]).
+    pub skipped: usize,
+}
+
+/// The shared first half of both ingestion APIs: the engine's report plus
+/// the shard projection (scheduled shards and immediately charged skips).
+struct ProjectedSlide {
+    report: IngestReport,
+    scheduled: Vec<Arc<Mutex<Shard>>>,
+    skipped: usize,
+    shards_skipped: usize,
+}
+
+/// Manages standing k-SIR queries over a shared [`KsirEngine`], partitioned
+/// into topic-keyed shards refreshed by a pool of long-lived workers.
+///
+/// Ingest buckets through the manager instead of the engine.  Two maintenance
+/// APIs share the same shards, workers, and refresh decisions:
+///
+/// * [`SubscriptionManager::ingest_bucket`] — synchronous: updates the index,
+///   refreshes every scheduled shard, and returns the complete
+///   [`SlideOutcome`].  Decision-identical to the serial walk of PR 1.
+/// * [`SubscriptionManager::ingest_bucket_async`] — pipelined: updates the
+///   index, enqueues the scheduled shards on the worker pool, and returns a
+///   [`SlideTicket`] without waiting for any refresh.  Result changes stream
+///   into bounded per-subscriber queues ([`SubscriptionManager::attach_delivery`]);
+///   [`SubscriptionManager::sync`] is the barrier that awaits outstanding
+///   refresh work.
+///
+/// See the crate docs for the delta-refresh rules, [`crate::shard`] for the
+/// sharding scheme, and [`crate::delivery`] for the queue semantics.
 #[derive(Debug)]
 pub struct SubscriptionManager<D> {
-    engine: KsirEngine<D>,
+    engine: SharedEngine<D>,
     config: ShardConfig,
-    shards: BTreeMap<ShardKey, Shard>,
+    shards: BTreeMap<ShardKey, Arc<Mutex<Shard>>>,
     /// Home shard of every live subscription.
     route_of: BTreeMap<SubscriptionId, ShardKey>,
+    deliveries: DeliveryRegistry,
+    pool: Option<WorkerPool>,
     next_id: u64,
-    stats: ManagerStats,
+    slides: usize,
+    retired: RetiredStats,
 }
 
 impl<D: TopicWordDistribution> SubscriptionManager<D> {
@@ -78,12 +149,15 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     /// Wraps an engine with an explicit sharding configuration.
     pub fn with_shard_config(engine: KsirEngine<D>, config: ShardConfig) -> Self {
         SubscriptionManager {
-            engine,
+            engine: SharedEngine::new(engine),
             config,
             shards: BTreeMap::new(),
             route_of: BTreeMap::new(),
+            deliveries: DeliveryRegistry::default(),
+            pool: None,
             next_id: 0,
-            stats: ManagerStats::default(),
+            slides: 0,
+            retired: RetiredStats::default(),
         }
     }
 
@@ -93,13 +167,27 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     }
 
     /// Read access to the underlying engine (for ad-hoc queries, stats, …).
-    pub fn engine(&self) -> &KsirEngine<D> {
-        &self.engine
+    ///
+    /// The guard holds the engine's read lock; drop it before calling a
+    /// mutating manager method.
+    pub fn engine(&self) -> RwLockReadGuard<'_, KsirEngine<D>> {
+        self.engine.read()
     }
 
-    /// Tears the manager down, returning the engine.
-    pub fn into_engine(self) -> KsirEngine<D> {
-        self.engine
+    /// A cloneable handle to the engine for use on other threads (ad-hoc
+    /// query serving, dashboards).  Readers never block each other; they
+    /// block only while a bucket is being applied to the index.
+    pub fn shared_engine(&self) -> SharedEngine<D> {
+        self.engine.clone()
+    }
+
+    /// Tears the manager down, returning the engine.  Shuts the worker pool
+    /// down first (awaiting outstanding refresh work).
+    pub fn into_engine(mut self) -> KsirEngine<D> {
+        self.sync();
+        self.pool = None; // joins the workers, releasing their engine handles
+        let SubscriptionManager { engine, .. } = self;
+        engine.into_inner()
     }
 
     /// Number of registered subscriptions.
@@ -107,7 +195,9 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         self.route_of.len()
     }
 
-    /// Number of (non-empty or previously used) shards.
+    /// Number of live (non-empty) shards.  Shards emptied by
+    /// [`SubscriptionManager::unsubscribe`] are pruned; their cumulative
+    /// counters move to [`SubscriptionManager::retired_stats`].
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
@@ -120,12 +210,43 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     /// Per-shard work counters, ordered by shard key (topic shards first,
     /// overflow last).
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.shards.values().map(|s| s.stats()).collect()
+        self.shards
+            .values()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).stats())
+            .collect()
     }
 
-    /// Aggregate work counters.
+    /// Cumulative counters of shards retired by `unsubscribe`.
+    pub fn retired_stats(&self) -> RetiredStats {
+        self.retired
+    }
+
+    /// Aggregate work counters: the sum of the live shards' counters plus the
+    /// retired tally.  After a [`SubscriptionManager::sync`] (or any
+    /// synchronous ingest), `refreshes + skips` reconciles with the number of
+    /// slide-time classifications performed.
     pub fn stats(&self) -> ManagerStats {
-        self.stats
+        let mut refreshes = self.retired.refreshes;
+        let mut skips = self.retired.skips;
+        for stats in self.shard_stats() {
+            refreshes += stats.refreshes;
+            skips += stats.skips;
+        }
+        ManagerStats {
+            slides: self.slides,
+            refreshes,
+            skips,
+        }
+    }
+
+    /// Awaits every outstanding asynchronous shard refresh — the pipeline's
+    /// barrier.  After `sync()` returns, all deltas of previously ingested
+    /// buckets have been pushed into their delivery queues and every counter
+    /// is final.  A no-op when nothing is outstanding (or in pure-sync use).
+    pub fn sync(&self) {
+        if let Some(pool) = &self.pool {
+            pool.wait_idle();
+        }
     }
 
     /// Registers a standing query, evaluating it immediately against the
@@ -133,13 +254,19 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     /// support topic, or the overflow shard for broad queries).
     ///
     /// Returns the subscription handle; the initial result is available via
-    /// [`SubscriptionManager::result`] right away.
+    /// [`SubscriptionManager::result`] right away.  Awaits outstanding
+    /// asynchronous refreshes first, so the subscription's counters start
+    /// exactly at its first slide.
     pub fn subscribe(&mut self, query: KsirQuery, algorithm: Algorithm) -> Result<SubscriptionId> {
-        if query.vector().num_topics() != self.engine.num_topics() {
-            return Err(KsirError::DimensionMismatch {
-                expected: self.engine.num_topics(),
-                actual: query.vector().num_topics(),
-            });
+        self.sync();
+        {
+            let engine = self.engine.read();
+            if query.vector().num_topics() != engine.num_topics() {
+                return Err(KsirError::DimensionMismatch {
+                    expected: engine.num_topics(),
+                    actual: query.vector().num_topics(),
+                });
+            }
         }
         let id = SubscriptionId(self.next_id);
         self.next_id += 1;
@@ -148,113 +275,259 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         // The initial evaluation is not a slide, so it is deliberately left
         // out of the refresh/skip counters — they must reconcile with
         // `slides x subscriptions`.
-        refresh_one(&self.engine, id, &mut sub, RefreshReason::Initial);
+        refresh_one(&self.engine.read(), id, &mut sub, RefreshReason::Initial);
         self.shards
             .entry(key)
-            .or_insert_with(|| Shard::new(key))
+            .or_insert_with(|| Arc::new(Mutex::new(Shard::new(key))))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
             .insert(id, sub);
         self.route_of.insert(id, key);
         Ok(id)
     }
 
     /// Removes a subscription.  Returns `true` if it existed.
+    ///
+    /// A shard emptied by the removal is pruned from the shard map (its
+    /// cumulative counters fold into [`SubscriptionManager::retired_stats`]),
+    /// so future slides no longer iterate it.  Any attached delivery queue is
+    /// closed.
     pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        if !self.route_of.contains_key(&id) {
+            return false;
+        }
+        // Close the queue *before* the barrier: if a Block-policy producer is
+        // stalled on a consumer that stopped draining, the close is what
+        // unwedges it so the sync below can complete.
+        self.close_delivery(id);
+        self.sync();
         let Some(key) = self.route_of.remove(&id) else {
             return false;
         };
-        self.shards
-            .get_mut(&key)
-            .and_then(|shard| shard.remove(id))
-            .is_some()
+        let Some(shard_arc) = self.shards.get(&key) else {
+            return false;
+        };
+        let (removed, retire) = {
+            let mut shard = shard_arc.lock().unwrap_or_else(|p| p.into_inner());
+            let removed = shard.remove(id).is_some();
+            let retire = (removed && shard.len() == 0).then(|| shard.stats());
+            (removed, retire)
+        };
+        if let Some(stats) = retire {
+            self.retired.shards += 1;
+            self.retired.refreshes += stats.refreshes;
+            self.retired.skips += stats.skips;
+            self.retired.scheduled_slides += stats.scheduled_slides;
+            self.retired.skipped_slides += stats.skipped_slides;
+            self.shards.remove(&key);
+        }
+        removed
+    }
+
+    /// Removes and closes `id`'s delivery sender, if any.  Returns `true` if
+    /// one was attached.
+    fn close_delivery(&self, id: SubscriptionId) -> bool {
+        let sender = self
+            .deliveries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id);
+        match sender {
+            Some(sender) => {
+                sender.close();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attaches a bounded delivery queue to a live subscription, returning
+    /// the consumer handle.  From the next slide on, every [`ResultDelta`]
+    /// the subscription's refreshes produce — through either ingestion API —
+    /// is enqueued under the queue's overflow policy.  Replaces (and closes)
+    /// any previously attached queue.  Returns `None` for unknown ids.
+    pub fn attach_delivery(
+        &mut self,
+        id: SubscriptionId,
+        config: DeliveryConfig,
+    ) -> Option<DeliveryReceiver> {
+        if !self.route_of.contains_key(&id) {
+            return None;
+        }
+        // Close any previous queue before the barrier (a stalled Block-policy
+        // producer on the old queue must be unwedged for sync to complete),
+        // then quiesce so the new queue starts at a slide boundary.
+        self.close_delivery(id);
+        self.sync();
+        let (sender, receiver) = delivery_queue(config);
+        self.deliveries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id, sender);
+        Some(receiver)
+    }
+
+    /// Detaches (and closes) a subscription's delivery queue.  Returns `true`
+    /// if one was attached.
+    pub fn detach_delivery(&mut self, id: SubscriptionId) -> bool {
+        // Close first (unwedging any stalled Block-policy producer), then
+        // quiesce so no worker still holds the removed sender.
+        let detached = self.close_delivery(id);
+        self.sync();
+        detached
     }
 
     /// The current maintained result of a subscription.
-    pub fn result(&self, id: SubscriptionId) -> Option<&QueryResult> {
-        self.subscription(id)?.result.as_ref()
+    pub fn result(&self, id: SubscriptionId) -> Option<QueryResult> {
+        self.with_subscription(id, |sub| sub.result.clone())?
     }
 
     /// The work counters of one subscription.
     pub fn subscription_stats(&self, id: SubscriptionId) -> Option<SubscriptionStats> {
-        self.subscription(id).map(|s| s.stats)
+        self.with_subscription(id, |sub| sub.stats)
     }
 
-    fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
+    fn with_subscription<T>(
+        &self,
+        id: SubscriptionId,
+        f: impl FnOnce(&Subscription) -> T,
+    ) -> Option<T> {
         let key = self.route_of.get(&id)?;
-        self.shards.get(key)?.get(id)
+        let shard = self.shards.get(key)?;
+        let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+        shard.get(id).map(f)
     }
 
     /// Forces a refresh of one subscription, returning the delta if the
-    /// result changed.
+    /// result changed.  The delta (if any) is also pushed into the
+    /// subscription's delivery queue, stamped with the current slide.
     pub fn refresh(&mut self, id: SubscriptionId) -> Option<ResultDelta> {
+        self.sync();
         let key = self.route_of.get(&id)?;
-        let shard = self.shards.get_mut(key)?;
-        let sub = shard.get_mut(id)?;
-        let update = refresh_one(&self.engine, id, sub, RefreshReason::Forced);
-        // The stored result (and with it the shard's floors/members) may have
-        // changed even when no delta is reported.
-        shard.rebuild_filters();
+        let shard_arc = self.shards.get(key)?;
+        let update = {
+            let engine = self.engine.read();
+            let mut shard = shard_arc.lock().unwrap_or_else(|p| p.into_inner());
+            let sub = shard.get_mut(id)?;
+            let update = refresh_one(&engine, id, sub, RefreshReason::Forced);
+            // The stored result (and with it the shard's floors/members) may
+            // have changed even when no delta is reported.
+            shard.rebuild_filters();
+            update
+        };
+        if let Some(update) = &update {
+            deliver(
+                &self.deliveries,
+                self.slides as u64,
+                std::slice::from_ref(update),
+            );
+        }
         update
+    }
+}
+
+impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
+    /// The worker pool, spawned on first use and sized by
+    /// [`ShardConfig::worker_threads`].
+    fn pool(&mut self) -> &WorkerPool {
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::spawn(
+                self.config.worker_threads(),
+                self.engine.clone(),
+                Arc::clone(&self.deliveries),
+            ));
+        }
+        self.pool.as_ref().expect("just spawned")
+    }
+
+    /// Applies the bucket to the index and projects the slide delta onto
+    /// every shard's touch filters.  Awaits the previous slide's refresh
+    /// work first (the epoch barrier), so workers always observe the engine
+    /// state their delta describes.
+    fn ingest_and_project(
+        &mut self,
+        bucket: Vec<(SocialElement, TopicVector)>,
+        bucket_end: Timestamp,
+    ) -> Result<ProjectedSlide> {
+        self.sync();
+        let report = self.engine.write().ingest_bucket(bucket, bucket_end)?;
+        self.slides += 1;
+
+        let mut scheduled: Vec<Arc<Mutex<Shard>>> = Vec::new();
+        let mut skipped = 0usize;
+        let mut shards_skipped = 0usize;
+        for shard_arc in self.shards.values() {
+            let mut shard = shard_arc.lock().unwrap_or_else(|p| p.into_inner());
+            if shard.is_touched_by(&report.delta) {
+                scheduled.push(Arc::clone(shard_arc));
+            } else if shard.len() > 0 {
+                shards_skipped += 1;
+                skipped += shard.skip_all();
+            }
+        }
+        Ok(ProjectedSlide {
+            report,
+            scheduled,
+            skipped,
+            shards_skipped,
+        })
     }
 
     /// Ingests one bucket through the engine, then refreshes exactly the
     /// shards — and within them the subscriptions — the slide could have
-    /// affected.  Scheduled shards refresh concurrently on scoped worker
-    /// threads when the configuration and hardware allow.
+    /// affected, returning the complete [`SlideOutcome`].
+    ///
+    /// Decision-identical to the serial walk: the same subscriptions refresh
+    /// or skip, with the same counters, as under PR 1.  Scheduled shards
+    /// refresh on the worker pool when the configuration allows more than
+    /// one thread; result deltas additionally stream into any attached
+    /// delivery queues.
     pub fn ingest_bucket(
         &mut self,
         bucket: Vec<(SocialElement, TopicVector)>,
         bucket_end: Timestamp,
-    ) -> Result<SlideOutcome>
-    where
-        D: Sync,
-    {
-        let report = self.engine.ingest_bucket(bucket, bucket_end)?;
-        self.stats.slides += 1;
-
-        // Project the slide delta onto every shard's touch filters.
-        let mut scheduled: Vec<&mut Shard> = Vec::new();
-        let mut skipped = 0usize;
-        let mut shards_skipped = 0usize;
-        for shard in self.shards.values_mut() {
-            if shard.is_touched_by(&report.delta) {
-                scheduled.push(shard);
-            } else {
-                if shard.len() > 0 {
-                    shards_skipped += 1;
-                }
-                skipped += shard.skip_all();
-            }
-        }
+    ) -> Result<SlideOutcome> {
+        let ProjectedSlide {
+            report,
+            scheduled,
+            mut skipped,
+            shards_skipped,
+        } = self.ingest_and_project(bucket, bucket_end)?;
         let shards_scheduled = scheduled.len();
+        let slide_no = self.slides as u64;
 
-        // Refresh the scheduled shards, fanning out across worker threads
-        // when more than one is both allowed and useful.
-        let threads = self.config.threads_for(scheduled.len());
-        let engine = &self.engine;
-        let delta = &report.delta;
-        let mut slides: Vec<ShardSlide> = Vec::with_capacity(scheduled.len());
-        if threads <= 1 || scheduled.len() <= 1 {
-            for shard in &mut scheduled {
-                slides.push(shard.refresh_scheduled(engine, delta));
+        let threads = self.config.threads_for(shards_scheduled);
+        let mut slides: Vec<ShardSlide> = Vec::with_capacity(shards_scheduled);
+        if threads <= 1 || shards_scheduled <= 1 {
+            // Refresh on the caller's thread; deliveries still flow.
+            let engine = self.engine.read();
+            for shard_arc in &scheduled {
+                let slide = shard_arc
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .refresh_scheduled(&engine, &report.delta);
+                slides.push(slide);
+            }
+            drop(engine);
+            for slide in &slides {
+                deliver(&self.deliveries, slide_no, &slide.updates);
             }
         } else {
-            let chunk_len = scheduled.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = scheduled
-                    .chunks_mut(chunk_len)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk
-                                .iter_mut()
-                                .map(|shard| shard.refresh_scheduled(engine, delta))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    slides.extend(handle.join().expect("shard refresh worker panicked"));
-                }
-            });
+            let delta = Arc::new(report.delta.clone());
+            let collector = Arc::new(Mutex::new(Vec::with_capacity(shards_scheduled)));
+            let items = scheduled
+                .into_iter()
+                .map(|shard| WorkItem {
+                    slide: slide_no,
+                    shard,
+                    delta: Arc::clone(&delta),
+                    collector: Some(Arc::clone(&collector)),
+                })
+                .collect();
+            let pool = self.pool();
+            pool.dispatch(items);
+            pool.wait_idle();
+            slides = std::mem::take(&mut *collector.lock().unwrap_or_else(|p| p.into_inner()));
         }
 
         let mut updates = Vec::new();
@@ -268,8 +541,6 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         // deltas deterministically.
         updates.sort_by_key(|u| u.subscription);
 
-        self.stats.refreshes += refreshed;
-        self.stats.skips += skipped;
         Ok(SlideOutcome {
             report,
             updates,
@@ -277,6 +548,51 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
             skipped,
             shards_scheduled,
             shards_skipped,
+        })
+    }
+
+    /// Ingests one bucket and **returns before any refresh runs**: the index
+    /// is updated, unscheduled shards are skipped, and the scheduled shards
+    /// are handed to the long-lived worker pool.  Result deltas stream into
+    /// the attached delivery queues as each shard finishes; ingestion
+    /// latency is therefore independent of subscriber count and drain speed.
+    ///
+    /// The next ingest (either API) first awaits this slide's refresh work —
+    /// the epoch barrier that keeps refresh decisions identical to the
+    /// synchronous path.  Use [`SubscriptionManager::sync`] to await
+    /// explicitly (e.g. before reading [`SubscriptionManager::result`]).
+    pub fn ingest_bucket_async(
+        &mut self,
+        bucket: Vec<(SocialElement, TopicVector)>,
+        bucket_end: Timestamp,
+    ) -> Result<SlideTicket> {
+        let ProjectedSlide {
+            report,
+            scheduled,
+            skipped,
+            shards_skipped,
+        } = self.ingest_and_project(bucket, bucket_end)?;
+        let slide_no = self.slides as u64;
+        let shards_scheduled = scheduled.len();
+        if shards_scheduled > 0 {
+            let delta = Arc::new(report.delta.clone());
+            let items = scheduled
+                .into_iter()
+                .map(|shard| WorkItem {
+                    slide: slide_no,
+                    shard,
+                    delta: Arc::clone(&delta),
+                    collector: None,
+                })
+                .collect();
+            self.pool().dispatch(items);
+        }
+        Ok(SlideTicket {
+            slide: slide_no,
+            report,
+            shards_scheduled,
+            shards_skipped,
+            skipped,
         })
     }
 
@@ -288,15 +604,33 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     pub fn ingest_stream<I>(&mut self, stream: I) -> Result<Vec<SlideOutcome>>
     where
         I: IntoIterator<Item = (SocialElement, TopicVector)>,
-        D: Sync,
     {
-        let bucket_len = self.engine.config().window.bucket_len();
+        let bucket_len = self.engine.read().config().window.bucket_len();
+        let now = self.engine.read().now();
         let mut outcomes = Vec::new();
-        ksir_stream::for_each_bucket(bucket_len, self.engine.now(), stream, |bucket, end| {
+        ksir_stream::for_each_bucket(bucket_len, now, stream, |bucket, end| {
             outcomes.push(self.ingest_bucket(bucket, end)?);
             Ok(())
         })?;
         Ok(outcomes)
+    }
+
+    /// Asynchronous counterpart of [`SubscriptionManager::ingest_stream`]:
+    /// every bucket goes through [`SubscriptionManager::ingest_bucket_async`].
+    /// Returns the per-slide tickets; call [`SubscriptionManager::sync`] to
+    /// await the last slide's refresh work.
+    pub fn ingest_stream_async<I>(&mut self, stream: I) -> Result<Vec<SlideTicket>>
+    where
+        I: IntoIterator<Item = (SocialElement, TopicVector)>,
+    {
+        let bucket_len = self.engine.read().config().window.bucket_len();
+        let now = self.engine.read().now();
+        let mut tickets = Vec::new();
+        ksir_stream::for_each_bucket(bucket_len, now, stream, |bucket, end| {
+            tickets.push(self.ingest_bucket_async(bucket, end)?);
+            Ok(())
+        })?;
+        Ok(tickets)
     }
 }
 
@@ -336,6 +670,50 @@ mod tests {
         assert!(!mgr.unsubscribe(id));
         assert!(mgr.result(id).is_none());
         assert!(mgr.shard_of(id).is_none());
+    }
+
+    #[test]
+    fn unsubscribe_prunes_emptied_shards_into_retired_tally() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.empty_engine());
+        let narrow = mgr
+            .subscribe(query(1, &[1.0, 0.0]), Algorithm::Mtts)
+            .unwrap();
+        let other = mgr
+            .subscribe(query(1, &[0.0, 1.0]), Algorithm::Mttd)
+            .unwrap();
+        assert_eq!(mgr.shard_count(), 2);
+        for (element, tv) in ex.stream().into_iter().take(4) {
+            let end = element.ts;
+            mgr.ingest_bucket(vec![(element, tv)], end).unwrap();
+        }
+        let stats_before = mgr.stats();
+        assert!(mgr.unsubscribe(narrow));
+        // The emptied shard is gone from the live map…
+        assert_eq!(mgr.shard_count(), 1);
+        assert_eq!(mgr.shard_stats().len(), 1);
+        assert_eq!(mgr.shard_stats()[0].key, ShardKey::Topic(TopicId(1)));
+        // …but its counters survive in the retired tally, so the aggregate
+        // stats are unchanged by the removal.
+        let retired = mgr.retired_stats();
+        assert_eq!(retired.shards, 1);
+        assert!(retired.refreshes + retired.skips > 0);
+        assert_eq!(mgr.stats(), stats_before);
+        // Future slides no longer charge the dead shard.
+        let remaining_slides = ex.stream().len() - 4;
+        for (element, tv) in ex.stream().into_iter().skip(4) {
+            let end = element.ts;
+            mgr.ingest_bucket(vec![(element, tv)], end).unwrap();
+        }
+        let stats = mgr.stats();
+        assert_eq!(
+            stats.refreshes + stats.skips,
+            stats_before.refreshes + stats_before.skips + remaining_slides,
+            "only the surviving subscription is classified after the prune"
+        );
+        assert!(mgr.unsubscribe(other));
+        assert_eq!(mgr.shard_count(), 0);
+        assert_eq!(mgr.retired_stats().shards, 2);
     }
 
     #[test]
@@ -458,7 +836,98 @@ mod tests {
             .shard_stats()
             .iter()
             .fold((0, 0), |(r, s), st| (r + st.refreshes, s + st.skips));
-        assert_eq!(shard_refreshes, stats.refreshes);
-        assert_eq!(shard_skips, stats.skips);
+        let retired = mgr.retired_stats();
+        assert_eq!(shard_refreshes + retired.refreshes, stats.refreshes);
+        assert_eq!(shard_skips + retired.skips, stats.skips);
+    }
+
+    #[test]
+    fn async_ingest_returns_before_refresh_and_sync_settles() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.empty_engine());
+        let id = mgr
+            .subscribe(query(2, &[0.5, 0.5]), Algorithm::Mttd)
+            .unwrap();
+        let rx = mgr
+            .attach_delivery(id, DeliveryConfig::default())
+            .expect("live subscription");
+        let tickets = mgr.ingest_stream_async(ex.stream()).unwrap();
+        assert_eq!(tickets.len(), 8);
+        assert_eq!(tickets.last().unwrap().slide, 8);
+        mgr.sync();
+        // Maintained result equals scratch after the barrier.
+        let fresh = mgr
+            .engine()
+            .query(&query(2, &[0.5, 0.5]), Algorithm::Mttd)
+            .unwrap();
+        assert_eq!(
+            mgr.result(id).unwrap().sorted_elements(),
+            fresh.sorted_elements()
+        );
+        // Every delivered delta belongs to a real slide, in order.
+        let deliveries = rx.drain();
+        assert!(!deliveries.is_empty());
+        assert!(deliveries.windows(2).all(|w| w[0].slide <= w[1].slide));
+        assert_eq!(rx.dropped(), 0);
+        // Counters reconcile after sync.
+        let stats = mgr.stats();
+        assert_eq!(stats.refreshes + stats.skips, stats.slides);
+    }
+
+    #[test]
+    fn detach_delivery_closes_the_queue() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.build_engine());
+        let id = mgr
+            .subscribe(query(2, &[0.5, 0.5]), Algorithm::Mttd)
+            .unwrap();
+        assert!(mgr
+            .attach_delivery(SubscriptionId(99), DeliveryConfig::default())
+            .is_none());
+        let rx = mgr.attach_delivery(id, DeliveryConfig::default()).unwrap();
+        assert!(!rx.is_closed());
+        assert!(mgr.detach_delivery(id));
+        assert!(!mgr.detach_delivery(id));
+        assert!(rx.is_closed());
+    }
+
+    #[test]
+    fn unsubscribe_unwedges_a_stalled_block_queue() {
+        // A Block-policy queue whose consumer never drains stalls the
+        // producing worker; unsubscribe must close the queue *before* its
+        // sync barrier, or this test hangs instead of completing.
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.empty_engine());
+        let id = mgr
+            .subscribe(query(2, &[0.5, 0.5]), Algorithm::Mttd)
+            .unwrap();
+        let rx = mgr
+            .attach_delivery(
+                id,
+                crate::delivery::DeliveryConfig::default()
+                    .with_capacity(1)
+                    .with_policy(crate::delivery::OverflowPolicy::Block),
+            )
+            .unwrap();
+        // Two slides that each change the result: the first delta fills the
+        // queue, the second leaves a worker blocked in send().
+        for (element, tv) in ex.stream().into_iter().take(2) {
+            let end = element.ts;
+            mgr.ingest_bucket_async(vec![(element, tv)], end).unwrap();
+        }
+        assert!(mgr.unsubscribe(id), "must complete despite the stall");
+        assert!(rx.is_closed());
+        assert!(rx.len() <= 1);
+    }
+
+    #[test]
+    fn into_engine_shuts_the_pool_down() {
+        let ex = paper_example();
+        let mut mgr = SubscriptionManager::new(ex.empty_engine());
+        mgr.subscribe(query(2, &[0.5, 0.5]), Algorithm::Mttd)
+            .unwrap();
+        mgr.ingest_stream_async(ex.stream()).unwrap();
+        let engine = mgr.into_engine();
+        assert!(engine.active_count() > 0);
     }
 }

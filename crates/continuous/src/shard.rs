@@ -353,7 +353,16 @@ impl Shard {
 
     /// Charges one skip to every resident of an unscheduled shard.  Returns
     /// the number of skips charged.
+    ///
+    /// A shard with no residents charges nothing — in particular it does
+    /// *not* count a skipped slide, so `scheduled_slides + skipped_slides`
+    /// keeps reconciling with the slides the shard actually had residents
+    /// for.  (Empty shards are also pruned on `unsubscribe`, so this guard
+    /// only matters for transient states.)
     pub(crate) fn skip_all(&mut self) -> usize {
+        if self.subs.is_empty() {
+            return 0;
+        }
         for sub in self.subs.values_mut() {
             sub.stats.skips += 1;
         }
@@ -425,8 +434,9 @@ pub(crate) fn refresh_one<D: TopicWordDistribution>(
     let score_after = fresh.score;
     sub.result = Some(fresh);
 
-    let changed =
-        !added.is_empty() || !removed.is_empty() || (score_after - score_before).abs() > 1e-12;
+    let changed = !added.is_empty()
+        || !removed.is_empty()
+        || (score_after - score_before).abs() > crate::subscription::SCORE_EPS;
     if !changed {
         return None;
     }

@@ -58,11 +58,22 @@ pub struct ResultDelta {
     pub score_after: f64,
 }
 
+/// Score changes at or below this magnitude are considered numeric noise:
+/// [`refresh_one`](crate::shard::refresh_one) does not emit a delta for them,
+/// and [`ResultDelta::is_noop`] mirrors the same threshold so the two can
+/// never disagree about what counts as a change.
+pub(crate) const SCORE_EPS: f64 = 1e-12;
+
 impl ResultDelta {
-    /// Returns `true` if the refresh left the result set unchanged (the
-    /// query was re-run but confirmed its previous answer).
+    /// Returns `true` if the refresh changed nothing observable: the result
+    /// set is identical **and** the representativeness score is unchanged
+    /// (beyond numeric noise).  A score-only delta — same members, different
+    /// score, as happens when the window churns around a stable result set —
+    /// is a real change and reports `false`.
     pub fn is_noop(&self) -> bool {
-        self.added.is_empty() && self.removed.is_empty()
+        self.added.is_empty()
+            && self.removed.is_empty()
+            && (self.score_after - self.score_before).abs() <= SCORE_EPS
     }
 }
 
@@ -109,5 +120,52 @@ impl Subscription {
     /// derivation so the two can never drift apart).
     pub(crate) fn frontier(&self) -> Option<&QueryFrontier> {
         self.result.as_ref().and_then(|r| r.frontier.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(
+        added: Vec<ElementId>,
+        removed: Vec<ElementId>,
+        before: f64,
+        after: f64,
+    ) -> ResultDelta {
+        ResultDelta {
+            subscription: SubscriptionId(0),
+            reason: RefreshReason::TopicDisturbed,
+            added,
+            removed,
+            score_before: before,
+            score_after: after,
+        }
+    }
+
+    #[test]
+    fn score_only_delta_is_not_a_noop() {
+        // `refresh_one` deliberately emits a delta when only the score moved
+        // (same members, churned window); is_noop must agree that this is a
+        // real change.
+        let d = delta(Vec::new(), Vec::new(), 0.50, 0.75);
+        assert!(!d.is_noop());
+    }
+
+    #[test]
+    fn identical_result_and_score_is_a_noop() {
+        let d = delta(Vec::new(), Vec::new(), 0.5, 0.5);
+        assert!(d.is_noop());
+        // Sub-epsilon jitter is numeric noise, not a change.
+        let d = delta(Vec::new(), Vec::new(), 0.5, 0.5 + 1e-13);
+        assert!(d.is_noop());
+    }
+
+    #[test]
+    fn membership_changes_are_never_noops() {
+        let d = delta(vec![ElementId(1)], Vec::new(), 0.5, 0.5);
+        assert!(!d.is_noop());
+        let d = delta(Vec::new(), vec![ElementId(2)], 0.5, 0.5);
+        assert!(!d.is_noop());
     }
 }

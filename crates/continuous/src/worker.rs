@@ -1,0 +1,227 @@
+//! Long-lived shard-refresh workers fed by a channel.
+//!
+//! PR 2 fanned each slide's scheduled shards out over a fresh
+//! `std::thread::scope`, which meant `ingest_bucket` could not return before
+//! the slowest shard finished.  This module replaces that with a fixed pool
+//! of workers that live as long as the
+//! [`SubscriptionManager`](crate::SubscriptionManager): the ingestion path
+//! enqueues one [`WorkItem`] per scheduled shard and is free to return
+//! immediately; workers pull items off the shared channel, take a read guard
+//! on the [`SharedEngine`], refresh the shard, and stream the resulting
+//! [`ResultDelta`](crate::ResultDelta)s into the attached per-subscriber
+//! delivery queues.
+//!
+//! ## The epoch barrier
+//!
+//! Refresh decisions are only decision-identical to the serial walk if every
+//! worker observes the engine state of the slide its work item was scheduled
+//! for.  The pool therefore tracks outstanding items in a [`Gate`]; the
+//! manager calls [`WorkerPool::wait_idle`] (its `sync()` barrier) before
+//! every index mutation, so at most one slide's work is ever in flight and a
+//! worker can never read a newer window than its `WindowDelta` describes.
+//! Slow *subscribers* never extend that window: delivery queues are bounded
+//! and non-blocking under the default overflow policy, so the barrier waits
+//! only on refresh compute, not on consumers.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ksir_core::SharedEngine;
+use ksir_stream::WindowDelta;
+use ksir_types::TopicWordDistribution;
+
+use crate::delivery::DeliverySender;
+use crate::shard::{Shard, ShardSlide};
+use crate::subscription::SubscriptionId;
+
+/// Shared map from live subscription to its delivery-queue producer.
+pub(crate) type DeliveryRegistry =
+    Arc<Mutex<std::collections::BTreeMap<SubscriptionId, DeliverySender>>>;
+
+/// Pushes a slide's result deltas into the attached delivery queues.  Used by
+/// the workers and by the manager's inline (single-threaded) refresh path, so
+/// subscribers see the same stream regardless of which path ran.
+pub(crate) fn deliver(
+    registry: &DeliveryRegistry,
+    slide: u64,
+    updates: &[crate::subscription::ResultDelta],
+) {
+    if updates.is_empty() {
+        return;
+    }
+    // Clone the senders out and release the registry lock before sending: a
+    // Block-policy queue may stall its producer, and that stall must never
+    // extend to other subscriptions' deliveries (or to the manager methods
+    // that take the registry lock).
+    let senders: Vec<_> = {
+        let registry = registry.lock().unwrap_or_else(|p| p.into_inner());
+        updates
+            .iter()
+            .map(|update| registry.get(&update.subscription).cloned())
+            .collect()
+    };
+    for (update, sender) in updates.iter().zip(senders) {
+        if let Some(sender) = sender {
+            sender.send(slide, update.clone());
+        }
+    }
+}
+
+/// One scheduled shard refresh: the shard, the slide delta that scheduled it,
+/// and (for the synchronous API) a collector the resulting [`ShardSlide`] is
+/// pushed into.
+pub(crate) struct WorkItem {
+    pub(crate) slide: u64,
+    pub(crate) shard: Arc<Mutex<Shard>>,
+    pub(crate) delta: Arc<WindowDelta>,
+    pub(crate) collector: Option<Arc<Mutex<Vec<ShardSlide>>>>,
+}
+
+/// Counts outstanding work items; `wait_idle` is the sync()/drain() barrier.
+#[derive(Debug, Default)]
+struct Gate {
+    pending: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl Gate {
+    fn add(&self, n: usize) {
+        *self.pending.lock().unwrap_or_else(|p| p.into_inner()) += n;
+    }
+
+    fn complete_one(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        *pending -= 1;
+        if *pending == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        while *pending > 0 {
+            pending = self.idle.wait(pending).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Decrements the gate even if the refresh panics, so a poisoned shard can
+/// never deadlock the ingestion path on `wait_idle`.
+struct CompletionGuard<'a>(&'a Gate);
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.complete_one();
+    }
+}
+
+/// The fixed pool of long-lived refresh workers.
+///
+/// Not generic over the topic model: the engine handle is moved into the
+/// worker closures at spawn time, which keeps the pool embeddable in any
+/// manager without dragging `D` through the channel types.
+pub(crate) struct WorkerPool {
+    tx: Option<Sender<WorkItem>>,
+    gate: Arc<Gate>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers over a shared engine handle and delivery
+    /// registry.
+    pub(crate) fn spawn<D>(
+        threads: usize,
+        engine: SharedEngine<D>,
+        registry: DeliveryRegistry,
+    ) -> Self
+    where
+        D: TopicWordDistribution + Send + Sync + 'static,
+    {
+        let (tx, rx) = channel::<WorkItem>();
+        let rx = Arc::new(Mutex::new(rx));
+        let gate = Arc::new(Gate::default());
+        let handles = (0..threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let gate = Arc::clone(&gate);
+                let engine = engine.clone();
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || worker_loop(&rx, &gate, &engine, &registry))
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            gate,
+            handles,
+        }
+    }
+
+    /// Enqueues one slide's scheduled shards.  Returns immediately; the
+    /// items run on the workers.
+    pub(crate) fn dispatch(&self, items: Vec<WorkItem>) {
+        if items.is_empty() {
+            return;
+        }
+        self.gate.add(items.len());
+        let tx = self.tx.as_ref().expect("pool not shut down");
+        for item in items {
+            tx.send(item).expect("worker channel closed");
+        }
+    }
+
+    /// Blocks until every dispatched item has completed — the pipeline's
+    /// sync()/drain() barrier.
+    pub(crate) fn wait_idle(&self) {
+        self.gate.wait_idle();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop; join so shard
+        // and engine handles are released before the manager is torn down.
+        self.tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<D: TopicWordDistribution>(
+    rx: &Mutex<Receiver<WorkItem>>,
+    gate: &Gate,
+    engine: &SharedEngine<D>,
+    registry: &DeliveryRegistry,
+) {
+    loop {
+        // Hold the receiver lock only while pulling the next item, never
+        // while refreshing, so idle workers queue on the channel rather than
+        // behind a busy one.
+        let item = match rx.lock().unwrap_or_else(|p| p.into_inner()).recv() {
+            Ok(item) => item,
+            Err(_) => return, // channel closed: pool shut down
+        };
+        let _complete = CompletionGuard(gate);
+        let slide = {
+            let engine = engine.read();
+            let mut shard = item.shard.lock().unwrap_or_else(|p| p.into_inner());
+            shard.refresh_scheduled(&engine, &item.delta)
+        };
+        deliver(registry, item.slide, &slide.updates);
+        if let Some(collector) = &item.collector {
+            collector
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(slide);
+        }
+    }
+}

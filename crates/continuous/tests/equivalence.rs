@@ -171,16 +171,12 @@ fn planted_stream_equivalence_holds_mid_stream() {
     }
 
     // Shared bucket cutting, asserting equivalence after each slide.
-    let slides = ksir_stream::for_each_bucket(
-        10,
-        mgr.engine().now(),
-        stream.iter_pairs(),
-        |bucket, end| {
-            mgr.ingest_bucket(bucket, end)?;
-            assert_equivalent(&mgr, &subs, &format!("mid-stream t={end}"));
-            Ok(())
-        },
-    )
+    let start = mgr.engine().now();
+    let slides = ksir_stream::for_each_bucket(10, start, stream.iter_pairs(), |bucket, end| {
+        mgr.ingest_bucket(bucket, end)?;
+        assert_equivalent(&mgr, &subs, &format!("mid-stream t={end}"));
+        Ok(())
+    })
     .unwrap();
     assert!(slides >= 5, "expected several slides, got {slides}");
 

@@ -53,9 +53,11 @@ pub mod evaluator;
 pub mod fixtures;
 pub mod query;
 pub mod scorer;
+pub mod shared;
 
 pub use config::{EngineConfig, ScoringConfig};
 pub use engine::{EngineStats, IngestReport, KsirEngine};
 pub use evaluator::{CandidateState, QueryEvaluator};
 pub use query::{Algorithm, FloorAggregate, KsirQuery, QueryFrontier, QueryResult};
 pub use scorer::{entropy_weight, propagation_prob, word_weight, Scorer};
+pub use shared::SharedEngine;

@@ -1,0 +1,141 @@
+//! Shared ownership of a [`KsirEngine`] across threads.
+//!
+//! The engine has a natural read/write split: `ingest_bucket` is the only
+//! mutating operation, while query processing — including every standing-query
+//! refresh in `ksir-continuous` — needs nothing but `&KsirEngine`.
+//! [`SharedEngine`] packages that split as a cloneable handle over an
+//! `Arc<RwLock<…>>`, so long-lived refresh workers can hold their own handle
+//! and take cheap read guards per work item while the ingestion path takes
+//! the write guard only for the index update itself.
+//!
+//! The lock is *not* what serialises ingestion against refresh in the
+//! asynchronous pipeline — the pipeline quiesces outstanding refresh work
+//! before every index update so that refreshes always observe the slide they
+//! were scheduled for.  The lock is what makes that protocol expressible in
+//! safe Rust, and what keeps ad-hoc readers (dashboards, ad-hoc queries on
+//! other threads) safe without any protocol at all.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::engine::KsirEngine;
+
+/// A cloneable, thread-safe handle to a [`KsirEngine`].
+///
+/// Cloning is `Arc`-cheap; all clones refer to the same engine.  Readers and
+/// the writer synchronise through an [`RwLock`]: any number of concurrent
+/// [`SharedEngine::read`] guards, or one [`SharedEngine::write`] guard.
+#[derive(Debug)]
+pub struct SharedEngine<D> {
+    inner: Arc<RwLock<KsirEngine<D>>>,
+}
+
+impl<D> Clone for SharedEngine<D> {
+    fn clone(&self) -> Self {
+        SharedEngine {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<D> SharedEngine<D> {
+    /// Wraps an engine for shared access.
+    pub fn new(engine: KsirEngine<D>) -> Self {
+        SharedEngine {
+            inner: Arc::new(RwLock::new(engine)),
+        }
+    }
+
+    /// Takes a shared read guard.  Any number of readers may hold one
+    /// concurrently; a reader blocks only while a writer is inside
+    /// [`SharedEngine::write`].
+    ///
+    /// The guard derefs to [`KsirEngine`], so call sites read naturally:
+    /// `shared.read().query(&q, algorithm)`.
+    pub fn read(&self) -> RwLockReadGuard<'_, KsirEngine<D>> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Takes the exclusive write guard (index updates).
+    pub fn write(&self) -> RwLockWriteGuard<'_, KsirEngine<D>> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Unwraps the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other handles to the same engine are still alive (e.g. a
+    /// worker pool that has not been shut down).
+    pub fn into_inner(self) -> KsirEngine<D> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => lock.into_inner().unwrap_or_else(|p| p.into_inner()),
+            Err(_) => panic!("SharedEngine::into_inner: other handles still alive"),
+        }
+    }
+
+    /// Number of live handles to the engine (diagnostic).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_example;
+    use crate::{Algorithm, KsirQuery};
+    use ksir_types::QueryVector;
+
+    #[test]
+    fn concurrent_readers_see_the_same_engine() {
+        let ex = paper_example();
+        let shared = SharedEngine::new(ex.build_engine());
+        let query = KsirQuery::new(2, QueryVector::new(vec![0.5, 0.5]).unwrap()).unwrap();
+        let baseline = shared.read().query(&query, Algorithm::Mttd).unwrap();
+
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = shared.clone();
+                let query = query.clone();
+                std::thread::spawn(move || shared.read().query(&query, Algorithm::Mttd).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.join().unwrap();
+            assert_eq!(result.sorted_elements(), baseline.sorted_elements());
+        }
+        assert_eq!(shared.handle_count(), 1);
+    }
+
+    #[test]
+    fn write_guard_mutates_for_all_handles() {
+        let ex = paper_example();
+        let shared = SharedEngine::new(ex.empty_engine());
+        let other = shared.clone();
+        for (element, tv) in ex.stream() {
+            let end = element.ts;
+            shared
+                .write()
+                .ingest_bucket(vec![(element, tv)], end)
+                .unwrap();
+        }
+        assert_eq!(other.read().active_count(), shared.read().active_count());
+        assert!(other.read().active_count() > 0);
+        drop(other);
+        let engine = shared.into_inner();
+        assert!(engine.active_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "other handles still alive")]
+    fn into_inner_panics_with_live_handles() {
+        let ex = paper_example();
+        let shared = SharedEngine::new(ex.empty_engine());
+        let _other = shared.clone();
+        let _ = shared.into_inner();
+    }
+}

@@ -1,18 +1,21 @@
-//! Live dashboard: many standing k-SIR queries maintained incrementally.
+//! Live dashboard: many standing k-SIR queries maintained through the
+//! asynchronous ingestion pipeline.
 //!
 //! A production deployment does not re-run queries on demand — it holds
 //! *subscriptions* (one per dashboard panel, per user, per alerting rule)
 //! whose results must stay current as the window slides.  This example
 //! registers a panel of standing queries with very different topic interests
-//! over a Twitter-shaped stream, replays the stream through the
-//! `SubscriptionManager`, and prints each panel's result only when it
-//! actually changes — together with how much evaluation work the
-//! delta-refresh rules saved compared to recomputing every panel on every
-//! slide.
+//! over a Twitter-shaped stream, attaches a bounded delivery queue to each
+//! panel, and replays the stream through `ingest_bucket_async`: ingestion
+//! returns as soon as the index is updated and the touched shards are handed
+//! to the refresh workers, while each panel's result changes stream into its
+//! queue to be drained at the panel's own pace.  At the end it prints how
+//! much evaluation work the delta-refresh rules saved and how the panels
+//! spread over shards.
 //!
 //! Run with `cargo run --release --example live_dashboard`.
 
-use ksir::continuous::SubscriptionManager;
+use ksir::continuous::{DeliveryConfig, SubscriptionManager};
 use ksir::datagen::{DatasetProfile, StreamGenerator};
 use ksir::{
     Algorithm, EngineConfig, KsirEngine, KsirQuery, QueryVector, ScoringConfig, WindowConfig,
@@ -36,7 +39,10 @@ fn main() -> Result<(), ksir::KsirError> {
     let mut dashboard = SubscriptionManager::new(engine);
 
     // One panel per pair of adjacent topics: narrow interests, mixed between
-    // the two index-based algorithms.
+    // the two index-based algorithms.  Each panel consumes its result
+    // changes from a bounded delivery queue (capacity 256, DropOldest): a
+    // panel that falls behind sheds its own oldest updates instead of
+    // slowing ingestion down.
     let mut panels = Vec::new();
     for i in 0..10 {
         let mut weights = vec![0.0; num_topics];
@@ -49,25 +55,51 @@ fn main() -> Result<(), ksir::KsirError> {
             Algorithm::Mtts
         };
         let id = dashboard.subscribe(query, algorithm)?;
-        panels.push(id);
+        let inbox = dashboard
+            .attach_delivery(id, DeliveryConfig::default().with_capacity(256))
+            .expect("panel just registered");
+        panels.push((id, inbox));
     }
     println!(
-        "Registered {} standing queries.\n",
+        "Registered {} standing queries, each with a bounded delivery queue.\n",
         dashboard.subscription_count()
     );
 
-    for outcome in dashboard.ingest_stream(stream.iter_pairs())? {
-        let t = outcome.report.delta.to;
-        for update in &outcome.updates {
+    // Pipelined replay: every `ingest_bucket_async` returns after the index
+    // update; the refresh workers stream panel updates into the queues
+    // behind it.  `sync()` is the barrier that awaits the last slide.
+    let tickets = dashboard.ingest_stream_async(stream.iter_pairs())?;
+    dashboard.sync();
+    let scheduled: usize = tickets.iter().map(|t| t.shards_scheduled).sum();
+    let skipped: usize = tickets.iter().map(|t| t.shards_skipped).sum();
+    println!(
+        "{} slides ingested; shard touch filters scheduled {} shard refreshes \
+         and proved {} shard-slides undisturbed.\n",
+        tickets.len(),
+        scheduled,
+        skipped,
+    );
+
+    // Drain each panel's queue: the full change history (bounded by the
+    // queue capacity) with the slide that produced each delta.
+    for (id, inbox) in &panels {
+        let updates = inbox.drain();
+        println!(
+            "{}: {} updates ({} shed by the bounded queue)",
+            id,
+            updates.len(),
+            inbox.dropped(),
+        );
+        for delivery in updates.iter().rev().take(3).rev() {
+            let u = &delivery.delta;
             println!(
-                "[t={:>5}] {}: score {:.3} -> {:.3}  +{:?} -{:?}  ({:?})",
-                t.raw(),
-                update.subscription,
-                update.score_before,
-                update.score_after,
-                update.added.iter().map(|e| e.raw()).collect::<Vec<_>>(),
-                update.removed.iter().map(|e| e.raw()).collect::<Vec<_>>(),
-                update.reason,
+                "  [slide {:>4}] score {:.3} -> {:.3}  +{:?} -{:?}  ({:?})",
+                delivery.slide,
+                u.score_before,
+                u.score_after,
+                u.added.iter().map(|e| e.raw()).collect::<Vec<_>>(),
+                u.removed.iter().map(|e| e.raw()).collect::<Vec<_>>(),
+                u.reason,
             );
         }
     }
@@ -102,8 +134,8 @@ fn main() -> Result<(), ksir::KsirError> {
 
     // Final state of every panel.
     println!("\nFinal dashboard:");
-    for &id in &panels {
-        let result = dashboard.result(id).expect("panel evaluated");
+    for (id, _) in &panels {
+        let result = dashboard.result(*id).expect("panel evaluated");
         println!(
             "  {}: {:?} (score {:.3})",
             id,
