@@ -1,0 +1,98 @@
+//! Pipelined epochs (snapshot-backed refresh) vs the quiesce-before-write
+//! barrier.
+//!
+//! Same shared [`MaintenanceScenario`] as the other `continuous*` benches.
+//! Both modes use `ingest_bucket_async`; the only difference is
+//! `ShardConfig::pipeline_depth`:
+//!
+//! * `barrier_depth1` — every index write waits for the previous slide's
+//!   refresh compute (the PR-3 behaviour),
+//! * `pipelined_depth2` — the index write proceeds against an immutable
+//!   epoch snapshot while the previous epoch's refreshes drain.
+//!
+//! The number that matters is the **ingest span** (first ingest started →
+//! last ingest returned): its per-slide mean is the ingest-to-ingest
+//! interval under refresh load, the bound the snapshot subsystem removes.
+//! The CI perf gate (`perf_gate`) enforces that depth 2 never regresses
+//! past depth 1; this bench exists to observe the margin interactively.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ksir_bench::MaintenanceScenario;
+use ksir_continuous::ShardConfig;
+
+fn bench_pipelined_maintenance(c: &mut Criterion) {
+    let scenario = MaintenanceScenario::standard();
+    let mut group = c.benchmark_group("continuous_pipelined");
+    group.sample_size(10);
+
+    group.bench_function(
+        BenchmarkId::new("barrier_depth1", scenario.stream.len()),
+        |b| {
+            b.iter(|| {
+                scenario
+                    .run_async(
+                        ShardConfig::default().with_pipeline_depth(1),
+                        Duration::ZERO,
+                    )
+                    .ingest_span
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("pipelined_depth2", scenario.stream.len()),
+        |b| {
+            b.iter(|| {
+                scenario
+                    .run_async(ShardConfig::default(), Duration::ZERO)
+                    .ingest_span
+            })
+        },
+    );
+    group.finish();
+}
+
+/// One-shot report: intervals plus the snapshot/copy-on-write cost the
+/// overlap paid for.
+fn report_pipeline_overlap(c: &mut Criterion) {
+    let scenario = MaintenanceScenario::standard();
+    let barrier = scenario.run_async(
+        ShardConfig::default().with_pipeline_depth(1),
+        Duration::ZERO,
+    );
+    let pipelined = scenario.run_async(ShardConfig::default(), Duration::ZERO);
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    assert_eq!(
+        barrier.stats, pipelined.stats,
+        "pipelining must not change refresh decisions"
+    );
+    println!(
+        "continuous_pipelined/interval: {:.3} ms/slide pipelined vs {:.3} ms/slide barrier \
+         over {} slides (span {:.0} ms vs {:.0} ms)",
+        ms(pipelined.ingest_interval()),
+        ms(barrier.ingest_interval()),
+        pipelined.stats.slides,
+        ms(pipelined.ingest_span),
+        ms(barrier.ingest_span),
+    );
+    println!(
+        "continuous_pipelined/capture: {} epochs captured, {} shard snapshots, \
+         {} writer cow clones (barrier run: {} / {} / {})",
+        pipelined.snapshots.epochs_captured,
+        pipelined.snapshots.shard_snapshots,
+        pipelined.cow_clones,
+        barrier.snapshots.epochs_captured,
+        barrier.snapshots.shard_snapshots,
+        barrier.cow_clones,
+    );
+    let _ = c;
+}
+
+criterion_group!(
+    benches,
+    bench_pipelined_maintenance,
+    report_pipeline_overlap
+);
+criterion_main!(benches);

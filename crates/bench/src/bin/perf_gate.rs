@@ -3,14 +3,20 @@
 //! Runs the shared [`MaintenanceScenario`] (10k-element stream, 16 standing
 //! queries) under three synchronous strategies — recompute-per-slide, serial
 //! delta refresh (PR-1 behaviour), and sharded multi-core refresh — plus the
-//! asynchronous pipeline with a fast and an artificially slow delivery
-//! consumer, and writes the wall times, ingest-return latencies and skip
-//! ratios to `BENCH_continuous.json` (override the path with the first CLI
-//! argument or `BENCH_OUT`).  The baseline JSON is committed at the repo
-//! root, so the perf trajectory is tracked in-repo and the CI artifact can
-//! be diffed against it.
+//! asynchronous pipeline in three configurations: a fast and an artificially
+//! slow delivery consumer at `pipeline_depth = 1` (the quiesce-before-write
+//! barrier, the pre-snapshot baseline), and the **pipelined** mode
+//! (`pipeline_depth = 2`, epoch snapshots) whose ingest-to-ingest interval
+//! under refresh load is the number the snapshot subsystem exists to
+//! improve.  Wall times, ingest latencies/intervals, skip ratios and
+//! snapshot/copy-on-write counters go to `BENCH_continuous.json` (override
+//! the path with the first CLI argument or `BENCH_OUT`).  The baseline JSON
+//! is committed at the repo root, so the perf trajectory is tracked in-repo
+//! and the CI artifact can be diffed against it.
 //!
-//! Two gates, each failing the process with exit code 1:
+//! Three gates, each failing the process with exit code 1 and printing
+//! `gate=<name> measured=<x> allowed=<y>` so a CI failure needs no
+//! re-derivation from the JSON:
 //!
 //! * **sharded**: the sharded path's wall time must not exceed the serial
 //!   delta-refresh path by more than `PERF_GATE_TOLERANCE` (default 0.15 —
@@ -20,8 +26,16 @@
 //!   consumer (1 ms simulated work per delta) must not exceed the
 //!   fast-consumer run by more than `PERF_GATE_ASYNC_TOLERANCE` (default
 //!   0.5).  If ingestion ever waited on delivery, the slow run would blow
-//!   past this by an order of magnitude; the loose bound only absorbs
-//!   scheduler noise.
+//!   past this by an order of magnitude.
+//! * **pipelined**: the mean ingest-to-ingest interval at depth 2 must not
+//!   exceed the depth-1 barrier run's by more than
+//!   `PERF_GATE_PIPELINE_TOLERANCE` (default 0.25).  On a multi-core host
+//!   depth 2 wins outright (refresh compute leaves the ingest path); on the
+//!   1-core CI host the two interleave on the same core, so the comparison
+//!   measures only the overlap's copy-on-write/scheduling overhead — the
+//!   tolerance bounds that overhead, and a regression back to serialising
+//!   index writes behind refresh compute (≈ +80% interval) blows through it
+//!   regardless of core count.
 //!
 //! Each strategy is run three times and the fastest run is kept, which damps
 //! scheduler noise further.
@@ -41,10 +55,13 @@ fn best_of<F: Fn() -> MaintenanceRun>(run: F) -> MaintenanceRun {
         .expect("at least one run")
 }
 
-fn best_of_async<F: Fn() -> AsyncMaintenanceRun>(run: F) -> AsyncMaintenanceRun {
+fn best_of_async<F: Fn() -> AsyncMaintenanceRun>(
+    key: fn(&AsyncMaintenanceRun) -> Duration,
+    run: F,
+) -> AsyncMaintenanceRun {
     (0..RUNS_PER_STRATEGY)
         .map(|_| run())
-        .min_by_key(|r| r.ingest_return)
+        .min_by_key(key)
         .expect("at least one run")
 }
 
@@ -59,6 +76,35 @@ fn env_tolerance(var: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// One named gate: `measured` must stay within `allowed`.  Prints the
+/// machine-greppable verdict line and, on failure, the explanation.
+struct Gate {
+    name: &'static str,
+    measured_ms: f64,
+    allowed_ms: f64,
+    explanation: &'static str,
+}
+
+impl Gate {
+    fn passed(&self) -> bool {
+        self.measured_ms <= self.allowed_ms
+    }
+
+    fn report(&self) -> bool {
+        eprintln!(
+            "perf_gate: gate={} measured={:.1} ms allowed={:.1} ms -> {}",
+            self.name,
+            self.measured_ms,
+            self.allowed_ms,
+            if self.passed() { "PASS" } else { "FAIL" },
+        );
+        if !self.passed() {
+            eprintln!("perf_gate: gate={} FAILED: {}", self.name, self.explanation);
+        }
+        self.passed()
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -66,6 +112,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_continuous.json".to_string());
     let tolerance = env_tolerance("PERF_GATE_TOLERANCE", 0.15);
     let async_tolerance = env_tolerance("PERF_GATE_ASYNC_TOLERANCE", 0.5);
+    let pipeline_tolerance = env_tolerance("PERF_GATE_PIPELINE_TOLERANCE", 0.25);
 
     let scenario = MaintenanceScenario::standard();
     eprintln!(
@@ -74,12 +121,27 @@ fn main() {
         scenario.queries.len(),
     );
 
+    // pipeline_depth = 1 reproduces the quiesce-before-write barrier: the
+    // baseline both the async gate (consumer independence) and the pipelined
+    // gate (epoch overlap) compare against.
+    let barrier = ShardConfig::default().with_pipeline_depth(1);
+    let pipelined_cfg = ShardConfig::default(); // depth 2
+
     let recompute = best_of(|| scenario.run_recompute());
     let serial = best_of(|| scenario.run_managed(ShardConfig::unsharded()));
     let sharded = best_of(|| scenario.run_managed(ShardConfig::default()));
-    let async_fast = best_of_async(|| scenario.run_async(ShardConfig::default(), Duration::ZERO));
-    let async_slow =
-        best_of_async(|| scenario.run_async(ShardConfig::default(), SLOW_CONSUMER_DELAY));
+    let async_fast = best_of_async(
+        |r| r.ingest_return,
+        || scenario.run_async(barrier, Duration::ZERO),
+    );
+    let async_slow = best_of_async(
+        |r| r.ingest_return,
+        || scenario.run_async(barrier, SLOW_CONSUMER_DELAY),
+    );
+    let pipelined = best_of_async(
+        |r| r.ingest_span,
+        || scenario.run_async(pipelined_cfg, Duration::ZERO),
+    );
     let threads = ShardConfig::default().worker_threads();
 
     // Identical refresh decisions are a correctness invariant (pinned in the
@@ -97,12 +159,34 @@ fn main() {
         serial.stats, async_slow.stats,
         "a slow consumer must not change any refresh decision"
     );
+    assert_eq!(
+        serial.stats, pipelined.stats,
+        "pipelined epochs must make identical refresh decisions"
+    );
 
-    let budget = ms(serial.elapsed) * (1.0 + tolerance);
-    let sharded_pass = ms(sharded.elapsed) <= budget;
-    let async_budget = ms(async_fast.ingest_return) * (1.0 + async_tolerance);
-    let async_pass = ms(async_slow.ingest_return) <= async_budget;
-    let pass = sharded_pass && async_pass;
+    let gates = [
+        Gate {
+            name: "sharded",
+            measured_ms: ms(sharded.elapsed),
+            allowed_ms: ms(serial.elapsed) * (1.0 + tolerance),
+            explanation: "sharded refresh regressed past the serial delta-refresh path",
+        },
+        Gate {
+            name: "async",
+            measured_ms: ms(async_slow.ingest_return),
+            allowed_ms: ms(async_fast.ingest_return) * (1.0 + async_tolerance),
+            explanation: "ingest-return latency depends on consumer speed — the pipeline is \
+                 back-pressuring on delivery",
+        },
+        Gate {
+            name: "pipelined",
+            measured_ms: ms(pipelined.ingest_interval()),
+            allowed_ms: ms(async_fast.ingest_interval()) * (1.0 + pipeline_tolerance),
+            explanation:
+                "pipelined ingest-to-ingest interval regressed past the depth-1 barrier — \
+                 index writes are re-serialising behind refresh compute",
+        },
+    ];
 
     let json = format!(
         concat!(
@@ -114,6 +198,12 @@ fn main() {
             "  \"async_ingest_fast_consumer_ms\": {:.3},\n",
             "  \"async_ingest_slow_consumer_ms\": {:.3},\n",
             "  \"async_max_ingest_ms\": {:.3},\n",
+            "  \"async_ingest_interval_ms\": {:.4},\n",
+            "  \"pipelined_ingest_interval_ms\": {:.4},\n",
+            "  \"pipelined_ingest_span_ms\": {:.3},\n",
+            "  \"pipelined_epochs_captured\": {},\n",
+            "  \"pipelined_shard_snapshots\": {},\n",
+            "  \"pipelined_cow_clones\": {},\n",
             "  \"async_delivered\": {},\n",
             "  \"async_dropped\": {},\n",
             "  \"skip_ratio\": {:.4},\n",
@@ -121,8 +211,10 @@ fn main() {
             "  \"worker_threads\": {},\n",
             "  \"tolerance\": {:.2},\n",
             "  \"async_tolerance\": {:.2},\n",
+            "  \"pipeline_tolerance\": {:.2},\n",
             "  \"gate\": \"{}\",\n",
-            "  \"async_gate\": \"{}\"\n",
+            "  \"async_gate\": \"{}\",\n",
+            "  \"pipelined_gate\": \"{}\"\n",
             "}}\n"
         ),
         scenario.stream.len(),
@@ -134,6 +226,12 @@ fn main() {
         ms(async_fast.ingest_return),
         ms(async_slow.ingest_return),
         ms(async_slow.max_ingest_return),
+        ms(async_fast.ingest_interval()),
+        ms(pipelined.ingest_interval()),
+        ms(pipelined.ingest_span),
+        pipelined.snapshots.epochs_captured,
+        pipelined.snapshots.shard_snapshots,
+        pipelined.cow_clones,
         async_slow.delivered,
         async_slow.dropped,
         sharded.skip_ratio(),
@@ -141,47 +239,44 @@ fn main() {
         threads,
         tolerance,
         async_tolerance,
-        if sharded_pass { "pass" } else { "fail" },
-        if async_pass { "pass" } else { "fail" },
+        pipeline_tolerance,
+        if gates[0].passed() { "pass" } else { "fail" },
+        if gates[1].passed() { "pass" } else { "fail" },
+        if gates[2].passed() { "pass" } else { "fail" },
     );
     std::fs::write(&out_path, &json).expect("write BENCH_continuous.json");
     print!("{json}");
     eprintln!(
         "perf_gate: recompute {:.0} ms | delta-serial {:.0} ms | delta-sharded {:.0} ms \
-         ({:.1}% evals skipped, {} shards, {} worker threads) -> {}",
+         ({:.1}% evals skipped, {} shards, {} worker threads)",
         ms(recompute.elapsed),
         ms(serial.elapsed),
         ms(sharded.elapsed),
         100.0 * sharded.skip_ratio(),
         sharded.shard_stats.len(),
         threads,
-        if sharded_pass { "PASS" } else { "FAIL" },
     );
     eprintln!(
         "perf_gate: async ingest-return fast {:.0} ms vs slow-consumer {:.0} ms \
-         (max slide {:.2} ms, {} delivered / {} dropped) -> {}",
+         (max slide {:.2} ms, {} delivered / {} dropped)",
         ms(async_fast.ingest_return),
         ms(async_slow.ingest_return),
         ms(async_slow.max_ingest_return),
         async_slow.delivered,
         async_slow.dropped,
-        if async_pass { "PASS" } else { "FAIL" },
     );
-    if !sharded_pass {
-        eprintln!(
-            "perf_gate: sharded refresh regressed past the serial path \
-             ({:.0} ms > {:.0} ms budget)",
-            ms(sharded.elapsed),
-            budget,
-        );
-    }
-    if !async_pass {
-        eprintln!(
-            "perf_gate: ingest-return latency depends on consumer speed \
-             ({:.0} ms > {:.0} ms budget) — the pipeline is back-pressuring on delivery",
-            ms(async_slow.ingest_return),
-            async_budget,
-        );
+    eprintln!(
+        "perf_gate: ingest-to-ingest interval {:.3} ms pipelined (depth 2) vs {:.3} ms barrier \
+         (depth 1); {} epochs captured, {} shard snapshots, {} cow clones",
+        ms(pipelined.ingest_interval()),
+        ms(async_fast.ingest_interval()),
+        pipelined.snapshots.epochs_captured,
+        pipelined.snapshots.shard_snapshots,
+        pipelined.cow_clones,
+    );
+    let mut pass = true;
+    for gate in &gates {
+        pass &= gate.report();
     }
     if !pass {
         std::process::exit(1);

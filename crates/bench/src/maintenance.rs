@@ -15,14 +15,20 @@
 //!   skip rules.
 //! * [`MaintenanceScenario::run_managed`] with the default config — the
 //!   sharded path: topic-keyed shards scheduled by projected touch filters,
-//!   refreshed on scoped worker threads.
+//!   refreshed on the long-lived worker pool.
+//!
+//! [`MaintenanceScenario::run_async`] additionally covers the asynchronous
+//! pipeline: `pipeline_depth = 1` is the quiesce-before-write barrier,
+//! depth ≥ 2 the snapshot-backed pipelined mode whose ingest-to-ingest
+//! interval the CI perf gate tracks.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ksir_continuous::{
-    DeliveryConfig, ManagerStats, OverflowPolicy, ShardConfig, ShardStats, SubscriptionManager,
+    DeliveryConfig, ManagerStats, OverflowPolicy, ShardConfig, ShardStats, SnapshotStats,
+    SubscriptionManager,
 };
 use ksir_core::{Algorithm, EngineConfig, KsirEngine, KsirQuery, ScoringConfig};
 use ksir_datagen::{DatasetProfile, GeneratedStream, StreamGenerator};
@@ -82,6 +88,14 @@ pub struct AsyncMaintenanceRun {
     pub ingest_return: Duration,
     /// Worst single-bucket ingest-return latency.
     pub max_ingest_return: Duration,
+    /// Wall time of the ingestion loop alone (first ingest started → last
+    /// ingest returned), i.e. `slides ×` the mean **ingest-to-ingest
+    /// interval** under refresh load.  Unlike `ingest_return` this includes
+    /// the pipeline-admission waits, so it is the number the epoch overlap
+    /// actually improves: with `pipeline_depth = 1` every interval contains
+    /// the previous slide's full refresh compute, with depth ≥ 2 it does
+    /// not.
+    pub ingest_span: Duration,
     /// Full wall time of the replay, including the final sync barrier and
     /// the consumer thread's drain.
     pub elapsed: Duration,
@@ -90,6 +104,11 @@ pub struct AsyncMaintenanceRun {
     pub stats: ManagerStats,
     /// Per-shard counters after the final sync.
     pub shard_stats: Vec<ShardStats>,
+    /// Snapshot-capture counters after the final sync.
+    pub snapshots: SnapshotStats,
+    /// Copy-on-write clones the writer paid for live snapshots (window +
+    /// topic vectors + ranked lists).
+    pub cow_clones: usize,
     /// Deltas the consumer thread drained.
     pub delivered: u64,
     /// Deltas shed by the bounded queues' overflow policy.
@@ -104,6 +123,15 @@ impl AsyncMaintenanceRun {
             0.0
         } else {
             self.stats.skips as f64 / total as f64
+        }
+    }
+
+    /// Mean ingest-to-ingest interval under refresh load.
+    pub fn ingest_interval(&self) -> Duration {
+        if self.stats.slides == 0 {
+            Duration::ZERO
+        } else {
+            self.ingest_span / self.stats.slides as u32
         }
     }
 }
@@ -240,13 +268,14 @@ impl MaintenanceScenario {
         let mut max_ingest_return = Duration::ZERO;
         let bucket_len = self.window.bucket_len();
         let start_ts = mgr.engine().now();
+        let loop_started = Instant::now();
         ksir_stream::for_each_bucket(
             bucket_len,
             start_ts,
             self.stream.iter_pairs(),
             |bucket, end| {
                 let t0 = Instant::now();
-                mgr.ingest_bucket_async(bucket, end)?;
+                mgr.ingest_bucket_async(bucket, end)?.detach();
                 let dt = t0.elapsed();
                 ingest_return += dt;
                 max_ingest_return = max_ingest_return.max(dt);
@@ -254,17 +283,25 @@ impl MaintenanceScenario {
             },
         )
         .unwrap();
+        let ingest_span = loop_started.elapsed();
         mgr.sync();
         stop.store(true, Ordering::Release);
         let (delivered, receivers) = consumer.join().expect("consumer thread panicked");
         let dropped = receivers.iter().map(|rx| rx.dropped()).sum();
+        let engine_stats = mgr.engine().stats();
+        let cow_clones = engine_stats.window_cow_clones
+            + engine_stats.topic_vector_cow_clones
+            + engine_stats.ranked_cow_clones;
 
         AsyncMaintenanceRun {
             ingest_return,
             max_ingest_return,
+            ingest_span,
             elapsed: started.elapsed(),
             stats: mgr.stats(),
             shard_stats: mgr.shard_stats(),
+            snapshots: mgr.snapshot_stats(),
+            cow_clones,
             delivered,
             dropped,
         }
@@ -334,14 +371,28 @@ mod tests {
         let serial = scenario.run_managed(ShardConfig::unsharded());
         let fast = scenario.run_async(ShardConfig::default(), Duration::ZERO);
         let slow = scenario.run_async(ShardConfig::default(), Duration::from_micros(500));
+        let barrier = scenario.run_async(
+            ShardConfig::default().with_pipeline_depth(1),
+            Duration::ZERO,
+        );
         assert_eq!(serial.stats, fast.stats, "async path changes no decision");
         assert_eq!(
             serial.stats, slow.stats,
             "slow consumer changes no decision"
         );
+        assert_eq!(
+            serial.stats, barrier.stats,
+            "pipeline depth changes no decision"
+        );
         assert!(fast.ingest_return <= fast.elapsed);
         assert!(fast.max_ingest_return <= fast.ingest_return);
+        assert!(fast.ingest_return <= fast.ingest_span);
+        assert!(fast.ingest_interval() > Duration::ZERO);
         assert!(fast.delivered > 0, "result changes must be delivered");
+        // The pipelined runs evaluate on snapshots (scheduled epochs capture
+        // one image each).
+        assert!(fast.snapshots.epochs_captured > 0);
+        assert!(fast.snapshots.shard_snapshots >= fast.snapshots.epochs_captured);
         // A fast consumer over ample time sheds little; either way every
         // delta is accounted for as delivered or dropped.
         assert!(fast.delivered + fast.dropped == slow.delivered + slow.dropped);

@@ -56,37 +56,50 @@
 //! (a [`FloorAggregate`](ksir_core::FloorAggregate)), the union of resident
 //! result members, and a pending-first-evaluation count — so that whole
 //! shards are proven undisturbed without classifying a single resident.
-//! Scheduled shards refresh concurrently on scoped worker threads
-//! (`std::thread::scope`); within a shard the rules above run unchanged, so
-//! the per-subscription refresh/skip decisions — and the work counters,
-//! which still reconcile to `slides × subscriptions` — are identical to a
-//! serial walk.  [`SubscriptionManager::shard_stats`] exposes per-shard
-//! [`ShardStats`] for dashboards and benches.
+//! Scheduled shards refresh concurrently on the long-lived worker pool;
+//! within a shard the rules above run unchanged, so the per-subscription
+//! refresh/skip decisions — and the work counters, which still reconcile to
+//! `slides × subscriptions` — are identical to a serial walk.
+//! [`SubscriptionManager::shard_stats`] exposes per-shard [`ShardStats`]
+//! for dashboards and benches.
 //!
 //! [`WindowDelta`]: ksir_stream::WindowDelta
 //!
-//! ## Asynchronous ingestion
+//! ## Asynchronous ingestion, pipelined epochs
 //!
 //! The sharded refresh of PR 2 still joined on the slowest shard before
 //! `ingest_bucket` could return.  The pipeline decouples the two halves:
-//! [`SubscriptionManager::ingest_bucket_async`] updates the index, projects
-//! the delta onto the shard filters, hands the scheduled shards to a pool of
-//! **long-lived refresh workers** (fed by a channel rather than a per-slide
-//! `std::thread::scope`), and returns a [`SlideTicket`]
-//! immediately.  Each worker streams the [`ResultDelta`]s it produces into
-//! bounded **per-subscriber delivery queues** ([`delivery`]) that consumers
-//! drain through a [`DeliveryReceiver`] at their own pace; under the default
+//! [`SubscriptionManager::ingest_bucket_async`] updates the index, hands the
+//! affected shards their epoch, and returns a [`SlideTicket`] immediately.
+//! Each worker streams the [`ResultDelta`]s it produces into bounded
+//! **per-subscriber delivery queues** ([`delivery`]) that consumers drain
+//! through a [`DeliveryReceiver`] at their own pace; under the default
 //! [`OverflowPolicy::DropOldest`] a slow consumer sheds its own oldest deltas
 //! instead of back-pressuring the workers, so ingestion latency is
 //! independent of subscriber count and drain speed.
 //!
-//! Before every index mutation the manager awaits the previous slide's
-//! outstanding refresh work (the *epoch barrier*, exposed as
-//! [`SubscriptionManager::sync`]), so a worker always observes the engine
-//! state its [`WindowDelta`] describes — which is what keeps the pipelined
-//! path **decision-identical** to the synchronous
-//! [`SubscriptionManager::ingest_bucket`] API, which remains available and
-//! returns the complete [`SlideOutcome`] per slide.
+//! Refresh *compute* no longer gates ingestion either: each asynchronously
+//! ingested slide (an **epoch**) captures an immutable
+//! [`EngineSnapshot`](ksir_snapshot::EngineSnapshot) right after its index
+//! write — `O(topics)` `Arc` clones; the writer copy-on-writes around live
+//! snapshots — and refresh workers evaluate against the snapshot instead of
+//! an engine read guard.  Epoch `N+1`'s index write therefore proceeds while
+//! epoch `N`'s refreshes drain, up to [`ShardConfig::pipeline_depth`] epochs
+//! deep (`1` restores the old quiesce-before-write behaviour).  Ordering is
+//! per shard: every shard processes its pending epochs strictly in order
+//! through its *lane*, so the filters feeding each schedule/skip decision
+//! are exactly the serial walk's, and the frozen snapshot *is* that epoch's
+//! engine state — which keeps the pipelined path **decision-identical** to
+//! the synchronous [`SubscriptionManager::ingest_bucket`] API, which remains
+//! available and returns the complete [`SlideOutcome`] per slide.
+//! [`SubscriptionManager::sync`] awaits all outstanding epochs;
+//! [`SubscriptionManager::completed_epoch`] exposes the completion
+//! watermark; [`SubscriptionManager::snapshot_stats`] the capture costs.
+//! Per-shard snapshots are bounded to the topics the shard's residents
+//! traverse, optionally truncated at the shard's floors
+//! ([`ksir_snapshot::SnapshotPolicy`] — the default `Exact` policy is
+//! score-identical, truncation trades exactness on floor-crossing re-runs
+//! for bounded memory).
 //!
 //! Because every refresh re-runs the subscription's own algorithm against
 //! the same index an ad-hoc query would use, maintained results are
@@ -136,3 +149,7 @@ pub use delivery::{Delivery, DeliveryConfig, DeliveryReceiver, OverflowPolicy};
 pub use manager::{ManagerStats, RetiredStats, SlideOutcome, SlideTicket, SubscriptionManager};
 pub use shard::{ShardConfig, ShardKey, ShardStats};
 pub use subscription::{RefreshReason, ResultDelta, SubscriptionId, SubscriptionStats};
+
+// The snapshot knobs a pipelined deployment tunes, re-exported so most users
+// never import `ksir-snapshot` directly.
+pub use ksir_snapshot::{SnapshotPolicy, SnapshotStats};

@@ -5,14 +5,18 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLockReadGuard};
 
 use ksir_core::{Algorithm, IngestReport, KsirEngine, KsirQuery, QueryResult, SharedEngine};
+use ksir_snapshot::{EngineSnapshot, SnapshotCounters, SnapshotSource, SnapshotStats};
 use ksir_types::{KsirError, Result, SocialElement, Timestamp, TopicVector, TopicWordDistribution};
 
 use crate::delivery::{delivery_queue, DeliveryConfig, DeliveryReceiver};
-use crate::shard::{refresh_one, Shard, ShardConfig, ShardKey, ShardSlide, ShardStats};
+use crate::shard::{
+    refresh_one, LaneDecision, PendingEpoch, ShardCell, ShardConfig, ShardKey, ShardSlide,
+    ShardStats,
+};
 use crate::subscription::{
     RefreshReason, ResultDelta, Subscription, SubscriptionId, SubscriptionStats,
 };
-use crate::worker::{deliver, DeliveryRegistry, WorkItem, WorkerPool};
+use crate::worker::{deliver, DeliveryRegistry, Watermark, WorkItem, WorkerPool};
 
 /// Aggregate work counters across all subscriptions and slides.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -73,36 +77,57 @@ pub struct SlideOutcome {
 /// The immediately available part of one
 /// [`SubscriptionManager::ingest_bucket_async`] call.
 ///
-/// The index update and shard scheduling are complete when this is returned;
-/// the scheduled shards' refreshes run on the worker pool and stream their
-/// [`ResultDelta`]s into the attached delivery queues.  Await them with
-/// [`SubscriptionManager::sync`] or consume them at leisure through the
-/// [`DeliveryReceiver`]s.
+/// The index update, the epoch-snapshot capture, and the shard handoff are
+/// complete when this is returned; the refreshes themselves run on the
+/// worker pool behind the ticket's epoch and stream their [`ResultDelta`]s
+/// into the attached delivery queues.  Await them with
+/// [`SubscriptionManager::sync`] (all epochs) or watch
+/// [`SubscriptionManager::completed_epoch`] pass [`SlideTicket::slide`];
+/// consume the deltas at leisure through the [`DeliveryReceiver`]s.
+///
+/// The ticket is `#[must_use]`: silently dropping it reads like awaiting the
+/// slide when nothing of the sort happened.  Call [`SlideTicket::detach`] to
+/// document fire-and-forget ingestion explicitly.
+#[must_use = "a SlideTicket is the only handle to the slide's epoch — dropping it silently \
+              forgets which epoch to await; call `.detach()` for explicit fire-and-forget"]
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlideTicket {
-    /// 1-based slide number; deltas delivered for this slide carry it in
-    /// [`Delivery::slide`](crate::delivery::Delivery::slide).
+    /// 1-based slide number (= the epoch); deltas delivered for this slide
+    /// carry it in [`Delivery::slide`](crate::delivery::Delivery::slide).
     pub slide: u64,
     /// The engine's ingestion report (including the [`WindowDelta`]).
     ///
     /// [`WindowDelta`]: ksir_stream::WindowDelta
     pub report: IngestReport,
-    /// Shards handed to the worker pool for refresh.
+    /// Idle shards whose filters fired and that were handed to the worker
+    /// pool with this epoch's snapshot.
     pub shards_scheduled: usize,
-    /// Shards proven undisturbed as a whole.
+    /// Shards still draining earlier epochs: this epoch was appended to
+    /// their lanes, and their schedule/skip decision is made in epoch order
+    /// by the owning worker once their filters are current.
+    pub shards_deferred: usize,
+    /// Idle shards proven undisturbed as a whole, skipped inline.
     pub shards_skipped: usize,
-    /// Skips charged immediately to residents of unscheduled shards.  The
-    /// scheduled shards' refresh/skip split is known only after the workers
-    /// finish (see [`SubscriptionManager::stats`] after a
+    /// Skips charged immediately to residents of inline-skipped shards.
+    /// Scheduled and deferred shards' refresh/skip splits are known only
+    /// once the epoch completes (see [`SubscriptionManager::stats`] after a
     /// [`SubscriptionManager::sync`]).
     pub skipped: usize,
 }
 
-/// The shared first half of both ingestion APIs: the engine's report plus
-/// the shard projection (scheduled shards and immediately charged skips).
+impl SlideTicket {
+    /// Consumes the ticket, explicitly *not* awaiting the slide's refresh
+    /// work.  The deltas still stream into the delivery queues; the epoch
+    /// barrier is whoever calls [`SubscriptionManager::sync`] next.
+    pub fn detach(self) {}
+}
+
+/// The shared first half of the synchronous ingestion API: the engine's
+/// report plus the shard projection (scheduled shards and immediately
+/// charged skips).
 struct ProjectedSlide {
     report: IngestReport,
-    scheduled: Vec<Arc<Mutex<Shard>>>,
+    scheduled: Vec<Arc<ShardCell>>,
     skipped: usize,
     shards_skipped: usize,
 }
@@ -117,11 +142,17 @@ struct ProjectedSlide {
 ///   refreshes every scheduled shard, and returns the complete
 ///   [`SlideOutcome`].  Decision-identical to the serial walk of PR 1.
 /// * [`SubscriptionManager::ingest_bucket_async`] — pipelined: updates the
-///   index, enqueues the scheduled shards on the worker pool, and returns a
-///   [`SlideTicket`] without waiting for any refresh.  Result changes stream
-///   into bounded per-subscriber queues ([`SubscriptionManager::attach_delivery`]);
+///   index, captures an immutable epoch snapshot
+///   ([`ksir_snapshot::EngineSnapshot`]), hands the affected shards their
+///   epoch, and returns a [`SlideTicket`] without waiting for any refresh —
+///   *including* the previous slide's: refreshes evaluate against their
+///   epoch's snapshot, so the next index write never waits for refresh
+///   compute (up to [`ShardConfig::pipeline_depth`] epochs overlap).
+///   Result changes stream into bounded per-subscriber queues
+///   ([`SubscriptionManager::attach_delivery`]);
 ///   [`SubscriptionManager::sync`] is the barrier that awaits outstanding
-///   refresh work.
+///   refresh work, and [`SubscriptionManager::completed_epoch`] the
+///   completion watermark.
 ///
 /// See the crate docs for the delta-refresh rules, [`crate::shard`] for the
 /// sharding scheme, and [`crate::delivery`] for the queue semantics.
@@ -129,11 +160,21 @@ struct ProjectedSlide {
 pub struct SubscriptionManager<D> {
     engine: SharedEngine<D>,
     config: ShardConfig,
-    shards: BTreeMap<ShardKey, Arc<Mutex<Shard>>>,
+    shards: BTreeMap<ShardKey, Arc<ShardCell>>,
     /// Home shard of every live subscription.
     route_of: BTreeMap<SubscriptionId, ShardKey>,
     deliveries: DeliveryRegistry,
     pool: Option<WorkerPool>,
+    /// Outstanding shard-epoch tasks; shared with the worker pool.
+    watermark: Arc<Watermark>,
+    /// Snapshot-capture work counters (see
+    /// [`SubscriptionManager::snapshot_stats`]).
+    snapshots: SnapshotCounters,
+    /// `topic → number of live subscriptions with it in their support`.
+    /// Epoch snapshots capture exactly these topics' ranked lists, so the
+    /// writer never pays copy-on-write for lists no standing query can
+    /// traverse.
+    watched_topics: BTreeMap<ksir_types::TopicId, usize>,
     next_id: u64,
     slides: usize,
     retired: RetiredStats,
@@ -155,6 +196,9 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
             route_of: BTreeMap::new(),
             deliveries: DeliveryRegistry::default(),
             pool: None,
+            watermark: Arc::new(Watermark::default()),
+            snapshots: SnapshotCounters::new(),
+            watched_topics: BTreeMap::new(),
             next_id: 0,
             slides: 0,
             retired: RetiredStats::default(),
@@ -210,15 +254,33 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     /// Per-shard work counters, ordered by shard key (topic shards first,
     /// overflow last).
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.shards
-            .values()
-            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).stats())
-            .collect()
+        self.shards.values().map(|s| s.shard().stats()).collect()
     }
 
     /// Cumulative counters of shards retired by `unsubscribe`.
     pub fn retired_stats(&self) -> RetiredStats {
         self.retired
+    }
+
+    /// Snapshot-capture work counters: epochs captured, per-shard snapshot
+    /// builds, and the shared/truncated prefix split.  The writer-side
+    /// copy-on-write cost lives in the engine's
+    /// [`EngineStats`](ksir_core::EngineStats) (`*_cow_clones`).
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.snapshots.stats()
+    }
+
+    /// The completion watermark: the highest epoch `e` such that every slide
+    /// `≤ e` has fully refreshed (or been proven skippable).  Counters and
+    /// maintained results for those slides are final.
+    pub fn completed_epoch(&self) -> u64 {
+        self.watermark.completed_through()
+    }
+
+    /// Number of epochs whose refresh work is still in flight (bounded by
+    /// [`ShardConfig::pipeline_depth`]).
+    pub fn inflight_epochs(&self) -> usize {
+        self.watermark.inflight_epochs()
     }
 
     /// Aggregate work counters: the sum of the live shards' counters plus the
@@ -240,13 +302,12 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     }
 
     /// Awaits every outstanding asynchronous shard refresh — the pipeline's
-    /// barrier.  After `sync()` returns, all deltas of previously ingested
-    /// buckets have been pushed into their delivery queues and every counter
-    /// is final.  A no-op when nothing is outstanding (or in pure-sync use).
+    /// full barrier.  After `sync()` returns, all deltas of previously
+    /// ingested buckets have been pushed into their delivery queues and
+    /// every counter is final.  A no-op when nothing is outstanding (or in
+    /// pure-sync use).
     pub fn sync(&self) {
-        if let Some(pool) = &self.pool {
-            pool.wait_idle();
-        }
+        self.watermark.wait_all();
     }
 
     /// Registers a standing query, evaluating it immediately against the
@@ -271,16 +332,18 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         let id = SubscriptionId(self.next_id);
         self.next_id += 1;
         let key = self.config.route(&query);
+        for (topic, _) in query.vector().support() {
+            *self.watched_topics.entry(topic).or_insert(0) += 1;
+        }
         let mut sub = Subscription::new(query, algorithm);
         // The initial evaluation is not a slide, so it is deliberately left
         // out of the refresh/skip counters — they must reconcile with
         // `slides x subscriptions`.
-        refresh_one(&self.engine.read(), id, &mut sub, RefreshReason::Initial);
+        refresh_one(&*self.engine.read(), id, &mut sub, RefreshReason::Initial);
         self.shards
             .entry(key)
-            .or_insert_with(|| Arc::new(Mutex::new(Shard::new(key))))
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
+            .or_insert_with(|| Arc::new(ShardCell::new(key)))
+            .shard()
             .insert(id, sub);
         self.route_of.insert(id, key);
         Ok(id)
@@ -304,14 +367,28 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         let Some(key) = self.route_of.remove(&id) else {
             return false;
         };
-        let Some(shard_arc) = self.shards.get(&key) else {
+        let Some(cell) = self.shards.get(&key) else {
             return false;
         };
         let (removed, retire) = {
-            let mut shard = shard_arc.lock().unwrap_or_else(|p| p.into_inner());
-            let removed = shard.remove(id).is_some();
-            let retire = (removed && shard.len() == 0).then(|| shard.stats());
+            let mut shard = cell.shard();
+            let removed = shard.remove(id);
+            let retire = (removed.is_some() && shard.len() == 0).then(|| shard.stats());
             (removed, retire)
+        };
+        let removed = match removed {
+            Some(sub) => {
+                for (topic, _) in sub.query.vector().support() {
+                    if let Some(count) = self.watched_topics.get_mut(&topic) {
+                        *count -= 1;
+                        if *count == 0 {
+                            self.watched_topics.remove(&topic);
+                        }
+                    }
+                }
+                true
+            }
+            None => false,
         };
         if let Some(stats) = retire {
             self.retired.shards += 1;
@@ -393,8 +470,8 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         f: impl FnOnce(&Subscription) -> T,
     ) -> Option<T> {
         let key = self.route_of.get(&id)?;
-        let shard = self.shards.get(key)?;
-        let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+        let cell = self.shards.get(key)?;
+        let shard = cell.shard();
         shard.get(id).map(f)
     }
 
@@ -404,12 +481,12 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     pub fn refresh(&mut self, id: SubscriptionId) -> Option<ResultDelta> {
         self.sync();
         let key = self.route_of.get(&id)?;
-        let shard_arc = self.shards.get(key)?;
+        let cell = self.shards.get(key)?;
         let update = {
             let engine = self.engine.read();
-            let mut shard = shard_arc.lock().unwrap_or_else(|p| p.into_inner());
+            let mut shard = cell.shard();
             let sub = shard.get_mut(id)?;
-            let update = refresh_one(&engine, id, sub, RefreshReason::Forced);
+            let update = refresh_one(&*engine, id, sub, RefreshReason::Forced);
             // The stored result (and with it the shard's floors/members) may
             // have changed even when no delta is reported.
             shard.rebuild_filters();
@@ -435,15 +512,31 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
                 self.config.worker_threads(),
                 self.engine.clone(),
                 Arc::clone(&self.deliveries),
+                Arc::clone(&self.watermark),
+                self.config.snapshot_policy,
             ));
         }
         self.pool.as_ref().expect("just spawned")
     }
 
-    /// Applies the bucket to the index and projects the slide delta onto
-    /// every shard's touch filters.  Awaits the previous slide's refresh
-    /// work first (the epoch barrier), so workers always observe the engine
-    /// state their delta describes.
+    /// Captures the engine's post-write state as this epoch's immutable
+    /// snapshot — `O(topics)` `Arc` clones; the next index write
+    /// copy-on-writes around it.  Bounded to the topics live subscriptions
+    /// watch: lists nothing can traverse are not captured and therefore
+    /// never pay copy-on-write.
+    fn capture_epoch(&self, epoch: u64) -> Arc<dyn SnapshotSource> {
+        Arc::new(EngineSnapshot::capture_watched(
+            &self.engine.read(),
+            epoch,
+            &self.snapshots,
+            self.watched_topics.keys().copied(),
+        ))
+    }
+
+    /// The synchronous first half: quiesces the pipeline, applies the bucket
+    /// to the index, and projects the slide delta onto every shard's touch
+    /// filters.  (The pipelined path has its own projection that defers
+    /// busy shards instead of quiescing.)
     fn ingest_and_project(
         &mut self,
         bucket: Vec<(SocialElement, TopicVector)>,
@@ -452,14 +545,15 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
         self.sync();
         let report = self.engine.write().ingest_bucket(bucket, bucket_end)?;
         self.slides += 1;
+        self.watermark.note_epoch(self.slides as u64);
 
-        let mut scheduled: Vec<Arc<Mutex<Shard>>> = Vec::new();
+        let mut scheduled: Vec<Arc<ShardCell>> = Vec::new();
         let mut skipped = 0usize;
         let mut shards_skipped = 0usize;
-        for shard_arc in self.shards.values() {
-            let mut shard = shard_arc.lock().unwrap_or_else(|p| p.into_inner());
+        for cell in self.shards.values() {
+            let mut shard = cell.shard();
             if shard.is_touched_by(&report.delta) {
-                scheduled.push(Arc::clone(shard_arc));
+                scheduled.push(Arc::clone(cell));
             } else if shard.len() > 0 {
                 shards_skipped += 1;
                 skipped += shard.skip_all();
@@ -501,11 +595,8 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
         if threads <= 1 || shards_scheduled <= 1 {
             // Refresh on the caller's thread; deliveries still flow.
             let engine = self.engine.read();
-            for shard_arc in &scheduled {
-                let slide = shard_arc
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .refresh_scheduled(&engine, &report.delta);
+            for cell in &scheduled {
+                let slide = cell.shard().refresh_scheduled(&*engine, &report.delta);
                 slides.push(slide);
             }
             drop(engine);
@@ -517,13 +608,14 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
             let collector = Arc::new(Mutex::new(Vec::with_capacity(shards_scheduled)));
             let items = scheduled
                 .into_iter()
-                .map(|shard| WorkItem {
-                    slide: slide_no,
+                .map(|shard| WorkItem::Live {
+                    epoch: slide_no,
                     shard,
                     delta: Arc::clone(&delta),
-                    collector: Some(Arc::clone(&collector)),
+                    collector: Arc::clone(&collector),
                 })
                 .collect();
+            self.watermark.add(slide_no, shards_scheduled);
             let pool = self.pool();
             pool.dispatch(items);
             pool.wait_idle();
@@ -551,46 +643,83 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
         })
     }
 
-    /// Ingests one bucket and **returns before any refresh runs**: the index
-    /// is updated, unscheduled shards are skipped, and the scheduled shards
-    /// are handed to the long-lived worker pool.  Result deltas stream into
-    /// the attached delivery queues as each shard finishes; ingestion
-    /// latency is therefore independent of subscriber count and drain speed.
+    /// Ingests one bucket and **returns before any refresh runs — including
+    /// the previous slide's**: the index is updated, an immutable epoch
+    /// snapshot is captured, idle undisturbed shards are skipped inline, and
+    /// every other shard is handed this epoch through its lane.  Refresh
+    /// workers evaluate against the epoch's snapshot rather than an engine
+    /// read guard, so the next index write proceeds while refreshes drain
+    /// (pipelined epochs; admission is bounded by
+    /// [`ShardConfig::pipeline_depth`]).  Result deltas stream into the
+    /// attached delivery queues as each shard finishes; ingestion latency is
+    /// therefore independent of refresh compute, subscriber count, and
+    /// drain speed.
     ///
-    /// The next ingest (either API) first awaits this slide's refresh work —
-    /// the epoch barrier that keeps refresh decisions identical to the
-    /// synchronous path.  Use [`SubscriptionManager::sync`] to await
-    /// explicitly (e.g. before reading [`SubscriptionManager::result`]).
+    /// Decision-identity with the synchronous path is per shard: each shard
+    /// processes its epochs strictly in order, so its filters are exactly
+    /// what the serial walk would have seen at every epoch, and the frozen
+    /// snapshot *is* that epoch's engine state.  Use
+    /// [`SubscriptionManager::sync`] to await all outstanding epochs, or
+    /// [`SubscriptionManager::completed_epoch`] to watch the watermark.
     pub fn ingest_bucket_async(
         &mut self,
         bucket: Vec<(SocialElement, TopicVector)>,
         bucket_end: Timestamp,
     ) -> Result<SlideTicket> {
-        let ProjectedSlide {
-            report,
-            scheduled,
-            skipped,
-            shards_skipped,
-        } = self.ingest_and_project(bucket, bucket_end)?;
+        // Pipeline admission: bound in-flight epochs (and with them the
+        // snapshots the writer must copy-on-write around).
+        self.watermark
+            .wait_inflight_below(self.config.pipeline_depth.max(1));
+        let report = self.engine.write().ingest_bucket(bucket, bucket_end)?;
+        self.slides += 1;
         let slide_no = self.slides as u64;
-        let shards_scheduled = scheduled.len();
-        if shards_scheduled > 0 {
-            let delta = Arc::new(report.delta.clone());
-            let items = scheduled
-                .into_iter()
-                .map(|shard| WorkItem {
-                    slide: slide_no,
-                    shard,
-                    delta: Arc::clone(&delta),
-                    collector: None,
-                })
-                .collect();
-            self.pool().dispatch(items);
+        self.watermark.note_epoch(slide_no);
+
+        let mut delta: Option<Arc<ksir_stream::WindowDelta>> = None;
+        let mut snapshot: Option<Arc<dyn SnapshotSource>> = None;
+        let mut handoffs: Vec<WorkItem> = Vec::new();
+        let mut shards_scheduled = 0usize;
+        let mut shards_deferred = 0usize;
+        let mut shards_skipped = 0usize;
+        let mut skipped = 0usize;
+        for cell in self.shards.values() {
+            let decision = cell.project_epoch(&report.delta, || {
+                // Only enqueued epochs register a task, clone the delta, and
+                // pin the snapshot — quiet slides pay for none of it.
+                self.watermark.add(slide_no, 1);
+                PendingEpoch {
+                    epoch: slide_no,
+                    delta: delta
+                        .get_or_insert_with(|| Arc::new(report.delta.clone()))
+                        .clone(),
+                    snapshot: snapshot
+                        .get_or_insert_with(|| self.capture_epoch(slide_no))
+                        .clone(),
+                }
+            });
+            match decision {
+                LaneDecision::Deferred => shards_deferred += 1,
+                LaneDecision::Scheduled => {
+                    handoffs.push(WorkItem::Pipelined {
+                        shard: Arc::clone(cell),
+                    });
+                    shards_scheduled += 1;
+                }
+                LaneDecision::Skipped(n) => {
+                    shards_skipped += 1;
+                    skipped += n;
+                }
+                LaneDecision::Empty => {}
+            }
+        }
+        if !handoffs.is_empty() {
+            self.pool().dispatch(handoffs);
         }
         Ok(SlideTicket {
             slide: slide_no,
             report,
             shards_scheduled,
+            shards_deferred,
             shards_skipped,
             skipped,
         })
@@ -913,7 +1042,9 @@ mod tests {
         // queue, the second leaves a worker blocked in send().
         for (element, tv) in ex.stream().into_iter().take(2) {
             let end = element.ts;
-            mgr.ingest_bucket_async(vec![(element, tv)], end).unwrap();
+            mgr.ingest_bucket_async(vec![(element, tv)], end)
+                .unwrap()
+                .detach();
         }
         assert!(mgr.unsubscribe(id), "must complete despite the stall");
         assert!(rx.is_closed());

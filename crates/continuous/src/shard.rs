@@ -31,11 +31,13 @@
 //! [`ShardKey::Overflow`] shard instead of pinning an arbitrary topic shard
 //! to a near-global topic set.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use ksir_core::{FloorAggregate, KsirEngine, KsirQuery};
+use ksir_core::{FloorAggregate, KsirQuery, QuerySource};
+use ksir_snapshot::{PrefixSpec, SnapshotPolicy, SnapshotSource};
 use ksir_stream::WindowDelta;
-use ksir_types::{ElementId, TopicId, TopicWordDistribution};
+use ksir_types::{ElementId, TopicId};
 
 use crate::subscription::{RefreshReason, ResultDelta, Subscription, SubscriptionId};
 
@@ -76,6 +78,19 @@ pub struct ShardConfig {
     /// [`std::thread::available_parallelism`].  `Some(1)` refreshes scheduled
     /// shards serially on the caller's thread.
     pub max_threads: Option<usize>,
+    /// How many epochs the asynchronous pipeline may have in flight at once
+    /// (clamped to at least 1).  `ingest_bucket_async` admits a new epoch
+    /// only when fewer than this many earlier epochs still have outstanding
+    /// refresh work; `1` reproduces the quiesce-before-write barrier of the
+    /// pre-snapshot pipeline, `2` (the default) lets epoch `N+1`'s index
+    /// write proceed while epoch `N`'s refreshes drain.  Higher depths buy
+    /// little: each in-flight epoch pins its snapshot (and the writer's
+    /// copy-on-write clones) in memory.
+    pub pipeline_depth: usize,
+    /// How per-shard snapshots capture the ranked lists
+    /// (see [`SnapshotPolicy`]); [`SnapshotPolicy::Exact`] keeps the
+    /// pipelined path decision- and score-identical to the synchronous API.
+    pub snapshot_policy: SnapshotPolicy,
 }
 
 impl Default for ShardConfig {
@@ -83,6 +98,8 @@ impl Default for ShardConfig {
         ShardConfig {
             overflow_support_threshold: 4,
             max_threads: None,
+            pipeline_depth: 2,
+            snapshot_policy: SnapshotPolicy::Exact,
         }
     }
 }
@@ -99,6 +116,7 @@ impl ShardConfig {
         ShardConfig {
             overflow_support_threshold: 0,
             max_threads: Some(1),
+            ..ShardConfig::default()
         }
     }
 
@@ -111,6 +129,18 @@ impl ShardConfig {
     /// Overrides the overflow routing threshold.
     pub fn with_overflow_support_threshold(mut self, threshold: usize) -> Self {
         self.overflow_support_threshold = threshold;
+        self
+    }
+
+    /// Overrides the pipeline depth (clamped to at least 1 on use).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Overrides the shard-snapshot capture policy.
+    pub fn with_snapshot_policy(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshot_policy = policy;
         self
     }
 
@@ -189,6 +219,132 @@ pub(crate) struct ShardSlide {
     pub(crate) updates: Vec<ResultDelta>,
     pub(crate) refreshed: usize,
     pub(crate) skipped: usize,
+}
+
+/// One epoch queued on a busy shard's lane: the slide delta to project and
+/// the frozen engine image to refresh against if the projection fires.
+pub(crate) struct PendingEpoch {
+    pub(crate) epoch: u64,
+    pub(crate) delta: Arc<WindowDelta>,
+    pub(crate) snapshot: Arc<dyn SnapshotSource>,
+}
+
+impl std::fmt::Debug for PendingEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingEpoch")
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+/// The pipelined work queue of one shard: whether a worker currently owns
+/// the shard, and the epochs awaiting their scheduling decision.
+///
+/// Epochs are processed strictly in queue (= epoch) order, which is the only
+/// ordering the refresh decisions depend on — filters updated by epoch `e`
+/// are what epoch `e+1`'s `is_touched_by` must observe.
+#[derive(Debug, Default)]
+struct Lane {
+    busy: bool,
+    pending: VecDeque<PendingEpoch>,
+}
+
+/// A shard plus its pipeline lane, under separate locks.
+///
+/// The split is what keeps ingestion latency independent of refresh compute:
+/// the ingest thread appends epochs to a *busy* shard through the cheap lane
+/// lock while a worker holds the shard lock through a long refresh.  The
+/// shard lock is only taken by the ingest thread for *idle* shards (inline
+/// skip / schedule decision), which no worker contends for.
+///
+/// Lock order is lane → shard; nothing acquires the lane while holding the
+/// shard.
+#[derive(Debug)]
+pub(crate) struct ShardCell {
+    lane: Mutex<Lane>,
+    shard: Mutex<Shard>,
+}
+
+impl ShardCell {
+    pub(crate) fn new(key: ShardKey) -> Self {
+        ShardCell {
+            lane: Mutex::new(Lane::default()),
+            shard: Mutex::new(Shard::new(key)),
+        }
+    }
+
+    fn lane(&self) -> MutexGuard<'_, Lane> {
+        self.lane.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Locks the shard itself (resident subscriptions, filters, counters).
+    pub(crate) fn shard(&self) -> MutexGuard<'_, Shard> {
+        self.shard.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Ingest side: projects one epoch onto this shard, atomically with the
+    /// ownership check (a worker releasing the lane between a separate check
+    /// and enqueue would otherwise strand the task).
+    ///
+    /// * lane busy → append the epoch; the owning worker decides in order
+    ///   once the filters are current ([`LaneDecision::Deferred`]);
+    /// * lane idle → the filters are final for all prior epochs, so decide
+    ///   now: enqueue + take ownership for the caller to hand to a worker
+    ///   ([`LaneDecision::Scheduled`]), or skip every resident inline
+    ///   ([`LaneDecision::Skipped`]).
+    ///
+    /// `make_task` is only invoked when the epoch is actually enqueued, so
+    /// snapshot capture (and watermark registration) stays lazy.
+    pub(crate) fn project_epoch(
+        &self,
+        delta: &WindowDelta,
+        make_task: impl FnOnce() -> PendingEpoch,
+    ) -> LaneDecision {
+        let mut lane = self.lane();
+        if lane.busy {
+            lane.pending.push_back(make_task());
+            return LaneDecision::Deferred;
+        }
+        // Lock order lane → shard; the shard lock is uncontended here (only
+        // a lane owner holds it for long, and the lane is idle).
+        let mut shard = self.shard();
+        if shard.len() == 0 {
+            LaneDecision::Empty
+        } else if shard.is_touched_by(delta) {
+            lane.busy = true;
+            lane.pending.push_back(make_task());
+            LaneDecision::Scheduled
+        } else {
+            LaneDecision::Skipped(shard.skip_all())
+        }
+    }
+
+    /// Worker side: pops the next pending epoch, or — atomically with the
+    /// emptiness check — releases lane ownership and returns `None`.
+    pub(crate) fn pop_pending_or_release(&self) -> Option<PendingEpoch> {
+        let mut lane = self.lane();
+        match lane.pending.pop_front() {
+            Some(task) => Some(task),
+            None => {
+                lane.busy = false;
+                None
+            }
+        }
+    }
+}
+
+/// Outcome of [`ShardCell::project_epoch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LaneDecision {
+    /// Appended behind earlier epochs; the owning worker decides in order.
+    Deferred,
+    /// Idle shard whose filters fired: epoch enqueued, lane ownership taken —
+    /// the caller must hand the shard to a worker.
+    Scheduled,
+    /// Idle shard proven undisturbed: residents skipped inline (count).
+    Skipped(usize),
+    /// No residents; nothing to do.
+    Empty,
 }
 
 /// One shard: resident subscriptions plus the slide-time touch filters.
@@ -315,12 +471,37 @@ impl Shard {
         self.floors.disturbed_by(&delta.ranked)
     }
 
+    /// The ranked-list view a refresh of this shard needs, as truncation
+    /// floors: every support topic of every resident, at the aggregated
+    /// (loosest) floor when one is known and untruncated otherwise.  Fed to
+    /// [`ksir_snapshot::SnapshotSource::shard_source`] to build the bounded
+    /// per-shard snapshot.
+    pub(crate) fn prefix_spec(&self) -> PrefixSpec {
+        let mut floors: BTreeMap<TopicId, Option<f64>> = BTreeMap::new();
+        for sub in self.subs.values() {
+            for (topic, _) in sub.query.vector().support() {
+                let floor = match self.floors.floor(topic) {
+                    Some(Some(floor)) => Some(floor),
+                    // Any-touch topics and topics outside the aggregate
+                    // (residents awaiting their first evaluation) get the
+                    // whole list.
+                    _ => None,
+                };
+                floors.insert(topic, floor);
+            }
+        }
+        PrefixSpec {
+            floors: floors.into_iter().collect(),
+        }
+    }
+
     /// Classifies and (where needed) refreshes every resident against the
     /// slide, then rebuilds the touch filters.  Runs on a worker thread when
-    /// the manager refreshes shards in parallel.
-    pub(crate) fn refresh_scheduled<D: TopicWordDistribution>(
+    /// the manager refreshes shards in parallel; `source` is the live engine
+    /// on the synchronous path and an epoch snapshot on the pipelined one.
+    pub(crate) fn refresh_scheduled(
         &mut self,
-        engine: &KsirEngine<D>,
+        source: &dyn QuerySource,
         delta: &WindowDelta,
     ) -> ShardSlide {
         let mut slide = ShardSlide::default();
@@ -329,7 +510,7 @@ impl Shard {
                 Some(reason) => {
                     slide.refreshed += 1;
                     sub.stats.refreshes += 1;
-                    if let Some(update) = refresh_one(engine, id, sub, reason) {
+                    if let Some(update) = refresh_one(source, id, sub, reason) {
                         slide.updates.push(update);
                     }
                 }
@@ -401,16 +582,17 @@ pub(crate) fn classify(sub: &Subscription, delta: &WindowDelta) -> Option<Refres
     None
 }
 
-/// Re-runs one subscription's query and stores the fresh result.  Returns the
-/// delta when the result set or score changed.  Callers own the refresh/skip
-/// accounting (only slide-classified refreshes count).
-pub(crate) fn refresh_one<D: TopicWordDistribution>(
-    engine: &KsirEngine<D>,
+/// Re-runs one subscription's query against `source` — the live engine or an
+/// epoch snapshot — and stores the fresh result.  Returns the delta when the
+/// result set or score changed.  Callers own the refresh/skip accounting
+/// (only slide-classified refreshes count).
+pub(crate) fn refresh_one(
+    source: &dyn QuerySource,
     id: SubscriptionId,
     sub: &mut Subscription,
     reason: RefreshReason,
 ) -> Option<ResultDelta> {
-    let fresh = engine
+    let fresh = source
         .query(&sub.query, sub.algorithm)
         .expect("subscription dimensions were validated at subscribe time");
 
@@ -533,5 +715,82 @@ mod tests {
             Subscription::new(query(1, &[1.0, 0.0]), Algorithm::Mtts),
         );
         assert!(shard.is_touched_by(&WindowDelta::default()));
+    }
+
+    #[test]
+    fn prefix_spec_covers_every_resident_support_topic() {
+        use ksir_core::{QueryFrontier, QueryResult};
+        let mut shard = Shard::new(ShardKey::Topic(TopicId(0)));
+        // Resident with a frontier on topics 0 and 1.
+        let mut with_frontier = Subscription::new(query(1, &[0.6, 0.4, 0.0]), Algorithm::Mtts);
+        with_frontier.result = Some(QueryResult {
+            frontier: Some(QueryFrontier {
+                floors: vec![(TopicId(0), Some(0.5)), (TopicId(1), None)],
+            }),
+            ..QueryResult::empty(Algorithm::Mtts)
+        });
+        shard.insert(SubscriptionId(0), with_frontier);
+        // Result-less resident (pending initial) on topics 0 and 2.
+        shard.insert(
+            SubscriptionId(1),
+            Subscription::new(query(1, &[0.5, 0.0, 0.5]), Algorithm::Celf),
+        );
+        let spec = shard.prefix_spec();
+        assert_eq!(
+            spec.floors,
+            vec![
+                (TopicId(0), Some(0.5)), // aggregated floor
+                (TopicId(1), None),      // exhausted list ⇒ whole list
+                (TopicId(2), None),      // pending-initial resident ⇒ whole list
+            ]
+        );
+    }
+
+    #[test]
+    fn lane_projection_hands_ownership_exactly_once() {
+        fn task(epoch: u64) -> PendingEpoch {
+            // A snapshot is only consulted when a refresh fires; for lane
+            // bookkeeping any engine image works.
+            let ex = ksir_core::fixtures::paper_example();
+            PendingEpoch {
+                epoch,
+                delta: Arc::new(WindowDelta::default()),
+                snapshot: Arc::new(ksir_snapshot::EngineSnapshot::capture(
+                    &ex.empty_engine(),
+                    epoch,
+                    &ksir_snapshot::SnapshotCounters::new(),
+                )),
+            }
+        }
+        let cell = ShardCell::new(ShardKey::Overflow);
+        // No residents: nothing happens, nothing is enqueued.
+        assert_eq!(
+            cell.project_epoch(&WindowDelta::default(), || task(0)),
+            LaneDecision::Empty
+        );
+        // A pending-initial resident schedules on any delta.
+        cell.shard().insert(
+            SubscriptionId(0),
+            Subscription::new(query(1, &[1.0, 0.0]), Algorithm::Mtts),
+        );
+        assert_eq!(
+            cell.project_epoch(&WindowDelta::default(), || task(1)),
+            LaneDecision::Scheduled,
+            "idle shard: caller must dispatch"
+        );
+        assert_eq!(
+            cell.project_epoch(&WindowDelta::default(), || task(2)),
+            LaneDecision::Deferred,
+            "busy shard: the owner will get there"
+        );
+        // The owner drains in epoch order, then releases atomically.
+        assert_eq!(cell.pop_pending_or_release().unwrap().epoch, 1);
+        assert_eq!(cell.pop_pending_or_release().unwrap().epoch, 2);
+        assert!(cell.pop_pending_or_release().is_none());
+        // Released: the next firing epoch schedules again.
+        assert_eq!(
+            cell.project_epoch(&WindowDelta::default(), || task(3)),
+            LaneDecision::Scheduled
+        );
     }
 }

@@ -1,38 +1,44 @@
-//! Long-lived shard-refresh workers fed by a channel.
+//! Long-lived shard-refresh workers fed by a channel, plus the epoch
+//! watermark that replaced the quiesce-before-write barrier.
 //!
 //! PR 2 fanned each slide's scheduled shards out over a fresh
-//! `std::thread::scope`, which meant `ingest_bucket` could not return before
-//! the slowest shard finished.  This module replaces that with a fixed pool
-//! of workers that live as long as the
-//! [`SubscriptionManager`](crate::SubscriptionManager): the ingestion path
-//! enqueues one [`WorkItem`] per scheduled shard and is free to return
-//! immediately; workers pull items off the shared channel, take a read guard
-//! on the [`SharedEngine`], refresh the shard, and stream the resulting
-//! [`ResultDelta`](crate::ResultDelta)s into the attached per-subscriber
-//! delivery queues.
+//! `std::thread::scope`; PR 3 replaced that with this fixed pool of workers
+//! that live as long as the [`SubscriptionManager`](crate::SubscriptionManager)
+//! but still quiesced *every* outstanding refresh before *every* index write,
+//! so refresh compute bounded the sustained slide rate.  The pipelined design
+//! drops that global barrier:
 //!
-//! ## The epoch barrier
+//! * each asynchronously ingested slide (an **epoch**) captures an immutable
+//!   [`EngineSnapshot`](ksir_snapshot::EngineSnapshot) right after its index
+//!   write, and refresh workers evaluate against the snapshot instead of a
+//!   `SharedEngine` read guard — so the *next* epoch's index write proceeds
+//!   while this epoch's refreshes drain;
+//! * ordering is per shard, not global: every shard processes its pending
+//!   epochs strictly in order (the shard's *lane*, see
+//!   [`crate::shard::Lane`]), which is exactly the ordering the refresh
+//!   decisions depend on — cross-shard interleaving never influenced them;
+//! * the [`Watermark`] tracks outstanding shard-epoch tasks per epoch:
+//!   [`Watermark::wait_all`] is the old `sync()` barrier, and
+//!   [`Watermark::wait_inflight_below`] is the pipeline-admission gate that
+//!   bounds how many epochs may be in flight (and with them the snapshot
+//!   memory the writer keeps alive).
 //!
-//! Refresh decisions are only decision-identical to the serial walk if every
-//! worker observes the engine state of the slide its work item was scheduled
-//! for.  The pool therefore tracks outstanding items in a [`Gate`]; the
-//! manager calls [`WorkerPool::wait_idle`] (its `sync()` barrier) before
-//! every index mutation, so at most one slide's work is ever in flight and a
-//! worker can never read a newer window than its `WindowDelta` describes.
-//! Slow *subscribers* never extend that window: delivery queues are bounded
-//! and non-blocking under the default overflow policy, so the barrier waits
-//! only on refresh compute, not on consumers.
+//! Slow *subscribers* still never extend any of these waits: delivery queues
+//! are bounded and non-blocking under the default overflow policy, so the
+//! watermark waits on refresh compute only.
 
+use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ksir_core::SharedEngine;
+use ksir_snapshot::SnapshotPolicy;
 use ksir_stream::WindowDelta;
 use ksir_types::TopicWordDistribution;
 
 use crate::delivery::DeliverySender;
-use crate::shard::{Shard, ShardSlide};
+use crate::shard::{ShardCell, ShardSlide};
 use crate::subscription::SubscriptionId;
 
 /// Shared map from live subscription to its delivery-queue producer.
@@ -68,51 +74,128 @@ pub(crate) fn deliver(
     }
 }
 
-/// One scheduled shard refresh: the shard, the slide delta that scheduled it,
-/// and (for the synchronous API) a collector the resulting [`ShardSlide`] is
-/// pushed into.
-pub(crate) struct WorkItem {
-    pub(crate) slide: u64,
-    pub(crate) shard: Arc<Mutex<Shard>>,
-    pub(crate) delta: Arc<WindowDelta>,
-    pub(crate) collector: Option<Arc<Mutex<Vec<ShardSlide>>>>,
+/// One unit of work for the pool.
+pub(crate) enum WorkItem {
+    /// Synchronous path: refresh this shard against the live engine (the
+    /// manager quiesced the pipeline first, so the engine *is* the epoch).
+    Live {
+        epoch: u64,
+        shard: Arc<ShardCell>,
+        delta: Arc<WindowDelta>,
+        collector: Arc<Mutex<Vec<ShardSlide>>>,
+    },
+    /// Pipelined path: drain the shard's lane of pending epochs, evaluating
+    /// each against its captured snapshot.  The lane carries the payloads;
+    /// this item only hands the shard to a worker.
+    Pipelined { shard: Arc<ShardCell> },
 }
 
-/// Counts outstanding work items; `wait_idle` is the sync()/drain() barrier.
+/// Outstanding shard-epoch tasks per epoch — the pipeline's completion
+/// accounting.
+///
+/// An epoch is *complete* when every shard has processed it (refreshed or
+/// skipped).  Inline work (unscheduled shards skipped on the ingest thread)
+/// is never registered, so an epoch that scheduled nothing completes
+/// immediately.
 #[derive(Debug, Default)]
-struct Gate {
-    pending: Mutex<usize>,
-    idle: Condvar,
+pub(crate) struct Watermark {
+    state: Mutex<WatermarkState>,
+    changed: Condvar,
 }
 
-impl Gate {
-    fn add(&self, n: usize) {
-        *self.pending.lock().unwrap_or_else(|p| p.into_inner()) += n;
-    }
+#[derive(Debug, Default)]
+struct WatermarkState {
+    /// `epoch → outstanding shard tasks`; absent = complete.
+    pending: BTreeMap<u64, usize>,
+    /// Highest epoch ever announced (see [`Watermark::note_epoch`]).
+    highest_seen: u64,
+}
 
-    fn complete_one(&self) {
-        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
-        *pending -= 1;
-        if *pending == 0 {
-            self.idle.notify_all();
-        }
-    }
-
-    fn wait_idle(&self) {
-        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
-        while *pending > 0 {
-            pending = self.idle.wait(pending).unwrap_or_else(|p| p.into_inner());
+impl WatermarkState {
+    fn completed_through(&self) -> u64 {
+        match self.pending.keys().next() {
+            Some(&first_open) => first_open.saturating_sub(1),
+            None => self.highest_seen,
         }
     }
 }
 
-/// Decrements the gate even if the refresh panics, so a poisoned shard can
-/// never deadlock the ingestion path on `wait_idle`.
-struct CompletionGuard<'a>(&'a Gate);
+impl Watermark {
+    fn lock(&self) -> std::sync::MutexGuard<'_, WatermarkState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Announces an epoch (moves `highest_seen`) without registering tasks —
+    /// so fully-inline slides still advance the watermark.
+    pub(crate) fn note_epoch(&self, epoch: u64) {
+        let mut state = self.lock();
+        if epoch > state.highest_seen {
+            state.highest_seen = epoch;
+        }
+    }
+
+    /// Registers `n` outstanding shard tasks for `epoch`.
+    pub(crate) fn add(&self, epoch: u64, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut state = self.lock();
+        if epoch > state.highest_seen {
+            state.highest_seen = epoch;
+        }
+        *state.pending.entry(epoch).or_insert(0) += n;
+    }
+
+    /// Completes one shard task of `epoch`.
+    pub(crate) fn complete_one(&self, epoch: u64) {
+        let mut state = self.lock();
+        match state.pending.get_mut(&epoch) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                state.pending.remove(&epoch);
+                self.changed.notify_all();
+            }
+            None => debug_assert!(false, "completing a task of an unregistered epoch"),
+        }
+    }
+
+    /// The highest epoch `e` such that every epoch `≤ e` has fully drained.
+    pub(crate) fn completed_through(&self) -> u64 {
+        self.lock().completed_through()
+    }
+
+    /// Number of epochs with outstanding tasks.
+    pub(crate) fn inflight_epochs(&self) -> usize {
+        self.lock().pending.len()
+    }
+
+    /// Blocks until no epoch has outstanding tasks — the `sync()` barrier.
+    pub(crate) fn wait_all(&self) {
+        let mut state = self.lock();
+        while !state.pending.is_empty() {
+            state = self.changed.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Blocks until fewer than `depth` epochs have outstanding tasks — the
+    /// pipeline-admission gate (`depth = 1` reproduces the PR-3
+    /// quiesce-before-write barrier).
+    pub(crate) fn wait_inflight_below(&self, depth: usize) {
+        let depth = depth.max(1);
+        let mut state = self.lock();
+        while state.pending.len() >= depth {
+            state = self.changed.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Completes the epoch task even if the refresh panics, so a poisoned shard
+/// can never deadlock the ingestion path on the watermark.
+struct CompletionGuard<'a>(&'a Watermark, u64);
 
 impl Drop for CompletionGuard<'_> {
     fn drop(&mut self) {
-        self.0.complete_one();
+        self.0.complete_one(self.1);
     }
 }
 
@@ -120,10 +203,12 @@ impl Drop for CompletionGuard<'_> {
 ///
 /// Not generic over the topic model: the engine handle is moved into the
 /// worker closures at spawn time, which keeps the pool embeddable in any
-/// manager without dragging `D` through the channel types.
+/// manager without dragging `D` through the channel types — pipelined work
+/// carries its engine state as `Arc<dyn SnapshotSource>` payloads in the
+/// shard lanes instead.
 pub(crate) struct WorkerPool {
     tx: Option<Sender<WorkItem>>,
-    gate: Arc<Gate>,
+    watermark: Arc<Watermark>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -136,52 +221,49 @@ impl std::fmt::Debug for WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `threads` workers over a shared engine handle and delivery
-    /// registry.
+    /// Spawns `threads` workers over a shared engine handle, delivery
+    /// registry, and the manager's watermark.
     pub(crate) fn spawn<D>(
         threads: usize,
         engine: SharedEngine<D>,
         registry: DeliveryRegistry,
+        watermark: Arc<Watermark>,
+        policy: SnapshotPolicy,
     ) -> Self
     where
         D: TopicWordDistribution + Send + Sync + 'static,
     {
         let (tx, rx) = channel::<WorkItem>();
         let rx = Arc::new(Mutex::new(rx));
-        let gate = Arc::new(Gate::default());
         let handles = (0..threads.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
-                let gate = Arc::clone(&gate);
+                let watermark = Arc::clone(&watermark);
                 let engine = engine.clone();
                 let registry = Arc::clone(&registry);
-                std::thread::spawn(move || worker_loop(&rx, &gate, &engine, &registry))
+                std::thread::spawn(move || worker_loop(&rx, &watermark, &engine, &registry, policy))
             })
             .collect();
         WorkerPool {
             tx: Some(tx),
-            gate,
+            watermark,
             handles,
         }
     }
 
-    /// Enqueues one slide's scheduled shards.  Returns immediately; the
-    /// items run on the workers.
+    /// Enqueues work.  Returns immediately; the items run on the workers.
+    /// The caller has already registered the matching watermark tasks.
     pub(crate) fn dispatch(&self, items: Vec<WorkItem>) {
-        if items.is_empty() {
-            return;
-        }
-        self.gate.add(items.len());
         let tx = self.tx.as_ref().expect("pool not shut down");
         for item in items {
             tx.send(item).expect("worker channel closed");
         }
     }
 
-    /// Blocks until every dispatched item has completed — the pipeline's
-    /// sync()/drain() barrier.
+    /// Blocks until every registered task has completed — the `sync()`
+    /// barrier.
     pub(crate) fn wait_idle(&self) {
-        self.gate.wait_idle();
+        self.watermark.wait_all();
     }
 }
 
@@ -198,9 +280,10 @@ impl Drop for WorkerPool {
 
 fn worker_loop<D: TopicWordDistribution>(
     rx: &Mutex<Receiver<WorkItem>>,
-    gate: &Gate,
+    watermark: &Watermark,
     engine: &SharedEngine<D>,
     registry: &DeliveryRegistry,
+    policy: SnapshotPolicy,
 ) {
     loop {
         // Hold the receiver lock only while pulling the next item, never
@@ -210,18 +293,117 @@ fn worker_loop<D: TopicWordDistribution>(
             Ok(item) => item,
             Err(_) => return, // channel closed: pool shut down
         };
-        let _complete = CompletionGuard(gate);
-        let slide = {
-            let engine = engine.read();
-            let mut shard = item.shard.lock().unwrap_or_else(|p| p.into_inner());
-            shard.refresh_scheduled(&engine, &item.delta)
-        };
-        deliver(registry, item.slide, &slide.updates);
-        if let Some(collector) = &item.collector {
-            collector
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .push(slide);
+        match item {
+            WorkItem::Live {
+                epoch,
+                shard,
+                delta,
+                collector,
+            } => {
+                let _complete = CompletionGuard(watermark, epoch);
+                let slide = {
+                    let engine = engine.read();
+                    shard.shard().refresh_scheduled(&*engine, &delta)
+                };
+                deliver(registry, epoch, &slide.updates);
+                collector
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(slide);
+            }
+            WorkItem::Pipelined { shard } => drain_lane(&shard, watermark, registry, policy),
         }
+    }
+}
+
+/// Processes a shard's pending epochs in order until its lane is empty.
+///
+/// The worker owns the shard for the whole drain (the lane's `busy` flag),
+/// so filter updates from epoch `e` are always visible to epoch `e+1`'s
+/// scheduling decision — per-shard decisions are exactly the serial walk's.
+/// The ingest thread only ever touches the (cheap) lane lock of a busy
+/// shard, never its shard lock, so a long refresh here cannot stall
+/// ingestion.
+fn drain_lane(
+    cell: &ShardCell,
+    watermark: &Watermark,
+    registry: &DeliveryRegistry,
+    policy: SnapshotPolicy,
+) {
+    loop {
+        // Pop-or-release must be atomic under the lane lock: otherwise the
+        // ingest thread could observe `busy` in the instant before release
+        // and strand a task in the queue.
+        let Some(task) = cell.pop_pending_or_release() else {
+            return;
+        };
+        let _complete = CompletionGuard(watermark, task.epoch);
+        let slide = {
+            let mut shard = cell.shard();
+            if shard.is_touched_by(&task.delta) {
+                let source = match policy {
+                    // Exact serves the epoch image as-is: no spec walk, no
+                    // per-shard allocation on the default hot path.
+                    SnapshotPolicy::Exact => task.snapshot.as_query_source(),
+                    SnapshotPolicy::TruncateAtFloors => {
+                        task.snapshot.shard_source(&shard.prefix_spec(), policy)
+                    }
+                };
+                Some(shard.refresh_scheduled(source.as_ref(), &task.delta))
+            } else {
+                shard.skip_all();
+                None
+            }
+        };
+        if let Some(slide) = slide {
+            deliver(registry, task.epoch, &slide.updates);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_tracks_epoch_completion_out_of_order() {
+        let wm = Watermark::default();
+        assert_eq!(wm.completed_through(), 0);
+        wm.add(1, 2);
+        wm.add(2, 1);
+        assert_eq!(wm.inflight_epochs(), 2);
+        assert_eq!(wm.completed_through(), 0);
+        // Epoch 2 finishes first: the watermark must not jump past epoch 1.
+        wm.complete_one(2);
+        assert_eq!(wm.completed_through(), 0);
+        assert_eq!(wm.inflight_epochs(), 1);
+        wm.complete_one(1);
+        assert_eq!(wm.completed_through(), 0, "one epoch-1 task remains");
+        wm.complete_one(1);
+        assert_eq!(wm.completed_through(), 2);
+        assert_eq!(wm.inflight_epochs(), 0);
+        // An all-inline epoch advances the watermark without tasks.
+        wm.note_epoch(3);
+        assert_eq!(wm.completed_through(), 3);
+        wm.wait_all(); // no outstanding work: returns immediately
+        wm.wait_inflight_below(1);
+    }
+
+    #[test]
+    fn admission_gate_blocks_until_an_epoch_drains() {
+        let wm = Arc::new(Watermark::default());
+        wm.add(1, 1);
+        wm.add(2, 1);
+        // Depth 2 is full: admission for epoch 3 must wait for a drain.
+        let waiter = {
+            let wm = Arc::clone(&wm);
+            std::thread::spawn(move || {
+                wm.wait_inflight_below(2);
+                wm.inflight_epochs()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        wm.complete_one(1);
+        assert!(waiter.join().unwrap() < 2);
     }
 }

@@ -171,7 +171,8 @@ fn mid_stream_lifecycle_charges_only_live_slides() {
                  end: u64,
                  slides: &mut usize| {
         mgr.ingest_bucket_async(std::mem::take(pending), ksir_types::Timestamp(end))
-            .unwrap();
+            .unwrap()
+            .detach();
         *slides += 1;
     };
 

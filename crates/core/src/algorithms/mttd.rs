@@ -12,21 +12,21 @@
 
 use std::collections::{BinaryHeap, HashMap};
 
-use ksir_stream::RankedLists;
 use ksir_types::{ElementId, TopicWordDistribution};
 
 use crate::algorithms::{ScoredElement, SupportCursors};
 use crate::evaluator::{CandidateState, QueryEvaluator};
 use crate::query::{Algorithm, KsirQuery, QueryResult};
+use crate::view::RankedView;
 
-pub(crate) fn run<D: TopicWordDistribution>(
-    ranked: &RankedLists,
+pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
+    view: &V,
     evaluator: &QueryEvaluator<'_, D>,
     query: &KsirQuery,
 ) -> QueryResult {
     let k = query.k();
     let epsilon = query.epsilon();
-    let mut cursors = SupportCursors::new(ranked, evaluator.support());
+    let mut cursors = SupportCursors::new(view, evaluator.support());
     let mut state = evaluator.new_candidate();
 
     // Buffer E′ of retrieved-but-not-selected elements: cached gain upper

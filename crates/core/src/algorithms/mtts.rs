@@ -12,21 +12,21 @@
 
 use std::collections::BTreeMap;
 
-use ksir_stream::RankedLists;
 use ksir_types::TopicWordDistribution;
 
 use crate::algorithms::SupportCursors;
 use crate::evaluator::{CandidateState, QueryEvaluator};
 use crate::query::{Algorithm, KsirQuery, QueryResult};
+use crate::view::RankedView;
 
-pub(crate) fn run<D: TopicWordDistribution>(
-    ranked: &RankedLists,
+pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
+    view: &V,
     evaluator: &QueryEvaluator<'_, D>,
     query: &KsirQuery,
 ) -> QueryResult {
     let k = query.k() as f64;
     let base = 1.0 + query.epsilon();
-    let mut cursors = SupportCursors::new(ranked, evaluator.support());
+    let mut cursors = SupportCursors::new(view, evaluator.support());
     let mut candidates: BTreeMap<i64, CandidateState> = BTreeMap::new();
     let mut delta_max = 0.0_f64;
     let mut evaluated = 0_usize;

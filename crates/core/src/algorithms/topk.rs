@@ -12,20 +12,20 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use ksir_stream::RankedLists;
 use ksir_types::TopicWordDistribution;
 
 use crate::algorithms::{ScoredElement, SupportCursors};
 use crate::evaluator::QueryEvaluator;
 use crate::query::{Algorithm, KsirQuery, QueryResult};
+use crate::view::RankedView;
 
-pub(crate) fn run<D: TopicWordDistribution>(
-    ranked: &RankedLists,
+pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
+    view: &V,
     evaluator: &QueryEvaluator<'_, D>,
     query: &KsirQuery,
 ) -> QueryResult {
     let k = query.k();
-    let mut cursors = SupportCursors::new(ranked, evaluator.support());
+    let mut cursors = SupportCursors::new(view, evaluator.support());
     // Min-heap of the current top-k singleton scores.
     let mut top: BinaryHeap<Reverse<ScoredElement>> = BinaryHeap::new();
     let mut evaluated = 0_usize;

@@ -10,10 +10,11 @@
 
 use std::collections::HashSet;
 
-use ksir_stream::{RankedListCursor, RankedLists};
+use ksir_stream::RankedListCursor;
 use ksir_types::{ElementId, TopicId};
 
 use crate::query::QueryFrontier;
+use crate::view::RankedView;
 
 /// Cursors over the ranked lists of the query's support topics.
 pub(crate) struct SupportCursors<'a> {
@@ -22,12 +23,13 @@ pub(crate) struct SupportCursors<'a> {
 }
 
 impl<'a> SupportCursors<'a> {
-    /// Opens a cursor on every support topic's ranked list.
-    pub fn new(ranked: &'a RankedLists, support: &[(TopicId, f64)]) -> Self {
+    /// Opens a cursor on every support topic's ranked list — live or
+    /// snapshot, whatever the view serves.
+    pub fn new<V: RankedView + ?Sized>(view: &'a V, support: &[(TopicId, f64)]) -> Self {
         let cursors = support
             .iter()
-            .filter(|(topic, _)| topic.index() < ranked.num_topics())
-            .map(|&(topic, weight)| (topic, weight, ranked.list(topic).cursor()))
+            .filter(|(topic, _)| topic.index() < view.num_topics())
+            .map(|&(topic, weight)| (topic, weight, view.cursor(topic)))
             .collect();
         SupportCursors {
             cursors,
@@ -103,6 +105,7 @@ impl<'a> SupportCursors<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ksir_stream::RankedLists;
     use ksir_types::Timestamp;
 
     fn lists() -> RankedLists {

@@ -7,6 +7,7 @@
 //! answered from the ranked lists without touching the raw stream.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use ksir_stream::{ActiveWindow, RankedLists, WindowDelta};
 use ksir_types::{
@@ -14,11 +15,11 @@ use ksir_types::{
     TopicWordDistribution,
 };
 
-use crate::algorithms;
 use crate::config::{ArchiveRetention, EngineConfig};
 use crate::evaluator::QueryEvaluator;
 use crate::query::{Algorithm, KsirQuery, QueryResult};
 use crate::scorer::Scorer;
+use crate::view::{self, QuerySource};
 
 /// Counters describing the work an engine has performed so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,6 +32,17 @@ pub struct EngineStats {
     pub elements_expired: usize,
     /// Ranked-list tuple recomputations (inserts and adjustments).
     pub tuple_updates: usize,
+    /// Window mutations that deep-cloned the active window because an epoch
+    /// snapshot was still reading it (copy-on-write; zero without snapshots).
+    pub window_cow_clones: usize,
+    /// Topic-vector-map mutations that deep-cloned the map for the same
+    /// reason.
+    pub topic_vector_cow_clones: usize,
+    /// Ranked-list mutations that deep-cloned a list for the same reason.
+    /// Maintained by the lists themselves and filled in by
+    /// [`KsirEngine::stats`] at read time — the engine's stored stats field
+    /// keeps this at zero, so never read it off internal state directly.
+    pub ranked_cow_clones: usize,
 }
 
 /// Summary of one [`KsirEngine::ingest_bucket`] call.
@@ -60,11 +72,17 @@ pub struct IngestReport {
 /// paper treats topic inference as an orthogonal, standard step).
 #[derive(Debug)]
 pub struct KsirEngine<D> {
-    phi: D,
+    /// `Arc`-held so epoch snapshots can share it without cloning the table.
+    phi: Arc<D>,
     config: EngineConfig,
-    window: ActiveWindow,
+    /// `Arc`-held with copy-on-write mutation: an epoch snapshot clones the
+    /// handle in `O(1)`, and the next mutating slide pays a deep clone only
+    /// if such a snapshot is still alive (counted in
+    /// [`EngineStats::window_cow_clones`]).
+    window: Arc<ActiveWindow>,
     ranked: RankedLists,
-    topic_vectors: HashMap<ElementId, TopicVector>,
+    /// Same copy-on-write scheme as the window.
+    topic_vectors: Arc<HashMap<ElementId, TopicVector>>,
     /// Every ingested element (subject to the retention policy), kept so that
     /// references from new arrivals can bring expired parents back into the
     /// active set, as required by the paper's definition of `A_t`.
@@ -84,14 +102,32 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
             ));
         }
         Ok(KsirEngine {
-            phi,
-            window: ActiveWindow::new(config.window),
+            phi: Arc::new(phi),
+            window: Arc::new(ActiveWindow::new(config.window)),
             ranked: RankedLists::new(num_topics),
-            topic_vectors: HashMap::new(),
+            topic_vectors: Arc::new(HashMap::new()),
             archive: HashMap::new(),
             stats: EngineStats::default(),
             config,
         })
+    }
+
+    /// Mutable access to the active window, deep-cloning it first iff an
+    /// epoch snapshot still shares it (copy-on-write).
+    fn window_mut(&mut self) -> &mut ActiveWindow {
+        if Arc::strong_count(&self.window) > 1 {
+            self.stats.window_cow_clones += 1;
+        }
+        Arc::make_mut(&mut self.window)
+    }
+
+    /// Mutable access to the topic-vector map, same copy-on-write scheme as
+    /// [`KsirEngine::window_mut`].
+    fn topic_vectors_mut(&mut self) -> &mut HashMap<ElementId, TopicVector> {
+        if Arc::strong_count(&self.topic_vectors) > 1 {
+            self.stats.topic_vector_cow_clones += 1;
+        }
+        Arc::make_mut(&mut self.topic_vectors)
     }
 
     /// The engine configuration.
@@ -106,7 +142,26 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
 
     /// The topic-word distribution in use.
     pub fn phi(&self) -> &D {
-        &self.phi
+        self.phi.as_ref()
+    }
+
+    /// A shared handle to the topic-word distribution (immutable for the
+    /// engine's lifetime) — `O(1)`, for epoch snapshots.
+    pub fn shared_phi(&self) -> Arc<D> {
+        Arc::clone(&self.phi)
+    }
+
+    /// An `O(1)` immutable image of the active window at this instant.  The
+    /// engine's next mutating slide copy-on-writes around it, so the image
+    /// stays frozen at the epoch it was taken.
+    pub fn shared_window(&self) -> Arc<ActiveWindow> {
+        Arc::clone(&self.window)
+    }
+
+    /// An `O(1)` immutable image of the per-element topic vectors, frozen
+    /// like [`KsirEngine::shared_window`].
+    pub fn shared_topic_vectors(&self) -> Arc<HashMap<ElementId, TopicVector>> {
+        Arc::clone(&self.topic_vectors)
     }
 
     /// Current logical time (end of the last ingested bucket).
@@ -134,6 +189,11 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
         self.topic_vectors.get(&id)
     }
 
+    /// The full per-element topic-vector map.
+    pub fn topic_vectors(&self) -> &HashMap<ElementId, TopicVector> {
+        self.topic_vectors.as_ref()
+    }
+
     /// Ids of all active elements, sorted for reproducibility.
     pub fn active_ids(&self) -> Vec<ElementId> {
         let mut ids: Vec<ElementId> = self.window.ids().collect();
@@ -143,7 +203,7 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
 
     /// The active window (elements, reverse references, window bounds).
     pub fn window(&self) -> &ActiveWindow {
-        &self.window
+        self.window.as_ref()
     }
 
     /// The per-topic ranked lists.
@@ -156,19 +216,23 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
         self.archive.len()
     }
 
-    /// Work counters.
+    /// Work counters.  The copy-on-write clone counts are live (they include
+    /// every clone snapshot capture has forced so far).
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        EngineStats {
+            ranked_cow_clones: self.ranked.cow_clones(),
+            ..self.stats
+        }
     }
 
     /// A [`Scorer`] over the engine's current state, implementing the §3.2
     /// formulas directly.
     pub fn scorer(&self) -> Scorer<'_, D> {
         Scorer::new(
-            &self.phi,
+            self.phi.as_ref(),
             self.config.scoring,
-            &self.window,
-            &self.topic_vectors,
+            self.window.as_ref(),
+            self.topic_vectors.as_ref(),
         )
     }
 
@@ -229,8 +293,8 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
             for &parent in &element.refs {
                 if !self.window.contains(parent) {
                     if let Some((archived, archived_tv)) = self.archive.get(&parent).cloned() {
-                        self.window.insert(archived)?;
-                        self.topic_vectors.insert(parent, archived_tv);
+                        self.window_mut().insert(archived)?;
+                        self.topic_vectors_mut().insert(parent, archived_tv);
                         touched.insert(parent);
                         resurrected.push(parent);
                     }
@@ -241,16 +305,16 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
                 self.archive
                     .insert(id, (element.clone(), sparsified.clone()));
             }
-            let parents = self.window.insert(element)?;
+            let parents = self.window_mut().insert(element)?;
             touched.extend(parents);
-            self.topic_vectors.insert(id, sparsified);
+            self.topic_vectors_mut().insert(id, sparsified);
             new_ids.push(id);
         }
 
-        let expired = self.window.advance_to(bucket_end)?;
+        let expired = self.window_mut().advance_to(bucket_end)?;
         for id in &expired {
             self.ranked.remove_everywhere(*id);
-            self.topic_vectors.remove(id);
+            self.topic_vectors_mut().remove(id);
             touched.remove(id);
         }
         self.prune_archive(bucket_end);
@@ -351,10 +415,10 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
             return;
         };
         let scorer = Scorer::new(
-            &self.phi,
+            self.phi.as_ref(),
             self.config.scoring,
-            &self.window,
-            &self.topic_vectors,
+            self.window.as_ref(),
+            self.topic_vectors.as_ref(),
         );
         let tuples: Vec<(TopicId, f64)> = tv
             .support()
@@ -378,21 +442,29 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
     }
 
     fn evaluator<'a>(&'a self, vector: &QueryVector) -> QueryEvaluator<'a, D> {
-        QueryEvaluator::new(self.scorer(), &self.window, &self.topic_vectors, vector)
+        QueryEvaluator::new(
+            self.scorer(),
+            self.window.as_ref(),
+            self.topic_vectors.as_ref(),
+            vector,
+        )
     }
 
     /// Processes a k-SIR query with the chosen algorithm.
+    ///
+    /// Delegates to [`view::run_query`] over the live ranked lists — the
+    /// same dispatcher the snapshot-backed refresh path uses, so the two can
+    /// never diverge algorithmically.
     pub fn query(&self, query: &KsirQuery, algorithm: Algorithm) -> Result<QueryResult> {
-        self.check_query(query)?;
-        let evaluator = self.evaluator(query.vector());
-        let result = match algorithm {
-            Algorithm::Mtts => algorithms::mtts::run(&self.ranked, &evaluator, query),
-            Algorithm::Mttd => algorithms::mttd::run(&self.ranked, &evaluator, query),
-            Algorithm::Celf => algorithms::celf::run(&self.window, &evaluator, query),
-            Algorithm::SieveStreaming => algorithms::sieve::run(&self.window, &evaluator, query),
-            Algorithm::TopkRepresentative => algorithms::topk::run(&self.ranked, &evaluator, query),
-        };
-        Ok(result)
+        view::run_query(
+            &self.ranked,
+            self.window.as_ref(),
+            self.topic_vectors.as_ref(),
+            self.phi.as_ref(),
+            self.config.scoring,
+            query,
+            algorithm,
+        )
     }
 
     /// Processes a query with MTTS (Algorithm 2).
@@ -478,6 +550,16 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
             algorithm: Algorithm::Celf,
             frontier: None,
         })
+    }
+}
+
+impl<D: TopicWordDistribution> QuerySource for KsirEngine<D> {
+    fn num_topics(&self) -> usize {
+        KsirEngine::num_topics(self)
+    }
+
+    fn query(&self, query: &KsirQuery, algorithm: Algorithm) -> Result<QueryResult> {
+        KsirEngine::query(self, query, algorithm)
     }
 }
 

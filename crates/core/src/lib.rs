@@ -54,6 +54,7 @@ pub mod fixtures;
 pub mod query;
 pub mod scorer;
 pub mod shared;
+pub mod view;
 
 pub use config::{EngineConfig, ScoringConfig};
 pub use engine::{EngineStats, IngestReport, KsirEngine};
@@ -61,3 +62,4 @@ pub use evaluator::{CandidateState, QueryEvaluator};
 pub use query::{Algorithm, FloorAggregate, KsirQuery, QueryFrontier, QueryResult};
 pub use scorer::{entropy_weight, propagation_prob, word_weight, Scorer};
 pub use shared::SharedEngine;
+pub use view::{run_query, QuerySource, RankedView};

@@ -141,7 +141,7 @@ impl QueryFrontier {
             .any(|&(topic, floor)| match (delta.touch(topic), floor) {
                 (None, _) => false,
                 (Some(_), None) => true,
-                (Some(touch), Some(floor)) => touch.high >= floor - 1e-12,
+                (Some(touch), Some(floor)) => touch.high >= floor - ksir_stream::FLOOR_SLACK,
             })
     }
 }
@@ -241,7 +241,7 @@ impl FloorAggregate {
             .any(|t| match self.floors.get(&t.topic) {
                 None => false,
                 Some(None) => true,
-                Some(Some(floor)) => t.high >= floor - 1e-12,
+                Some(Some(floor)) => t.high >= floor - ksir_stream::FLOOR_SLACK,
             })
     }
 }

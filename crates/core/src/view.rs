@@ -1,0 +1,161 @@
+//! Index views: the read seam between the query algorithms and whatever
+//! holds the ranked lists.
+//!
+//! The index-based algorithms (MTTS, MTTD, Top-k Representative) consume the
+//! per-topic ranked lists exclusively through ordered cursors.  [`RankedView`]
+//! abstracts that access so the same algorithm code runs against
+//!
+//! * the **live** [`RankedLists`] inside a [`KsirEngine`] (the ad-hoc query
+//!   path), and
+//! * an **immutable snapshot** of those lists captured at an epoch boundary
+//!   (`ksir-snapshot`'s `EngineSnapshot` / `ShardSnapshot`), which is what
+//!   lets standing-query refreshes evaluate *behind* the writer while the
+//!   next epoch's index update proceeds.
+//!
+//! [`run_query`] is the algorithm dispatcher over an arbitrary view plus the
+//! window-side state a query additionally needs; [`KsirEngine::query`]
+//! delegates to it with the live view.  [`QuerySource`] packages the whole
+//! thing as an object-safe "something you can run a k-SIR query against",
+//! implemented by both the engine and the snapshot types, so consumers like
+//! `ksir-continuous` can refresh a subscription without caring which side of
+//! the epoch boundary they are reading.
+
+use std::collections::HashMap;
+
+use ksir_stream::{ActiveWindow, RankedListCursor, RankedLists};
+use ksir_types::{ElementId, KsirError, Result, TopicId, TopicVector, TopicWordDistribution};
+
+use crate::algorithms;
+use crate::config::ScoringConfig;
+use crate::evaluator::QueryEvaluator;
+use crate::query::{Algorithm, KsirQuery, QueryResult};
+use crate::scorer::Scorer;
+
+/// Ordered read access to per-topic ranked lists — implemented by the live
+/// [`RankedLists`] and by epoch snapshots (`ksir-snapshot`).
+pub trait RankedView {
+    /// Number of topics the view covers.
+    fn num_topics(&self) -> usize;
+
+    /// An ordered traversal cursor over one topic's list.  Callers only ask
+    /// for topics with `topic.index() < num_topics()`.
+    fn cursor(&self, topic: TopicId) -> RankedListCursor<'_>;
+}
+
+impl RankedView for RankedLists {
+    fn num_topics(&self) -> usize {
+        RankedLists::num_topics(self)
+    }
+
+    fn cursor(&self, topic: TopicId) -> RankedListCursor<'_> {
+        self.list(topic).cursor()
+    }
+}
+
+/// Anything a k-SIR query can be processed against: the live engine or an
+/// immutable epoch snapshot.  Object-safe, so pipelined consumers can hold
+/// `Arc<dyn QuerySource>` without dragging the topic-model type through
+/// their own signatures.
+pub trait QuerySource {
+    /// Number of topics of the underlying topic model.
+    fn num_topics(&self) -> usize;
+
+    /// Processes a k-SIR query with the chosen algorithm.
+    fn query(&self, query: &KsirQuery, algorithm: Algorithm) -> Result<QueryResult>;
+}
+
+/// Processes one k-SIR query against an arbitrary index view plus the
+/// window-side state the evaluator needs.  This is the algorithm dispatcher
+/// behind both [`KsirEngine::query`] and the snapshot-backed refresh path.
+///
+/// [`KsirEngine::query`]: crate::KsirEngine::query
+pub fn run_query<V, D>(
+    view: &V,
+    window: &ActiveWindow,
+    topic_vectors: &HashMap<ElementId, TopicVector>,
+    phi: &D,
+    scoring: ScoringConfig,
+    query: &KsirQuery,
+    algorithm: Algorithm,
+) -> Result<QueryResult>
+where
+    V: RankedView + ?Sized,
+    D: TopicWordDistribution,
+{
+    if query.vector().num_topics() != phi.num_topics() {
+        return Err(KsirError::DimensionMismatch {
+            expected: phi.num_topics(),
+            actual: query.vector().num_topics(),
+        });
+    }
+    let scorer = Scorer::new(phi, scoring, window, topic_vectors);
+    let evaluator = QueryEvaluator::new(scorer, window, topic_vectors, query.vector());
+    Ok(match algorithm {
+        Algorithm::Mtts => algorithms::mtts::run(view, &evaluator, query),
+        Algorithm::Mttd => algorithms::mttd::run(view, &evaluator, query),
+        Algorithm::Celf => algorithms::celf::run(window, &evaluator, query),
+        Algorithm::SieveStreaming => algorithms::sieve::run(window, &evaluator, query),
+        Algorithm::TopkRepresentative => algorithms::topk::run(view, &evaluator, query),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_example;
+    use ksir_types::QueryVector;
+
+    /// The generic dispatcher over the live view must agree with the
+    /// engine's own query path for every algorithm.
+    #[test]
+    fn run_query_over_live_view_matches_engine_query() {
+        let ex = paper_example();
+        let engine = ex.build_engine();
+        let query = KsirQuery::new(2, QueryVector::new(vec![0.5, 0.5]).unwrap()).unwrap();
+        for algorithm in Algorithm::ALL {
+            let via_engine = engine.query(&query, algorithm).unwrap();
+            let via_view = run_query(
+                engine.ranked_lists(),
+                engine.window(),
+                engine.topic_vectors(),
+                engine.phi(),
+                engine.config().scoring,
+                &query,
+                algorithm,
+            )
+            .unwrap();
+            assert_eq!(via_engine, via_view, "{algorithm} diverged");
+        }
+    }
+
+    #[test]
+    fn run_query_rejects_dimension_mismatch() {
+        let ex = paper_example();
+        let engine = ex.build_engine();
+        let query = KsirQuery::new(2, QueryVector::new(vec![1.0, 1.0, 1.0]).unwrap()).unwrap();
+        assert!(matches!(
+            run_query(
+                engine.ranked_lists(),
+                engine.window(),
+                engine.topic_vectors(),
+                engine.phi(),
+                engine.config().scoring,
+                &query,
+                Algorithm::Mtts,
+            ),
+            Err(KsirError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_implements_query_source() {
+        let ex = paper_example();
+        let engine = ex.build_engine();
+        let source: &dyn QuerySource = &engine;
+        assert_eq!(source.num_topics(), 2);
+        let query = KsirQuery::new(2, QueryVector::new(vec![0.5, 0.5]).unwrap()).unwrap();
+        let via_source = source.query(&query, Algorithm::Mttd).unwrap();
+        let direct = engine.query(&query, Algorithm::Mttd).unwrap();
+        assert_eq!(via_source, direct);
+    }
+}

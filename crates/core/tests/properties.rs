@@ -11,6 +11,12 @@
 //!   exhaustive optimum on small instances.
 //! * Algorithm 1 keeps the ranked-list tuples equal to the directly computed
 //!   topic-wise scores `f_i({e})`, even across expiry and resurrection.
+//! * The shard-level refresh floors ([`FloorAggregate`]) stay a monotone,
+//!   conservative union of the absorbed frontiers, and a ranked-list prefix
+//!   truncated at the aggregated floor is *sufficient for refresh
+//!   decisions*: no tuple the truncation drops can disturb any absorbed
+//!   frontier — the invariant `ksir-snapshot`'s floor-truncated captures
+//!   rely on.
 
 use proptest::prelude::*;
 // Explicit trait imports: `proptest::prelude::*` re-exports a different rand
@@ -18,11 +24,14 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng as _};
 
-use ksir_core::{Algorithm, EngineConfig, KsirEngine, KsirQuery, QueryEvaluator, ScoringConfig};
-use ksir_stream::WindowConfig;
+use ksir_core::{
+    Algorithm, EngineConfig, FloorAggregate, KsirEngine, KsirQuery, QueryEvaluator, QueryFrontier,
+    ScoringConfig,
+};
+use ksir_stream::{RankedDelta, RankedList, WindowConfig};
 use ksir_types::{
     DenseTopicWordTable, ElementId, QueryVector, SocialElement, SocialElementBuilder, Timestamp,
-    TopicVector,
+    TopicId, TopicVector,
 };
 
 /// Parameters of a random instance.
@@ -188,8 +197,7 @@ proptest! {
         let evaluator = QueryEvaluator::new(
             scorer,
             engine.window(),
-            // Reuse the scorer's view of the topic vectors through the engine.
-            topic_vectors(engine),
+            engine.topic_vectors(),
             &instance.query_vector,
         );
         let mut state = evaluator.new_candidate();
@@ -268,6 +276,124 @@ proptest! {
         }
     }
 
+    /// Absorbing more frontiers only loosens a [`FloorAggregate`]: per-topic
+    /// floors never rise (with "any touch disturbs" as the loosest state),
+    /// and anything that disturbed the aggregate before an absorb still
+    /// disturbs it afterwards.
+    #[test]
+    fn floor_aggregate_absorption_is_monotone(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_topics = rng.gen_range(2..=5usize);
+        let num_frontiers = rng.gen_range(1..=6);
+        let frontiers = random_frontiers(&mut rng, num_topics, num_frontiers);
+        let probes = random_touches(&mut rng, num_topics, 24);
+
+        let mut agg = FloorAggregate::new();
+        for frontier in &frontiers {
+            let before = agg.clone();
+            agg.absorb(frontier);
+            for topic_idx in 0..num_topics {
+                let topic = TopicId(topic_idx as u32);
+                match (before.floor(topic), agg.floor(topic)) {
+                    // Watched topics never become unwatched.
+                    (Some(_), None) => prop_assert!(false, "topic {topic_idx} unwatched by absorb"),
+                    // Any-touch (loosest) never tightens back to a floor.
+                    (Some(None), after) => prop_assert_eq!(after, Some(None)),
+                    // A finite floor only ever moves down (or loosens all
+                    // the way to any-touch).
+                    (Some(Some(fb)), Some(fa)) => {
+                        if let Some(fa) = fa {
+                            prop_assert!(fa <= fb);
+                        }
+                    }
+                    (None, _) => {}
+                }
+            }
+            for delta in &probes {
+                if before.disturbed_by(delta) {
+                    prop_assert!(
+                        agg.disturbed_by(delta),
+                        "absorb un-disturbed a previously disturbing touch"
+                    );
+                }
+            }
+        }
+        // The aggregate is conservative: any touch disturbing an absorbed
+        // frontier disturbs the aggregate.
+        for delta in &probes {
+            if frontiers.iter().any(|f| f.disturbed_by(delta)) {
+                prop_assert!(agg.disturbed_by(delta));
+            }
+        }
+    }
+
+    /// Snapshot-prefix sufficiency: truncating a ranked list at the shard's
+    /// aggregated floor never changes a refresh decision vs the full list —
+    /// every tuple at or above any resident's floor survives truncation, and
+    /// a slide touching only dropped (below-floor) tuples disturbs neither
+    /// the aggregate nor any absorbed frontier.
+    #[test]
+    fn prefix_truncated_at_the_floor_preserves_refresh_decisions(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_topics = rng.gen_range(1..=4usize);
+        let num_frontiers = rng.gen_range(1..=5);
+        let frontiers = random_frontiers(&mut rng, num_topics, num_frontiers);
+        let mut agg = FloorAggregate::new();
+        for frontier in &frontiers {
+            agg.absorb(frontier);
+        }
+
+        for topic_idx in 0..num_topics {
+            let topic = TopicId(topic_idx as u32);
+            // A random ranked list for this topic.
+            let mut list = RankedList::new();
+            for id in 1..=rng.gen_range(1..=30u64) {
+                list.upsert(ElementId(id), rng.gen::<f64>(), Timestamp(id));
+            }
+            let floor = match agg.floor(topic) {
+                Some(Some(floor)) => floor,
+                // Unwatched or any-touch topics are captured whole; nothing
+                // to check.
+                _ => continue,
+            };
+            let prefix = list.share().prefix(Some(floor));
+            prop_assert_eq!(prefix.len() + prefix.truncated(), list.len());
+
+            // (a) Every tuple any resident's check could reference survives:
+            // tuples at/above the *loosest* floor are in the prefix.
+            for (id, score, _) in list.iter() {
+                if score >= floor {
+                    prop_assert!(
+                        prefix.iter().any(|(pid, _, _)| pid == id),
+                        "tuple {id} at {score} >= floor {floor} was dropped"
+                    );
+                }
+            }
+            // (b) Dropped tuples are invisible to every refresh decision: a
+            // slide touching this topic at a dropped tuple's score disturbs
+            // no absorbed frontier (and not the aggregate).
+            let kept: std::collections::HashSet<ElementId> =
+                prefix.iter().map(|(id, _, _)| id).collect();
+            for (id, score, _) in list.iter() {
+                if kept.contains(&id) {
+                    continue;
+                }
+                let mut touch = RankedDelta::new(num_topics);
+                touch.record(topic, score);
+                prop_assert!(
+                    !agg.disturbed_by(&touch),
+                    "dropped tuple at {score} (floor {floor}) disturbs the aggregate"
+                );
+                for frontier in &frontiers {
+                    prop_assert!(
+                        !frontier.disturbed_by(&touch),
+                        "dropped tuple at {score} disturbs a resident frontier"
+                    );
+                }
+            }
+        }
+    }
+
     /// Once the whole stream slides out of the window (and nothing references
     /// it any more), every algorithm returns the empty result.
     #[test]
@@ -284,17 +410,39 @@ proptest! {
     }
 }
 
-/// Accessor used by the property tests: the engine's topic-vector map is not
-/// public, so rebuild an equivalent view from the public API.
-fn topic_vectors(
-    engine: &KsirEngine<DenseTopicWordTable>,
-) -> &'static std::collections::HashMap<ElementId, TopicVector> {
-    // Leak a freshly built map: acceptable in tests, keeps lifetimes simple.
-    let mut map = std::collections::HashMap::new();
-    for id in engine.active_ids() {
-        if let Some(tv) = engine.topic_vector(id) {
-            map.insert(id, tv.clone());
-        }
-    }
-    Box::leak(Box::new(map))
+/// Random traversal frontiers over `num_topics` topics: each support topic
+/// watched with a finite floor in `[0, 1)` or as exhausted (`None`).
+fn random_frontiers(rng: &mut StdRng, num_topics: usize, count: usize) -> Vec<QueryFrontier> {
+    (0..count)
+        .map(|_| {
+            let mut floors = Vec::new();
+            for t in 0..num_topics {
+                if !rng.gen_bool(0.8) {
+                    continue;
+                }
+                let floor = if rng.gen_bool(0.75) {
+                    Some(rng.gen::<f64>())
+                } else {
+                    None
+                };
+                floors.push((TopicId(t as u32), floor));
+            }
+            QueryFrontier { floors }
+        })
+        .collect()
+}
+
+/// Random slide touch logs: a few topics touched at random scores each.
+fn random_touches(rng: &mut StdRng, num_topics: usize, count: usize) -> Vec<RankedDelta> {
+    (0..count)
+        .map(|_| {
+            let mut delta = RankedDelta::new(num_topics);
+            for t in 0..num_topics {
+                if rng.gen_bool(0.5) {
+                    delta.record(TopicId(t as u32), rng.gen::<f64>());
+                }
+            }
+            delta
+        })
+        .collect()
 }

@@ -1,0 +1,99 @@
+//! Capture-side work counters.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Cumulative snapshot-capture counters, read out as [`SnapshotStats`].
+///
+/// Cloneable `Arc` handle: the manager keeps one, every [`EngineSnapshot`]
+/// and [`ShardSnapshot`] built under it records into the same tallies from
+/// whatever thread it runs on.
+///
+/// [`EngineSnapshot`]: crate::EngineSnapshot
+/// [`ShardSnapshot`]: crate::ShardSnapshot
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotCounters {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    epochs_captured: AtomicUsize,
+    shard_snapshots: AtomicUsize,
+    prefixes_shared: AtomicUsize,
+    prefixes_truncated: AtomicUsize,
+    entries_copied: AtomicUsize,
+    entries_truncated: AtomicUsize,
+    truncation_shortfalls: AtomicUsize,
+}
+
+impl SnapshotCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn count_epoch(&self) {
+        self.inner.epochs_captured.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_shard_snapshot(&self) {
+        self.inner.shard_snapshots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_shared_prefix(&self) {
+        self.inner.prefixes_shared.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_truncated_prefix(&self, copied: usize, truncated: usize) {
+        self.inner
+            .prefixes_truncated
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .entries_copied
+            .fetch_add(copied, Ordering::Relaxed);
+        self.inner
+            .entries_truncated
+            .fetch_add(truncated, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_shortfall(&self) {
+        self.inner
+            .truncation_shortfalls
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the tallies.
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            epochs_captured: self.inner.epochs_captured.load(Ordering::Relaxed),
+            shard_snapshots: self.inner.shard_snapshots.load(Ordering::Relaxed),
+            prefixes_shared: self.inner.prefixes_shared.load(Ordering::Relaxed),
+            prefixes_truncated: self.inner.prefixes_truncated.load(Ordering::Relaxed),
+            entries_copied: self.inner.entries_copied.load(Ordering::Relaxed),
+            entries_truncated: self.inner.entries_truncated.load(Ordering::Relaxed),
+            truncation_shortfalls: self.inner.truncation_shortfalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time snapshot-capture statistics (see [`SnapshotCounters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Epoch images captured ([`EngineSnapshot`](crate::EngineSnapshot)s).
+    pub epochs_captured: usize,
+    /// Per-shard snapshots built on top of epoch images.
+    pub shard_snapshots: usize,
+    /// Watched lists served whole through the shared `Arc` image (`O(1)`
+    /// capture, exact).
+    pub prefixes_shared: usize,
+    /// Watched lists materialised as floor-truncated contiguous prefixes.
+    pub prefixes_truncated: usize,
+    /// Tuples copied into truncated prefixes.
+    pub entries_copied: usize,
+    /// Tuples dropped below the floors (the memory the truncation saved).
+    pub entries_truncated: usize,
+    /// Traversals that exhausted a truncated prefix — conservative signal
+    /// that a re-run may have wanted tuples the truncation dropped.
+    pub truncation_shortfalls: usize,
+}

@@ -10,6 +10,7 @@
 //! the window elements that reference it — which the influence score needs.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ksir_types::{ElementId, KsirError, Result, SocialElement, Timestamp};
 
@@ -18,7 +19,10 @@ use crate::window::WindowConfig;
 /// Per-element bookkeeping inside the active window.
 #[derive(Debug, Clone)]
 struct ActiveEntry {
-    element: SocialElement,
+    /// `Arc`-held so cloning the window (the engine's copy-on-write epoch
+    /// snapshots) shares the immutable element payloads — documents and
+    /// reference lists — instead of deep-copying them.
+    element: Arc<SocialElement>,
     /// The latest time this element was posted or referenced — the `t_e`
     /// column of the ranked-list tuples in Algorithm 1.
     last_referenced: Timestamp,
@@ -28,7 +32,11 @@ struct ActiveEntry {
 }
 
 /// The set of active elements at the current time, with reference tracking.
-#[derive(Debug)]
+///
+/// `Clone` exists for the engine's copy-on-write epoch snapshots: the engine
+/// holds the window behind an `Arc` and deep-clones it only when a snapshot
+/// is still reading the previous epoch's image.
+#[derive(Debug, Clone)]
 pub struct ActiveWindow {
     config: WindowConfig,
     now: Timestamp,
@@ -77,7 +85,7 @@ impl ActiveWindow {
 
     /// Returns the element for `id`, if active.
     pub fn get(&self, id: ElementId) -> Option<&SocialElement> {
-        self.entries.get(&id).map(|e| &e.element)
+        self.entries.get(&id).map(|e| e.element.as_ref())
     }
 
     /// The time `id` was last posted or referenced (`t_e` in Algorithm 1).
@@ -96,7 +104,7 @@ impl ActiveWindow {
 
     /// Iterates over all active elements in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = &SocialElement> + '_ {
-        self.entries.values().map(|e| &e.element)
+        self.entries.values().map(|e| e.element.as_ref())
     }
 
     /// Iterates over the ids of all active elements.
@@ -158,7 +166,7 @@ impl ActiveWindow {
         let entry = ActiveEntry {
             last_referenced: element.ts,
             children: Vec::new(),
-            element,
+            element: Arc::new(element),
         };
         self.entries.insert(entry.element.id, entry);
         Ok(touched_parents)

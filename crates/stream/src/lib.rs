@@ -19,7 +19,11 @@
 //!   topic `θ_i`, the list of active elements sorted by topic-wise
 //!   representativeness score `δ_i(e)`, supporting ordered traversal
 //!   (`first` / `next` in the paper) and score adjustment when new references
-//!   arrive.
+//!   arrive.  Lists are copy-on-write internally: [`RankedList::share`]
+//!   captures an `O(1)` immutable image ([`ranked_list::RankedListHandle`])
+//!   and [`RankedListHandle::prefix`](ranked_list::RankedListHandle::prefix)
+//!   a floor-truncated contiguous one ([`ranked_list::RankedPrefix`]) — the
+//!   primitives `ksir-snapshot` builds pipelined-epoch snapshots from.
 //! * [`delta::WindowDelta`] / [`delta::RankedDelta`] — per-slide change
 //!   summaries (element churn plus per-topic ranked-list touch depths) that
 //!   let standing-query consumers decide whether a slide could possibly have
@@ -40,6 +44,6 @@ pub mod window;
 
 pub use active::ActiveWindow;
 pub use bucket::{for_each_bucket, Bucket, Bucketizer};
-pub use delta::{RankedDelta, TopicTouch, Touch, WindowDelta};
-pub use ranked_list::{RankedList, RankedListCursor, RankedLists};
+pub use delta::{RankedDelta, TopicTouch, Touch, WindowDelta, FLOOR_SLACK};
+pub use ranked_list::{RankedList, RankedListCursor, RankedListHandle, RankedLists, RankedPrefix};
 pub use window::WindowConfig;

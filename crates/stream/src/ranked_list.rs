@@ -12,12 +12,25 @@
 //! adjust and delete, and ordered traversal with zero allocation per step.
 //! An ablation benchmark (`crates/bench/benches/ablation.rs`) compares this
 //! layout against a re-sorted `Vec` baseline.
+//!
+//! ## Snapshot capture
+//!
+//! Both structures live behind an `Arc` internally, so an immutable image of
+//! a list at one instant is an `O(1)` pointer clone ([`RankedList::share`] →
+//! [`RankedListHandle`]): the writer's next mutation pays a copy-on-write
+//! clone of that one list (counted in [`RankedList::cow_clones`]) and the
+//! reader keeps traversing the frozen image for as long as it likes.  For
+//! bounded captures, [`RankedListHandle::prefix`] materialises the descending
+//! prefix of tuples at or above a score floor into a contiguous
+//! [`RankedPrefix`].  `ksir-snapshot` builds its per-epoch / per-shard
+//! snapshots out of exactly these two primitives.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use ksir_types::{ElementId, Timestamp, TopicId};
 
-use crate::delta::RankedDelta;
+use crate::delta::{RankedDelta, FLOOR_SLACK};
 
 /// Key ordering entries by descending score, breaking ties by element id.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,11 +57,36 @@ impl Ord for ScoreKey {
     }
 }
 
+/// The shared (and therefore snapshot-able) storage of one ranked list.
+#[derive(Debug, Clone, Default)]
+struct ListCore {
+    order: BTreeSet<ScoreKey>,
+    entries: HashMap<ElementId, (f64, Timestamp)>,
+}
+
+impl ListCore {
+    fn first(&self) -> Option<(ElementId, f64, Timestamp)> {
+        self.order.iter().next().map(|k| {
+            let (_, ts) = self.entries[&k.id];
+            (k.id, k.score, ts)
+        })
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (ElementId, f64, Timestamp)> + '_ {
+        self.order.iter().map(move |k| {
+            let (_, ts) = self.entries[&k.id];
+            (k.id, k.score, ts)
+        })
+    }
+}
+
 /// One ranked list `RL_i`: active elements ordered by topic-wise score.
 #[derive(Debug, Default)]
 pub struct RankedList {
-    order: BTreeSet<ScoreKey>,
-    entries: HashMap<ElementId, (f64, Timestamp)>,
+    core: Arc<ListCore>,
+    /// Mutations that had to deep-clone the core because a
+    /// [`RankedListHandle`] (snapshot) was still alive.
+    cow_clones: usize,
 }
 
 impl RankedList {
@@ -57,69 +95,209 @@ impl RankedList {
         Self::default()
     }
 
+    /// Mutable access to the core, cloning it first iff a snapshot handle is
+    /// still sharing it (copy-on-write).
+    fn core_mut(&mut self) -> &mut ListCore {
+        if Arc::strong_count(&self.core) > 1 {
+            self.cow_clones += 1;
+        }
+        Arc::make_mut(&mut self.core)
+    }
+
+    /// Number of mutations that paid a copy-on-write clone because a
+    /// [`RankedListHandle`] was outstanding.  The writer-side cost of
+    /// snapshot capture; zero in pure-synchronous use.
+    pub fn cow_clones(&self) -> usize {
+        self.cow_clones
+    }
+
+    /// An `O(1)` immutable image of the list at this instant.  The handle
+    /// keeps observing exactly today's tuples no matter how the list is
+    /// mutated afterwards; the first subsequent mutation pays one
+    /// copy-on-write clone (see [`RankedList::cow_clones`]).
+    pub fn share(&self) -> RankedListHandle {
+        RankedListHandle {
+            core: Arc::clone(&self.core),
+        }
+    }
+
     /// Number of elements in the list.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.core.entries.len()
     }
 
     /// Returns `true` if the list is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.core.entries.is_empty()
     }
 
     /// Returns `true` if the element is present.
     pub fn contains(&self, id: ElementId) -> bool {
-        self.entries.contains_key(&id)
+        self.core.entries.contains_key(&id)
     }
 
     /// Returns the stored `(score, last-referenced time)` tuple for `id`.
     pub fn get(&self, id: ElementId) -> Option<(f64, Timestamp)> {
-        self.entries.get(&id).copied()
+        self.core.entries.get(&id).copied()
     }
 
     /// Inserts or updates an element's tuple, repositioning it in the order.
     pub fn upsert(&mut self, id: ElementId, score: f64, last_referenced: Timestamp) {
         debug_assert!(score.is_finite(), "ranked list scores must be finite");
-        if let Some((old_score, _)) = self.entries.insert(id, (score, last_referenced)) {
-            self.order.remove(&ScoreKey {
+        let core = self.core_mut();
+        if let Some((old_score, _)) = core.entries.insert(id, (score, last_referenced)) {
+            core.order.remove(&ScoreKey {
                 score: old_score,
                 id,
             });
         }
-        self.order.insert(ScoreKey { score, id });
+        core.order.insert(ScoreKey { score, id });
     }
 
     /// Removes an element (no-op if absent).  Returns the removed tuple so
     /// callers can log the position the removal touched.
     pub fn remove(&mut self, id: ElementId) -> Option<(f64, Timestamp)> {
-        let (score, ts) = self.entries.remove(&id)?;
-        self.order.remove(&ScoreKey { score, id });
+        if !self.core.entries.contains_key(&id) {
+            return None;
+        }
+        let core = self.core_mut();
+        let (score, ts) = core.entries.remove(&id)?;
+        core.order.remove(&ScoreKey { score, id });
         Some((score, ts))
     }
 
     /// The highest-scored entry (`RL_i.first` in the paper).
     pub fn first(&self) -> Option<(ElementId, f64, Timestamp)> {
-        self.order.iter().next().map(|k| {
-            let (_, ts) = self.entries[&k.id];
-            (k.id, k.score, ts)
-        })
+        self.core.first()
     }
 
     /// Iterates over entries in descending score order.
     pub fn iter(&self) -> impl Iterator<Item = (ElementId, f64, Timestamp)> + '_ {
-        self.order.iter().map(move |k| {
-            let (_, ts) = self.entries[&k.id];
-            (k.id, k.score, ts)
-        })
+        self.core.iter()
     }
 
     /// Starts an ordered traversal (`first` + repeated `next`).
     pub fn cursor(&self) -> RankedListCursor<'_> {
-        RankedListCursor {
-            inner: Box::new(self.iter()),
-            current: None,
-            started: false,
+        RankedListCursor::over(self.core.iter())
+    }
+}
+
+/// An immutable, `Arc`-shared image of one ranked list, detached from the
+/// writer (see [`RankedList::share`]).  Readers traverse it exactly like the
+/// live list; the writer advances underneath without ever invalidating it.
+#[derive(Debug, Clone)]
+pub struct RankedListHandle {
+    core: Arc<ListCore>,
+}
+
+impl RankedListHandle {
+    /// Number of elements in the captured image.
+    pub fn len(&self) -> usize {
+        self.core.entries.len()
+    }
+
+    /// Returns `true` if the captured image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.core.entries.is_empty()
+    }
+
+    /// The captured `(score, last-referenced time)` tuple for `id`.
+    pub fn get(&self, id: ElementId) -> Option<(f64, Timestamp)> {
+        self.core.entries.get(&id).copied()
+    }
+
+    /// Returns `true` if the captured image still shares storage with the
+    /// list it was taken from (i.e. the writer has not mutated it since).
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.core) > 1
+    }
+
+    /// Iterates over the captured entries in descending score order.
+    pub fn iter(&self) -> impl Iterator<Item = (ElementId, f64, Timestamp)> + '_ {
+        self.core.iter()
+    }
+
+    /// Starts an ordered traversal over the captured image.
+    pub fn cursor(&self) -> RankedListCursor<'_> {
+        RankedListCursor::over(self.core.iter())
+    }
+
+    /// Materialises the descending prefix of tuples whose score is at or
+    /// above `floor` (with the same comparison slack the frontier checks
+    /// use) into a contiguous [`RankedPrefix`]; `None` copies the whole
+    /// list.  `O(prefix length)`.
+    pub fn prefix(&self, floor: Option<f64>) -> RankedPrefix {
+        let mut entries = Vec::new();
+        let mut truncated = 0usize;
+        match floor {
+            None => entries.extend(self.core.iter()),
+            Some(floor) => {
+                for (id, score, ts) in self.core.iter() {
+                    if score >= floor - FLOOR_SLACK {
+                        entries.push((id, score, ts));
+                    } else {
+                        // Entries are descending: everything from here on is
+                        // below the floor.
+                        truncated = self.core.entries.len() - entries.len();
+                        break;
+                    }
+                }
+            }
         }
+        RankedPrefix { entries, truncated }
+    }
+}
+
+/// A contiguous, descending prefix of one ranked list, captured by
+/// [`RankedListHandle::prefix`] and truncated at a score floor.
+///
+/// The prefix provably contains every tuple a touch at or above the floor
+/// could involve (same comparison slack as the frontier-disturbance checks),
+/// which is what makes floor-truncated captures sufficient for *refresh
+/// decisions*; whether it is also sufficient for re-running a query depends
+/// on how deep the re-run descends — see `ksir-snapshot`'s `SnapshotPolicy`
+/// for the exact/truncated trade-off.
+#[derive(Debug, Clone, Default)]
+pub struct RankedPrefix {
+    entries: Vec<(ElementId, f64, Timestamp)>,
+    truncated: usize,
+}
+
+impl RankedPrefix {
+    /// Number of captured tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of tuples of the source list that fell below the floor and
+    /// were *not* captured.
+    pub fn truncated(&self) -> usize {
+        self.truncated
+    }
+
+    /// Returns `true` if the capture dropped any below-floor tuples.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated > 0
+    }
+
+    /// The captured tuples, descending by score.
+    pub fn entries(&self) -> &[(ElementId, f64, Timestamp)] {
+        &self.entries
+    }
+
+    /// Iterates over the captured tuples in descending score order.
+    pub fn iter(&self) -> impl Iterator<Item = (ElementId, f64, Timestamp)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Starts an ordered traversal over the captured prefix.
+    pub fn cursor(&self) -> RankedListCursor<'_> {
+        RankedListCursor::over(self.entries.iter().copied())
     }
 }
 
@@ -145,7 +323,18 @@ impl std::fmt::Debug for RankedListCursor<'_> {
     }
 }
 
-impl RankedListCursor<'_> {
+impl<'a> RankedListCursor<'a> {
+    /// Builds a cursor over any descending `(id, score, ts)` sequence — the
+    /// seam that lets snapshot prefixes and live lists share one traversal
+    /// type (and with it the query algorithms in `ksir-core`).
+    pub fn over(iter: impl Iterator<Item = (ElementId, f64, Timestamp)> + 'a) -> Self {
+        RankedListCursor {
+            inner: Box::new(iter),
+            current: None,
+            started: false,
+        }
+    }
+
     /// The element the cursor is currently positioned on, or `None` when the
     /// traversal is exhausted.
     pub fn current(&mut self) -> Option<(ElementId, f64, Timestamp)> {
@@ -259,6 +448,20 @@ impl RankedLists {
     /// topic with non-zero probability).
     pub fn total_entries(&self) -> usize {
         self.lists.iter().map(|l| l.len()).sum()
+    }
+
+    /// `O(num_topics)` immutable image of every list at this instant — the
+    /// epoch-snapshot primitive.  Each handle is an `Arc` clone; the writer
+    /// pays a copy-on-write clone per list it subsequently mutates while the
+    /// handles are alive (see [`RankedLists::cow_clones`]).
+    pub fn share_all(&self) -> Vec<RankedListHandle> {
+        self.lists.iter().map(|l| l.share()).collect()
+    }
+
+    /// Total copy-on-write clones the lists have paid for outstanding
+    /// snapshot handles.
+    pub fn cow_clones(&self) -> usize {
+        self.lists.iter().map(|l| l.cow_clones()).sum()
     }
 }
 
@@ -381,6 +584,88 @@ mod tests {
         assert_eq!(d.touch(TopicId(0)).unwrap().high, 0.9);
         assert_eq!(d.touch(TopicId(1)).unwrap().high, 0.7);
         assert!(!d.touched(TopicId(2)));
+    }
+
+    #[test]
+    fn shared_handle_freezes_the_list_image() {
+        let mut rl = RankedList::new();
+        rl.upsert(id(1), 0.65, Timestamp(8));
+        rl.upsert(id(2), 0.48, Timestamp(8));
+        let snap = rl.share();
+        assert!(snap.is_shared());
+        assert_eq!(rl.cow_clones(), 0, "capture alone costs nothing");
+        // Mutations after the capture are invisible to the handle...
+        rl.upsert(id(3), 0.9, Timestamp(9));
+        rl.remove(id(1));
+        assert_eq!(rl.cow_clones(), 1, "first mutation pays the one clone");
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.get(id(1)), Some((0.65, Timestamp(8))));
+        assert!(snap.get(id(3)).is_none());
+        let order: Vec<u64> = snap.iter().map(|(e, _, _)| e.raw()).collect();
+        assert_eq!(order, vec![1, 2]);
+        // ...and the live list sees only its own state.
+        assert_eq!(rl.len(), 2);
+        assert_eq!(rl.first().unwrap().0, id(3));
+        assert!(!snap.is_shared(), "writer moved on to its own core");
+        // A cursor over the handle walks the frozen image.
+        let mut c = snap.cursor();
+        assert_eq!(c.current().unwrap().0, id(1));
+        assert_eq!(c.advance().unwrap().0, id(2));
+        assert_eq!(c.advance(), None);
+    }
+
+    #[test]
+    fn removing_an_absent_element_pays_no_cow_clone() {
+        let mut rl = RankedList::new();
+        rl.upsert(id(1), 0.5, Timestamp(1));
+        let _snap = rl.share();
+        assert_eq!(rl.remove(id(99)), None);
+        assert_eq!(rl.cow_clones(), 0, "no-op removal must not clone");
+    }
+
+    #[test]
+    fn prefix_truncates_at_the_floor_with_slack() {
+        let mut rl = RankedList::new();
+        rl.upsert(id(1), 0.9, Timestamp(1));
+        rl.upsert(id(2), 0.5, Timestamp(2));
+        rl.upsert(id(3), 0.5 - 1e-13, Timestamp(3)); // within slack of the floor
+        rl.upsert(id(4), 0.1, Timestamp(4));
+        let snap = rl.share();
+        let full = snap.prefix(None);
+        assert_eq!(full.len(), 4);
+        assert!(!full.is_truncated());
+        let cut = snap.prefix(Some(0.5));
+        let kept: Vec<u64> = cut.iter().map(|(e, _, _)| e.raw()).collect();
+        assert_eq!(kept, vec![1, 2, 3], "slack keeps near-floor tuples");
+        assert_eq!(cut.truncated(), 1);
+        assert!(cut.is_truncated());
+        assert_eq!(cut.entries().len(), 3);
+        // Cursor over the prefix walks the same descending order.
+        let mut c = cut.cursor();
+        assert_eq!(c.current().unwrap().0, id(1));
+        assert_eq!(c.advance().unwrap().0, id(2));
+        // A floor above the head keeps nothing.
+        let none = snap.prefix(Some(2.0));
+        assert!(none.is_empty());
+        assert_eq!(none.truncated(), 4);
+    }
+
+    #[test]
+    fn share_all_captures_every_topic_and_counts_cow() {
+        let mut rls = RankedLists::new(3);
+        rls.upsert(TopicId(0), id(1), 0.6, Timestamp(1));
+        rls.upsert(TopicId(1), id(2), 0.4, Timestamp(1));
+        let handles = rls.share_all();
+        assert_eq!(handles.len(), 3);
+        assert_eq!(handles[0].len(), 1);
+        assert_eq!(handles[2].len(), 0);
+        // Touch only topic 0: exactly one list pays a clone.
+        rls.upsert(TopicId(0), id(3), 0.9, Timestamp(2));
+        assert_eq!(rls.cow_clones(), 1);
+        assert_eq!(handles[0].len(), 1, "handle still frozen");
+        drop(handles);
+        rls.upsert(TopicId(0), id(4), 0.1, Timestamp(3));
+        assert_eq!(rls.cow_clones(), 1, "no live handle, no further clone");
     }
 
     #[test]

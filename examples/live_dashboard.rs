@@ -66,18 +66,37 @@ fn main() -> Result<(), ksir::KsirError> {
     );
 
     // Pipelined replay: every `ingest_bucket_async` returns after the index
-    // update; the refresh workers stream panel updates into the queues
-    // behind it.  `sync()` is the barrier that awaits the last slide.
+    // update and epoch-snapshot capture; the refresh workers evaluate
+    // against the snapshots and stream panel updates into the queues while
+    // the next slide's index write proceeds.  `sync()` is the barrier that
+    // awaits every outstanding epoch.
     let tickets = dashboard.ingest_stream_async(stream.iter_pairs())?;
     dashboard.sync();
-    let scheduled: usize = tickets.iter().map(|t| t.shards_scheduled).sum();
-    let skipped: usize = tickets.iter().map(|t| t.shards_skipped).sum();
+    // Tickets report what was decided *inline*; a shard still draining an
+    // earlier epoch defers its decision to the owning worker, so the
+    // inline/deferred split varies with worker timing.  The decision
+    // counters themselves are deterministic — read them from the shards.
+    let deferred: usize = tickets.iter().map(|t| t.shards_deferred).sum();
+    let scheduled: usize = dashboard
+        .shard_stats()
+        .iter()
+        .map(|s| s.scheduled_slides)
+        .sum();
+    let undisturbed: usize = dashboard
+        .shard_stats()
+        .iter()
+        .map(|s| s.skipped_slides)
+        .sum();
+    let snap = dashboard.snapshot_stats();
     println!(
         "{} slides ingested; shard touch filters scheduled {} shard refreshes \
-         and proved {} shard-slides undisturbed.\n",
+         and proved {} shard-slides undisturbed ({} epoch handoffs rode a busy \
+         shard's lane; {} epoch snapshots captured).\n",
         tickets.len(),
         scheduled,
-        skipped,
+        undisturbed,
+        deferred,
+        snap.epochs_captured,
     );
 
     // Drain each panel's queue: the full change history (bounded by the
