@@ -1,0 +1,78 @@
+//! Telemetry overhead on the pipelined maintenance path.
+//!
+//! Same shared [`MaintenanceScenario`] as the other `continuous*` benches,
+//! always in pipelined mode (`pipeline_depth = 2`); the only knob is
+//! [`TelemetryConfig`]:
+//!
+//! * `tracing_off` — the trace ring disabled (metrics registry still on,
+//!   since counters cannot be turned off),
+//! * `tracing_on` — the default: every slide/snapshot/schedule/skip/
+//!   refresh/delivery event pushed into the bounded ring.
+//!
+//! The margin between the two is what the CI `telemetry` gate
+//! (`PERF_GATE_TELEMETRY_TOLERANCE` in `perf_gate`) bounds; this bench
+//! exists to observe it interactively, together with the per-stage
+//! histograms a traced run accumulates.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ksir_bench::MaintenanceScenario;
+use ksir_continuous::{ShardConfig, TelemetryConfig};
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let scenario = MaintenanceScenario::standard();
+    let mut group = c.benchmark_group("continuous_telemetry");
+    group.sample_size(10);
+
+    group.bench_function(
+        BenchmarkId::new("tracing_off", scenario.stream.len()),
+        |b| {
+            b.iter(|| {
+                scenario
+                    .run_async(
+                        ShardConfig::default().with_telemetry(TelemetryConfig::disabled()),
+                        Duration::ZERO,
+                    )
+                    .ingest_span
+            })
+        },
+    );
+    group.bench_function(BenchmarkId::new("tracing_on", scenario.stream.len()), |b| {
+        b.iter(|| {
+            scenario
+                .run_async(ShardConfig::default(), Duration::ZERO)
+                .ingest_span
+        })
+    });
+    group.finish();
+}
+
+/// One-shot report: the tracing margin plus what a traced run's registry
+/// actually saw (stage latencies, event volume) — the numbers a dashboard
+/// would render.
+fn report_telemetry_cost(c: &mut Criterion) {
+    let scenario = MaintenanceScenario::standard();
+    let untraced = scenario.run_async(
+        ShardConfig::default().with_telemetry(TelemetryConfig::disabled()),
+        Duration::ZERO,
+    );
+    let traced = scenario.run_async(ShardConfig::default(), Duration::ZERO);
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    assert_eq!(
+        untraced.stats, traced.stats,
+        "telemetry must not change refresh decisions"
+    );
+    println!(
+        "continuous_telemetry/interval: {:.3} ms/slide tracing-on vs {:.3} ms/slide \
+         tracing-off over {} slides",
+        ms(traced.ingest_interval()),
+        ms(untraced.ingest_interval()),
+        traced.stats.slides,
+    );
+    let _ = c;
+}
+
+criterion_group!(benches, bench_telemetry_overhead, report_telemetry_cost);
+criterion_main!(benches);

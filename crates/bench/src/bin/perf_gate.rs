@@ -36,14 +36,24 @@
 //!   tolerance bounds that overhead, and a regression back to serialising
 //!   index writes behind refresh compute (≈ +80% interval) blows through it
 //!   regardless of core count.
+//! * **telemetry**: the pipelined interval with the default telemetry
+//!   (tracing on) must not exceed the tracing-off run's by more than
+//!   `PERF_GATE_TELEMETRY_TOLERANCE` (default 0.25).  Telemetry's budget is
+//!   a relaxed atomic per stage plus one bounded ring push per event; an
+//!   instrumentation change that adds a lock or an allocation to the hot
+//!   path shows up here.
 //!
 //! Each strategy is run three times and the fastest run is kept, which damps
 //! scheduler noise further.
+//!
+//! `--json <path>` additionally writes a machine-readable gate-records file
+//! (one object per gate: name, measured, allowed, verdict) for CI artifact
+//! upload, so a dashboard can track the margins without parsing stderr.
 
 use std::time::Duration;
 
 use ksir_bench::{AsyncMaintenanceRun, MaintenanceRun, MaintenanceScenario};
-use ksir_continuous::ShardConfig;
+use ksir_continuous::{ShardConfig, TelemetryConfig};
 
 const RUNS_PER_STRATEGY: usize = 3;
 const SLOW_CONSUMER_DELAY: Duration = Duration::from_millis(1);
@@ -106,13 +116,23 @@ impl Gate {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let mut out_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            json_path = Some(args.next().expect("--json takes a path"));
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    let out_path = out_path
         .or_else(|| std::env::var("BENCH_OUT").ok())
         .unwrap_or_else(|| "BENCH_continuous.json".to_string());
     let tolerance = env_tolerance("PERF_GATE_TOLERANCE", 0.15);
     let async_tolerance = env_tolerance("PERF_GATE_ASYNC_TOLERANCE", 0.5);
     let pipeline_tolerance = env_tolerance("PERF_GATE_PIPELINE_TOLERANCE", 0.25);
+    let telemetry_tolerance = env_tolerance("PERF_GATE_TELEMETRY_TOLERANCE", 0.25);
 
     let scenario = MaintenanceScenario::standard();
     eprintln!(
@@ -142,6 +162,13 @@ fn main() {
         |r| r.ingest_span,
         || scenario.run_async(pipelined_cfg, Duration::ZERO),
     );
+    // The same pipelined run with the trace ring off — the telemetry gate's
+    // baseline.  (Metrics stay on in both runs; tracing is the only knob.)
+    let untraced_cfg = pipelined_cfg.with_telemetry(TelemetryConfig::disabled());
+    let untraced = best_of_async(
+        |r| r.ingest_span,
+        || scenario.run_async(untraced_cfg, Duration::ZERO),
+    );
     let threads = ShardConfig::default().worker_threads();
 
     // Identical refresh decisions are a correctness invariant (pinned in the
@@ -162,6 +189,10 @@ fn main() {
     assert_eq!(
         serial.stats, pipelined.stats,
         "pipelined epochs must make identical refresh decisions"
+    );
+    assert_eq!(
+        serial.stats, untraced.stats,
+        "disabling tracing must not change any refresh decision"
     );
 
     let gates = [
@@ -186,6 +217,13 @@ fn main() {
                 "pipelined ingest-to-ingest interval regressed past the depth-1 barrier — \
                  index writes are re-serialising behind refresh compute",
         },
+        Gate {
+            name: "telemetry",
+            measured_ms: ms(pipelined.ingest_interval()),
+            allowed_ms: ms(untraced.ingest_interval()) * (1.0 + telemetry_tolerance),
+            explanation: "tracing-on ingest interval regressed past the tracing-off run — \
+                 instrumentation has left the relaxed-atomic/ring-push budget",
+        },
     ];
 
     let json = format!(
@@ -200,6 +238,7 @@ fn main() {
             "  \"async_max_ingest_ms\": {:.3},\n",
             "  \"async_ingest_interval_ms\": {:.4},\n",
             "  \"pipelined_ingest_interval_ms\": {:.4},\n",
+            "  \"pipelined_untraced_ingest_interval_ms\": {:.4},\n",
             "  \"pipelined_ingest_span_ms\": {:.3},\n",
             "  \"pipelined_epochs_captured\": {},\n",
             "  \"pipelined_shard_snapshots\": {},\n",
@@ -212,9 +251,11 @@ fn main() {
             "  \"tolerance\": {:.2},\n",
             "  \"async_tolerance\": {:.2},\n",
             "  \"pipeline_tolerance\": {:.2},\n",
+            "  \"telemetry_tolerance\": {:.2},\n",
             "  \"gate\": \"{}\",\n",
             "  \"async_gate\": \"{}\",\n",
-            "  \"pipelined_gate\": \"{}\"\n",
+            "  \"pipelined_gate\": \"{}\",\n",
+            "  \"telemetry_gate\": \"{}\"\n",
             "}}\n"
         ),
         scenario.stream.len(),
@@ -228,6 +269,7 @@ fn main() {
         ms(async_slow.max_ingest_return),
         ms(async_fast.ingest_interval()),
         ms(pipelined.ingest_interval()),
+        ms(untraced.ingest_interval()),
         ms(pipelined.ingest_span),
         pipelined.snapshots.epochs_captured,
         pipelined.snapshots.shard_snapshots,
@@ -240,12 +282,30 @@ fn main() {
         tolerance,
         async_tolerance,
         pipeline_tolerance,
+        telemetry_tolerance,
         if gates[0].passed() { "pass" } else { "fail" },
         if gates[1].passed() { "pass" } else { "fail" },
         if gates[2].passed() { "pass" } else { "fail" },
+        if gates[3].passed() { "pass" } else { "fail" },
     );
     std::fs::write(&out_path, &json).expect("write BENCH_continuous.json");
     print!("{json}");
+    if let Some(json_path) = &json_path {
+        let mut records = String::from("{\n  \"gates\": [\n");
+        for (i, gate) in gates.iter().enumerate() {
+            records.push_str(&format!(
+                "    {{ \"gate\": \"{}\", \"measured_ms\": {:.3}, \"allowed_ms\": {:.3}, \
+                 \"passed\": {} }}{}\n",
+                gate.name,
+                gate.measured_ms,
+                gate.allowed_ms,
+                gate.passed(),
+                if i + 1 == gates.len() { "" } else { "," },
+            ));
+        }
+        records.push_str("  ]\n}\n");
+        std::fs::write(json_path, records).expect("write gate-records JSON");
+    }
     eprintln!(
         "perf_gate: recompute {:.0} ms | delta-serial {:.0} ms | delta-sharded {:.0} ms \
          ({:.1}% evals skipped, {} shards, {} worker threads)",
@@ -273,6 +333,11 @@ fn main() {
         pipelined.snapshots.epochs_captured,
         pipelined.snapshots.shard_snapshots,
         pipelined.cow_clones,
+    );
+    eprintln!(
+        "perf_gate: telemetry tracing-on interval {:.3} ms vs tracing-off {:.3} ms",
+        ms(pipelined.ingest_interval()),
+        ms(untraced.ingest_interval()),
     );
     let mut pass = true;
     for gate in &gates {

@@ -19,6 +19,8 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
+use ksir_telemetry::{Counter, Telemetry, TraceEventKind};
+
 use crate::subscription::ResultDelta;
 
 /// What a producer does when a subscriber's queue is full.
@@ -102,17 +104,47 @@ struct Channel {
     space: Condvar,
 }
 
+/// The queue layer's handle into the manager's [`Telemetry`] bundle:
+/// pre-resolved `delivery.*` counters plus the shared trace.
+///
+/// Accounting convention: `delivery.enqueued` counts deltas **accepted into
+/// a queue**, `delivery.dropped` counts deltas **shed by an overflow
+/// policy** — so `enqueued - dropped` under [`OverflowPolicy::DropOldest`]
+/// (where a delta can be accepted and later shed) and `enqueued` under the
+/// other policies both equal what a draining consumer receives.  Sends to a
+/// closed queue or one whose receiver is gone are not counted at all,
+/// matching [`DeliveryReceiver::dropped`].
+#[derive(Debug, Clone)]
+pub(crate) struct DeliveryTelemetry {
+    bundle: Arc<Telemetry>,
+    enqueued: Arc<Counter>,
+    dropped: Arc<Counter>,
+}
+
+impl DeliveryTelemetry {
+    pub(crate) fn new(bundle: Arc<Telemetry>) -> Self {
+        let registry = bundle.registry();
+        DeliveryTelemetry {
+            enqueued: registry.counter("delivery.enqueued"),
+            dropped: registry.counter("delivery.dropped"),
+            bundle,
+        }
+    }
+}
+
 /// Producer half, held by the manager's delivery registry and used by refresh
 /// workers.  Crate-internal: subscribers only ever see the receiver.
 #[derive(Debug, Clone)]
 pub(crate) struct DeliverySender {
     channel: Arc<Channel>,
     config: DeliveryConfig,
+    telemetry: Option<DeliveryTelemetry>,
 }
 
 impl DeliverySender {
     /// Enqueues one delta under the configured overflow policy.
     pub(crate) fn send(&self, slide: u64, delta: ResultDelta) {
+        let subscription = delta.subscription.raw();
         let mut state = self.channel.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if !state.receiver_alive || state.closed {
@@ -124,15 +156,41 @@ impl DeliverySender {
             }
             if state.items.len() < self.config.capacity {
                 state.items.push_back(Delivery { slide, delta });
+                if let Some(telemetry) = &self.telemetry {
+                    telemetry.enqueued.inc();
+                    telemetry.bundle.record(
+                        slide,
+                        None,
+                        TraceEventKind::DeltaDelivered { subscription },
+                    );
+                }
                 return;
             }
             match self.config.policy {
                 OverflowPolicy::DropOldest => {
-                    state.items.pop_front();
+                    let shed = state.items.pop_front();
                     state.dropped += 1;
+                    if let (Some(telemetry), Some(shed)) = (&self.telemetry, shed) {
+                        telemetry.dropped.inc();
+                        telemetry.bundle.record(
+                            shed.slide,
+                            None,
+                            TraceEventKind::DeltaDropped {
+                                subscription: shed.delta.subscription.raw(),
+                            },
+                        );
+                    }
                 }
                 OverflowPolicy::DropNewest => {
                     state.dropped += 1;
+                    if let Some(telemetry) = &self.telemetry {
+                        telemetry.dropped.inc();
+                        telemetry.bundle.record(
+                            slide,
+                            None,
+                            TraceEventKind::DeltaDropped { subscription },
+                        );
+                    }
                     return;
                 }
                 OverflowPolicy::Block => {
@@ -230,8 +288,13 @@ impl Drop for DeliveryReceiver {
     }
 }
 
-/// Creates a connected sender/receiver pair.
-pub(crate) fn delivery_queue(config: DeliveryConfig) -> (DeliverySender, DeliveryReceiver) {
+/// Creates a connected sender/receiver pair.  `telemetry` (the manager's
+/// handles) makes the producer count and trace enqueues/sheds; `None` keeps
+/// the queue silent (standalone/unit use).
+pub(crate) fn delivery_queue(
+    config: DeliveryConfig,
+    telemetry: Option<DeliveryTelemetry>,
+) -> (DeliverySender, DeliveryReceiver) {
     let channel = Arc::new(Channel {
         state: Mutex::new(QueueState {
             receiver_alive: true,
@@ -243,6 +306,7 @@ pub(crate) fn delivery_queue(config: DeliveryConfig) -> (DeliverySender, Deliver
         DeliverySender {
             channel: Arc::clone(&channel),
             config,
+            telemetry,
         },
         DeliveryReceiver { channel },
     )
@@ -266,7 +330,7 @@ mod tests {
 
     #[test]
     fn fifo_order_and_drain() {
-        let (tx, rx) = delivery_queue(DeliveryConfig::default());
+        let (tx, rx) = delivery_queue(DeliveryConfig::default(), None);
         for i in 0..3 {
             tx.send(i + 1, delta(i));
         }
@@ -281,7 +345,7 @@ mod tests {
 
     #[test]
     fn drop_oldest_sheds_the_head() {
-        let (tx, rx) = delivery_queue(DeliveryConfig::default().with_capacity(2));
+        let (tx, rx) = delivery_queue(DeliveryConfig::default().with_capacity(2), None);
         for i in 0..4 {
             tx.send(i + 1, delta(i));
         }
@@ -300,6 +364,7 @@ mod tests {
             DeliveryConfig::default()
                 .with_capacity(2)
                 .with_policy(OverflowPolicy::DropNewest),
+            None,
         );
         for i in 0..4 {
             tx.send(i + 1, delta(i));
@@ -319,6 +384,7 @@ mod tests {
             DeliveryConfig::default()
                 .with_capacity(1)
                 .with_policy(OverflowPolicy::Block),
+            None,
         );
         tx.send(1, delta(0));
         let producer = std::thread::spawn(move || {
@@ -344,6 +410,7 @@ mod tests {
             DeliveryConfig::default()
                 .with_capacity(1)
                 .with_policy(OverflowPolicy::Block),
+            None,
         );
         tx.send(1, delta(0));
         let producer = {
@@ -362,6 +429,7 @@ mod tests {
             DeliveryConfig::default()
                 .with_capacity(1)
                 .with_policy(OverflowPolicy::Block),
+            None,
         );
         tx.send(1, delta(0));
         let producer = {
@@ -378,7 +446,7 @@ mod tests {
 
     #[test]
     fn close_is_visible_to_the_receiver() {
-        let (tx, rx) = delivery_queue(DeliveryConfig::default());
+        let (tx, rx) = delivery_queue(DeliveryConfig::default(), None);
         assert!(!rx.is_closed());
         tx.close();
         assert!(rx.is_closed());

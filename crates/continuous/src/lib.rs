@@ -153,3 +153,10 @@ pub use subscription::{RefreshReason, ResultDelta, SubscriptionId, SubscriptionS
 // The snapshot knobs a pipelined deployment tunes, re-exported so most users
 // never import `ksir-snapshot` directly.
 pub use ksir_snapshot::{SnapshotPolicy, SnapshotStats};
+
+// The observability surface ([`SubscriptionManager::telemetry`]), re-exported
+// so dashboards and exporters never import `ksir-telemetry` directly.
+pub use ksir_telemetry::{
+    EpochRecord, EpochTimeline, MetricsRegistry, ShardLabel, Telemetry, TelemetryConfig,
+    TraceEvent, TraceEventKind, TraceLog,
+};

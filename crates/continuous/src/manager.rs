@@ -3,12 +3,14 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLockReadGuard};
+use std::time::Instant;
 
 use ksir_core::{Algorithm, IngestReport, KsirEngine, KsirQuery, QueryResult, SharedEngine};
 use ksir_snapshot::{EngineSnapshot, SnapshotCounters, SnapshotSource, SnapshotStats};
+use ksir_telemetry::{Telemetry, TraceEventKind};
 use ksir_types::{KsirError, Result, SocialElement, Timestamp, TopicVector, TopicWordDistribution};
 
-use crate::delivery::{delivery_queue, DeliveryConfig, DeliveryReceiver};
+use crate::delivery::{delivery_queue, DeliveryConfig, DeliveryReceiver, DeliveryTelemetry};
 use crate::shard::{
     refresh_one, LaneDecision, PendingEpoch, ShardCell, ShardConfig, ShardKey, ShardSlide,
     ShardStats,
@@ -178,6 +180,9 @@ pub struct SubscriptionManager<D> {
     next_id: u64,
     slides: usize,
     retired: RetiredStats,
+    /// The unified observability bundle (metrics registry + trace ring);
+    /// shared with the shards, workers, and delivery queues.
+    telemetry: Arc<Telemetry>,
 }
 
 impl<D: TopicWordDistribution> SubscriptionManager<D> {
@@ -189,6 +194,7 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
 
     /// Wraps an engine with an explicit sharding configuration.
     pub fn with_shard_config(engine: KsirEngine<D>, config: ShardConfig) -> Self {
+        let telemetry = Arc::new(Telemetry::new(config.telemetry));
         SubscriptionManager {
             engine: SharedEngine::new(engine),
             config,
@@ -197,11 +203,12 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
             deliveries: DeliveryRegistry::default(),
             pool: None,
             watermark: Arc::new(Watermark::default()),
-            snapshots: SnapshotCounters::new(),
+            snapshots: SnapshotCounters::with_registry(telemetry.registry()),
             watched_topics: BTreeMap::new(),
             next_id: 0,
             slides: 0,
             retired: RetiredStats::default(),
+            telemetry,
         }
     }
 
@@ -270,6 +277,54 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         self.snapshots.stats()
     }
 
+    /// The manager's observability bundle: the unified metrics registry
+    /// (stage latency histograms, registry-backed counter views of every
+    /// `*Stats` struct) plus the epoch-scoped trace ring.  Clone the `Arc`
+    /// to read it from dashboards or exporters on other threads.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Folds the manager-level stats into registry gauges, so the exported
+    /// schema carries the same numbers as [`SubscriptionManager::stats`],
+    /// the engine's [`EngineStats`](ksir_core::EngineStats), and the
+    /// watermark — refreshed at every barrier and after every async ingest.
+    ///
+    /// Deliberately lock-free on the shards: `manager.refreshes` /
+    /// `manager.skips` are read back from the `shard.*` registry counters
+    /// (bumped in the same statements as the per-shard tallies, and never
+    /// reset when a shard retires), so publishing from the pipelined ingest
+    /// path cannot block behind a busy shard's in-flight refresh.
+    fn publish_gauges(&self) {
+        let registry = self.telemetry.registry();
+        registry.gauge("manager.slides").set(self.slides as u64);
+        registry
+            .gauge("manager.refreshes")
+            .set(registry.counter("shard.refreshes").get());
+        registry
+            .gauge("manager.skips")
+            .set(registry.counter("shard.skips").get());
+        registry
+            .gauge("manager.subscriptions")
+            .set(self.route_of.len() as u64);
+        registry
+            .gauge("manager.inflight_epochs")
+            .set(self.watermark.inflight_epochs() as u64);
+        let engine = self.engine.read().stats();
+        registry
+            .gauge("engine.window_cow_clones")
+            .set(engine.window_cow_clones as u64);
+        registry
+            .gauge("engine.topic_vector_cow_clones")
+            .set(engine.topic_vector_cow_clones as u64);
+        registry
+            .gauge("engine.ranked_cow_clones")
+            .set(engine.ranked_cow_clones as u64);
+        registry
+            .gauge("engine.queries_served")
+            .set(engine.queries_served as u64);
+    }
+
     /// The completion watermark: the highest epoch `e` such that every slide
     /// `≤ e` has fully refreshed (or been proven skippable).  Counters and
     /// maintained results for those slides are final.
@@ -308,6 +363,9 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     /// pure-sync use).
     pub fn sync(&self) {
         self.watermark.wait_all();
+        // Every counter is final here: fold the stats into the registry so
+        // an exporter scraped after the barrier sees the settled numbers.
+        self.publish_gauges();
     }
 
     /// Registers a standing query, evaluating it immediately against the
@@ -340,9 +398,10 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         // out of the refresh/skip counters — they must reconcile with
         // `slides x subscriptions`.
         refresh_one(&*self.engine.read(), id, &mut sub, RefreshReason::Initial);
+        let telemetry = &self.telemetry;
         self.shards
             .entry(key)
-            .or_insert_with(|| Arc::new(ShardCell::new(key)))
+            .or_insert_with(|| Arc::new(ShardCell::new(key, Arc::clone(telemetry))))
             .shard()
             .insert(id, sub);
         self.route_of.insert(id, key);
@@ -436,7 +495,10 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         // then quiesce so the new queue starts at a slide boundary.
         self.close_delivery(id);
         self.sync();
-        let (sender, receiver) = delivery_queue(config);
+        let (sender, receiver) = delivery_queue(
+            config,
+            Some(DeliveryTelemetry::new(Arc::clone(&self.telemetry))),
+        );
         self.deliveries
             .lock()
             .unwrap_or_else(|p| p.into_inner())
@@ -514,6 +576,7 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
                 Arc::clone(&self.deliveries),
                 Arc::clone(&self.watermark),
                 self.config.snapshot_policy,
+                Arc::clone(&self.telemetry),
             ));
         }
         self.pool.as_ref().expect("just spawned")
@@ -525,12 +588,25 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
     /// watch: lists nothing can traverse are not captured and therefore
     /// never pay copy-on-write.
     fn capture_epoch(&self, epoch: u64) -> Arc<dyn SnapshotSource> {
-        Arc::new(EngineSnapshot::capture_watched(
+        let started = Instant::now();
+        let snapshot = Arc::new(EngineSnapshot::capture_watched(
             &self.engine.read(),
             epoch,
             &self.snapshots,
             self.watched_topics.keys().copied(),
-        ))
+        ));
+        self.telemetry
+            .registry()
+            .histogram("snapshot.capture")
+            .record(started.elapsed());
+        self.telemetry.record(
+            epoch,
+            None,
+            TraceEventKind::SnapshotCaptured {
+                topics: self.watched_topics.len() as u64,
+            },
+        );
+        snapshot
     }
 
     /// The synchronous first half: quiesces the pipeline, applies the bucket
@@ -543,9 +619,22 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
         bucket_end: Timestamp,
     ) -> Result<ProjectedSlide> {
         self.sync();
+        let write_started = Instant::now();
         let report = self.engine.write().ingest_bucket(bucket, bucket_end)?;
+        self.telemetry
+            .registry()
+            .histogram("ingest.index_write")
+            .record(write_started.elapsed());
         self.slides += 1;
-        self.watermark.note_epoch(self.slides as u64);
+        let slide_no = self.slides as u64;
+        self.watermark.note_epoch(slide_no);
+        self.telemetry.record(
+            slide_no,
+            None,
+            TraceEventKind::SlideIngested {
+                elements: report.inserted as u64,
+            },
+        );
 
         let mut scheduled: Vec<Arc<ShardCell>> = Vec::new();
         let mut skipped = 0usize;
@@ -556,7 +645,7 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
                 scheduled.push(Arc::clone(cell));
             } else if shard.len() > 0 {
                 shards_skipped += 1;
-                skipped += shard.skip_all();
+                skipped += shard.skip_all(slide_no);
             }
         }
         Ok(ProjectedSlide {
@@ -596,7 +685,9 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
             // Refresh on the caller's thread; deliveries still flow.
             let engine = self.engine.read();
             for cell in &scheduled {
-                let slide = cell.shard().refresh_scheduled(&*engine, &report.delta);
+                let slide = cell
+                    .shard()
+                    .refresh_scheduled(&*engine, &report.delta, slide_no);
                 slides.push(slide);
             }
             drop(engine);
@@ -668,12 +759,29 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
     ) -> Result<SlideTicket> {
         // Pipeline admission: bound in-flight epochs (and with them the
         // snapshots the writer must copy-on-write around).
+        let admission_started = Instant::now();
         self.watermark
             .wait_inflight_below(self.config.pipeline_depth.max(1));
+        self.telemetry
+            .registry()
+            .histogram("ingest.admission_wait")
+            .record(admission_started.elapsed());
+        let write_started = Instant::now();
         let report = self.engine.write().ingest_bucket(bucket, bucket_end)?;
+        self.telemetry
+            .registry()
+            .histogram("ingest.index_write")
+            .record(write_started.elapsed());
         self.slides += 1;
         let slide_no = self.slides as u64;
         self.watermark.note_epoch(slide_no);
+        self.telemetry.record(
+            slide_no,
+            None,
+            TraceEventKind::SlideIngested {
+                elements: report.inserted as u64,
+            },
+        );
 
         let mut delta: Option<Arc<ksir_stream::WindowDelta>> = None;
         let mut snapshot: Option<Arc<dyn SnapshotSource>> = None;
@@ -682,8 +790,9 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
         let mut shards_deferred = 0usize;
         let mut shards_skipped = 0usize;
         let mut skipped = 0usize;
+        let project_started = Instant::now();
         for cell in self.shards.values() {
-            let decision = cell.project_epoch(&report.delta, || {
+            let decision = cell.project_epoch(slide_no, &report.delta, || {
                 // Only enqueued epochs register a task, clone the delta, and
                 // pin the snapshot — quiet slides pay for none of it.
                 self.watermark.add(slide_no, 1);
@@ -712,9 +821,14 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
                 LaneDecision::Empty => {}
             }
         }
+        self.telemetry
+            .registry()
+            .histogram("ingest.project")
+            .record(project_started.elapsed());
         if !handoffs.is_empty() {
             self.pool().dispatch(handoffs);
         }
+        self.publish_gauges();
         Ok(SlideTicket {
             slide: slide_no,
             report,

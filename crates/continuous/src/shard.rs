@@ -33,10 +33,12 @@
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use ksir_core::{FloorAggregate, KsirQuery, QuerySource};
 use ksir_snapshot::{PrefixSpec, SnapshotPolicy, SnapshotSource};
 use ksir_stream::WindowDelta;
+use ksir_telemetry::{Counter, Histogram, ShardLabel, Telemetry, TelemetryConfig, TraceEventKind};
 use ksir_types::{ElementId, TopicId};
 
 use crate::subscription::{RefreshReason, ResultDelta, Subscription, SubscriptionId};
@@ -91,6 +93,9 @@ pub struct ShardConfig {
     /// (see [`SnapshotPolicy`]); [`SnapshotPolicy::Exact`] keeps the
     /// pipelined path decision- and score-identical to the synchronous API.
     pub snapshot_policy: SnapshotPolicy,
+    /// How much telemetry the manager collects (see [`TelemetryConfig`]).
+    /// Tracing is on by default; metrics are always on.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ShardConfig {
@@ -100,6 +105,7 @@ impl Default for ShardConfig {
             max_threads: None,
             pipeline_depth: 2,
             snapshot_policy: SnapshotPolicy::Exact,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -141,6 +147,13 @@ impl ShardConfig {
     /// Overrides the shard-snapshot capture policy.
     pub fn with_snapshot_policy(mut self, policy: SnapshotPolicy) -> Self {
         self.snapshot_policy = policy;
+        self
+    }
+
+    /// Overrides the telemetry configuration (e.g.
+    /// [`TelemetryConfig::disabled`] to turn tracing off).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -213,6 +226,52 @@ impl ShardStats {
     }
 }
 
+/// The telemetry label of a shard key (same rendering, but free of the
+/// continuous crate's types so the telemetry crate stays dependency-free).
+pub(crate) fn label_of(key: ShardKey) -> ShardLabel {
+    match key {
+        ShardKey::Topic(TopicId(t)) => ShardLabel::Topic(t),
+        ShardKey::Overflow => ShardLabel::Overflow,
+    }
+}
+
+/// One shard's handle into the manager's [`Telemetry`] bundle: the shared
+/// trace/registry plus pre-resolved metric handles, so the refresh loop
+/// never touches the registry's name map.
+///
+/// The registry counters (`shard.refreshes`, `shard.skips`, ...) are bumped
+/// in the same statements as the [`ShardStats`] fields they aggregate — the
+/// two views cannot drift.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardTelemetry {
+    bundle: Arc<Telemetry>,
+    label: ShardLabel,
+    refresh_hist: Arc<Histogram>,
+    refreshes: Arc<Counter>,
+    skips: Arc<Counter>,
+    scheduled_slides: Arc<Counter>,
+    skipped_slides: Arc<Counter>,
+}
+
+impl ShardTelemetry {
+    pub(crate) fn new(bundle: Arc<Telemetry>, key: ShardKey) -> Self {
+        let registry = bundle.registry();
+        ShardTelemetry {
+            label: label_of(key),
+            refresh_hist: registry.histogram("refresh.shard"),
+            refreshes: registry.counter("shard.refreshes"),
+            skips: registry.counter("shard.skips"),
+            scheduled_slides: registry.counter("shard.scheduled_slides"),
+            skipped_slides: registry.counter("shard.skipped_slides"),
+            bundle,
+        }
+    }
+
+    fn record(&self, epoch: u64, kind: TraceEventKind) {
+        self.bundle.record(epoch, Some(self.label), kind);
+    }
+}
+
 /// The work a scheduled shard performed on one slide.
 #[derive(Debug, Default)]
 pub(crate) struct ShardSlide {
@@ -263,13 +322,18 @@ struct Lane {
 pub(crate) struct ShardCell {
     lane: Mutex<Lane>,
     shard: Mutex<Shard>,
+    /// Own clone of the shard's telemetry handles, so the busy-lane
+    /// (deferred) path can trace without touching the contended shard lock.
+    telemetry: ShardTelemetry,
 }
 
 impl ShardCell {
-    pub(crate) fn new(key: ShardKey) -> Self {
+    pub(crate) fn new(key: ShardKey, bundle: Arc<Telemetry>) -> Self {
+        let telemetry = ShardTelemetry::new(bundle, key);
         ShardCell {
             lane: Mutex::new(Lane::default()),
-            shard: Mutex::new(Shard::new(key)),
+            shard: Mutex::new(Shard::new(key, telemetry.clone())),
+            telemetry,
         }
     }
 
@@ -297,12 +361,14 @@ impl ShardCell {
     /// snapshot capture (and watermark registration) stays lazy.
     pub(crate) fn project_epoch(
         &self,
+        epoch: u64,
         delta: &WindowDelta,
         make_task: impl FnOnce() -> PendingEpoch,
     ) -> LaneDecision {
         let mut lane = self.lane();
         if lane.busy {
             lane.pending.push_back(make_task());
+            self.telemetry.record(epoch, TraceEventKind::ShardDeferred);
             return LaneDecision::Deferred;
         }
         // Lock order lane → shard; the shard lock is uncontended here (only
@@ -315,7 +381,7 @@ impl ShardCell {
             lane.pending.push_back(make_task());
             LaneDecision::Scheduled
         } else {
-            LaneDecision::Skipped(shard.skip_all())
+            LaneDecision::Skipped(shard.skip_all(epoch))
         }
     }
 
@@ -362,10 +428,11 @@ pub(crate) struct Shard {
     skips: usize,
     scheduled_slides: usize,
     skipped_slides: usize,
+    telemetry: ShardTelemetry,
 }
 
 impl Shard {
-    pub(crate) fn new(key: ShardKey) -> Self {
+    pub(crate) fn new(key: ShardKey, telemetry: ShardTelemetry) -> Self {
         Shard {
             key,
             subs: BTreeMap::new(),
@@ -376,6 +443,7 @@ impl Shard {
             skips: 0,
             scheduled_slides: 0,
             skipped_slides: 0,
+            telemetry,
         }
     }
 
@@ -503,7 +571,11 @@ impl Shard {
         &mut self,
         source: &dyn QuerySource,
         delta: &WindowDelta,
+        epoch: u64,
     ) -> ShardSlide {
+        let started = Instant::now();
+        self.telemetry.record(epoch, TraceEventKind::ShardScheduled);
+        self.telemetry.record(epoch, TraceEventKind::RefreshStarted);
         let mut slide = ShardSlide::default();
         for (&id, sub) in self.subs.iter_mut() {
             match classify(sub, delta) {
@@ -523,6 +595,18 @@ impl Shard {
         self.scheduled_slides += 1;
         self.refreshes += slide.refreshed;
         self.skips += slide.skipped;
+        self.telemetry.scheduled_slides.inc();
+        self.telemetry.refreshes.add(slide.refreshed as u64);
+        self.telemetry.skips.add(slide.skipped as u64);
+        self.telemetry.refresh_hist.record(started.elapsed());
+        self.telemetry.record(
+            epoch,
+            TraceEventKind::RefreshFinished {
+                refreshed: slide.refreshed as u64,
+                skipped: slide.skipped as u64,
+                updates: slide.updates.len() as u64,
+            },
+        );
         // Stored results — and therefore the filters derived from them —
         // only change when at least one resident actually refreshed; a shard
         // scheduled conservatively but skipped throughout keeps its filters.
@@ -540,7 +624,7 @@ impl Shard {
     /// keeps reconciling with the slides the shard actually had residents
     /// for.  (Empty shards are also pruned on `unsubscribe`, so this guard
     /// only matters for transient states.)
-    pub(crate) fn skip_all(&mut self) -> usize {
+    pub(crate) fn skip_all(&mut self, epoch: u64) -> usize {
         if self.subs.is_empty() {
             return 0;
         }
@@ -550,6 +634,14 @@ impl Shard {
         let skipped = self.subs.len();
         self.skips += skipped;
         self.skipped_slides += 1;
+        self.telemetry.skips.add(skipped as u64);
+        self.telemetry.skipped_slides.inc();
+        self.telemetry.record(
+            epoch,
+            TraceEventKind::ShardSkipped {
+                residents: skipped as u64,
+            },
+        );
         skipped
     }
 }
@@ -643,6 +735,13 @@ mod tests {
         KsirQuery::new(k, QueryVector::new(weights.to_vec()).unwrap()).unwrap()
     }
 
+    fn shard(key: ShardKey) -> Shard {
+        Shard::new(
+            key,
+            ShardTelemetry::new(Arc::new(Telemetry::default()), key),
+        )
+    }
+
     #[test]
     fn routing_picks_dominant_topic_for_narrow_queries() {
         let config = ShardConfig::default();
@@ -700,7 +799,7 @@ mod tests {
 
     #[test]
     fn empty_shard_is_never_touched() {
-        let shard = Shard::new(ShardKey::Overflow);
+        let shard = shard(ShardKey::Overflow);
         let delta = WindowDelta::default();
         assert!(!shard.is_touched_by(&delta));
         assert_eq!(shard.stats().subscriptions, 0);
@@ -709,7 +808,7 @@ mod tests {
 
     #[test]
     fn pending_initial_resident_always_schedules() {
-        let mut shard = Shard::new(ShardKey::Topic(TopicId(0)));
+        let mut shard = shard(ShardKey::Topic(TopicId(0)));
         shard.insert(
             SubscriptionId(0),
             Subscription::new(query(1, &[1.0, 0.0]), Algorithm::Mtts),
@@ -720,7 +819,7 @@ mod tests {
     #[test]
     fn prefix_spec_covers_every_resident_support_topic() {
         use ksir_core::{QueryFrontier, QueryResult};
-        let mut shard = Shard::new(ShardKey::Topic(TopicId(0)));
+        let mut shard = shard(ShardKey::Topic(TopicId(0)));
         // Resident with a frontier on topics 0 and 1.
         let mut with_frontier = Subscription::new(query(1, &[0.6, 0.4, 0.0]), Algorithm::Mtts);
         with_frontier.result = Some(QueryResult {
@@ -762,10 +861,10 @@ mod tests {
                 )),
             }
         }
-        let cell = ShardCell::new(ShardKey::Overflow);
+        let cell = ShardCell::new(ShardKey::Overflow, Arc::new(Telemetry::default()));
         // No residents: nothing happens, nothing is enqueued.
         assert_eq!(
-            cell.project_epoch(&WindowDelta::default(), || task(0)),
+            cell.project_epoch(0, &WindowDelta::default(), || task(0)),
             LaneDecision::Empty
         );
         // A pending-initial resident schedules on any delta.
@@ -774,12 +873,12 @@ mod tests {
             Subscription::new(query(1, &[1.0, 0.0]), Algorithm::Mtts),
         );
         assert_eq!(
-            cell.project_epoch(&WindowDelta::default(), || task(1)),
+            cell.project_epoch(1, &WindowDelta::default(), || task(1)),
             LaneDecision::Scheduled,
             "idle shard: caller must dispatch"
         );
         assert_eq!(
-            cell.project_epoch(&WindowDelta::default(), || task(2)),
+            cell.project_epoch(2, &WindowDelta::default(), || task(2)),
             LaneDecision::Deferred,
             "busy shard: the owner will get there"
         );
@@ -789,7 +888,7 @@ mod tests {
         assert!(cell.pop_pending_or_release().is_none());
         // Released: the next firing epoch schedules again.
         assert_eq!(
-            cell.project_epoch(&WindowDelta::default(), || task(3)),
+            cell.project_epoch(3, &WindowDelta::default(), || task(3)),
             LaneDecision::Scheduled
         );
     }

@@ -35,6 +35,7 @@ use std::thread::JoinHandle;
 use ksir_core::SharedEngine;
 use ksir_snapshot::SnapshotPolicy;
 use ksir_stream::WindowDelta;
+use ksir_telemetry::Telemetry;
 use ksir_types::TopicWordDistribution;
 
 use crate::delivery::DeliverySender;
@@ -229,6 +230,7 @@ impl WorkerPool {
         registry: DeliveryRegistry,
         watermark: Arc<Watermark>,
         policy: SnapshotPolicy,
+        telemetry: Arc<Telemetry>,
     ) -> Self
     where
         D: TopicWordDistribution + Send + Sync + 'static,
@@ -241,7 +243,10 @@ impl WorkerPool {
                 let watermark = Arc::clone(&watermark);
                 let engine = engine.clone();
                 let registry = Arc::clone(&registry);
-                std::thread::spawn(move || worker_loop(&rx, &watermark, &engine, &registry, policy))
+                let telemetry = Arc::clone(&telemetry);
+                std::thread::spawn(move || {
+                    worker_loop(&rx, &watermark, &engine, &registry, policy, &telemetry)
+                })
             })
             .collect();
         WorkerPool {
@@ -284,7 +289,11 @@ fn worker_loop<D: TopicWordDistribution>(
     engine: &SharedEngine<D>,
     registry: &DeliveryRegistry,
     policy: SnapshotPolicy,
+    telemetry: &Telemetry,
 ) {
+    // Resolved once per worker: the name-map lookup stays off the per-item
+    // path.
+    let item_hist = telemetry.registry().histogram("worker.item");
     loop {
         // Hold the receiver lock only while pulling the next item, never
         // while refreshing, so idle workers queue on the channel rather than
@@ -293,6 +302,7 @@ fn worker_loop<D: TopicWordDistribution>(
             Ok(item) => item,
             Err(_) => return, // channel closed: pool shut down
         };
+        let started = std::time::Instant::now();
         match item {
             WorkItem::Live {
                 epoch,
@@ -303,7 +313,7 @@ fn worker_loop<D: TopicWordDistribution>(
                 let _complete = CompletionGuard(watermark, epoch);
                 let slide = {
                     let engine = engine.read();
-                    shard.shard().refresh_scheduled(&*engine, &delta)
+                    shard.shard().refresh_scheduled(&*engine, &delta, epoch)
                 };
                 deliver(registry, epoch, &slide.updates);
                 collector
@@ -313,6 +323,7 @@ fn worker_loop<D: TopicWordDistribution>(
             }
             WorkItem::Pipelined { shard } => drain_lane(&shard, watermark, registry, policy),
         }
+        item_hist.record(started.elapsed());
     }
 }
 
@@ -349,9 +360,9 @@ fn drain_lane(
                         task.snapshot.shard_source(&shard.prefix_spec(), policy)
                     }
                 };
-                Some(shard.refresh_scheduled(source.as_ref(), &task.delta))
+                Some(shard.refresh_scheduled(source.as_ref(), &task.delta, task.epoch))
             } else {
-                shard.skip_all();
+                shard.skip_all(task.epoch);
                 None
             }
         };

@@ -1,0 +1,365 @@
+//! Telemetry reconciliation: the trace-reconstructed [`EpochTimeline`] and
+//! the registry-backed counter views must agree **exactly** with the stats
+//! structs they mirror (`ManagerStats`, `ShardStats`, `SnapshotStats`,
+//! delivery tallies) — equality, not correlation — because events and
+//! registry bumps are emitted in the same statements as the counters.
+//!
+//! Includes the PR's acceptance scenario: a pipelined run at depth ≥ 2 on a
+//! forced 4-thread pool whose timeline reconciles with every stats surface.
+
+use std::collections::BTreeMap;
+
+use ksir_continuous::{
+    DeliveryConfig, EpochTimeline, OverflowPolicy, ShardConfig, SubscriptionId,
+    SubscriptionManager, TelemetryConfig,
+};
+use ksir_core::{Algorithm, EngineConfig, KsirEngine, KsirQuery, ScoringConfig};
+use ksir_datagen::{DatasetProfile, GeneratedStream, QueryWorkloadGenerator, StreamGenerator};
+use ksir_stream::WindowConfig;
+use ksir_types::{DenseTopicWordTable, QueryVector};
+
+/// Same planted-stream construction as the sharding/pipelined tests, so the
+/// workload exercises narrow and broad shards, all four algorithms, and
+/// slides that skip whole shards.
+fn planted_manager(
+    seed: u64,
+    config: ShardConfig,
+) -> (
+    SubscriptionManager<DenseTopicWordTable>,
+    Vec<SubscriptionId>,
+    GeneratedStream,
+) {
+    let profile = DatasetProfile::twitter().scaled(0.02).with_topics(12);
+    let stream = StreamGenerator::new(profile, seed)
+        .unwrap()
+        .generate()
+        .unwrap();
+    let window = WindowConfig::new(120, 15).unwrap();
+    let engine: KsirEngine<DenseTopicWordTable> = KsirEngine::new(
+        stream.planted.phi().clone(),
+        EngineConfig::new(window, ScoringConfig::default()),
+    )
+    .unwrap();
+    let mut mgr = SubscriptionManager::with_shard_config(engine, config);
+
+    let workload = QueryWorkloadGenerator::new(&stream.planted, seed ^ 0x5eed)
+        .generate(4, stream.end_time())
+        .unwrap();
+    let algorithms = [
+        Algorithm::Mtts,
+        Algorithm::Mttd,
+        Algorithm::TopkRepresentative,
+        Algorithm::Celf,
+    ];
+    let mut subs = Vec::new();
+    for (i, generated) in workload.into_iter().enumerate() {
+        let mut narrow = vec![0.0; 12];
+        narrow[(3 * i) % 12] = 0.8;
+        narrow[(3 * i + 1) % 12] = 0.2;
+        for vector in [QueryVector::new(narrow).unwrap(), generated.vector] {
+            let q = KsirQuery::new(4, vector).unwrap();
+            subs.push(mgr.subscribe(q, algorithms[subs.len() % 4]).unwrap());
+        }
+    }
+    (mgr, subs, stream)
+}
+
+/// Asserts the full counter/trace/stats reconciliation on a settled manager
+/// (no unsubscribes, ample trace ring).  Every equality here is exact.
+fn assert_reconciled(mgr: &SubscriptionManager<DenseTopicWordTable>) -> EpochTimeline {
+    let telemetry = mgr.telemetry();
+    let registry = telemetry.registry();
+    let stats = mgr.stats();
+    let timeline = telemetry.timeline();
+    assert_eq!(timeline.truncated_events, 0, "trace ring must not overflow");
+
+    // Trace ↔ ManagerStats.
+    assert_eq!(timeline.epochs.len(), stats.slides, "one record per slide");
+    assert_eq!(timeline.total_refreshes(), stats.refreshes as u64);
+    assert_eq!(timeline.total_skips(), stats.skips as u64);
+
+    // Trace ↔ ShardStats.
+    let shard_stats = mgr.shard_stats();
+    let scheduled: usize = shard_stats.iter().map(|s| s.scheduled_slides).sum();
+    let skipped: usize = shard_stats.iter().map(|s| s.skipped_slides).sum();
+    assert_eq!(timeline.total_shards_scheduled(), scheduled as u64);
+    assert_eq!(timeline.total_shards_skipped(), skipped as u64);
+
+    // Trace ↔ SnapshotStats.
+    let snap = mgr.snapshot_stats();
+    assert_eq!(timeline.total_snapshots(), snap.epochs_captured as u64);
+
+    // Registry counters ↔ the same stats (bumped in the same statements).
+    assert_eq!(
+        registry.counter("shard.refreshes").get(),
+        stats.refreshes as u64
+    );
+    assert_eq!(registry.counter("shard.skips").get(), stats.skips as u64);
+    assert_eq!(
+        registry.counter("shard.scheduled_slides").get(),
+        scheduled as u64
+    );
+    assert_eq!(
+        registry.counter("shard.skipped_slides").get(),
+        skipped as u64
+    );
+    assert_eq!(
+        registry.counter("snapshot.epochs_captured").get(),
+        snap.epochs_captured as u64
+    );
+    assert_eq!(
+        registry.counter("snapshot.shard_snapshots").get(),
+        snap.shard_snapshots as u64
+    );
+
+    // Gauges published at the barrier carry the settled numbers.
+    assert_eq!(registry.gauge("manager.slides").get(), stats.slides as u64);
+    assert_eq!(
+        registry.gauge("manager.refreshes").get(),
+        stats.refreshes as u64
+    );
+    assert_eq!(registry.gauge("manager.skips").get(), stats.skips as u64);
+    assert_eq!(
+        registry.gauge("manager.subscriptions").get(),
+        mgr.subscription_count() as u64
+    );
+    assert_eq!(registry.gauge("manager.inflight_epochs").get(), 0);
+
+    // Every epoch's refresh loops balance, and a scheduled shard-slide is
+    // exactly one started/finished pair.
+    for record in &timeline.epochs {
+        assert_eq!(record.refreshes_started, record.shards_scheduled);
+        assert_eq!(record.refreshes_finished, record.shards_scheduled);
+    }
+    timeline
+}
+
+/// The PR's acceptance scenario: pipelined epochs (depth ≥ 2) on a forced
+/// 4-thread pool, deliveries attached, tracing on.  The reconstructed
+/// timeline reconciles exactly with `ManagerStats`, `ShardStats`,
+/// `SnapshotStats`, and the delivery queues — and the exporters render the
+/// same numbers.
+#[test]
+fn pipelined_timeline_reconciles_exactly_with_stats() {
+    for depth in [2usize, 4] {
+        let config = ShardConfig::default()
+            .with_threads(Some(4))
+            .with_pipeline_depth(depth)
+            .with_telemetry(TelemetryConfig::default().with_trace_capacity(1 << 20));
+        let (mut mgr, subs, stream) = planted_manager(7, config);
+        let receivers: Vec<_> = subs
+            .iter()
+            .map(|id| {
+                mgr.attach_delivery(*id, DeliveryConfig::default().with_capacity(1 << 16))
+                    .unwrap()
+            })
+            .collect();
+        let tickets = mgr.ingest_stream_async(stream.iter_pairs()).unwrap();
+        assert!(tickets.len() >= 2, "stream must span several epochs");
+        mgr.sync();
+
+        let timeline = assert_reconciled(&mgr);
+
+        // Delivery accounting: ample capacity, so nothing was shed and the
+        // trace's delivered total equals both the registry counter and what
+        // the consumers actually drain.
+        let drained: usize = receivers.iter().map(|rx| rx.drain().len()).sum();
+        assert!(receivers.iter().all(|rx| rx.dropped() == 0));
+        let registry = mgr.telemetry().registry();
+        assert_eq!(registry.counter("delivery.enqueued").get(), drained as u64);
+        assert_eq!(registry.counter("delivery.dropped").get(), 0);
+        assert_eq!(timeline.total_delivered(), drained as u64);
+        assert_eq!(timeline.total_dropped(), 0);
+
+        // The per-epoch ticket decisions are the trace's, epoch for epoch.
+        for ticket in &tickets {
+            let record = timeline.epoch(ticket.slide).expect("epoch traced");
+            assert!(record.shards_scheduled >= ticket.shards_scheduled as u64);
+            assert_eq!(record.shards_deferred, ticket.shards_deferred as u64);
+            assert!(record.shards_skipped >= ticket.shards_skipped as u64);
+        }
+
+        // Stage histograms saw the pipeline's stages.
+        for stage in [
+            "ingest.admission_wait",
+            "ingest.index_write",
+            "ingest.project",
+            "snapshot.capture",
+            "refresh.shard",
+            "worker.item",
+        ] {
+            assert!(
+                registry.histogram(stage).count() > 0,
+                "depth={depth}: stage {stage} never recorded"
+            );
+        }
+        assert!(timeline.slowest_drain().is_some());
+
+        // Exporters render the reconciled numbers under the sanitized names.
+        let prom = mgr.telemetry().render_prometheus();
+        let stats = mgr.stats();
+        assert!(prom.contains(&format!("ksir_manager_refreshes {}", stats.refreshes)));
+        assert!(prom.contains("ksir_refresh_shard_bucket"));
+        let json = mgr.telemetry().to_json();
+        assert!(json.contains(&format!("\"shard.refreshes\": {}", stats.refreshes)));
+        let timeline_json = timeline.to_json();
+        assert!(timeline_json.contains("\"truncated_events\": 0"));
+    }
+}
+
+/// The synchronous path emits the same trace schema: a plain
+/// `ingest_bucket` run (inline and forced-parallel refresh) reconciles the
+/// timeline against the stats and reproduces the per-slide outcome counts.
+#[test]
+fn sync_path_trace_reconciles_with_shard_stats() {
+    for threads in [None, Some(4)] {
+        let config = ShardConfig::default()
+            .with_threads(threads)
+            .with_telemetry(TelemetryConfig::default().with_trace_capacity(1 << 20));
+        let (mut mgr, _subs, stream) = planted_manager(21, config);
+        let outcomes = mgr.ingest_stream(stream.iter_pairs()).unwrap();
+        mgr.sync();
+
+        let timeline = assert_reconciled(&mgr);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let record = timeline.epoch((i + 1) as u64).expect("slide traced");
+            assert_eq!(record.refreshed, outcome.refreshed as u64);
+            assert_eq!(record.total_skips(), outcome.skipped as u64);
+            assert_eq!(record.shards_scheduled, outcome.shards_scheduled as u64);
+            assert_eq!(record.shards_skipped, outcome.shards_skipped as u64);
+            assert_eq!(record.updates, outcome.updates.len() as u64);
+        }
+        // The sync path never snapshots.
+        assert_eq!(timeline.total_snapshots(), 0);
+    }
+}
+
+/// Delivery accounting under all three overflow policies with telemetry on:
+/// what the consumers drain plus what the policies shed equals the result
+/// changes the run produced, and the registry/trace views agree with the
+/// per-receiver tallies.
+#[test]
+fn delivery_accounting_reconciles_under_all_policies() {
+    // Reference run: the total result changes this stream produces.
+    let (mut reference, _, stream) = planted_manager(7, ShardConfig::default());
+    let total_updates: usize = reference
+        .ingest_stream(stream.iter_pairs())
+        .unwrap()
+        .iter()
+        .map(|o| o.updates.len())
+        .sum();
+    assert!(total_updates > 0, "stream must change some results");
+
+    for (policy, capacity) in [
+        (OverflowPolicy::DropOldest, 2),
+        (OverflowPolicy::DropNewest, 2),
+        // Block with ample capacity: nothing shed, nothing blocked.
+        (OverflowPolicy::Block, 1 << 16),
+    ] {
+        let config = ShardConfig::default()
+            .with_pipeline_depth(2)
+            .with_telemetry(TelemetryConfig::default().with_trace_capacity(1 << 20));
+        let (mut mgr, subs, stream) = planted_manager(7, config);
+        let receivers: Vec<_> = subs
+            .iter()
+            .map(|id| {
+                mgr.attach_delivery(
+                    *id,
+                    DeliveryConfig::default()
+                        .with_capacity(capacity)
+                        .with_policy(policy),
+                )
+                .unwrap()
+            })
+            .collect();
+        mgr.ingest_stream_async(stream.iter_pairs()).unwrap();
+        mgr.sync();
+
+        let drained: u64 = receivers.iter().map(|rx| rx.drain().len() as u64).sum();
+        let shed: u64 = receivers.iter().map(|rx| rx.dropped()).sum();
+        assert_eq!(
+            drained + shed,
+            total_updates as u64,
+            "{policy:?}: every result change is either drained or shed"
+        );
+
+        let registry = mgr.telemetry().registry();
+        let enqueued = registry.counter("delivery.enqueued").get();
+        let dropped = registry.counter("delivery.dropped").get();
+        assert_eq!(
+            dropped, shed,
+            "{policy:?}: registry sheds == receiver sheds"
+        );
+        match policy {
+            // Every delta is accepted; sheds evict already-enqueued deltas.
+            OverflowPolicy::DropOldest => {
+                assert_eq!(enqueued, total_updates as u64);
+                assert_eq!(enqueued - dropped, drained);
+            }
+            // Sheds reject deltas before they are ever enqueued.
+            OverflowPolicy::DropNewest => {
+                assert_eq!(enqueued + dropped, total_updates as u64);
+                assert_eq!(enqueued, drained);
+            }
+            OverflowPolicy::Block => {
+                assert_eq!(dropped, 0);
+                assert_eq!(enqueued, drained);
+            }
+        }
+
+        // The trace saw the same flow.
+        let timeline = mgr.telemetry().timeline();
+        assert_eq!(timeline.total_delivered(), enqueued);
+        assert_eq!(timeline.total_dropped(), dropped);
+    }
+}
+
+/// Tracing off is a clean degradation: no events, empty timeline, but the
+/// registry still carries every counter and the run's decisions are
+/// unchanged (same stats as the traced run).
+#[test]
+fn disabled_tracing_keeps_metrics_and_decisions() {
+    let traced_cfg = ShardConfig::default().with_pipeline_depth(2);
+    let silent_cfg = traced_cfg.with_telemetry(TelemetryConfig::disabled());
+
+    let (mut traced, _, stream) = planted_manager(7, traced_cfg);
+    traced.ingest_stream_async(stream.iter_pairs()).unwrap();
+    traced.sync();
+
+    let (mut silent, _, _) = planted_manager(7, silent_cfg);
+    silent.ingest_stream_async(stream.iter_pairs()).unwrap();
+    silent.sync();
+
+    assert_eq!(traced.stats(), silent.stats());
+    assert!(silent.telemetry().trace().is_empty());
+    assert!(silent.telemetry().timeline().epochs.is_empty());
+    let registry = silent.telemetry().registry();
+    assert_eq!(
+        registry.counter("shard.refreshes").get(),
+        silent.stats().refreshes as u64
+    );
+    assert!(registry.histogram("ingest.index_write").count() > 0);
+}
+
+/// A bounded ring sheds the oldest events and reports it, so a consumer can
+/// tell a suffix from the whole stream.
+#[test]
+fn trace_ring_overflow_is_reported_not_silent() {
+    let config =
+        ShardConfig::default().with_telemetry(TelemetryConfig::default().with_trace_capacity(8));
+    let (mut mgr, _, stream) = planted_manager(7, config);
+    mgr.ingest_stream(stream.iter_pairs()).unwrap();
+
+    let telemetry = mgr.telemetry();
+    assert!(telemetry.trace().events_dropped() > 0);
+    assert!(telemetry.trace().len() <= 8);
+    let timeline = telemetry.timeline();
+    assert!(timeline.truncated_events > 0);
+    // The surviving suffix still groups by epoch.
+    let epochs: BTreeMap<u64, u64> = timeline
+        .epochs
+        .iter()
+        .map(|r| (r.epoch, r.shards_scheduled))
+        .collect();
+    assert!(!epochs.is_empty());
+}

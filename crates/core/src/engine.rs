@@ -7,6 +7,7 @@
 //! answered from the ranked lists without touching the raw stream.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ksir_stream::{ActiveWindow, RankedLists, WindowDelta};
@@ -43,6 +44,11 @@ pub struct EngineStats {
     /// [`KsirEngine::stats`] at read time — the engine's stored stats field
     /// keeps this at zero, so never read it off internal state directly.
     pub ranked_cow_clones: usize,
+    /// Ad-hoc queries served through [`KsirEngine::query`] (all algorithms).
+    /// Like `ranked_cow_clones`, filled in at read time from an atomic
+    /// counter — `query` takes `&self` and may run from many refresh workers
+    /// at once.
+    pub queries_served: usize,
 }
 
 /// Summary of one [`KsirEngine::ingest_bucket`] call.
@@ -88,6 +94,8 @@ pub struct KsirEngine<D> {
     /// active set, as required by the paper's definition of `A_t`.
     archive: HashMap<ElementId, (SocialElement, TopicVector)>,
     stats: EngineStats,
+    /// Queries served; atomic because [`KsirEngine::query`] takes `&self`.
+    queries: AtomicUsize,
 }
 
 impl<D: TopicWordDistribution> KsirEngine<D> {
@@ -108,6 +116,7 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
             topic_vectors: Arc::new(HashMap::new()),
             archive: HashMap::new(),
             stats: EngineStats::default(),
+            queries: AtomicUsize::new(0),
             config,
         })
     }
@@ -221,6 +230,7 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             ranked_cow_clones: self.ranked.cow_clones(),
+            queries_served: self.queries.load(Ordering::Relaxed),
             ..self.stats
         }
     }
@@ -456,6 +466,7 @@ impl<D: TopicWordDistribution> KsirEngine<D> {
     /// same dispatcher the snapshot-backed refresh path uses, so the two can
     /// never diverge algorithmically.
     pub fn query(&self, query: &KsirQuery, algorithm: Algorithm) -> Result<QueryResult> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         view::run_query(
             &self.ranked,
             self.window.as_ref(),

@@ -3,17 +3,23 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use ksir_telemetry::{Counter, MetricsRegistry};
+
 /// Cumulative snapshot-capture counters, read out as [`SnapshotStats`].
 ///
 /// Cloneable `Arc` handle: the manager keeps one, every [`EngineSnapshot`]
 /// and [`ShardSnapshot`] built under it records into the same tallies from
-/// whatever thread it runs on.
+/// whatever thread it runs on.  Built
+/// [`with_registry`](SnapshotCounters::with_registry), every tally is also
+/// mirrored into `snapshot.*` registry counters in the same call — the two
+/// views cannot drift.
 ///
 /// [`EngineSnapshot`]: crate::EngineSnapshot
 /// [`ShardSnapshot`]: crate::ShardSnapshot
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotCounters {
     inner: Arc<Counters>,
+    mirror: Option<Arc<Mirror>>,
 }
 
 #[derive(Debug, Default)]
@@ -27,22 +33,61 @@ struct Counters {
     truncation_shortfalls: AtomicUsize,
 }
 
+/// Registry handles mirroring each tally, held so the hot path never
+/// re-resolves names.
+#[derive(Debug)]
+struct Mirror {
+    epochs_captured: Arc<Counter>,
+    shard_snapshots: Arc<Counter>,
+    prefixes_shared: Arc<Counter>,
+    prefixes_truncated: Arc<Counter>,
+    entries_copied: Arc<Counter>,
+    entries_truncated: Arc<Counter>,
+    truncation_shortfalls: Arc<Counter>,
+}
+
 impl SnapshotCounters {
     /// Fresh, all-zero counters.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Fresh counters that also mirror every tally into `snapshot.*`
+    /// counters of `registry`.
+    pub fn with_registry(registry: &MetricsRegistry) -> Self {
+        SnapshotCounters {
+            inner: Arc::default(),
+            mirror: Some(Arc::new(Mirror {
+                epochs_captured: registry.counter("snapshot.epochs_captured"),
+                shard_snapshots: registry.counter("snapshot.shard_snapshots"),
+                prefixes_shared: registry.counter("snapshot.prefixes_shared"),
+                prefixes_truncated: registry.counter("snapshot.prefixes_truncated"),
+                entries_copied: registry.counter("snapshot.entries_copied"),
+                entries_truncated: registry.counter("snapshot.entries_truncated"),
+                truncation_shortfalls: registry.counter("snapshot.truncation_shortfalls"),
+            })),
+        }
+    }
+
     pub(crate) fn count_epoch(&self) {
         self.inner.epochs_captured.fetch_add(1, Ordering::Relaxed);
+        if let Some(mirror) = &self.mirror {
+            mirror.epochs_captured.inc();
+        }
     }
 
     pub(crate) fn count_shard_snapshot(&self) {
         self.inner.shard_snapshots.fetch_add(1, Ordering::Relaxed);
+        if let Some(mirror) = &self.mirror {
+            mirror.shard_snapshots.inc();
+        }
     }
 
     pub(crate) fn count_shared_prefix(&self) {
         self.inner.prefixes_shared.fetch_add(1, Ordering::Relaxed);
+        if let Some(mirror) = &self.mirror {
+            mirror.prefixes_shared.inc();
+        }
     }
 
     pub(crate) fn count_truncated_prefix(&self, copied: usize, truncated: usize) {
@@ -55,12 +100,20 @@ impl SnapshotCounters {
         self.inner
             .entries_truncated
             .fetch_add(truncated, Ordering::Relaxed);
+        if let Some(mirror) = &self.mirror {
+            mirror.prefixes_truncated.inc();
+            mirror.entries_copied.add(copied as u64);
+            mirror.entries_truncated.add(truncated as u64);
+        }
     }
 
     pub(crate) fn count_shortfall(&self) {
         self.inner
             .truncation_shortfalls
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(mirror) = &self.mirror {
+            mirror.truncation_shortfalls.inc();
+        }
     }
 
     /// A point-in-time copy of the tallies.

@@ -1,0 +1,163 @@
+//! Exporters: one schema, two wire formats.
+//!
+//! [`MetricsRegistry::render_prometheus`] emits the Prometheus text
+//! exposition format (counters, gauges, and cumulative `_bucket`/`_sum`/
+//! `_count` histogram series); [`MetricsRegistry::to_json`] emits the same
+//! view as a single JSON object with summary quantiles per histogram.  Both
+//! are hand-rolled — the workspace takes no serialization dependency — and
+//! both sanitize stage names (`ingest.index_write` →
+//! `ksir_ingest_index_write`) so the dotted internal names stay valid metric
+//! identifiers.
+
+use crate::metrics::MetricsRegistry;
+
+/// Prefix every exported metric carries, namespacing the pipeline's series.
+const PREFIX: &str = "ksir_";
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(PREFIX.len() + name.len());
+    out.push_str(PREFIX);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl MetricsRegistry {
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format.  Histograms become cumulative `_bucket{le="..."}` series in
+    /// **seconds** (the Prometheus convention for latency), plus `_sum` and
+    /// `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let (counters, gauges, histograms) = self.export_view();
+        let mut out = String::new();
+        for (name, counter) in counters {
+            let id = sanitize(name);
+            out.push_str(&format!("# TYPE {id} counter\n{id} {}\n", counter.get()));
+        }
+        for (name, gauge) in gauges {
+            let id = sanitize(name);
+            out.push_str(&format!("# TYPE {id} gauge\n{id} {}\n", gauge.get()));
+        }
+        for (name, histogram) in histograms {
+            let id = sanitize(name);
+            out.push_str(&format!("# TYPE {id} histogram\n"));
+            let mut cumulative = 0;
+            for (upper_nanos, count) in histogram.cumulative_buckets() {
+                cumulative = count;
+                out.push_str(&format!(
+                    "{id}_bucket{{le=\"{}\"}} {count}\n",
+                    upper_nanos as f64 / 1e9,
+                ));
+            }
+            out.push_str(&format!("{id}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            out.push_str(&format!("{id}_sum {}\n", histogram.sum().as_secs_f64()));
+            out.push_str(&format!("{id}_count {}\n", histogram.count()));
+        }
+        out
+    }
+
+    /// Renders every registered metric as one JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {count, sum_ns, mean_ns, p50_ns, p95_ns, p99_ns, max_ns}}}`.
+    /// Histogram figures are nanoseconds, matching the trace timestamps.
+    pub fn to_json(&self) -> String {
+        let (counters, gauges, histograms) = self.export_view();
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, counter)) in counters.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\n    \"{name}\": {}",
+                if i == 0 { "" } else { "," },
+                counter.get()
+            ));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, gauge)) in gauges.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\n    \"{name}\": {}",
+                if i == 0 { "" } else { "," },
+                gauge.get()
+            ));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\n    \"{name}\": {{ \"count\": {}, \"sum_ns\": {}, \"mean_ns\": {}, \
+                 \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {} }}",
+                if i == 0 { "" } else { "," },
+                h.count(),
+                h.sum().as_nanos(),
+                h.mean().as_nanos(),
+                h.p50().as_nanos(),
+                h.p95().as_nanos(),
+                h.p99().as_nanos(),
+                h.max().as_nanos(),
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let registry = MetricsRegistry::new();
+        registry.counter("delivery.enqueued").add(3);
+        registry.gauge("manager.slides").set(12);
+        let h = registry.histogram("refresh.shard");
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(700));
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE ksir_delivery_enqueued counter"));
+        assert!(text.contains("ksir_delivery_enqueued 3"));
+        assert!(text.contains("ksir_manager_slides 12"));
+        assert!(text.contains("# TYPE ksir_refresh_shard histogram"));
+        assert!(text.contains("ksir_refresh_shard_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("ksir_refresh_shard_count 2"));
+        // Bucket series are cumulative: the last finite bucket equals the
+        // total count.
+        let finite_buckets: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("ksir_refresh_shard_bucket{le=") && !l.contains("+Inf"))
+            .collect();
+        assert_eq!(finite_buckets.len(), 2);
+        assert!(finite_buckets[1].ends_with(" 2"));
+    }
+
+    #[test]
+    fn json_rendering_covers_all_families() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a.count").inc();
+        registry.gauge("b.depth").set(4);
+        registry
+            .histogram("c.lat")
+            .record(Duration::from_nanos(100));
+
+        let json = registry.to_json();
+        assert!(json.contains("\"a.count\": 1"));
+        assert!(json.contains("\"b.depth\": 4"));
+        assert!(json.contains("\"c.lat\": { \"count\": 1"));
+        assert!(json.contains("\"sum_ns\": 100"));
+        // Keep the output parseable by eye: object per family, no trailing
+        // commas.
+        assert!(!json.contains(",\n  }"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_families() {
+        let registry = MetricsRegistry::new();
+        assert_eq!(registry.render_prometheus(), "");
+        let json = registry.to_json();
+        assert!(json.contains("\"counters\": {\n  }"));
+    }
+}

@@ -1,0 +1,346 @@
+//! The unified metrics registry: atomic counters and gauges plus
+//! log-bucketed latency histograms, keyed by static stage names.
+//!
+//! Registration (the first `counter("x")` for a given name) takes a write
+//! lock on the name map; every *use* after that is a plain atomic op on an
+//! `Arc` handle the instrumented code holds on to, so the hot paths are
+//! lock-free.  Names are `&'static str` by design: the set of stages is part
+//! of the program, not of the data, which keeps the registry allocation-free
+//! after warm-up and makes the exported schema stable across runs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the count.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the count.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depths, watermark positions,
+/// folded stats views).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` counts samples in `[2^(i-1), 2^i)`
+/// nanoseconds (bucket 0 is `0..1` ns), so the top bucket starts at
+/// `2^46` ns ≈ 19.5 h — far beyond any stage this registry times.
+const BUCKETS: usize = 48;
+
+/// A lock-free latency histogram with logarithmic (power-of-two nanosecond)
+/// buckets.
+///
+/// Quantiles are read out as the **upper bound** of the bucket the rank
+/// falls in (clamped to the observed maximum), i.e. conservative to within
+/// a factor of two — plenty for "which stage bounds the slide interval"
+/// questions, at the cost of one `fetch_add` per sample.
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+fn bucket_of(nanos: u64) -> usize {
+    ((64 - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        1
+    } else {
+        1u64 << index
+    }
+}
+
+impl Histogram {
+    /// Records one duration sample.
+    pub fn record(&self, sample: Duration) {
+        let nanos = sample.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Mean sample (zero when empty).
+    pub fn mean(&self) -> Duration {
+        match self
+            .sum_nanos
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+        {
+            Some(mean) => Duration::from_nanos(mean),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of its bucket,
+    /// clamped to the observed maximum.  Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.counts.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let bound = bucket_upper_bound(index);
+                return Duration::from_nanos(bound.min(self.max_nanos.load(Ordering::Relaxed)));
+            }
+        }
+        self.max()
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(upper_bound_nanos, cumulative_count)` pairs,
+    /// for the Prometheus exporter.
+    pub(crate) fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.counts.iter().enumerate() {
+            let count = bucket.load(Ordering::Relaxed);
+            if count > 0 {
+                cumulative += count;
+                out.push((bucket_upper_bound(index), cumulative));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Families {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+/// One metric family as the exporters consume it: name-sorted handles.
+pub(crate) type Named<T> = Vec<(&'static str, Arc<T>)>;
+
+/// The registry: one namespace of counters, gauges and histograms shared by
+/// every layer of the pipeline (engine, snapshots, shards, workers,
+/// delivery), exported through one schema
+/// ([`render_prometheus`](MetricsRegistry::render_prometheus) /
+/// [`to_json`](MetricsRegistry::to_json)).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: RwLock<Families>,
+}
+
+macro_rules! get_or_register {
+    ($self:ident, $family:ident, $name:ident) => {{
+        if let Some(found) = $self
+            .families
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .$family
+            .get($name)
+        {
+            return Arc::clone(found);
+        }
+        let mut families = $self.families.write().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(families.$family.entry($name).or_default())
+    }};
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created on first use.  Hold the
+    /// returned handle where the increment happens; re-looking it up per
+    /// event works but pays the read lock.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        get_or_register!(self, counters, name)
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        get_or_register!(self, gauges, name)
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        get_or_register!(self, histograms, name)
+    }
+
+    /// Point-in-time copy of every registered handle, for the exporters.
+    pub(crate) fn export_view(&self) -> (Named<Counter>, Named<Gauge>, Named<Histogram>) {
+        let families = self.families.read().unwrap_or_else(|p| p.into_inner());
+        (
+            families
+                .counters
+                .iter()
+                .map(|(&k, v)| (k, Arc::clone(v)))
+                .collect(),
+            families
+                .gauges
+                .iter()
+                .map(|(&k, v)| (k, Arc::clone(v)))
+                .collect(),
+            families
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k, Arc::clone(v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("stage.events");
+        c.inc();
+        c.add(4);
+        // The same name resolves to the same underlying counter.
+        assert_eq!(registry.counter("stage.events").get(), 5);
+        let g = registry.gauge("stage.depth");
+        g.set(3);
+        g.set(7);
+        assert_eq!(registry.gauge("stage.depth").get(), 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        for micros in [10u64, 20, 30, 40, 1000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        // p50 falls in the bucket holding 10–20 µs samples; the reported
+        // upper bound must bracket the true median within a factor of two.
+        let p50 = h.p50();
+        assert!(p50 >= Duration::from_micros(16) && p50 <= Duration::from_micros(64));
+        // The tail quantiles land on the 1 ms outlier's bucket, clamped to
+        // the observed max.
+        assert_eq!(h.p99(), Duration::from_micros(1000));
+        assert!(h.mean() >= Duration::from_micros(220));
+        assert!(h.sum() == Duration::from_micros(1100));
+    }
+
+    #[test]
+    fn histogram_handles_extreme_samples() {
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(100_000)); // beyond the top bucket start
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p99(), Duration::from_secs(100_000));
+        assert!(h.p50() <= Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    let c = registry.counter("par.count");
+                    let h = registry.histogram("par.lat");
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(Duration::from_nanos(i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(registry.counter("par.count").get(), 4000);
+        assert_eq!(registry.histogram("par.lat").count(), 4000);
+    }
+}

@@ -10,8 +10,11 @@
 //! returns as soon as the index is updated and the touched shards are handed
 //! to the refresh workers, while each panel's result changes stream into its
 //! queue to be drained at the panel's own pace.  At the end it prints how
-//! much evaluation work the delta-refresh rules saved and how the panels
-//! spread over shards.
+//! much evaluation work the delta-refresh rules saved, how the panels spread
+//! over shards, what the epoch snapshots and the writer's copy-on-write
+//! cost, and the stage latencies / epoch timeline the manager's telemetry
+//! bundle recorded along the way (the same registry `render_prometheus()`
+//! and `to_json()` would export to a real scraper).
 //!
 //! Run with `cargo run --release --example live_dashboard`.
 
@@ -91,12 +94,31 @@ fn main() -> Result<(), ksir::KsirError> {
     println!(
         "{} slides ingested; shard touch filters scheduled {} shard refreshes \
          and proved {} shard-slides undisturbed ({} epoch handoffs rode a busy \
-         shard's lane; {} epoch snapshots captured).\n",
+         shard's lane).\n",
         tickets.len(),
         scheduled,
         undisturbed,
         deferred,
+    );
+    // What the pipelining cost: epoch snapshots on the capture side
+    // (SnapshotStats) and copy-on-write clones on the writer side
+    // (EngineStats) — the two halves of the snapshot subsystem's bill.
+    let engine_stats = dashboard.engine().stats();
+    println!(
+        "Snapshot bill: {} epoch snapshots -> {} shard snapshots ({} watched \
+         lists shared whole, {} truncated); the writer paid {} cow clones \
+         ({} window / {} topic-vector / {} ranked-list) to leave them \
+         immutable.\n",
         snap.epochs_captured,
+        snap.shard_snapshots,
+        snap.prefixes_shared,
+        snap.prefixes_truncated,
+        engine_stats.window_cow_clones
+            + engine_stats.topic_vector_cow_clones
+            + engine_stats.ranked_cow_clones,
+        engine_stats.window_cow_clones,
+        engine_stats.topic_vector_cow_clones,
+        engine_stats.ranked_cow_clones,
     );
 
     // Drain each panel's queue: the full change history (bounded by the
@@ -150,6 +172,59 @@ fn main() -> Result<(), ksir::KsirError> {
             100.0 * shard.skip_rate(),
         );
     }
+
+    // The same numbers, read back from the unified telemetry bundle: stage
+    // latency histograms keyed by static stage names, and the per-epoch
+    // timeline reconstructed from the trace ring.  A real deployment scrapes
+    // these via `telemetry.render_prometheus()` / `to_json()` instead of
+    // calling the stats accessors above.
+    let telemetry = dashboard.telemetry();
+    let registry = telemetry.registry();
+    println!("\nStage latencies (from the metrics registry):");
+    for stage in [
+        "ingest.admission_wait",
+        "ingest.index_write",
+        "ingest.project",
+        "snapshot.capture",
+        "refresh.shard",
+        "worker.item",
+    ] {
+        let hist = registry.histogram(stage);
+        if hist.count() == 0 {
+            continue;
+        }
+        println!(
+            "  {stage:<22} n={:<6} p50 {:>9.1} µs  p95 {:>9.1} µs  max {:>9.1} µs",
+            hist.count(),
+            hist.p50().as_secs_f64() * 1e6,
+            hist.p95().as_secs_f64() * 1e6,
+            hist.max().as_secs_f64() * 1e6,
+        );
+    }
+    let timeline = telemetry.timeline();
+    if let Some(slow) = timeline.slowest_drain() {
+        println!(
+            "Epoch timeline: {} epochs traced; slowest drain was epoch {} \
+             ({:.2} ms from index write to last delivery — {} refreshed, \
+             {} updates).",
+            timeline.epochs.len(),
+            slow.epoch,
+            slow.drain_nanos() as f64 / 1e6,
+            slow.refreshed,
+            slow.updates,
+        );
+    }
+    let prometheus = telemetry.render_prometheus();
+    println!(
+        "Exporters: render_prometheus() -> {} metric lines, to_json() -> {} \
+         bytes (e.g. `{}`).",
+        prometheus.lines().filter(|l| !l.starts_with('#')).count(),
+        telemetry.to_json().len(),
+        prometheus
+            .lines()
+            .find(|l| l.starts_with("ksir_manager_refreshes"))
+            .unwrap_or_default(),
+    );
 
     // Final state of every panel.
     println!("\nFinal dashboard:");
