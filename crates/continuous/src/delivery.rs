@@ -55,6 +55,36 @@ pub struct Delivery {
 }
 
 /// Queue configuration fixed at attach time.
+///
+/// # Example
+///
+/// ```
+/// use ksir_continuous::{DeliveryConfig, OverflowPolicy, SubscriptionManager};
+/// use ksir_core::{fixtures::paper_example, Algorithm, KsirQuery};
+/// use ksir_types::QueryVector;
+///
+/// let example = paper_example();
+/// let mut manager = SubscriptionManager::new(example.empty_engine());
+/// let query = KsirQuery::new(2, QueryVector::new(vec![0.5, 0.5])?)?;
+/// let sub = manager.subscribe(query, Algorithm::Mtts)?;
+///
+/// // A small queue that keeps the *head* of the delta sequence on overflow.
+/// let config = DeliveryConfig::default()
+///     .with_capacity(8)
+///     .with_policy(OverflowPolicy::DropNewest);
+/// let receiver = manager.attach_delivery(sub, config).unwrap();
+///
+/// for (element, tv) in example.stream() {
+///     let ts = element.ts;
+///     manager.ingest_bucket(vec![(element, tv)], ts)?;
+/// }
+/// // Every delta is stamped with the 1-based slide that produced it.
+/// let deliveries = receiver.drain();
+/// assert!(!deliveries.is_empty());
+/// assert!(deliveries.windows(2).all(|w| w[0].slide <= w[1].slide));
+/// assert_eq!(receiver.dropped(), 0);
+/// # Ok::<(), ksir_types::KsirError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeliveryConfig {
     /// Maximum queued deliveries before the overflow policy applies.

@@ -45,6 +45,8 @@ pub struct RetiredStats {
     pub shards: usize,
     /// Slide-driven refreshes performed by retired shards while they lived.
     pub refreshes: usize,
+    /// The subset of `refreshes` that ran delta-restricted.
+    pub delta_refreshes: usize,
     /// Slide-time skips charged by retired shards while they lived.
     pub skips: usize,
     /// Slides that scheduled a now-retired shard.
@@ -396,12 +398,22 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         let mut sub = Subscription::new(query, algorithm);
         // The initial evaluation is not a slide, so it is deliberately left
         // out of the refresh/skip counters — they must reconcile with
-        // `slides x subscriptions`.
-        refresh_one(&*self.engine.read(), id, &mut sub, RefreshReason::Initial);
+        // `slides x subscriptions`.  It always runs full (there is no prior
+        // result to restrict against), warming the singleton memo for the
+        // first slide-driven delta refresh.
+        let delta_refresh = self.config.delta_refresh;
+        refresh_one(
+            &*self.engine.read(),
+            id,
+            &mut sub,
+            RefreshReason::Initial,
+            None,
+            delta_refresh,
+        );
         let telemetry = &self.telemetry;
         self.shards
             .entry(key)
-            .or_insert_with(|| Arc::new(ShardCell::new(key, Arc::clone(telemetry))))
+            .or_insert_with(|| Arc::new(ShardCell::new(key, Arc::clone(telemetry), delta_refresh)))
             .shard()
             .insert(id, sub);
         self.route_of.insert(id, key);
@@ -452,6 +464,7 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         if let Some(stats) = retire {
             self.retired.shards += 1;
             self.retired.refreshes += stats.refreshes;
+            self.retired.delta_refreshes += stats.delta_refreshes;
             self.retired.skips += stats.skips;
             self.retired.scheduled_slides += stats.scheduled_slides;
             self.retired.skipped_slides += stats.skipped_slides;
@@ -548,7 +561,16 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
             let engine = self.engine.read();
             let mut shard = cell.shard();
             let sub = shard.get_mut(id)?;
-            let update = refresh_one(&*engine, id, sub, RefreshReason::Forced);
+            // Forced refreshes run full: the caller sits outside the slide
+            // stream, so no delta vouches for the memo's sync point.
+            let (update, _mode) = refresh_one(
+                &*engine,
+                id,
+                sub,
+                RefreshReason::Forced,
+                None,
+                self.config.delta_refresh,
+            );
             // The stored result (and with it the shard's floors/members) may
             // have changed even when no delta is reported.
             shard.rebuild_filters();

@@ -96,6 +96,14 @@ pub struct ShardConfig {
     /// How much telemetry the manager collects (see [`TelemetryConfig`]).
     /// Tracing is on by default; metrics are always on.
     pub telemetry: TelemetryConfig,
+    /// Whether slide-driven refreshes may run **delta-restricted**: singleton
+    /// scores answered from the subscription's retained memo, with only the
+    /// slide's changed elements re-derived from their stored ranked-list
+    /// tuples.  Decisions and scores are identical to a full re-run (see
+    /// [`ksir_core::SingletonCache`]); `false` forces every refresh down the
+    /// full-rerun path, which is the baseline the `refresh` perf gate
+    /// compares against.
+    pub delta_refresh: bool,
 }
 
 impl Default for ShardConfig {
@@ -106,6 +114,7 @@ impl Default for ShardConfig {
             pipeline_depth: 2,
             snapshot_policy: SnapshotPolicy::Exact,
             telemetry: TelemetryConfig::default(),
+            delta_refresh: true,
         }
     }
 }
@@ -157,6 +166,13 @@ impl ShardConfig {
         self
     }
 
+    /// Enables or disables delta-restricted refreshes (`false` = always run
+    /// full, the perf-gate baseline).
+    pub fn with_delta_refresh(mut self, delta_refresh: bool) -> Self {
+        self.delta_refresh = delta_refresh;
+        self
+    }
+
     /// The shard a query routes to under this configuration: its dominant
     /// support topic, or the overflow shard when the support is broader than
     /// the threshold.
@@ -205,6 +221,9 @@ pub struct ShardStats {
     pub subscriptions: usize,
     /// Slide-driven query re-runs across all residents.
     pub refreshes: usize,
+    /// The subset of [`ShardStats::refreshes`] that ran delta-restricted
+    /// (singleton scores answered from the residents' retained memos).
+    pub delta_refreshes: usize,
     /// Slide-time evaluations skipped (shard-level and per-resident).
     pub skips: usize,
     /// Slides for which the shard's filters fired and residents were
@@ -251,6 +270,13 @@ pub(crate) struct ShardTelemetry {
     skips: Arc<Counter>,
     scheduled_slides: Arc<Counter>,
     skipped_slides: Arc<Counter>,
+    /// `refresh.mode.*` counters: how each slide-time classification was
+    /// served — a full re-run, a delta-restricted re-run, or a provable skip.
+    /// `refresh.mode.full + refresh.mode.delta == shard.refreshes` and
+    /// `refresh.mode.skipped == shard.skips`, bumped in the same statements.
+    refresh_mode_full: Arc<Counter>,
+    refresh_mode_delta: Arc<Counter>,
+    refresh_mode_skipped: Arc<Counter>,
 }
 
 impl ShardTelemetry {
@@ -263,6 +289,9 @@ impl ShardTelemetry {
             skips: registry.counter("shard.skips"),
             scheduled_slides: registry.counter("shard.scheduled_slides"),
             skipped_slides: registry.counter("shard.skipped_slides"),
+            refresh_mode_full: registry.counter("refresh.mode.full"),
+            refresh_mode_delta: registry.counter("refresh.mode.delta"),
+            refresh_mode_skipped: registry.counter("refresh.mode.skipped"),
             bundle,
         }
     }
@@ -277,6 +306,8 @@ impl ShardTelemetry {
 pub(crate) struct ShardSlide {
     pub(crate) updates: Vec<ResultDelta>,
     pub(crate) refreshed: usize,
+    /// The subset of `refreshed` that ran delta-restricted.
+    pub(crate) delta_refreshed: usize,
     pub(crate) skipped: usize,
 }
 
@@ -328,11 +359,11 @@ pub(crate) struct ShardCell {
 }
 
 impl ShardCell {
-    pub(crate) fn new(key: ShardKey, bundle: Arc<Telemetry>) -> Self {
+    pub(crate) fn new(key: ShardKey, bundle: Arc<Telemetry>, delta_refresh: bool) -> Self {
         let telemetry = ShardTelemetry::new(bundle, key);
         ShardCell {
             lane: Mutex::new(Lane::default()),
-            shard: Mutex::new(Shard::new(key, telemetry.clone())),
+            shard: Mutex::new(Shard::new(key, telemetry.clone(), delta_refresh)),
             telemetry,
         }
     }
@@ -424,7 +455,11 @@ pub(crate) struct Shard {
     members: HashSet<ElementId>,
     /// Residents that have never been evaluated (refresh rule 1).
     pending_initial: usize,
+    /// Whether classified refreshes may run delta-restricted
+    /// (see [`ShardConfig::delta_refresh`]).
+    delta_refresh: bool,
     refreshes: usize,
+    delta_refreshes: usize,
     skips: usize,
     scheduled_slides: usize,
     skipped_slides: usize,
@@ -432,14 +467,16 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    pub(crate) fn new(key: ShardKey, telemetry: ShardTelemetry) -> Self {
+    pub(crate) fn new(key: ShardKey, telemetry: ShardTelemetry, delta_refresh: bool) -> Self {
         Shard {
             key,
             subs: BTreeMap::new(),
             floors: FloorAggregate::new(),
             members: HashSet::new(),
             pending_initial: 0,
+            delta_refresh,
             refreshes: 0,
+            delta_refreshes: 0,
             skips: 0,
             scheduled_slides: 0,
             skipped_slides: 0,
@@ -480,6 +517,7 @@ impl Shard {
             key: self.key,
             subscriptions: self.subs.len(),
             refreshes: self.refreshes,
+            delta_refreshes: self.delta_refreshes,
             skips: self.skips,
             scheduled_slides: self.scheduled_slides,
             skipped_slides: self.skipped_slides,
@@ -540,22 +578,51 @@ impl Shard {
     }
 
     /// The ranked-list view a refresh of this shard needs, as truncation
-    /// floors: every support topic of every resident, at the aggregated
-    /// (loosest) floor when one is known and untruncated otherwise.  Fed to
+    /// floors: for every support topic of every resident, the loosest
+    /// per-resident requirement.  Fed to
     /// [`ksir_snapshot::SnapshotSource::shard_source`] to build the bounded
     /// per-shard snapshot.
+    ///
+    /// A resident with a frontier requires each support list down to its own
+    /// traversal floor, tightened by its admission **bar** when the last run
+    /// reported one ([`ksir_core::QueryFrontier::bar`]): an element whose
+    /// weighted tuple is below `bar / (support_len · xᵢ)` in *every* support
+    /// topic has a singleton score below the bar and could not have entered
+    /// the result, so lists exhausted by the last traversal no longer force
+    /// whole-list prefixes.  Residents without a frontier — awaiting their
+    /// first evaluation, or running a frontier-less algorithm — require the
+    /// whole list.
     pub(crate) fn prefix_spec(&self) -> PrefixSpec {
         let mut floors: BTreeMap<TopicId, Option<f64>> = BTreeMap::new();
         for sub in self.subs.values() {
-            for (topic, _) in sub.query.vector().support() {
-                let floor = match self.floors.floor(topic) {
-                    Some(Some(floor)) => Some(floor),
-                    // Any-touch topics and topics outside the aggregate
-                    // (residents awaiting their first evaluation) get the
-                    // whole list.
-                    _ => None,
-                };
-                floors.insert(topic, floor);
+            let support = sub.query.vector().support();
+            let frontier = sub.frontier();
+            let bar = frontier.and_then(|f| f.bar);
+            for &(topic, weight) in &support {
+                let own = frontier.and_then(|f| {
+                    let floor = f
+                        .floors
+                        .iter()
+                        .find(|&&(t, _)| t == topic)
+                        .and_then(|&(_, floor)| floor);
+                    let cutoff = bar.map(|b| b / (support.len() as f64 * weight));
+                    match (floor, cutoff) {
+                        (Some(floor), Some(cutoff)) => Some(floor.max(cutoff)),
+                        (Some(floor), None) => Some(floor),
+                        (None, Some(cutoff)) => Some(cutoff),
+                        (None, None) => None,
+                    }
+                });
+                floors
+                    .entry(topic)
+                    .and_modify(|agg| {
+                        *agg = match (*agg, own) {
+                            (Some(a), Some(o)) => Some(a.min(o)),
+                            // Any whole-list requirement wins.
+                            _ => None,
+                        };
+                    })
+                    .or_insert(own);
             }
         }
         PrefixSpec {
@@ -582,7 +649,13 @@ impl Shard {
                 Some(reason) => {
                     slide.refreshed += 1;
                     sub.stats.refreshes += 1;
-                    if let Some(update) = refresh_one(source, id, sub, reason) {
+                    let (update, mode) =
+                        refresh_one(source, id, sub, reason, Some(delta), self.delta_refresh);
+                    if mode == RefreshMode::Delta {
+                        slide.delta_refreshed += 1;
+                        sub.stats.delta_refreshes += 1;
+                    }
+                    if let Some(update) = update {
                         slide.updates.push(update);
                     }
                 }
@@ -594,10 +667,20 @@ impl Shard {
         }
         self.scheduled_slides += 1;
         self.refreshes += slide.refreshed;
+        self.delta_refreshes += slide.delta_refreshed;
         self.skips += slide.skipped;
         self.telemetry.scheduled_slides.inc();
         self.telemetry.refreshes.add(slide.refreshed as u64);
+        self.telemetry
+            .refresh_mode_full
+            .add((slide.refreshed - slide.delta_refreshed) as u64);
+        self.telemetry
+            .refresh_mode_delta
+            .add(slide.delta_refreshed as u64);
         self.telemetry.skips.add(slide.skipped as u64);
+        self.telemetry
+            .refresh_mode_skipped
+            .add(slide.skipped as u64);
         self.telemetry.refresh_hist.record(started.elapsed());
         self.telemetry.record(
             epoch,
@@ -635,6 +718,7 @@ impl Shard {
         self.skips += skipped;
         self.skipped_slides += 1;
         self.telemetry.skips.add(skipped as u64);
+        self.telemetry.refresh_mode_skipped.add(skipped as u64);
         self.telemetry.skipped_slides.inc();
         self.telemetry.record(
             epoch,
@@ -674,19 +758,67 @@ pub(crate) fn classify(sub: &Subscription, delta: &WindowDelta) -> Option<Refres
     None
 }
 
+/// How [`refresh_one`] served a refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RefreshMode {
+    /// Full re-run: every singleton score from a scoring pass (the memo, when
+    /// the algorithm keeps one, is cleared first and re-warmed by the run).
+    Full,
+    /// Delta-restricted re-run: the memo was brought up to date against the
+    /// slide's changed elements and answered every other singleton lookup.
+    Delta,
+}
+
 /// Re-runs one subscription's query against `source` — the live engine or an
 /// epoch snapshot — and stores the fresh result.  Returns the delta when the
-/// result set or score changed.  Callers own the refresh/skip accounting
-/// (only slide-classified refreshes count).
+/// result set or score changed, plus how the refresh was served.  Callers own
+/// the refresh/skip accounting (only slide-classified refreshes count).
+///
+/// The refresh runs **delta-restricted** when all of the following hold:
+/// delta refreshes are enabled, the slide's [`WindowDelta`] is at hand, the
+/// refresh is slide-classified ([`RefreshReason::TopicDisturbed`] or
+/// [`RefreshReason::MemberExpired`] — the rules that guarantee every slide
+/// since the memo's last sync was processed or provably skippable), a prior
+/// result exists to restrict against, and the algorithm keeps a memo.
+/// Everything else — initial evaluations, forced refreshes, the exhaustive
+/// baselines — runs full.  Both modes produce identical results; the
+/// equivalence is pinned by the `delta_refresh` property tests.
 pub(crate) fn refresh_one(
     source: &dyn QuerySource,
     id: SubscriptionId,
     sub: &mut Subscription,
     reason: RefreshReason,
-) -> Option<ResultDelta> {
-    let fresh = source
-        .query(&sub.query, sub.algorithm)
-        .expect("subscription dimensions were validated at subscribe time");
+    delta: Option<&WindowDelta>,
+    delta_refresh: bool,
+) -> (Option<ResultDelta>, RefreshMode) {
+    let slide_classified = matches!(
+        reason,
+        RefreshReason::TopicDisturbed | RefreshReason::MemberExpired
+    );
+    let mode = match (&mut sub.cache, delta) {
+        (Some(_), Some(_)) if delta_refresh && slide_classified && sub.result.is_some() => {
+            RefreshMode::Delta
+        }
+        _ => RefreshMode::Full,
+    };
+    let fresh = match (&mut sub.cache, mode) {
+        (Some(cache), RefreshMode::Delta) => source.query_delta(
+            &sub.query,
+            sub.algorithm,
+            delta.expect("Delta mode requires a slide delta"),
+            cache,
+        ),
+        (Some(cache), RefreshMode::Full) => {
+            // Full mode discards the memo (Initial starts from nothing;
+            // Forced must not trust state whose sync with the slide stream
+            // the caller cannot vouch for) but still collects into it, so
+            // the next delta-restricted refresh starts warm.
+            cache.clear();
+            source.query_delta(&sub.query, sub.algorithm, &WindowDelta::default(), cache)
+        }
+        (None, _) => source.query(&sub.query, sub.algorithm),
+    }
+    .expect("subscription dimensions were validated at subscribe time");
 
     let (old_elements, score_before) = match &sub.result {
         Some(old) => (old.elements.clone(), old.score),
@@ -712,17 +844,20 @@ pub(crate) fn refresh_one(
         || !removed.is_empty()
         || (score_after - score_before).abs() > crate::subscription::SCORE_EPS;
     if !changed {
-        return None;
+        return (None, mode);
     }
     sub.stats.result_changes += 1;
-    Some(ResultDelta {
-        subscription: id,
-        reason,
-        added,
-        removed,
-        score_before,
-        score_after,
-    })
+    (
+        Some(ResultDelta {
+            subscription: id,
+            reason,
+            added,
+            removed,
+            score_before,
+            score_after,
+        }),
+        mode,
+    )
 }
 
 #[cfg(test)]
@@ -739,6 +874,7 @@ mod tests {
         Shard::new(
             key,
             ShardTelemetry::new(Arc::new(Telemetry::default()), key),
+            true,
         )
     }
 
@@ -823,13 +959,24 @@ mod tests {
         // Resident with a frontier on topics 0 and 1.
         let mut with_frontier = Subscription::new(query(1, &[0.6, 0.4, 0.0]), Algorithm::Mtts);
         with_frontier.result = Some(QueryResult {
-            frontier: Some(QueryFrontier {
-                floors: vec![(TopicId(0), Some(0.5)), (TopicId(1), None)],
-            }),
+            frontier: Some(QueryFrontier::new(vec![
+                (TopicId(0), Some(0.5)),
+                (TopicId(1), None),
+            ])),
             ..QueryResult::empty(Algorithm::Mtts)
         });
         shard.insert(SubscriptionId(0), with_frontier);
-        // Result-less resident (pending initial) on topics 0 and 2.
+        let spec = shard.prefix_spec();
+        assert_eq!(
+            spec.floors,
+            vec![
+                (TopicId(0), Some(0.5)), // the resident's own floor
+                (TopicId(1), None),      // exhausted list, no bar ⇒ whole list
+            ]
+        );
+        // A result-less resident (pending initial) on topics 0 and 2 needs
+        // whole lists for its Initial traversal — including topic 0, where
+        // the first resident's floor must not truncate it.
         shard.insert(
             SubscriptionId(1),
             Subscription::new(query(1, &[0.5, 0.0, 0.5]), Algorithm::Celf),
@@ -837,12 +984,36 @@ mod tests {
         let spec = shard.prefix_spec();
         assert_eq!(
             spec.floors,
-            vec![
-                (TopicId(0), Some(0.5)), // aggregated floor
-                (TopicId(1), None),      // exhausted list ⇒ whole list
-                (TopicId(2), None),      // pending-initial resident ⇒ whole list
-            ]
+            vec![(TopicId(0), None), (TopicId(1), None), (TopicId(2), None)]
         );
+    }
+
+    #[test]
+    fn prefix_spec_tightens_with_the_admission_bar() {
+        use ksir_core::{QueryFrontier, QueryResult};
+        let mut shard = shard(ShardKey::Topic(TopicId(0)));
+        // Support {0: 0.6, 1: 0.4}; the last run exhausted topic 1 and left a
+        // floor of 0.1 on topic 0, with an admission bar of 0.24.
+        let mut sub = Subscription::new(query(1, &[0.6, 0.4, 0.0]), Algorithm::Mtts);
+        sub.result = Some(QueryResult {
+            frontier: Some(
+                QueryFrontier::new(vec![(TopicId(0), Some(0.1)), (TopicId(1), None)])
+                    .with_bar(0.24),
+            ),
+            ..QueryResult::empty(Algorithm::Mtts)
+        });
+        shard.insert(SubscriptionId(0), sub);
+        let spec = shard.prefix_spec();
+        // cutoff(topic) = bar / (support_len · weight):
+        //   topic 0: 0.24 / (2 · 0.6) = 0.2 > floor 0.1 ⇒ tightened to 0.2;
+        //   topic 1: 0.24 / (2 · 0.4) = 0.3 — the exhausted list no longer
+        //   forces a whole-list prefix.
+        assert_eq!(spec.floors.len(), 2);
+        let floor_of = |t: u32| spec.floors.iter().find(|&&(tt, _)| tt == TopicId(t));
+        let f0 = floor_of(0).unwrap().1.unwrap();
+        let f1 = floor_of(1).unwrap().1.unwrap();
+        assert!((f0 - 0.2).abs() < 1e-12, "topic 0 floor {f0}");
+        assert!((f1 - 0.3).abs() < 1e-12, "topic 1 floor {f1}");
     }
 
     #[test]
@@ -861,7 +1032,7 @@ mod tests {
                 )),
             }
         }
-        let cell = ShardCell::new(ShardKey::Overflow, Arc::new(Telemetry::default()));
+        let cell = ShardCell::new(ShardKey::Overflow, Arc::new(Telemetry::default()), true);
         // No residents: nothing happens, nothing is enqueued.
         assert_eq!(
             cell.project_epoch(0, &WindowDelta::default(), || task(0)),

@@ -1,0 +1,248 @@
+//! Delta-restricted refresh equivalence at the manager level.
+//!
+//! [`ShardConfig::delta_refresh`] switches disturbed subscriptions from
+//! full query re-runs to memoised, delta-restricted re-runs (the singleton
+//! cache primed from each slide's `WindowDelta`).  The contract is that the
+//! toggle changes **cost only**: slide for slide, both modes classify the
+//! same subscriptions, emit the same result deltas, and converge on the same
+//! maintained results — and the new `refresh.mode.*` telemetry counters
+//! reconcile exactly with the shard/subscription stats.
+
+use ksir_continuous::{ShardConfig, SnapshotPolicy, SubscriptionId, SubscriptionManager};
+use ksir_core::{Algorithm, EngineConfig, KsirEngine, KsirQuery, ScoringConfig};
+use ksir_datagen::{DatasetProfile, GeneratedStream, QueryWorkloadGenerator, StreamGenerator};
+use ksir_stream::WindowConfig;
+use ksir_types::{DenseTopicWordTable, QueryVector};
+
+/// Builds a planted-stream manager with a mixed workload under `config`.
+/// Managers built with the same seed get identical engines, subscriptions,
+/// and subscription ids, so outcomes are comparable element for element.
+fn planted_manager(
+    seed: u64,
+    config: ShardConfig,
+) -> (
+    SubscriptionManager<DenseTopicWordTable>,
+    Vec<(SubscriptionId, KsirQuery, Algorithm)>,
+    GeneratedStream,
+) {
+    let profile = DatasetProfile::twitter().scaled(0.02).with_topics(12);
+    let stream = StreamGenerator::new(profile, seed)
+        .unwrap()
+        .generate()
+        .unwrap();
+    let window = WindowConfig::new(120, 15).unwrap();
+    let engine: KsirEngine<DenseTopicWordTable> = KsirEngine::new(
+        stream.planted.phi().clone(),
+        EngineConfig::new(window, ScoringConfig::default()),
+    )
+    .unwrap();
+    let mut mgr = SubscriptionManager::with_shard_config(engine, config);
+
+    let workload = QueryWorkloadGenerator::new(&stream.planted, seed ^ 0x5eed)
+        .generate(5, stream.end_time())
+        .unwrap();
+    // The memoised index algorithms plus both frontier-less baselines, which
+    // carry no cache and must always refresh full.
+    let algorithms = [
+        Algorithm::Mtts,
+        Algorithm::Mttd,
+        Algorithm::TopkRepresentative,
+        Algorithm::Celf,
+        Algorithm::SieveStreaming,
+    ];
+    let mut subs = Vec::new();
+    for (i, generated) in workload.into_iter().enumerate() {
+        let mut narrow = vec![0.0; 12];
+        narrow[(3 * i) % 12] = 0.8;
+        narrow[(3 * i + 1) % 12] = 0.2;
+        for vector in [QueryVector::new(narrow).unwrap(), generated.vector] {
+            let q = KsirQuery::new(4, vector).unwrap();
+            let algorithm = algorithms[subs.len() % algorithms.len()];
+            let id = mgr.subscribe(q.clone(), algorithm).unwrap();
+            subs.push((id, q, algorithm));
+        }
+    }
+    (mgr, subs, stream)
+}
+
+/// Total delta-restricted refreshes a manager has performed, live shards
+/// plus retired ones.
+fn total_delta_refreshes(mgr: &SubscriptionManager<DenseTopicWordTable>) -> usize {
+    mgr.shard_stats()
+        .iter()
+        .map(|s| s.delta_refreshes)
+        .sum::<usize>()
+        + mgr.retired_stats().delta_refreshes
+}
+
+/// The tentpole contract, end to end: a delta-restricted manager and a
+/// full-rerun manager fed the same stream make identical decisions on every
+/// slide and end on identical results — only the delta manager's
+/// `delta_refreshes` counters move.
+#[test]
+fn delta_restricted_runs_match_full_reruns_slide_for_slide() {
+    for seed in [7u64, 21] {
+        let (mut full_mgr, full_subs, stream) =
+            planted_manager(seed, ShardConfig::default().with_delta_refresh(false));
+        // Delta refresh is the default; spelled out for contrast.
+        let (mut delta_mgr, delta_subs, _) =
+            planted_manager(seed, ShardConfig::default().with_delta_refresh(true));
+        assert_eq!(
+            full_subs.iter().map(|s| s.0).collect::<Vec<_>>(),
+            delta_subs.iter().map(|s| s.0).collect::<Vec<_>>(),
+        );
+
+        let full_outcomes = full_mgr.ingest_stream(stream.iter_pairs()).unwrap();
+        let delta_outcomes = delta_mgr.ingest_stream(stream.iter_pairs()).unwrap();
+        assert_eq!(full_outcomes.len(), delta_outcomes.len());
+        for (slide, (full, delta)) in full_outcomes.iter().zip(&delta_outcomes).enumerate() {
+            assert_eq!(full.report, delta.report, "slide {slide}: engine diverged");
+            assert_eq!(
+                full.refreshed, delta.refreshed,
+                "slide {slide}: refresh decisions diverged"
+            );
+            assert_eq!(
+                full.skipped, delta.skipped,
+                "slide {slide}: skip decisions diverged"
+            );
+            assert_eq!(
+                full.updates.len(),
+                delta.updates.len(),
+                "slide {slide}: different number of result changes"
+            );
+            for (fu, du) in full.updates.iter().zip(&delta.updates) {
+                assert_eq!(fu.subscription, du.subscription, "slide {slide}");
+                assert_eq!(fu.reason, du.reason, "slide {slide}: {}", fu.subscription);
+                assert_eq!(fu.added, du.added, "slide {slide}: {}", fu.subscription);
+                assert_eq!(fu.removed, du.removed, "slide {slide}: {}", fu.subscription);
+                // Memoised scores replay earlier scoring passes; divergence
+                // is bounded by accumulated float rounding, not algorithmic.
+                assert!(
+                    (fu.score_after - du.score_after).abs() <= 1e-12,
+                    "slide {slide}: {} score {} vs {}",
+                    fu.subscription,
+                    fu.score_after,
+                    du.score_after
+                );
+            }
+        }
+
+        // Final maintained results agree with each other and with scratch.
+        for (id, query, algorithm) in &delta_subs {
+            let full = full_mgr.result(*id).unwrap();
+            let delta = delta_mgr.result(*id).unwrap();
+            assert_eq!(full.sorted_elements(), delta.sorted_elements());
+            let fresh = delta_mgr.engine().query(query, *algorithm).unwrap();
+            assert_eq!(delta.sorted_elements(), fresh.sorted_elements());
+            assert!((delta.score - fresh.score).abs() < 1e-9);
+        }
+
+        // The toggle actually switched modes: the delta manager ran
+        // delta-restricted refreshes, the full manager ran none.
+        assert!(
+            total_delta_refreshes(&delta_mgr) > 0,
+            "seed {seed}: no refresh ran delta-restricted"
+        );
+        assert_eq!(total_delta_refreshes(&full_mgr), 0);
+
+        // Per subscription: delta refreshes are a subset of refreshes, and
+        // the frontier-less algorithms (no cache) never run delta-restricted.
+        for (id, _, algorithm) in &delta_subs {
+            let stats = delta_mgr.subscription_stats(*id).unwrap();
+            assert!(stats.delta_refreshes <= stats.refreshes);
+            if matches!(algorithm, Algorithm::Celf | Algorithm::SieveStreaming) {
+                assert_eq!(
+                    stats.delta_refreshes, 0,
+                    "{algorithm} carries no cache and must refresh full"
+                );
+            }
+        }
+    }
+}
+
+/// The `refresh.mode.*` registry counters reconcile exactly with the stats
+/// structs: `full + delta == shard.refreshes == ManagerStats::refreshes`,
+/// `skipped == shard.skips`, and the delta split matches both the per-shard
+/// and per-subscription tallies.
+#[test]
+fn refresh_mode_counters_reconcile_with_stats() {
+    let (mut mgr, subs, stream) = planted_manager(21, ShardConfig::default());
+    mgr.ingest_stream(stream.iter_pairs()).unwrap();
+
+    let stats = mgr.stats();
+    let telemetry = mgr.telemetry();
+    let registry = telemetry.registry();
+    let full = registry.counter("refresh.mode.full").get();
+    let delta = registry.counter("refresh.mode.delta").get();
+    let skipped = registry.counter("refresh.mode.skipped").get();
+
+    assert_eq!(
+        full + delta,
+        stats.refreshes as u64,
+        "every refresh has a mode"
+    );
+    assert_eq!(skipped, stats.skips as u64);
+    assert_eq!(full + delta, registry.counter("shard.refreshes").get());
+    assert_eq!(skipped, registry.counter("shard.skips").get());
+
+    let shard_delta = total_delta_refreshes(&mgr);
+    assert_eq!(delta, shard_delta as u64, "registry vs shard stats drifted");
+    let sub_delta: usize = subs
+        .iter()
+        .filter_map(|(id, _, _)| mgr.subscription_stats(*id))
+        .map(|s| s.delta_refreshes)
+        .sum();
+    assert_eq!(
+        sub_delta, shard_delta,
+        "subscription vs shard stats drifted"
+    );
+    assert!(delta > 0, "the workload never exercised the delta path");
+    assert!(
+        full > 0,
+        "initial-result and frontier-less refreshes run full"
+    );
+}
+
+/// Delta-restricted refresh composes with the pipelined path and
+/// floor-truncated snapshots: truncated per-shard captures answer point
+/// lookups only inside their prefixes, so priming degrades gracefully and
+/// the work accounting still reconciles after the barrier.
+#[test]
+fn delta_refresh_reconciles_under_truncated_pipelined_snapshots() {
+    let config = ShardConfig::default()
+        .with_pipeline_depth(2)
+        .with_snapshot_policy(SnapshotPolicy::TruncateAtFloors);
+    let (mut mgr, subs, stream) = planted_manager(33, config);
+    let tickets = mgr.ingest_stream_async(stream.iter_pairs()).unwrap();
+    mgr.sync();
+    assert_eq!(mgr.completed_epoch(), tickets.len() as u64);
+
+    let stats = mgr.stats();
+    assert_eq!(stats.slides, tickets.len());
+    assert_eq!(
+        stats.refreshes + stats.skips,
+        stats.slides * subs.len(),
+        "work accounting reconciles under truncated snapshots"
+    );
+    let telemetry = mgr.telemetry();
+    let registry = telemetry.registry();
+    assert_eq!(
+        registry.counter("refresh.mode.full").get() + registry.counter("refresh.mode.delta").get(),
+        stats.refreshes as u64
+    );
+    assert_eq!(
+        registry.counter("refresh.mode.skipped").get(),
+        stats.skips as u64
+    );
+    assert!(
+        total_delta_refreshes(&mgr) > 0,
+        "snapshot-backed refreshes never ran delta-restricted"
+    );
+
+    // Every subscription still holds a result consistent with its own query
+    // dimensions (truncation bounds memory, not membership validity).
+    for (id, query, _) in &subs {
+        let result = mgr.result(*id).unwrap();
+        assert!(result.len() <= query.k());
+    }
+}

@@ -22,6 +22,38 @@ use ksir_types::ElementId;
 
 pub(crate) use traversal::SupportCursors;
 
+use crate::evaluator::{QueryEvaluator, SingletonCache};
+
+/// Singleton score `δ(e, x)` through the optional memo: a hit replays the
+/// remembered value with no scoring pass, a miss evaluates and remembers.
+///
+/// The cache can only ever hold values a scoring pass produced for the same
+/// window state (see [`SingletonCache`]), so the retrieval order, admission
+/// decisions and final scores of a cached run are identical to an uncached
+/// one — only `gain_evaluations` shrinks.
+pub(crate) fn singleton_score<D: ksir_types::TopicWordDistribution>(
+    evaluator: &QueryEvaluator<'_, D>,
+    cache: &mut Option<&mut SingletonCache>,
+    id: ElementId,
+) -> f64 {
+    match cache {
+        Some(memo) => {
+            let score = if let Some(score) = memo.get(id) {
+                memo.note_hit();
+                score
+            } else {
+                memo.note_miss();
+                let score = evaluator.delta(id);
+                memo.remember(id, score);
+                score
+            };
+            memo.consult(id);
+            score
+        }
+        None => evaluator.delta(id),
+    }
+}
+
 /// A `(score, element)` pair with a total order (descending by score in a
 /// max-heap, ties broken by element id for determinism).
 #[derive(Debug, Clone, Copy, PartialEq)]

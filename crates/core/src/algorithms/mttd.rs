@@ -14,8 +14,8 @@ use std::collections::{BinaryHeap, HashMap};
 
 use ksir_types::{ElementId, TopicWordDistribution};
 
-use crate::algorithms::{ScoredElement, SupportCursors};
-use crate::evaluator::{CandidateState, QueryEvaluator};
+use crate::algorithms::{singleton_score, ScoredElement, SupportCursors};
+use crate::evaluator::{CandidateState, QueryEvaluator, SingletonCache};
 use crate::query::{Algorithm, KsirQuery, QueryResult};
 use crate::view::RankedView;
 
@@ -23,6 +23,7 @@ pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
     view: &V,
     evaluator: &QueryEvaluator<'_, D>,
     query: &KsirQuery,
+    mut cache: Option<&mut SingletonCache>,
 ) -> QueryResult {
     let k = query.k();
     let epsilon = query.epsilon();
@@ -49,7 +50,7 @@ pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
             let Some(id) = cursors.pop_next() else {
                 break;
             };
-            let delta = evaluator.delta(id);
+            let delta = singleton_score(evaluator, &mut cache, id);
             if delta > 0.0 {
                 cached.insert(id, delta);
                 heap.push(ScoredElement { score: delta, id });
@@ -76,7 +77,9 @@ pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
                 evaluator.insert(&mut state, top.id);
                 cached.remove(&top.id);
                 if state.len() == k {
-                    return finish(state, &mut cursors, evaluator);
+                    // τ at the moment the result filled is the admission bar:
+                    // below it nothing could have joined the result.
+                    return finish(state, &mut cursors, evaluator, Some(tau));
                 }
             } else if gain > 0.0 {
                 cached.insert(top.id, gain);
@@ -99,17 +102,44 @@ pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
         if tau < f64::MIN_POSITIVE {
             break;
         }
+
+        // Warm-start fast-forward: while τ is above both the lists' upper
+        // bound (nothing to retrieve) and the best buffered gain bound
+        // (nothing to admit), a round does nothing but multiply τ — replay
+        // those multiplications in one tight loop.  `τ_min` is frozen while
+        // nothing is admitted and the exit conditions are stepped in the
+        // same order as the full rounds, so the τ grid — and with it every
+        // later decision — is bit-identical to the unaccelerated loop.
+        while let Some(&top) = heap.peek() {
+            match cached.get(&top.id) {
+                Some(&current) if current == top.score => break,
+                _ => {
+                    heap.pop();
+                }
+            }
+        }
+        let best_buffered = heap.peek().map(|t| t.score).unwrap_or(0.0);
+        let target = cursors.upper_bound().max(best_buffered);
+        while tau >= tau_min && tau > target && tau >= f64::MIN_POSITIVE {
+            tau *= 1.0 - epsilon;
+        }
+        if tau < f64::MIN_POSITIVE {
+            break;
+        }
     }
 
-    finish(state, &mut cursors, evaluator)
+    let bar = if tau_min > 0.0 { Some(tau_min) } else { None };
+    finish(state, &mut cursors, evaluator, bar)
 }
 
 fn finish<D: TopicWordDistribution>(
     state: CandidateState,
     cursors: &mut SupportCursors<'_>,
     evaluator: &QueryEvaluator<'_, D>,
+    bar: Option<f64>,
 ) -> QueryResult {
-    let frontier = cursors.frontier();
+    let mut frontier = cursors.frontier();
+    frontier.bar = bar;
     if state.is_empty() {
         return QueryResult {
             frontier: Some(frontier),

@@ -14,8 +14,8 @@ use std::collections::BTreeMap;
 
 use ksir_types::TopicWordDistribution;
 
-use crate::algorithms::SupportCursors;
-use crate::evaluator::{CandidateState, QueryEvaluator};
+use crate::algorithms::{singleton_score, SupportCursors};
+use crate::evaluator::{CandidateState, QueryEvaluator, SingletonCache};
 use crate::query::{Algorithm, KsirQuery, QueryResult};
 use crate::view::RankedView;
 
@@ -23,6 +23,7 @@ pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
     view: &V,
     evaluator: &QueryEvaluator<'_, D>,
     query: &KsirQuery,
+    mut cache: Option<&mut SingletonCache>,
 ) -> QueryResult {
     let k = query.k() as f64;
     let base = 1.0 + query.epsilon();
@@ -48,7 +49,7 @@ pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
         let Some(id) = cursors.pop_next() else {
             break;
         };
-        let delta = evaluator.delta(id);
+        let delta = singleton_score(evaluator, &mut cache, id);
         evaluated += 1;
         if delta <= 0.0 {
             continue;
@@ -76,7 +77,27 @@ pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
         }
     }
 
-    let frontier = cursors.frontier();
+    // Admission bar: the final TH — the smallest threshold at which an
+    // unfilled candidate would still have admitted an element.  When every
+    // candidate filled, fall back to the smallest grid threshold: an element
+    // below it is rejected by every candidate regardless of fill.
+    let bar = {
+        let unfilled = candidates
+            .iter()
+            .filter(|(_, state)| state.len() < query.k())
+            .map(|(&j, _)| base.powf(j as f64) / (2.0 * k))
+            .fold(f64::INFINITY, f64::min);
+        if unfilled.is_finite() {
+            Some(unfilled)
+        } else {
+            candidates
+                .keys()
+                .next()
+                .map(|&j| base.powf(j as f64) / (2.0 * k))
+        }
+    };
+    let mut frontier = cursors.frontier();
+    frontier.bar = bar;
     let best = candidates
         .into_values()
         .max_by(|a, b| a.score().total_cmp(&b.score()));

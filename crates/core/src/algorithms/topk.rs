@@ -14,8 +14,8 @@ use std::collections::BinaryHeap;
 
 use ksir_types::TopicWordDistribution;
 
-use crate::algorithms::{ScoredElement, SupportCursors};
-use crate::evaluator::QueryEvaluator;
+use crate::algorithms::{singleton_score, ScoredElement, SupportCursors};
+use crate::evaluator::{QueryEvaluator, SingletonCache};
 use crate::query::{Algorithm, KsirQuery, QueryResult};
 use crate::view::RankedView;
 
@@ -23,6 +23,7 @@ pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
     view: &V,
     evaluator: &QueryEvaluator<'_, D>,
     query: &KsirQuery,
+    mut cache: Option<&mut SingletonCache>,
 ) -> QueryResult {
     let k = query.k();
     let mut cursors = SupportCursors::new(view, evaluator.support());
@@ -41,7 +42,7 @@ pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
         let Some(id) = cursors.pop_next() else {
             break;
         };
-        let delta = evaluator.delta(id);
+        let delta = singleton_score(evaluator, &mut cache, id);
         evaluated += 1;
         if delta <= 0.0 {
             continue;
@@ -55,7 +56,12 @@ pub(crate) fn run<D: TopicWordDistribution, V: RankedView + ?Sized>(
         }
     }
 
-    let frontier = cursors.frontier();
+    let mut frontier = cursors.frontier();
+    // Admission bar: once the heap holds k entries, an element below the
+    // k-th best singleton score can never enter the result.
+    if top.len() == k {
+        frontier.bar = top.peek().map(|Reverse(e)| e.score);
+    }
     if top.is_empty() {
         return QueryResult {
             frontier: Some(frontier),

@@ -47,7 +47,7 @@ impl<'a> SupportCursors<'a> {
             .iter_mut()
             .map(|(topic, _, cursor)| (*topic, cursor.current().map(|(_, score, _)| score)))
             .collect();
-        QueryFrontier { floors }
+        QueryFrontier::new(floors)
     }
 
     /// The upper bound `UB(x)` on the score of any unretrieved element:

@@ -15,7 +15,7 @@
 //! — the complexity the paper's analysis assumes.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use ksir_stream::ActiveWindow;
 use ksir_types::{ElementId, QueryVector, TopicId, TopicVector, TopicWordDistribution, WordId};
@@ -76,6 +76,130 @@ impl CandidateState {
     /// The candidate's current score `f(S, x)`, maintained incrementally.
     pub fn score(&self) -> f64 {
         self.score
+    }
+}
+
+/// Memoised singleton scores `δ(e, x)` of one standing query, carried across
+/// refreshes.
+///
+/// A singleton score depends only on the element's own tuples (word weights
+/// and influence children), so it is unchanged as long as the engine did not
+/// recompute the element's ranked-list tuples — exactly the elements a
+/// [`ksir_stream::WindowDelta`] names in its `activated` / `expired` /
+/// `resurrected` / `refreshed` lists.  A delta-restricted refresh therefore
+/// invalidates those ids, re-primes the changed ones from the ranked-list
+/// tuples (see [`crate::prime_singleton_cache`]), and re-runs the query with
+/// every other retrieval answered from the cache instead of a scoring pass.
+///
+/// The cache never changes *what* a query returns — a hit replays the exact
+/// value a fresh evaluation produced — only how much scoring work the run
+/// performs, which the [`SingletonCache::hits`] / [`SingletonCache::misses`]
+/// counters expose.
+///
+/// # Retention
+///
+/// [`crate::run_query_cached`] prunes the memo after every run to exactly the
+/// elements that run consulted.  Every consulted element was retrieved from a
+/// ranked list at or above the run's final traversal floors, so a later slide
+/// that changes it must touch that list at or above the floor — i.e. it
+/// *cannot* be a skipped slide.  Entries below the floors enjoy no such
+/// guarantee (a provably skippable slide may still rewrite their tuples),
+/// which is why they must not survive the run.
+#[derive(Debug, Clone, Default)]
+pub struct SingletonCache {
+    scores: HashMap<ElementId, f64>,
+    /// Elements consulted (hit or remembered) by the current run; the memo is
+    /// pruned to this set when the run ends.
+    consulted: HashSet<ElementId>,
+    hits: usize,
+    misses: usize,
+    primed: usize,
+}
+
+impl SingletonCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoised elements.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Returns `true` if nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// The memoised singleton score of `id`, if still valid.
+    pub fn get(&self, id: ElementId) -> Option<f64> {
+        self.scores.get(&id).copied()
+    }
+
+    /// Memoises a freshly evaluated singleton score.
+    pub fn remember(&mut self, id: ElementId, score: f64) {
+        self.scores.insert(id, score);
+    }
+
+    /// Stores a score rebuilt from the ranked-list tuples (the semi-naive
+    /// priming step); counted separately from evaluator misses.
+    pub fn prime(&mut self, id: ElementId, score: f64) {
+        self.scores.insert(id, score);
+        self.primed += 1;
+    }
+
+    /// Drops one element's memoised score (no-op if absent).
+    pub fn invalidate(&mut self, id: ElementId) {
+        self.scores.remove(&id);
+    }
+
+    /// Drops every memoised score, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.scores.clear();
+        self.consulted.clear();
+    }
+
+    /// Starts tracking which entries the upcoming run consults.
+    pub(crate) fn begin_run(&mut self) {
+        self.consulted.clear();
+    }
+
+    /// Marks one entry as consulted by the current run.
+    pub(crate) fn consult(&mut self, id: ElementId) {
+        self.consulted.insert(id);
+    }
+
+    /// Prunes the memo to the entries the finished run consulted (see the
+    /// type-level *Retention* notes).
+    pub(crate) fn end_run(&mut self) {
+        let consulted = std::mem::take(&mut self.consulted);
+        self.scores.retain(|id, _| consulted.contains(id));
+        self.consulted = consulted;
+        self.consulted.clear();
+    }
+
+    pub(crate) fn note_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    pub(crate) fn note_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Lookups answered from the memo (scoring passes avoided).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups that fell through to a full scoring pass.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Scores rebuilt from ranked-list tuples by the priming step.
+    pub fn primed(&self) -> usize {
+        self.primed
     }
 }
 

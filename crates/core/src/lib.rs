@@ -58,8 +58,10 @@ pub mod view;
 
 pub use config::{EngineConfig, ScoringConfig};
 pub use engine::{EngineStats, IngestReport, KsirEngine};
-pub use evaluator::{CandidateState, QueryEvaluator};
+pub use evaluator::{CandidateState, QueryEvaluator, SingletonCache};
 pub use query::{Algorithm, FloorAggregate, KsirQuery, QueryFrontier, QueryResult};
 pub use scorer::{entropy_weight, propagation_prob, word_weight, Scorer};
 pub use shared::SharedEngine;
-pub use view::{run_query, QuerySource, RankedView};
+pub use view::{
+    prime_singleton_cache, run_query, run_query_cached, QuerySource, RankedView, StoredScore,
+};

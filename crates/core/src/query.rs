@@ -124,13 +124,58 @@ impl std::fmt::Display for Algorithm {
 /// what the same query would retrieve, evaluate, or return.  This is the
 /// invariant the `ksir-continuous` subscription manager uses to skip
 /// refreshing standing queries.
+///
+/// # Example
+///
+/// ```
+/// use ksir_core::QueryFrontier;
+/// use ksir_stream::RankedDelta;
+/// use ksir_types::TopicId;
+///
+/// // A traversal that read topic 0 down to score 0.5 and drained topic 1.
+/// let frontier = QueryFrontier::new(vec![(TopicId(0), Some(0.5)), (TopicId(1), None)]);
+///
+/// // A slide whose highest touch on topic 0 stays below the floor is
+/// // invisible to the traversal; a touch at or above it is not.
+/// let mut below = RankedDelta::new(2);
+/// below.record(TopicId(0), 0.3);
+/// assert!(!frontier.disturbed_by(&below));
+///
+/// let mut above = RankedDelta::new(2);
+/// above.record(TopicId(0), 0.7);
+/// assert!(frontier.disturbed_by(&above));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryFrontier {
     /// `(topic, first-unread score)` per support topic; `None` = exhausted.
     pub floors: Vec<(TopicId, Option<f64>)>,
+    /// The admission bar of the run that produced this frontier: the smallest
+    /// singleton score `δ(e, x)` at which an additional element could still
+    /// have entered the result — MTTS's final minimum unfilled threshold,
+    /// MTTD's threshold `τ` when the result filled (or its final `τ_min`),
+    /// the k-th best singleton score for Top-k Representative.  `None` when
+    /// the run gave no such bound (e.g. an empty index).
+    ///
+    /// The bar is a *per-query* tightening hint on top of the floors: a
+    /// candidate whose weighted singleton score cannot reach the bar can
+    /// never displace a result member, which lets
+    /// `SnapshotPolicy::TruncateAtFloors` prefixes cut above the raw
+    /// traversal floors.  It is **not** used for skip decisions — skips rely
+    /// on the floors alone.
+    pub bar: Option<f64>,
 }
 
 impl QueryFrontier {
+    /// A frontier with the given per-topic floors and no admission bar.
+    pub fn new(floors: Vec<(TopicId, Option<f64>)>) -> Self {
+        QueryFrontier { floors, bar: None }
+    }
+
+    /// Attaches the admission bar of the run that produced this frontier.
+    pub fn with_bar(mut self, bar: f64) -> Self {
+        self.bar = Some(bar);
+        self
+    }
     /// Returns `true` if the given slide delta could have changed the result
     /// of the traversal that produced this frontier: some support topic was
     /// touched at or above its floor (an exhausted list is "touched" by any
@@ -334,9 +379,7 @@ mod tests {
 
     #[test]
     fn frontier_disturbance_rules() {
-        let frontier = QueryFrontier {
-            floors: vec![(TopicId(0), Some(0.5)), (TopicId(1), None)],
-        };
+        let frontier = QueryFrontier::new(vec![(TopicId(0), Some(0.5)), (TopicId(1), None)]);
         // Untouched index: undisturbed.
         let clean = RankedDelta::new(3);
         assert!(!frontier.disturbed_by(&clean));
@@ -362,12 +405,14 @@ mod tests {
     fn floor_aggregate_keeps_loosest_floor_per_topic() {
         let mut agg = FloorAggregate::new();
         assert!(agg.is_empty());
-        agg.absorb(&QueryFrontier {
-            floors: vec![(TopicId(0), Some(0.5)), (TopicId(1), Some(0.2))],
-        });
-        agg.absorb(&QueryFrontier {
-            floors: vec![(TopicId(0), Some(0.3)), (TopicId(2), None)],
-        });
+        agg.absorb(&QueryFrontier::new(vec![
+            (TopicId(0), Some(0.5)),
+            (TopicId(1), Some(0.2)),
+        ]));
+        agg.absorb(&QueryFrontier::new(vec![
+            (TopicId(0), Some(0.3)),
+            (TopicId(2), None),
+        ]));
         assert_eq!(agg.watched_topics(), 3);
         assert_eq!(agg.floor(TopicId(0)), Some(Some(0.3)), "min floor wins");
         assert_eq!(agg.floor(TopicId(1)), Some(Some(0.2)));

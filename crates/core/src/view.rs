@@ -5,16 +5,17 @@
 //! per-topic ranked lists exclusively through ordered cursors.  [`RankedView`]
 //! abstracts that access so the same algorithm code runs against
 //!
-//! * the **live** [`RankedLists`] inside a [`KsirEngine`] (the ad-hoc query
-//!   path), and
+//! * the **live** [`RankedLists`] inside a [`KsirEngine`](crate::KsirEngine)
+//!   (the ad-hoc query path), and
 //! * an **immutable snapshot** of those lists captured at an epoch boundary
 //!   (`ksir-snapshot`'s `EngineSnapshot` / `ShardSnapshot`), which is what
 //!   lets standing-query refreshes evaluate *behind* the writer while the
 //!   next epoch's index update proceeds.
 //!
 //! [`run_query`] is the algorithm dispatcher over an arbitrary view plus the
-//! window-side state a query additionally needs; [`KsirEngine::query`]
-//! delegates to it with the live view.  [`QuerySource`] packages the whole
+//! window-side state a query additionally needs;
+//! [`KsirEngine::query`](crate::KsirEngine::query) delegates to it with the
+//! live view.  [`QuerySource`] packages the whole
 //! thing as an object-safe "something you can run a k-SIR query against",
 //! implemented by both the engine and the snapshot types, so consumers like
 //! `ksir-continuous` can refresh a subscription without caring which side of
@@ -22,17 +23,54 @@
 
 use std::collections::HashMap;
 
-use ksir_stream::{ActiveWindow, RankedListCursor, RankedLists};
+use ksir_stream::{ActiveWindow, RankedListCursor, RankedLists, WindowDelta, FLOOR_SLACK};
 use ksir_types::{ElementId, KsirError, Result, TopicId, TopicVector, TopicWordDistribution};
 
 use crate::algorithms;
 use crate::config::ScoringConfig;
-use crate::evaluator::QueryEvaluator;
+use crate::evaluator::{QueryEvaluator, SingletonCache};
 use crate::query::{Algorithm, KsirQuery, QueryResult};
 use crate::scorer::Scorer;
 
+/// One element's stored tuple score in one topic's ranked list, as a view
+/// reports it for point lookups (see [`RankedView::stored_score`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoredScore {
+    /// The view cannot answer point lookups cheaply; the caller must fall
+    /// back to a scoring pass.
+    Unsupported,
+    /// The element has no tuple in this topic's list — its per-topic score is
+    /// exactly `0.0` (the engine only materialises tuples for topics in the
+    /// element's topic-vector support, and the scorer zeroes both score
+    /// components outside it).
+    Absent,
+    /// The stored tuple score.
+    Score(f64),
+}
+
 /// Ordered read access to per-topic ranked lists — implemented by the live
 /// [`RankedLists`] and by epoch snapshots (`ksir-snapshot`).
+///
+/// # Example
+///
+/// ```
+/// use ksir_core::RankedView;
+/// use ksir_stream::RankedLists;
+/// use ksir_types::{ElementId, Timestamp, TopicId};
+///
+/// let mut lists = RankedLists::new(1);
+/// lists.upsert(TopicId(0), ElementId(1), 0.9, Timestamp(0));
+/// lists.upsert(TopicId(0), ElementId(2), 0.4, Timestamp(0));
+///
+/// // Full traversal starts at the head ...
+/// let mut cursor = RankedView::cursor(&lists, TopicId(0));
+/// assert_eq!(cursor.current().map(|(id, _, _)| id), Some(ElementId(1)));
+///
+/// // ... while a suffix cursor skips everything scoring above the bound —
+/// // the shape of a `Touch`-restricted read after a slide.
+/// let mut suffix = lists.suffix_cursor(TopicId(0), 0.5);
+/// assert_eq!(suffix.current().map(|(id, _, _)| id), Some(ElementId(2)));
+/// ```
 pub trait RankedView {
     /// Number of topics the view covers.
     fn num_topics(&self) -> usize;
@@ -40,6 +78,34 @@ pub trait RankedView {
     /// An ordered traversal cursor over one topic's list.  Callers only ask
     /// for topics with `topic.index() < num_topics()`.
     fn cursor(&self, topic: TopicId) -> RankedListCursor<'_>;
+
+    /// An ordered cursor over the *suffix* of one topic's list: every tuple
+    /// with score `≤ high + FLOOR_SLACK`, highest first.  With `high` taken
+    /// from a slide's [`Touch`](ksir_stream::Touch) entry this is exactly
+    /// the part of the list the slide may have rewritten — every tuple the
+    /// maintenance pass upserted or removed lies at or below the touch score.
+    ///
+    /// The default implementation advances a full cursor past the prefix;
+    /// views with ordered storage override it with a positioned seek.
+    fn suffix_cursor(&self, topic: TopicId, high: f64) -> RankedListCursor<'_> {
+        let mut cursor = self.cursor(topic);
+        while let Some((_, score, _)) = cursor.current() {
+            if score <= high + FLOOR_SLACK {
+                break;
+            }
+            cursor.advance();
+        }
+        cursor
+    }
+
+    /// Point lookup of one element's tuple score in one topic's list, for
+    /// views that can answer it without a traversal.  Returning
+    /// [`StoredScore::Unsupported`] (the default) makes callers fall back to
+    /// a scoring pass, so overriding is purely an optimisation.
+    fn stored_score(&self, topic: TopicId, id: ElementId) -> StoredScore {
+        let _ = (topic, id);
+        StoredScore::Unsupported
+    }
 }
 
 impl RankedView for RankedLists {
@@ -50,18 +116,120 @@ impl RankedView for RankedLists {
     fn cursor(&self, topic: TopicId) -> RankedListCursor<'_> {
         self.list(topic).cursor()
     }
+
+    fn suffix_cursor(&self, topic: TopicId, high: f64) -> RankedListCursor<'_> {
+        self.list(topic).suffix_cursor(high)
+    }
+
+    fn stored_score(&self, topic: TopicId, id: ElementId) -> StoredScore {
+        match self.list(topic).get(id) {
+            Some((score, _)) => StoredScore::Score(score),
+            None => StoredScore::Absent,
+        }
+    }
 }
 
 /// Anything a k-SIR query can be processed against: the live engine or an
 /// immutable epoch snapshot.  Object-safe, so pipelined consumers can hold
 /// `Arc<dyn QuerySource>` without dragging the topic-model type through
 /// their own signatures.
+///
+/// # Example
+///
+/// ```
+/// use ksir_core::{fixtures::paper_example, Algorithm, KsirQuery, QuerySource};
+/// use ksir_types::QueryVector;
+///
+/// // The engine itself is a `QuerySource`; epoch snapshots are too, so a
+/// // refresh loop can hold either behind the same object-safe seam.
+/// let engine = paper_example().build_engine();
+/// let source: &dyn QuerySource = &engine;
+/// let query = KsirQuery::new(2, QueryVector::uniform(source.num_topics()).unwrap()).unwrap();
+/// let result = source.query(&query, Algorithm::Mtts).unwrap();
+/// assert!(result.len() <= 2);
+/// ```
 pub trait QuerySource {
     /// Number of topics of the underlying topic model.
     fn num_topics(&self) -> usize;
 
     /// Processes a k-SIR query with the chosen algorithm.
     fn query(&self, query: &KsirQuery, algorithm: Algorithm) -> Result<QueryResult>;
+
+    /// Delta-restricted refresh of a standing query: brings `cache` up to
+    /// date against the slide (see [`prime_singleton_cache`]) and re-runs the
+    /// query with singleton scores answered from the memo wherever possible.
+    ///
+    /// Decisions and scores are identical to [`QuerySource::query`] — only
+    /// the number of scoring passes (`gain_evaluations`) differs.  The
+    /// default implementation ignores the memo and runs the query from
+    /// scratch, so sources that cannot serve tuple lookups stay correct.
+    fn query_delta(
+        &self,
+        query: &KsirQuery,
+        algorithm: Algorithm,
+        delta: &WindowDelta,
+        cache: &mut SingletonCache,
+    ) -> Result<QueryResult> {
+        let _ = (delta, cache);
+        self.query(query, algorithm)
+    }
+}
+
+/// Brings a [`SingletonCache`] up to date after one window slide, using only
+/// the slide's [`WindowDelta`] and the touched ranked-list state.
+///
+/// * Expired elements are dropped from the memo.
+/// * Changed elements (activated, resurrected, or with refreshed tuples) get
+///   their singleton score rebuilt from the stored tuples: the maintenance
+///   pass recomputed *every* support-topic tuple of a changed element, so
+///   `δ(e, x) = Σ_i x_i · tuple_i(e)` summed in query-support order is
+///   bit-identical to a fresh scoring pass.  Every such tuple lies inside
+///   the slide's touched suffixes (tuples are logged at `max(old, new)`
+///   score), which is what makes this the semi-naive step: only changed
+///   data is re-evaluated.
+/// * Every other memoised score is still valid — an unchanged element kept
+///   its tuples, its words, and its influence set, so its singleton score is
+///   untouched by the slide.
+///
+/// When the view cannot serve point lookups ([`StoredScore::Unsupported`]),
+/// the changed element is simply dropped from the memo and the next run
+/// re-scores it on demand.
+pub fn prime_singleton_cache<V: RankedView + ?Sized>(
+    view: &V,
+    query: &KsirQuery,
+    delta: &WindowDelta,
+    cache: &mut SingletonCache,
+) {
+    for &id in &delta.expired {
+        cache.invalidate(id);
+    }
+    let support = query.vector().support();
+    let changed = delta
+        .activated
+        .iter()
+        .chain(&delta.resurrected)
+        .chain(&delta.refreshed);
+    for &id in changed {
+        cache.invalidate(id);
+        let mut total = 0.0;
+        let mut resolved = true;
+        for &(topic, weight) in &support {
+            if topic.index() >= view.num_topics() {
+                continue;
+            }
+            match view.stored_score(topic, id) {
+                StoredScore::Unsupported => {
+                    resolved = false;
+                    break;
+                }
+                StoredScore::Absent => {}
+                StoredScore::Score(score) => total += weight * score,
+            }
+        }
+        if resolved {
+            cache.prime(id, total);
+        }
+    }
 }
 
 /// Processes one k-SIR query against an arbitrary index view plus the
@@ -82,6 +250,47 @@ where
     V: RankedView + ?Sized,
     D: TopicWordDistribution,
 {
+    run_query_cached(
+        view,
+        window,
+        topic_vectors,
+        phi,
+        scoring,
+        query,
+        algorithm,
+        None,
+    )
+}
+
+/// [`run_query`] with an optional singleton-score memo.
+///
+/// The index-based algorithms (MTTS, MTTD, Top-k Representative) answer
+/// singleton-score lookups from `cache` when it is given, populating it on
+/// misses; the exhaustive baselines (CELF, SieveStreaming) ignore it, as
+/// their per-set marginal gains cannot be memoised across refreshes.  A
+/// cached run returns the same elements, score and frontier as an uncached
+/// one — only `gain_evaluations` differs.
+///
+/// After the run, the memo is pruned to exactly the entries the run
+/// consulted (see the [`SingletonCache`] *Retention* notes): every consulted
+/// element was retrieved at or above the run's final traversal floors, so a
+/// slide that later changes it must disturb those floors and trigger a
+/// refresh — skipped slides provably cannot stale the surviving memo.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_cached<V, D>(
+    view: &V,
+    window: &ActiveWindow,
+    topic_vectors: &HashMap<ElementId, TopicVector>,
+    phi: &D,
+    scoring: ScoringConfig,
+    query: &KsirQuery,
+    algorithm: Algorithm,
+    cache: Option<&mut SingletonCache>,
+) -> Result<QueryResult>
+where
+    V: RankedView + ?Sized,
+    D: TopicWordDistribution,
+{
     if query.vector().num_topics() != phi.num_topics() {
         return Err(KsirError::DimensionMismatch {
             expected: phi.num_topics(),
@@ -90,13 +299,23 @@ where
     }
     let scorer = Scorer::new(phi, scoring, window, topic_vectors);
     let evaluator = QueryEvaluator::new(scorer, window, topic_vectors, query.vector());
-    Ok(match algorithm {
-        Algorithm::Mtts => algorithms::mtts::run(view, &evaluator, query),
-        Algorithm::Mttd => algorithms::mttd::run(view, &evaluator, query),
+    let mut cache = cache;
+    if let Some(memo) = cache.as_deref_mut() {
+        memo.begin_run();
+    }
+    let result = match algorithm {
+        Algorithm::Mtts => algorithms::mtts::run(view, &evaluator, query, cache.as_deref_mut()),
+        Algorithm::Mttd => algorithms::mttd::run(view, &evaluator, query, cache.as_deref_mut()),
         Algorithm::Celf => algorithms::celf::run(window, &evaluator, query),
         Algorithm::SieveStreaming => algorithms::sieve::run(window, &evaluator, query),
-        Algorithm::TopkRepresentative => algorithms::topk::run(view, &evaluator, query),
-    })
+        Algorithm::TopkRepresentative => {
+            algorithms::topk::run(view, &evaluator, query, cache.as_deref_mut())
+        }
+    };
+    if let Some(memo) = cache {
+        memo.end_run();
+    }
+    Ok(result)
 }
 
 #[cfg(test)]

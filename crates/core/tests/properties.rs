@@ -25,10 +25,11 @@ use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng as _};
 
 use ksir_core::{
-    Algorithm, EngineConfig, FloorAggregate, KsirEngine, KsirQuery, QueryEvaluator, QueryFrontier,
-    ScoringConfig,
+    prime_singleton_cache, Algorithm, EngineConfig, FloorAggregate, KsirEngine, KsirQuery,
+    QueryEvaluator, QueryFrontier, QuerySource, RankedView, ScoringConfig, SingletonCache,
+    StoredScore,
 };
-use ksir_stream::{RankedDelta, RankedList, WindowConfig};
+use ksir_stream::{RankedDelta, RankedList, WindowConfig, WindowDelta, FLOOR_SLACK};
 use ksir_types::{
     DenseTopicWordTable, ElementId, QueryVector, SocialElement, SocialElementBuilder, Timestamp,
     TopicId, TopicVector,
@@ -78,7 +79,17 @@ struct Instance {
     query_vector: QueryVector,
 }
 
-fn build_instance(p: &InstanceParams) -> Instance {
+/// A random instance before ingestion: an empty engine plus the stream it is
+/// to be fed, one bucket (= slide) per element.  Lets slide-replaying tests
+/// interleave queries with ingestion.
+struct StreamInstance {
+    engine: KsirEngine<DenseTopicWordTable>,
+    stream: Vec<(SocialElement, TopicVector)>,
+    query: KsirQuery,
+    query_vector: QueryVector,
+}
+
+fn build_stream_instance(p: &InstanceParams) -> StreamInstance {
     let mut rng = StdRng::seed_from_u64(p.seed);
 
     // Random topic-word table with normalised rows.
@@ -95,10 +106,11 @@ fn build_instance(p: &InstanceParams) -> Instance {
     let scoring = ScoringConfig::new(f64::from(p.lambda_tenths) / 10.0, 2.0).unwrap();
     let config = EngineConfig::new(WindowConfig::new(p.window_len, 1).unwrap(), scoring)
         .with_max_topics_per_element(None);
-    let mut engine = KsirEngine::new(phi, config).unwrap();
+    let engine = KsirEngine::new(phi, config).unwrap();
 
     // Random stream: increasing timestamps, random words, random references to
     // earlier elements, random (normalised) topic vectors.
+    let mut stream = Vec::with_capacity(p.num_elements);
     let mut ts = 0u64;
     for i in 1..=p.num_elements as u64 {
         ts += rng.gen_range(1..=2u64);
@@ -115,9 +127,7 @@ fn build_instance(p: &InstanceParams) -> Instance {
         let element: SocialElement = builder.build();
         let weights: Vec<f64> = (0..p.num_topics).map(|_| rng.gen::<f64>()).collect();
         let tv = TopicVector::normalized(weights).unwrap();
-        engine
-            .ingest_bucket(vec![(element, tv)], Timestamp(ts))
-            .unwrap();
+        stream.push((element, tv));
     }
 
     let query_weights: Vec<f64> = (0..p.num_topics).map(|_| rng.gen::<f64>() + 0.01).collect();
@@ -127,6 +137,25 @@ fn build_instance(p: &InstanceParams) -> Instance {
         .with_epsilon(0.1)
         .unwrap();
 
+    StreamInstance {
+        engine,
+        stream,
+        query,
+        query_vector,
+    }
+}
+
+fn build_instance(p: &InstanceParams) -> Instance {
+    let StreamInstance {
+        mut engine,
+        stream,
+        query,
+        query_vector,
+    } = build_stream_instance(p);
+    for (element, tv) in stream {
+        let end = element.ts;
+        engine.ingest_bucket(vec![(element, tv)], end).unwrap();
+    }
     Instance {
         engine,
         query,
@@ -410,6 +439,224 @@ proptest! {
     }
 }
 
+/// The index-based algorithms that keep a singleton-score memo across
+/// refreshes (the standing-query manager attaches no cache to CELF or
+/// SieveStreaming).
+const CACHED_ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::Mtts,
+    Algorithm::Mttd,
+    Algorithm::TopkRepresentative,
+];
+
+/// Asserts that a delta-restricted (memoised) run of each cached algorithm is
+/// decision-identical to a from-scratch run on the same engine state: same
+/// selected set, same traversal depth, same frontier, score equal to within
+/// float noise — and never *more* scoring passes.
+fn assert_cached_run_matches(
+    engine: &KsirEngine<DenseTopicWordTable>,
+    query: &KsirQuery,
+    delta: &WindowDelta,
+    caches: &mut [SingletonCache],
+) {
+    for (alg, cache) in CACHED_ALGORITHMS.iter().zip(caches.iter_mut()) {
+        let fresh = engine.query(query, *alg).unwrap();
+        let cached = engine.query_delta(query, *alg, delta, cache).unwrap();
+        prop_assert_eq!(
+            &cached.elements,
+            &fresh.elements,
+            "{}: selected sets diverged",
+            alg
+        );
+        // Cached singleton scores replay earlier scoring passes; summation
+        // order inside a pass is deterministic, so any divergence is at most
+        // accumulated rounding from values primed on earlier slides.
+        prop_assert!(
+            (cached.score - fresh.score).abs() <= 1e-12,
+            "{}: cached score {} vs fresh {}",
+            alg,
+            cached.score,
+            fresh.score
+        );
+        prop_assert_eq!(
+            cached.evaluated_elements,
+            fresh.evaluated_elements,
+            "{}: traversal depth diverged",
+            alg
+        );
+        prop_assert!(
+            cached.gain_evaluations <= fresh.gain_evaluations,
+            "{}: cached run scored more ({} > {})",
+            alg,
+            cached.gain_evaluations,
+            fresh.gain_evaluations
+        );
+        match (&cached.frontier, &fresh.frontier) {
+            (Some(c), Some(f)) => {
+                prop_assert_eq!(&c.floors, &f.floors, "{}: frontier floors diverged", alg);
+                match (c.bar, f.bar) {
+                    (Some(cb), Some(fb)) => prop_assert!(
+                        (cb - fb).abs() <= 1e-12,
+                        "{}: bar {} vs fresh {}",
+                        alg,
+                        cb,
+                        fb
+                    ),
+                    (None, None) => {}
+                    (cb, fb) => prop_assert!(
+                        false,
+                        "{}: bar presence diverged ({:?} vs {:?})",
+                        alg,
+                        cb,
+                        fb
+                    ),
+                }
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "{}: frontier presence diverged", alg),
+        }
+    }
+}
+
+/// Element ids a slide changed: activated, resurrected, or with refreshed
+/// ranked-list tuples.
+fn changed_ids(delta: &WindowDelta) -> Vec<ElementId> {
+    delta
+        .activated
+        .iter()
+        .chain(&delta.resurrected)
+        .chain(&delta.refreshed)
+        .copied()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole equivalence: replaying a stream slide by slide, a
+    /// delta-restricted refresh (retained singleton-score memo, primed from
+    /// each slide's [`WindowDelta`]) makes the same decisions as a
+    /// from-scratch run on every slide — including an expiry-heavy final
+    /// slide that empties the window.
+    #[test]
+    fn delta_restricted_refresh_is_decision_identical(p in instance_params()) {
+        let StreamInstance { mut engine, stream, query, .. } = build_stream_instance(&p);
+        let mut caches: Vec<SingletonCache> =
+            CACHED_ALGORITHMS.iter().map(|_| SingletonCache::new()).collect();
+
+        for (element, tv) in stream {
+            let end = element.ts;
+            let report = engine.ingest_bucket(vec![(element, tv)], end).unwrap();
+            assert_cached_run_matches(&engine, &query, &report.delta, &mut caches);
+        }
+
+        // Mass expiry: slide far enough that everything falls out at once.
+        let far_future = Timestamp(engine.now().raw() + 10 * p.window_len + 10);
+        let report = engine.ingest_bucket(vec![], far_future).unwrap();
+        prop_assert_eq!(engine.active_count(), 0);
+        assert_cached_run_matches(&engine, &query, &report.delta, &mut caches);
+    }
+
+    /// Priming rebuilds a changed element's singleton score from its stored
+    /// tuples *bit-identically* to a fresh scoring pass on the same window
+    /// state — the invariant that lets cached runs replay admission
+    /// decisions exactly.
+    #[test]
+    fn primed_scores_match_fresh_evaluation(p in instance_params()) {
+        let StreamInstance { mut engine, stream, query, query_vector } =
+            build_stream_instance(&p);
+        for (element, tv) in stream {
+            let end = element.ts;
+            let report = engine.ingest_bucket(vec![(element, tv)], end).unwrap();
+            let mut cache = SingletonCache::new();
+            prime_singleton_cache(engine.ranked_lists(), &query, &report.delta, &mut cache);
+
+            let scorer = engine.scorer();
+            let evaluator = QueryEvaluator::new(
+                scorer,
+                engine.window(),
+                engine.topic_vectors(),
+                &query_vector,
+            );
+            for id in changed_ids(&report.delta) {
+                let primed = cache.get(id);
+                prop_assert!(
+                    primed.is_some(),
+                    "changed element {id:?} was not primed from the live lists"
+                );
+                let fresh = evaluator.delta(id);
+                prop_assert_eq!(
+                    primed.unwrap().to_bits(),
+                    fresh.to_bits(),
+                    "primed score {} != fresh score {} for {:?}",
+                    primed.unwrap(),
+                    fresh,
+                    id
+                );
+            }
+        }
+    }
+
+    /// The touched-suffix contract behind delta-restricted reads: every
+    /// stored tuple of a changed element lies within the slide's touched
+    /// suffix of that topic's list — the touch exists, bounds the tuple's
+    /// score from above, and a [`RankedView::suffix_cursor`] started at the
+    /// touch height reaches the tuple.
+    #[test]
+    fn changed_tuples_lie_within_touched_suffixes(p in instance_params()) {
+        let StreamInstance { mut engine, stream, .. } = build_stream_instance(&p);
+        for (element, tv) in stream {
+            let end = element.ts;
+            let report = engine.ingest_bucket(vec![(element, tv)], end).unwrap();
+            let lists = engine.ranked_lists();
+            for id in changed_ids(&report.delta) {
+                for t in 0..p.num_topics {
+                    let topic = TopicId(t as u32);
+                    let score = match lists.stored_score(topic, id) {
+                        StoredScore::Score(score) => score,
+                        StoredScore::Absent => continue,
+                        StoredScore::Unsupported => {
+                            panic!("live ranked lists must support point lookups")
+                        }
+                    };
+                    let touch = report.delta.ranked.touch(topic);
+                    prop_assert!(
+                        touch.is_some(),
+                        "changed element {id:?} has a tuple in topic {topic:?} \
+                         but the slide logged no touch there"
+                    );
+                    let touch = touch.unwrap();
+                    prop_assert!(
+                        score <= touch.high + FLOOR_SLACK,
+                        "tuple score {score} above touch high {}",
+                        touch.high
+                    );
+                    let mut cursor = lists.suffix_cursor(topic, touch.high);
+                    let mut found = false;
+                    while let Some((cid, cscore, _)) = cursor.current() {
+                        if cid == id {
+                            prop_assert_eq!(
+                                cscore.to_bits(),
+                                score.to_bits(),
+                                "suffix cursor surfaced a different score for {:?}",
+                                id
+                            );
+                            found = true;
+                            break;
+                        }
+                        cursor.advance();
+                    }
+                    prop_assert!(
+                        found,
+                        "suffix cursor from {} never reached changed element {:?}",
+                        touch.high,
+                        id
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Random traversal frontiers over `num_topics` topics: each support topic
 /// watched with a finite floor in `[0, 1)` or as exhausted (`None`).
 fn random_frontiers(rng: &mut StdRng, num_topics: usize, count: usize) -> Vec<QueryFrontier> {
@@ -427,7 +674,7 @@ fn random_frontiers(rng: &mut StdRng, num_topics: usize, count: usize) -> Vec<Qu
                 };
                 floors.push((TopicId(t as u32), floor));
             }
-            QueryFrontier { floors }
+            QueryFrontier::new(floors)
         })
         .collect()
 }

@@ -57,6 +57,39 @@ pub use snapshot::{EngineSnapshot, PrefixSpec, ShardSnapshot, SnapshotSource};
 pub use stats::{SnapshotCounters, SnapshotStats};
 
 /// How a [`ShardSnapshot`] captures the ranked lists its shard can traverse.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// use ksir_core::{fixtures::paper_example, Algorithm, KsirQuery, QuerySource};
+/// use ksir_snapshot::{
+///     EngineSnapshot, PrefixSpec, ShardSnapshot, SnapshotCounters, SnapshotPolicy,
+/// };
+/// use ksir_types::{QueryVector, TopicId};
+///
+/// let engine = paper_example().build_engine();
+/// let counters = SnapshotCounters::new();
+/// let epoch = Arc::new(EngineSnapshot::capture(&engine, 1, &counters));
+/// let query = KsirQuery::new(2, QueryVector::uniform(2).unwrap()).unwrap();
+///
+/// // `Exact` serves whole lists through the shared epoch image:
+/// // score-identical to the live engine at the capture epoch.
+/// let spec = PrefixSpec::whole_lists([TopicId(0), TopicId(1)]);
+/// let exact = ShardSnapshot::new(Arc::clone(&epoch), &spec, SnapshotPolicy::Exact);
+/// let live = engine.query(&query, Algorithm::Mtts).unwrap();
+/// let snap = exact.query(&query, Algorithm::Mtts).unwrap();
+/// assert_eq!(live.sorted_elements(), snap.sorted_elements());
+///
+/// // `TruncateAtFloors` materialises a bounded prefix per topic with a
+/// // finite floor; topics without one stay on the shared image.
+/// let spec = PrefixSpec {
+///     floors: vec![(TopicId(0), Some(0.5)), (TopicId(1), None)],
+/// };
+/// let truncated = ShardSnapshot::new(epoch, &spec, SnapshotPolicy::TruncateAtFloors);
+/// assert_eq!(truncated.truncated_topics(), 1);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SnapshotPolicy {
     /// Serve every watched list whole through the shared epoch image.

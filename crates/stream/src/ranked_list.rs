@@ -78,6 +78,22 @@ impl ListCore {
             (k.id, k.score, ts)
         })
     }
+
+    /// Ordered iteration over the suffix of entries with score
+    /// `≤ high + FLOOR_SLACK`, highest first — an `O(log n)` positioned seek
+    /// on the score order rather than a scan past the prefix.
+    fn suffix_iter(&self, high: f64) -> impl Iterator<Item = (ElementId, f64, Timestamp)> + '_ {
+        // Keys sort by descending score then ascending id, so the first key
+        // at or below the bound is `(high + slack, smallest id)`.
+        let start = ScoreKey {
+            score: high + FLOOR_SLACK,
+            id: ElementId(0),
+        };
+        self.order.range(start..).map(move |k| {
+            let (_, ts) = self.entries[&k.id];
+            (k.id, k.score, ts)
+        })
+    }
 }
 
 /// One ranked list `RL_i`: active elements ordered by topic-wise score.
@@ -180,6 +196,17 @@ impl RankedList {
     pub fn cursor(&self) -> RankedListCursor<'_> {
         RankedListCursor::over(self.core.iter())
     }
+
+    /// Starts an ordered traversal over the *suffix* of entries whose score
+    /// is at or below `high` (with the same comparison slack the
+    /// floor/frontier checks use).  With `high` taken from a slide's
+    /// [`Touch`](crate::Touch) entry, the suffix contains every tuple that
+    /// slide upserted or removed in this list — touches are logged at
+    /// `max(old, new)` score, so nothing the slide rewrote can sit above it.
+    /// `O(log n)` to position, then `O(1)` per step.
+    pub fn suffix_cursor(&self, high: f64) -> RankedListCursor<'_> {
+        RankedListCursor::over(self.core.suffix_iter(high))
+    }
 }
 
 /// An immutable, `Arc`-shared image of one ranked list, detached from the
@@ -220,6 +247,12 @@ impl RankedListHandle {
     /// Starts an ordered traversal over the captured image.
     pub fn cursor(&self) -> RankedListCursor<'_> {
         RankedListCursor::over(self.core.iter())
+    }
+
+    /// Starts an ordered traversal over the captured suffix of entries whose
+    /// score is at or below `high` — see [`RankedList::suffix_cursor`].
+    pub fn suffix_cursor(&self, high: f64) -> RankedListCursor<'_> {
+        RankedListCursor::over(self.core.suffix_iter(high))
     }
 
     /// Materialises the descending prefix of tuples whose score is at or
@@ -298,6 +331,22 @@ impl RankedPrefix {
     /// Starts an ordered traversal over the captured prefix.
     pub fn cursor(&self) -> RankedListCursor<'_> {
         RankedListCursor::over(self.entries.iter().copied())
+    }
+
+    /// Iterates over the captured tuples whose score is at or below `high`
+    /// (same comparison slack as the floor checks), descending.  `O(log n)`
+    /// binary search on the descending order to position.
+    pub fn suffix_iter(&self, high: f64) -> impl Iterator<Item = (ElementId, f64, Timestamp)> + '_ {
+        let start = self
+            .entries
+            .partition_point(|&(_, score, _)| score > high + FLOOR_SLACK);
+        self.entries[start..].iter().copied()
+    }
+
+    /// Starts an ordered traversal over the captured tuples whose score is
+    /// at or below `high` — see [`RankedList::suffix_cursor`].
+    pub fn suffix_cursor(&self, high: f64) -> RankedListCursor<'_> {
+        RankedListCursor::over(self.suffix_iter(high))
     }
 }
 
@@ -648,6 +697,32 @@ mod tests {
         let none = snap.prefix(Some(2.0));
         assert!(none.is_empty());
         assert_eq!(none.truncated(), 4);
+    }
+
+    #[test]
+    fn suffix_cursor_starts_at_the_bound_with_slack() {
+        let mut rl = RankedList::new();
+        rl.upsert(id(1), 0.9, Timestamp(1));
+        rl.upsert(id(2), 0.5 + 1e-13, Timestamp(2)); // within slack of the bound
+        rl.upsert(id(3), 0.5, Timestamp(3));
+        rl.upsert(id(4), 0.1, Timestamp(4));
+        let walk = |mut c: RankedListCursor<'_>| {
+            let mut seen = Vec::new();
+            while let Some((e, _, _)) = c.current() {
+                seen.push(e.raw());
+                c.advance();
+            }
+            seen
+        };
+        assert_eq!(walk(rl.suffix_cursor(0.5)), vec![2, 3, 4]);
+        assert_eq!(walk(rl.suffix_cursor(2.0)), vec![1, 2, 3, 4]);
+        assert_eq!(walk(rl.suffix_cursor(0.0)), Vec::<u64>::new());
+        // The handle and a materialised prefix agree with the live list.
+        let snap = rl.share();
+        assert_eq!(walk(snap.suffix_cursor(0.5)), vec![2, 3, 4]);
+        let prefix = snap.prefix(None);
+        assert_eq!(walk(prefix.suffix_cursor(0.5)), vec![2, 3, 4]);
+        assert_eq!(walk(prefix.suffix_cursor(0.05)), Vec::<u64>::new());
     }
 
     #[test]
