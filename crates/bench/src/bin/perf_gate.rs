@@ -55,13 +55,25 @@
 //!   JSON for tracking, the gate asserts strictly fewer scoring passes in
 //!   total, and the probes make identical decisions (pinned by the core
 //!   property tests).
+//! * **per_subscription**: on the subscriber-heavy Zipf population
+//!   ([`MaintenanceScenario::shared_standard`] — 100k standing queries over
+//!   48 plan templates; override the count with
+//!   `PERF_GATE_SHARED_SUBSCRIPTIONS`), the clustered path's **scoring
+//!   passes per subscription** must come in at or under the unclustered
+//!   control's divided by `PERF_GATE_SHARED_FACTOR` (default 5: at this
+//!   overlap, plan sharing must save at least 5× outright).  Deterministic
+//!   like the refresh gate — the population is LCG-seeded and both runs are
+//!   also asserted decision-identical, so a pass can never come from the
+//!   clustered path silently doing different work.
 //!
-//! Each strategy is run three times and the fastest run is kept, which damps
-//! scheduler noise further.
+//! Each timed strategy is run three times and the fastest run is kept,
+//! which damps scheduler noise further; the deterministic shared-plans
+//! probes run once each.
 //!
 //! `--json <path>` additionally writes a machine-readable gate-records file
-//! (one object per gate: name, measured, allowed, verdict) for CI artifact
-//! upload, so a dashboard can track the margins without parsing stderr.
+//! (one object per gate: name, measured, allowed, the subscription count it
+//! was measured over, verdict) for CI artifact upload, so a dashboard can
+//! track the margins without parsing stderr.
 
 use std::time::Duration;
 
@@ -106,7 +118,8 @@ fn env_tolerance(var: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-/// One named gate: `measured` must stay within `allowed` (both in `unit`).
+/// One named gate: `measured` must stay within `allowed` (both in `unit`,
+/// over a maintained population of `subscriptions` standing queries).
 /// Prints the machine-greppable verdict line and, on failure, the
 /// explanation.
 struct Gate {
@@ -114,6 +127,7 @@ struct Gate {
     measured: f64,
     allowed: f64,
     unit: &'static str,
+    subscriptions: usize,
     explanation: &'static str,
 }
 
@@ -158,6 +172,11 @@ fn main() {
     let pipeline_tolerance = env_tolerance("PERF_GATE_PIPELINE_TOLERANCE", 0.25);
     let telemetry_tolerance = env_tolerance("PERF_GATE_TELEMETRY_TOLERANCE", 0.25);
     let refresh_tolerance = env_tolerance("PERF_GATE_REFRESH_TOLERANCE", 0.0);
+    let shared_factor = env_tolerance("PERF_GATE_SHARED_FACTOR", 5.0);
+    let shared_subscriptions = std::env::var("PERF_GATE_SHARED_SUBSCRIPTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
 
     let scenario = MaintenanceScenario::standard();
     eprintln!(
@@ -198,6 +217,17 @@ fn main() {
         |r| r.ingest_span,
         || scenario.run_async(untraced_cfg, Duration::ZERO),
     );
+    // The shared-plans probes: the subscriber-heavy Zipf population,
+    // clustered vs per-subscription.  Scoring-pass counts are exact on
+    // every run, so one run each suffices.
+    let shared_scenario = MaintenanceScenario::zipf_population(shared_subscriptions);
+    eprintln!(
+        "perf_gate: shared-plans population {} subscriptions over {} elements",
+        shared_scenario.queries.len(),
+        shared_scenario.stream.len(),
+    );
+    let shared_on = shared_scenario.run_shared_probe(true);
+    let shared_off = shared_scenario.run_shared_probe(false);
     let threads = ShardConfig::default().worker_threads();
 
     // Identical refresh decisions are a correctness invariant (pinned in the
@@ -240,6 +270,23 @@ fn main() {
         refresh_delta.gain_evaluations,
         refresh_full.gain_evaluations,
     );
+    // The shared-plans probes must be decision-identical — the
+    // per_subscription gate is a pure cost comparison, never a behaviour
+    // change — and the clustered run must actually have clustered.
+    assert_eq!(
+        shared_on.stats, shared_off.stats,
+        "plan clustering must make identical refresh decisions"
+    );
+    assert!(
+        shared_on.covering_evaluations() > 0 && shared_on.shared_refreshes() > 0,
+        "the shared-plans scenario never shared a covering run"
+    );
+    assert!(
+        shared_on.gain_evaluations < shared_off.gain_evaluations,
+        "the clustered path performed no fewer scoring passes ({} vs {})",
+        shared_on.gain_evaluations,
+        shared_off.gain_evaluations,
+    );
 
     let gates = [
         Gate {
@@ -247,6 +294,7 @@ fn main() {
             measured: ms(sharded.elapsed),
             allowed: ms(serial.elapsed) * (1.0 + tolerance),
             unit: "ms",
+            subscriptions: scenario.queries.len(),
             explanation: "sharded refresh regressed past the serial delta-refresh path",
         },
         Gate {
@@ -254,6 +302,7 @@ fn main() {
             measured: ms(async_slow.ingest_return),
             allowed: ms(async_fast.ingest_return) * (1.0 + async_tolerance),
             unit: "ms",
+            subscriptions: scenario.queries.len(),
             explanation: "ingest-return latency depends on consumer speed — the pipeline is \
                  back-pressuring on delivery",
         },
@@ -262,6 +311,7 @@ fn main() {
             measured: ms(pipelined.ingest_interval()),
             allowed: ms(async_fast.ingest_interval()) * (1.0 + pipeline_tolerance),
             unit: "ms",
+            subscriptions: scenario.queries.len(),
             explanation:
                 "pipelined ingest-to-ingest interval regressed past the depth-1 barrier — \
                  index writes are re-serialising behind refresh compute",
@@ -271,6 +321,7 @@ fn main() {
             measured: ms(pipelined.ingest_interval()),
             allowed: ms(untraced.ingest_interval()) * (1.0 + telemetry_tolerance),
             unit: "ms",
+            subscriptions: scenario.queries.len(),
             explanation: "tracing-on ingest interval regressed past the tracing-off run — \
                  instrumentation has left the relaxed-atomic/ring-push budget",
         },
@@ -284,8 +335,21 @@ fn main() {
             measured: refresh_delta.passes_per_refresh(),
             allowed: refresh_full.passes_per_refresh() * (1.0 + refresh_tolerance),
             unit: "passes/refresh",
+            subscriptions: scenario.queries.len(),
             explanation: "delta-restricted refresh no longer saves scoring passes over the \
                  full-rerun baseline — the singleton cache is not paying for itself",
+        },
+        // Also deterministic: the LCG-seeded Zipf population makes both
+        // probes' scoring-pass totals exact, so the required factor is a
+        // hard floor, not a tolerance band.
+        Gate {
+            name: "per_subscription",
+            measured: shared_on.passes_per_subscription(),
+            allowed: shared_off.passes_per_subscription() / shared_factor,
+            unit: "passes/subscription",
+            subscriptions: shared_scenario.queries.len(),
+            explanation: "clustered refresh no longer saves the required factor in scoring \
+                 passes per subscription — covering runs are not being shared",
         },
     ];
 
@@ -318,16 +382,25 @@ fn main() {
             "  \"skip_ratio\": {:.4},\n",
             "  \"shards\": {},\n",
             "  \"worker_threads\": {},\n",
+            "  \"shared_subscriptions\": {},\n",
+            "  \"shared_covering_evaluations\": {},\n",
+            "  \"shared_refreshes\": {},\n",
+            "  \"shared_gain_evaluations_clustered\": {},\n",
+            "  \"shared_gain_evaluations_unclustered\": {},\n",
+            "  \"shared_clustered_ms\": {:.3},\n",
+            "  \"shared_unclustered_ms\": {:.3},\n",
             "  \"tolerance\": {:.2},\n",
             "  \"async_tolerance\": {:.2},\n",
             "  \"pipeline_tolerance\": {:.2},\n",
             "  \"telemetry_tolerance\": {:.2},\n",
             "  \"refresh_tolerance\": {:.2},\n",
+            "  \"shared_factor\": {:.2},\n",
             "  \"gate\": \"{}\",\n",
             "  \"async_gate\": \"{}\",\n",
             "  \"pipelined_gate\": \"{}\",\n",
             "  \"telemetry_gate\": \"{}\",\n",
-            "  \"refresh_gate\": \"{}\"\n",
+            "  \"refresh_gate\": \"{}\",\n",
+            "  \"per_subscription_gate\": \"{}\"\n",
             "}}\n"
         ),
         scenario.stream.len(),
@@ -358,16 +431,25 @@ fn main() {
         sharded.skip_ratio(),
         sharded.shard_stats.len(),
         threads,
+        shared_on.subscriptions,
+        shared_on.covering_evaluations(),
+        shared_on.shared_refreshes(),
+        shared_on.gain_evaluations,
+        shared_off.gain_evaluations,
+        ms(shared_on.elapsed),
+        ms(shared_off.elapsed),
         tolerance,
         async_tolerance,
         pipeline_tolerance,
         telemetry_tolerance,
         refresh_tolerance,
+        shared_factor,
         if gates[0].passed() { "pass" } else { "fail" },
         if gates[1].passed() { "pass" } else { "fail" },
         if gates[2].passed() { "pass" } else { "fail" },
         if gates[3].passed() { "pass" } else { "fail" },
         if gates[4].passed() { "pass" } else { "fail" },
+        if gates[5].passed() { "pass" } else { "fail" },
     );
     std::fs::write(&out_path, &json).expect("write BENCH_continuous.json");
     print!("{json}");
@@ -376,11 +458,12 @@ fn main() {
         for (i, gate) in gates.iter().enumerate() {
             records.push_str(&format!(
                 "    {{ \"gate\": \"{}\", \"measured\": {:.3}, \"allowed\": {:.3}, \
-                 \"unit\": \"{}\", \"passed\": {} }}{}\n",
+                 \"unit\": \"{}\", \"subscriptions\": {}, \"passed\": {} }}{}\n",
                 gate.name,
                 gate.measured,
                 gate.allowed,
                 gate.unit,
+                gate.subscriptions,
                 gate.passed(),
                 if i + 1 == gates.len() { "" } else { "," },
             ));
@@ -430,6 +513,17 @@ fn main() {
         refresh_full.gain_evaluations,
         refresh_delta.refreshes,
         delta_refreshes,
+    );
+    eprintln!(
+        "perf_gate: shared plans over {} subscriptions: {:.2} passes/subscription clustered vs \
+         {:.2} unclustered ({} covering runs served {} shared refreshes; {:.0} ms vs {:.0} ms)",
+        shared_on.subscriptions,
+        shared_on.passes_per_subscription(),
+        shared_off.passes_per_subscription(),
+        shared_on.covering_evaluations(),
+        shared_on.shared_refreshes(),
+        ms(shared_on.elapsed),
+        ms(shared_off.elapsed),
     );
     let mut pass = true;
     for gate in &gates {

@@ -174,6 +174,60 @@ impl RefreshProbe {
     }
 }
 
+/// Work counters of one shared-plans probe run
+/// ([`MaintenanceScenario::run_shared_probe`]): the same managed replay as
+/// [`MaintenanceScenario::run_managed`], with the scoring-pass total and the
+/// cluster counters the `per_subscription` CI gate compares between the
+/// clustered (`shared_plans = true`) and per-subscription paths.
+#[derive(Debug, Clone)]
+pub struct SharedPlansRun {
+    /// Wall-clock time for the full replay (ingestion + refreshes).
+    pub elapsed: Duration,
+    /// Slide/refresh/skip counters — pinned identical between the
+    /// `shared_plans` on and off runs.
+    pub stats: ManagerStats,
+    /// Per-shard counters; the cluster totals
+    /// ([`ShardStats::covering_evaluations`] /
+    /// [`ShardStats::shared_refreshes`]) live here.
+    pub shard_stats: Vec<ShardStats>,
+    /// Total scoring passes across every refresh (the
+    /// `refresh.gain_evaluations` telemetry counter) — deterministic, so the
+    /// structural saving of plan sharing can be asserted exactly,
+    /// independent of timer noise.
+    pub gain_evaluations: u64,
+    /// Standing queries maintained over the replay.
+    pub subscriptions: usize,
+}
+
+impl SharedPlansRun {
+    /// Covering traversals performed across all shards (0 with
+    /// `shared_plans` off).
+    pub fn covering_evaluations(&self) -> usize {
+        self.shard_stats
+            .iter()
+            .map(|s| s.covering_evaluations)
+            .sum()
+    }
+
+    /// Refreshes served from a same-`k` covering run without their own
+    /// traversal (0 with `shared_plans` off).
+    pub fn shared_refreshes(&self) -> usize {
+        self.shard_stats.iter().map(|s| s.shared_refreshes).sum()
+    }
+
+    /// Mean scoring passes per maintained subscription over the whole
+    /// replay — the deterministic measure the `per_subscription` CI gate
+    /// compares.  Both runs replay the same slides, so normalising by the
+    /// population alone preserves the clustered/unclustered ratio.
+    pub fn passes_per_subscription(&self) -> f64 {
+        if self.subscriptions == 0 {
+            0.0
+        } else {
+            self.gain_evaluations as f64 / self.subscriptions as f64
+        }
+    }
+}
+
 impl MaintenanceScenario {
     /// The standard workload: a ~10k-element / 50-topic Twitter-shaped
     /// stream, a 6-hour window with 15-minute buckets, and 16 narrow
@@ -186,6 +240,83 @@ impl MaintenanceScenario {
     /// A scaled-down variant for smoke tests.
     pub fn smoke() -> Self {
         Self::sized(0.1, 8)
+    }
+
+    /// The shared-plans workload at full scale: 100 000 standing queries
+    /// over a small stream — the population, not the stream, is the load.
+    /// See [`MaintenanceScenario::zipf_population`].
+    pub fn shared_standard() -> Self {
+        Self::zipf_population(100_000)
+    }
+
+    /// A scaled-down shared-plans population for smoke runs and unit tests.
+    pub fn shared_smoke() -> Self {
+        Self::zipf_population(2_000)
+    }
+
+    /// A population of `num_subscriptions` standing queries drawn from a
+    /// fixed pool of 48 **plan templates** (query vector + algorithm) with
+    /// Zipf(1) popularity — the subscriber-heavy regime shared evaluation
+    /// plans exist for: many users follow the same trending topic mixes and
+    /// differ only in how many representatives they ask for (`k` cycles
+    /// through 2/4/6/8 by registration order).
+    ///
+    /// Templates use only the index-traversal algorithms (MTTS, MTTD,
+    /// top-k representative): the whole-window baselines would make the
+    /// unclustered control run quadratic in the population, and they carry
+    /// no singleton memo to share anyway.  Sampling uses a fixed-seed LCG,
+    /// so the population — and with it every scoring-pass count — is
+    /// deterministic across runs and hosts.
+    pub fn zipf_population(num_subscriptions: usize) -> Self {
+        const TEMPLATES: usize = 48;
+        let profile = DatasetProfile::twitter().scaled(0.05).with_topics(50);
+        let stream = StreamGenerator::new(profile, 4242)
+            .unwrap()
+            .generate()
+            .unwrap();
+        let num_topics = stream.planted.num_topics();
+        let templates: Vec<(QueryVector, Algorithm)> = (0..TEMPLATES)
+            .map(|t| {
+                let mut weights = vec![0.0; num_topics];
+                // Distinct 2-topic mixes: the `t / 25` nudge keeps the
+                // second topic from colliding when `2t` wraps mod 50.
+                weights[(2 * t) % num_topics] = 0.7;
+                weights[(2 * t + 7 + t / 25) % num_topics] = 0.3;
+                let algorithm = match t % 3 {
+                    0 => Algorithm::Mtts,
+                    1 => Algorithm::Mttd,
+                    _ => Algorithm::TopkRepresentative,
+                };
+                (QueryVector::new(weights).unwrap(), algorithm)
+            })
+            .collect();
+        // Zipf(1) popularity over template ranks: cumulative weights once,
+        // then one LCG draw + binary search per subscription.
+        let mut cumulative = Vec::with_capacity(TEMPLATES);
+        let mut total = 0.0;
+        for rank in 0..TEMPLATES {
+            total += 1.0 / (rank + 1) as f64;
+            cumulative.push(total);
+        }
+        let mut state: u64 = 0x243F_6A88_85A3_08D3;
+        let queries = (0..num_subscriptions)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64 * total;
+                let rank = cumulative.partition_point(|c| *c < u).min(TEMPLATES - 1);
+                let (vector, algorithm) = &templates[rank];
+                let query = KsirQuery::new(2 + 2 * (i % 4), vector.clone()).unwrap();
+                (query, *algorithm)
+            })
+            .collect();
+        MaintenanceScenario {
+            stream,
+            queries,
+            window: WindowConfig::new(6 * 60, 15).unwrap(),
+            scoring: ScoringConfig::new(0.5, 1.0).unwrap(),
+        }
     }
 
     fn sized(scale: f64, num_subscriptions: usize) -> Self {
@@ -239,6 +370,38 @@ impl MaintenanceScenario {
             elapsed: started.elapsed(),
             stats: mgr.stats(),
             shard_stats: mgr.shard_stats(),
+        }
+    }
+
+    /// Replays the stream through a [`SubscriptionManager`] with the
+    /// clustered evaluation path toggled by `shared_plans`, and additionally
+    /// reads the `refresh.gain_evaluations` telemetry counter — the
+    /// deterministic scoring-pass total the `per_subscription` CI gate
+    /// divides by the population.  Decisions must be identical either way
+    /// (pinned by the `shared_plans` property tests and re-asserted by the
+    /// gate); only the cost differs.
+    pub fn run_shared_probe(&self, shared_plans: bool) -> SharedPlansRun {
+        let started = Instant::now();
+        let mut mgr = SubscriptionManager::with_shard_config(
+            self.engine(),
+            ShardConfig::default().with_shared_plans(shared_plans),
+        );
+        for (query, algorithm) in &self.queries {
+            mgr.subscribe(query.clone(), *algorithm).unwrap();
+        }
+        let outcomes = mgr.ingest_stream(self.stream.iter_pairs()).unwrap();
+        std::hint::black_box(outcomes.len());
+        let gain_evaluations = mgr
+            .telemetry()
+            .registry()
+            .counter("refresh.gain_evaluations")
+            .get();
+        SharedPlansRun {
+            elapsed: started.elapsed(),
+            stats: mgr.stats(),
+            shard_stats: mgr.shard_stats(),
+            gain_evaluations,
+            subscriptions: self.queries.len(),
         }
     }
 
@@ -461,6 +624,63 @@ mod tests {
         assert!(sharded.throughput() > 0.0);
         assert!(!sharded.shard_stats.is_empty());
         assert!(recompute.shard_stats.is_empty());
+    }
+
+    #[test]
+    fn shared_probe_is_decision_identical_and_saves_scoring_passes() {
+        let scenario = MaintenanceScenario::zipf_population(600);
+        let clustered = scenario.run_shared_probe(true);
+        let baseline = scenario.run_shared_probe(false);
+        assert_eq!(
+            clustered.stats, baseline.stats,
+            "plan clustering must change no refresh decision"
+        );
+        assert_eq!(clustered.subscriptions, 600);
+        assert_eq!(clustered.subscriptions, baseline.subscriptions);
+        assert!(clustered.covering_evaluations() > 0);
+        assert!(clustered.shared_refreshes() > 0, "templates must overlap");
+        assert_eq!(baseline.covering_evaluations(), 0);
+        assert_eq!(baseline.shared_refreshes(), 0);
+        // The point of the clustered path: strictly fewer scoring passes
+        // for identical decisions.  The full 5× margin is asserted by the
+        // CI gate on the 100k population; at this size the overlap is
+        // thinner, so pin a conservative 2×.
+        assert!(
+            clustered.passes_per_subscription() * 2.0 <= baseline.passes_per_subscription(),
+            "clustered {} vs baseline {} passes/subscription",
+            clustered.passes_per_subscription(),
+            baseline.passes_per_subscription(),
+        );
+    }
+
+    #[test]
+    fn ratio_helpers_are_zero_not_nan_on_empty_runs() {
+        // Regression pins: every ratio over a zero-decision run must be
+        // exactly 0.0, never NaN (a NaN here poisons downstream JSON and
+        // dashboard math silently).
+        let empty = MaintenanceRun {
+            elapsed: Duration::ZERO,
+            stats: ManagerStats::default(),
+            shard_stats: Vec::new(),
+        };
+        assert_eq!(empty.skip_ratio(), 0.0);
+        assert_eq!(empty.throughput(), 0.0);
+        let probe = RefreshProbe {
+            query_time: Duration::ZERO,
+            refreshes: 0,
+            gain_evaluations: 0,
+        };
+        assert_eq!(probe.per_refresh(), Duration::ZERO);
+        assert_eq!(probe.passes_per_refresh(), 0.0);
+        let shared = SharedPlansRun {
+            elapsed: Duration::ZERO,
+            stats: ManagerStats::default(),
+            shard_stats: Vec::new(),
+            gain_evaluations: 0,
+            subscriptions: 0,
+        };
+        assert_eq!(shared.passes_per_subscription(), 0.0);
+        assert_eq!(shared.covering_evaluations(), 0);
     }
 
     #[test]

@@ -63,6 +63,24 @@
 //! [`SubscriptionManager::shard_stats`] exposes per-shard [`ShardStats`]
 //! for dashboards and benches.
 //!
+//! ## Shared evaluation plans
+//!
+//! Inside each shard, subscriptions whose queries are **plan-compatible** —
+//! identical query vector (bitwise), identical `ε`, same algorithm, so they
+//! differ at most in `k` — are grouped into *plan clusters* ([`cluster`]).
+//! A scheduled shard evaluates each disturbed cluster once per distinct
+//! member `k` (largest first: the **covering** run, see
+//! [`KsirQuery::covering`](ksir_core::KsirQuery::covering)) against a shared
+//! singleton memo; same-`k` members share the run's result outright and
+//! smaller-`k` members re-run only their admission logic over the covering
+//! run's scored candidates.  Per-member classify decisions, results, stats
+//! and delivered deltas are pinned identical to the per-subscription walk
+//! (the `shared_plans` property tests); only evaluation *cost* drops — the
+//! `refresh.cluster.*` counters and
+//! [`ShardStats::covering_evaluations`]/[`ShardStats::shared_refreshes`]
+//! expose by how much.  [`ShardConfig::shared_plans`] (default `true`)
+//! selects the path.
+//!
 //! [`WindowDelta`]: ksir_stream::WindowDelta
 //!
 //! ## Asynchronous ingestion, pipelined epochs
@@ -139,6 +157,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
 pub mod delivery;
 pub mod manager;
 pub mod shard;

@@ -53,6 +53,12 @@ pub struct RetiredStats {
     pub scheduled_slides: usize,
     /// Slides that skipped a now-retired shard as a whole.
     pub skipped_slides: usize,
+    /// Covering/variant evaluations retired shards ran while they lived.
+    pub covering_evaluations: usize,
+    /// Member refreshes retired shards served by sharing a covering run.
+    pub shared_refreshes: usize,
+    /// Plan clusters retired shards fast-skipped inside scheduled slides.
+    pub skipped_clusters: usize,
 }
 
 /// The outcome of one [`SubscriptionManager::ingest_bucket`] call.
@@ -411,9 +417,17 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
             delta_refresh,
         );
         let telemetry = &self.telemetry;
+        let shared_plans = self.config.shared_plans;
         self.shards
             .entry(key)
-            .or_insert_with(|| Arc::new(ShardCell::new(key, Arc::clone(telemetry), delta_refresh)))
+            .or_insert_with(|| {
+                Arc::new(ShardCell::new(
+                    key,
+                    Arc::clone(telemetry),
+                    delta_refresh,
+                    shared_plans,
+                ))
+            })
             .shard()
             .insert(id, sub);
         self.route_of.insert(id, key);
@@ -468,6 +482,9 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
             self.retired.skips += stats.skips;
             self.retired.scheduled_slides += stats.scheduled_slides;
             self.retired.skipped_slides += stats.skipped_slides;
+            self.retired.covering_evaluations += stats.covering_evaluations;
+            self.retired.shared_refreshes += stats.shared_refreshes;
+            self.retired.skipped_clusters += stats.skipped_clusters;
             self.shards.remove(&key);
         }
         removed
@@ -571,6 +588,11 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
                 None,
                 self.config.delta_refresh,
             );
+            // The forced run replaced this member's frontier outside the
+            // cluster's own refresh, so the shared memo's validity guard may
+            // be gone — drop it (pure cost; the next covering run starts
+            // cold).
+            shard.invalidate_plan_cache(id);
             // The stored result (and with it the shard's floors/members) may
             // have changed even when no delta is reported.
             shard.rebuild_filters();

@@ -30,17 +30,33 @@
 //! dominant topic; they rendezvous in the dedicated
 //! [`ShardKey::Overflow`] shard instead of pinning an arbitrary topic shard
 //! to a near-global topic set.
+//!
+//! ## Shared evaluation plans
+//!
+//! With [`ShardConfig::shared_plans`] enabled (the default), a shard also
+//! groups its residents into **plan clusters**
+//! (`cluster::PlanCluster`): subscriptions whose queries are
+//! plan-compatible — identical vector and `ε`, same algorithm — differ only
+//! in `k`, so a scheduled shard evaluates each disturbed cluster once per
+//! distinct member `k` (largest first, the **covering** run) against a
+//! shared singleton memo instead of once per member.  Same-`k` members share
+//! the run's result outright; smaller-`k` members re-run their own admission
+//! logic with singleton lookups served from the covering run's memo.  The
+//! per-member classify/refresh/skip *decisions* are computed by exactly the
+//! same rules as the per-subscription walk, so stats and delivered deltas
+//! are identical — only the number of evaluations changes.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-use ksir_core::{FloorAggregate, KsirQuery, QuerySource};
+use ksir_core::{FloorAggregate, KsirQuery, QueryResult, QuerySource};
 use ksir_snapshot::{PrefixSpec, SnapshotPolicy, SnapshotSource};
 use ksir_stream::WindowDelta;
 use ksir_telemetry::{Counter, Histogram, ShardLabel, Telemetry, TelemetryConfig, TraceEventKind};
 use ksir_types::{ElementId, TopicId};
 
+use crate::cluster::{ClusterKey, PlanCluster};
 use crate::subscription::{RefreshReason, ResultDelta, Subscription, SubscriptionId};
 
 /// Identity of one shard of the subscription table.
@@ -104,6 +120,15 @@ pub struct ShardConfig {
     /// full-rerun path, which is the baseline the `refresh` perf gate
     /// compares against.
     pub delta_refresh: bool,
+    /// Whether shards cluster plan-compatible residents (identical query
+    /// vector and `ε`, same algorithm) into shared evaluation plans: one
+    /// covering traversal per disturbed cluster and `k`, specialized per
+    /// member, instead of one evaluation per member.  Decisions, results and
+    /// work counters are identical either way (pinned by the `shared_plans`
+    /// property tests); `false` keeps the per-subscription walk, which is
+    /// the oracle the clustered path is compared against and the baseline of
+    /// the `per_subscription` perf gate.
+    pub shared_plans: bool,
 }
 
 impl Default for ShardConfig {
@@ -115,6 +140,7 @@ impl Default for ShardConfig {
             snapshot_policy: SnapshotPolicy::Exact,
             telemetry: TelemetryConfig::default(),
             delta_refresh: true,
+            shared_plans: true,
         }
     }
 }
@@ -170,6 +196,13 @@ impl ShardConfig {
     /// full, the perf-gate baseline).
     pub fn with_delta_refresh(mut self, delta_refresh: bool) -> Self {
         self.delta_refresh = delta_refresh;
+        self
+    }
+
+    /// Enables or disables shared evaluation plans (`false` = one evaluation
+    /// per subscription, the decision oracle and perf-gate baseline).
+    pub fn with_shared_plans(mut self, shared_plans: bool) -> Self {
+        self.shared_plans = shared_plans;
         self
     }
 
@@ -231,6 +264,20 @@ pub struct ShardStats {
     pub scheduled_slides: usize,
     /// Slides the shard was proven undisturbed as a whole.
     pub skipped_slides: usize,
+    /// Current number of plan clusters (0 with shared plans disabled).
+    pub clusters: usize,
+    /// Covering/variant evaluations the clustered refresh path actually ran.
+    /// Each one serves every to-refresh member of one cluster at one `k`;
+    /// without shared plans this stays 0 (each refresh runs its own
+    /// evaluation instead).
+    pub covering_evaluations: usize,
+    /// Refreshes served by sharing a variant run's result instead of running
+    /// an evaluation of their own — `refreshes` minus the evaluations that
+    /// actually ran, summed over clustered slides.
+    pub shared_refreshes: usize,
+    /// Clusters proven undisturbed inside scheduled slides (all members
+    /// charged a skip without per-member classification).
+    pub skipped_clusters: usize,
 }
 
 impl ShardStats {
@@ -277,6 +324,19 @@ pub(crate) struct ShardTelemetry {
     refresh_mode_full: Arc<Counter>,
     refresh_mode_delta: Arc<Counter>,
     refresh_mode_skipped: Arc<Counter>,
+    /// `refresh.cluster.*` counters: how the shared-plan layer served a
+    /// scheduled slide — covering/variant evaluations actually run, member
+    /// refreshes served by sharing a run's result, and whole clusters
+    /// fast-skipped.  Bumped in the same statements as the [`ShardStats`]
+    /// fields they aggregate.
+    cluster_covering: Arc<Counter>,
+    cluster_shared: Arc<Counter>,
+    cluster_skipped: Arc<Counter>,
+    /// `refresh.gain_evaluations`: total scoring passes (marginal-gain /
+    /// singleton evaluations) of all slide-driven query runs.  A pure cost
+    /// counter with no stats twin — it is what the `per_subscription` perf
+    /// gate divides by the subscription count.
+    gain_evaluations: Arc<Counter>,
 }
 
 impl ShardTelemetry {
@@ -292,6 +352,10 @@ impl ShardTelemetry {
             refresh_mode_full: registry.counter("refresh.mode.full"),
             refresh_mode_delta: registry.counter("refresh.mode.delta"),
             refresh_mode_skipped: registry.counter("refresh.mode.skipped"),
+            cluster_covering: registry.counter("refresh.cluster.covering"),
+            cluster_shared: registry.counter("refresh.cluster.shared"),
+            cluster_skipped: registry.counter("refresh.cluster.skipped"),
+            gain_evaluations: registry.counter("refresh.gain_evaluations"),
             bundle,
         }
     }
@@ -309,6 +373,22 @@ pub(crate) struct ShardSlide {
     /// The subset of `refreshed` that ran delta-restricted.
     pub(crate) delta_refreshed: usize,
     pub(crate) skipped: usize,
+}
+
+/// Cost-side accounting of one scheduled slide, kept separate from
+/// [`ShardSlide`] because it describes *how* the work was served, not what
+/// was decided: the decision counters are pinned identical across the
+/// per-subscription and clustered paths, these are not.
+#[derive(Debug, Default)]
+struct SlideWork {
+    /// Covering/variant evaluations actually run.
+    covering: usize,
+    /// Member refreshes served from another member's evaluation.
+    shared: usize,
+    /// Clusters fast-skipped without per-member classification.
+    skipped_clusters: usize,
+    /// Scoring passes (marginal-gain / singleton evaluations) of the runs.
+    gain: usize,
 }
 
 /// One epoch queued on a busy shard's lane: the slide delta to project and
@@ -359,11 +439,21 @@ pub(crate) struct ShardCell {
 }
 
 impl ShardCell {
-    pub(crate) fn new(key: ShardKey, bundle: Arc<Telemetry>, delta_refresh: bool) -> Self {
+    pub(crate) fn new(
+        key: ShardKey,
+        bundle: Arc<Telemetry>,
+        delta_refresh: bool,
+        shared_plans: bool,
+    ) -> Self {
         let telemetry = ShardTelemetry::new(bundle, key);
         ShardCell {
             lane: Mutex::new(Lane::default()),
-            shard: Mutex::new(Shard::new(key, telemetry.clone(), delta_refresh)),
+            shard: Mutex::new(Shard::new(
+                key,
+                telemetry.clone(),
+                delta_refresh,
+                shared_plans,
+            )),
             telemetry,
         }
     }
@@ -458,16 +548,32 @@ pub(crate) struct Shard {
     /// Whether classified refreshes may run delta-restricted
     /// (see [`ShardConfig::delta_refresh`]).
     delta_refresh: bool,
+    /// Whether residents are grouped into plan clusters and refreshed
+    /// through shared covering runs (see [`ShardConfig::shared_plans`]).
+    shared_plans: bool,
+    /// Plan clusters of the residents, keyed by plan identity.  Empty when
+    /// shared plans are disabled.
+    clusters: BTreeMap<ClusterKey, PlanCluster>,
+    /// Reverse index: which cluster each resident belongs to.
+    cluster_of: BTreeMap<SubscriptionId, ClusterKey>,
     refreshes: usize,
     delta_refreshes: usize,
     skips: usize,
     scheduled_slides: usize,
     skipped_slides: usize,
+    covering_evaluations: usize,
+    shared_refreshes: usize,
+    skipped_clusters: usize,
     telemetry: ShardTelemetry,
 }
 
 impl Shard {
-    pub(crate) fn new(key: ShardKey, telemetry: ShardTelemetry, delta_refresh: bool) -> Self {
+    pub(crate) fn new(
+        key: ShardKey,
+        telemetry: ShardTelemetry,
+        delta_refresh: bool,
+        shared_plans: bool,
+    ) -> Self {
         Shard {
             key,
             subs: BTreeMap::new(),
@@ -475,11 +581,17 @@ impl Shard {
             members: HashSet::new(),
             pending_initial: 0,
             delta_refresh,
+            shared_plans,
+            clusters: BTreeMap::new(),
+            cluster_of: BTreeMap::new(),
             refreshes: 0,
             delta_refreshes: 0,
             skips: 0,
             scheduled_slides: 0,
             skipped_slides: 0,
+            covering_evaluations: 0,
+            shared_refreshes: 0,
+            skipped_clusters: 0,
             telemetry,
         }
     }
@@ -501,15 +613,47 @@ impl Shard {
         // incremental absorb — a full rebuild here would make bulk
         // registration O(residents²) per shard.
         self.absorb_resident(&sub);
+        if self.shared_plans {
+            let key = ClusterKey::of(&sub.query, sub.algorithm);
+            match self.clusters.get_mut(&key) {
+                Some(cluster) => cluster.add_member(id, &sub),
+                None => {
+                    self.clusters
+                        .insert(key.clone(), PlanCluster::new(id, &sub));
+                }
+            }
+            self.cluster_of.insert(id, key);
+        }
         self.subs.insert(id, sub);
     }
 
     pub(crate) fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
         let removed = self.subs.remove(&id);
         if removed.is_some() {
+            if let Some(key) = self.cluster_of.remove(&id) {
+                let retire = self
+                    .clusters
+                    .get_mut(&key)
+                    .is_some_and(|cluster| cluster.remove_member(id));
+                if retire {
+                    self.clusters.remove(&key);
+                }
+            }
             self.rebuild_filters();
         }
         removed
+    }
+
+    /// Drops the shared memo of `id`'s plan cluster.  Must be called when a
+    /// member's result is replaced outside the cluster's own refresh path
+    /// (forced refreshes): the departing frontier may have been the memo's
+    /// validity guard.  No-op without shared plans.
+    pub(crate) fn invalidate_plan_cache(&mut self, id: SubscriptionId) {
+        if let Some(key) = self.cluster_of.get(&id) {
+            if let Some(cluster) = self.clusters.get_mut(key) {
+                cluster.invalidate_cache();
+            }
+        }
     }
 
     pub(crate) fn stats(&self) -> ShardStats {
@@ -521,6 +665,10 @@ impl Shard {
             skips: self.skips,
             scheduled_slides: self.scheduled_slides,
             skipped_slides: self.skipped_slides,
+            clusters: self.clusters.len(),
+            covering_evaluations: self.covering_evaluations,
+            shared_refreshes: self.shared_refreshes,
+            skipped_clusters: self.skipped_clusters,
         }
     }
 
@@ -549,8 +697,10 @@ impl Shard {
         }
     }
 
-    /// Recomputes the shard's touch filters from its residents.  Called after
-    /// any refresh or removal; `O(residents × (k + support))`.
+    /// Recomputes the shard's touch filters from its residents — and, under
+    /// shared plans, every cluster's covering query and filters from its
+    /// members.  Called after any refresh or removal;
+    /// `O(residents × (k + support))`.
     pub(crate) fn rebuild_filters(&mut self) {
         self.floors.clear();
         self.members.clear();
@@ -558,6 +708,13 @@ impl Shard {
         let subs = std::mem::take(&mut self.subs);
         for sub in subs.values() {
             self.absorb_resident(sub);
+        }
+        if self.shared_plans {
+            let mut clusters = std::mem::take(&mut self.clusters);
+            for cluster in clusters.values_mut() {
+                cluster.rebuild(|id| &subs[&id]);
+            }
+            self.clusters = clusters;
         }
         self.subs = subs;
     }
@@ -594,35 +751,24 @@ impl Shard {
     /// whole list.
     pub(crate) fn prefix_spec(&self) -> PrefixSpec {
         let mut floors: BTreeMap<TopicId, Option<f64>> = BTreeMap::new();
-        for sub in self.subs.values() {
-            let support = sub.query.vector().support();
-            let frontier = sub.frontier();
-            let bar = frontier.and_then(|f| f.bar);
-            for &(topic, weight) in &support {
-                let own = frontier.and_then(|f| {
-                    let floor = f
-                        .floors
-                        .iter()
-                        .find(|&&(t, _)| t == topic)
-                        .and_then(|&(_, floor)| floor);
-                    let cutoff = bar.map(|b| b / (support.len() as f64 * weight));
-                    match (floor, cutoff) {
-                        (Some(floor), Some(cutoff)) => Some(floor.max(cutoff)),
-                        (Some(floor), None) => Some(floor),
-                        (None, Some(cutoff)) => Some(cutoff),
-                        (None, None) => None,
-                    }
-                });
-                floors
-                    .entry(topic)
-                    .and_modify(|agg| {
-                        *agg = match (*agg, own) {
-                            (Some(a), Some(o)) => Some(a.min(o)),
-                            // Any whole-list requirement wins.
-                            _ => None,
-                        };
-                    })
-                    .or_insert(own);
+        if self.shared_plans {
+            // Fold per cluster first: a cluster's covering floors (loosest
+            // member requirement per topic) are exactly what its covering
+            // run must see.  The shard spec is their merge — the loosest
+            // (min / whole-list) merge is associative, so the two-level fold
+            // yields the same floors as the flat per-resident fold.
+            for cluster in self.clusters.values() {
+                let mut covering: BTreeMap<TopicId, Option<f64>> = BTreeMap::new();
+                for &id in &cluster.members {
+                    fold_resident_floors(&mut covering, &self.subs[&id]);
+                }
+                for (topic, own) in covering {
+                    merge_floor(&mut floors, topic, own);
+                }
+            }
+        } else {
+            for sub in self.subs.values() {
+                fold_resident_floors(&mut floors, sub);
             }
         }
         PrefixSpec {
@@ -634,6 +780,10 @@ impl Shard {
     /// slide, then rebuilds the touch filters.  Runs on a worker thread when
     /// the manager refreshes shards in parallel; `source` is the live engine
     /// on the synchronous path and an epoch snapshot on the pipelined one.
+    ///
+    /// With shared plans the refresh walks plan clusters instead of
+    /// residents; decisions and updates are identical (the per-member rules
+    /// are unchanged), only the number of query evaluations differs.
     pub(crate) fn refresh_scheduled(
         &mut self,
         source: &dyn QuerySource,
@@ -643,32 +793,18 @@ impl Shard {
         let started = Instant::now();
         self.telemetry.record(epoch, TraceEventKind::ShardScheduled);
         self.telemetry.record(epoch, TraceEventKind::RefreshStarted);
-        let mut slide = ShardSlide::default();
-        for (&id, sub) in self.subs.iter_mut() {
-            match classify(sub, delta) {
-                Some(reason) => {
-                    slide.refreshed += 1;
-                    sub.stats.refreshes += 1;
-                    let (update, mode) =
-                        refresh_one(source, id, sub, reason, Some(delta), self.delta_refresh);
-                    if mode == RefreshMode::Delta {
-                        slide.delta_refreshed += 1;
-                        sub.stats.delta_refreshes += 1;
-                    }
-                    if let Some(update) = update {
-                        slide.updates.push(update);
-                    }
-                }
-                None => {
-                    slide.skipped += 1;
-                    sub.stats.skips += 1;
-                }
-            }
-        }
+        let (slide, work) = if self.shared_plans {
+            self.refresh_clusters(source, delta)
+        } else {
+            self.refresh_residents(source, delta)
+        };
         self.scheduled_slides += 1;
         self.refreshes += slide.refreshed;
         self.delta_refreshes += slide.delta_refreshed;
         self.skips += slide.skipped;
+        self.covering_evaluations += work.covering;
+        self.shared_refreshes += work.shared;
+        self.skipped_clusters += work.skipped_clusters;
         self.telemetry.scheduled_slides.inc();
         self.telemetry.refreshes.add(slide.refreshed as u64);
         self.telemetry
@@ -681,6 +817,12 @@ impl Shard {
         self.telemetry
             .refresh_mode_skipped
             .add(slide.skipped as u64);
+        self.telemetry.cluster_covering.add(work.covering as u64);
+        self.telemetry.cluster_shared.add(work.shared as u64);
+        self.telemetry
+            .cluster_skipped
+            .add(work.skipped_clusters as u64);
+        self.telemetry.gain_evaluations.add(work.gain as u64);
         self.telemetry.refresh_hist.record(started.elapsed());
         self.telemetry.record(
             epoch,
@@ -697,6 +839,180 @@ impl Shard {
             self.rebuild_filters();
         }
         slide
+    }
+
+    /// The per-subscription walk: classify and refresh each resident on its
+    /// own (the decision oracle the clustered path is pinned against).
+    fn refresh_residents(
+        &mut self,
+        source: &dyn QuerySource,
+        delta: &WindowDelta,
+    ) -> (ShardSlide, SlideWork) {
+        let mut slide = ShardSlide::default();
+        let mut work = SlideWork::default();
+        for (&id, sub) in self.subs.iter_mut() {
+            match classify(sub, delta) {
+                Some(reason) => {
+                    slide.refreshed += 1;
+                    sub.stats.refreshes += 1;
+                    let (update, mode) =
+                        refresh_one(source, id, sub, reason, Some(delta), self.delta_refresh);
+                    work.gain += sub
+                        .result
+                        .as_ref()
+                        .map_or(0, |result| result.gain_evaluations);
+                    if mode == RefreshMode::Delta {
+                        slide.delta_refreshed += 1;
+                        sub.stats.delta_refreshes += 1;
+                    }
+                    if let Some(update) = update {
+                        slide.updates.push(update);
+                    }
+                }
+                None => {
+                    slide.skipped += 1;
+                    sub.stats.skips += 1;
+                }
+            }
+        }
+        (slide, work)
+    }
+
+    /// The shared-plan walk: per cluster, either fast-skip the whole cluster
+    /// (its filters prove every member would classify as skippable) or
+    /// classify each member by the unchanged per-subscription rules and serve
+    /// the to-refresh members from one evaluation per distinct `k`, largest
+    /// first — the covering run — against the cluster's shared memo.
+    ///
+    /// Soundness of each piece:
+    ///
+    /// * fast-skip — the cluster filters are the same conservative union of
+    ///   `classify`'s conditions the shard filters are, just over a subset of
+    ///   residents, so an untouched cluster implies member-wise skips;
+    /// * same-`k` sharing — plan-compatible queries with equal `k` are
+    ///   *identical* queries, and evaluation is deterministic;
+    /// * cross-`k` specialization — smaller-`k` variants re-run their own
+    ///   algorithm (admission thresholds depend on `k`), but their singleton
+    ///   lookups hit the covering run's memo entries, which are bit-identical
+    ///   to fresh scoring passes (the PR 6 invariant).
+    fn refresh_clusters(
+        &mut self,
+        source: &dyn QuerySource,
+        delta: &WindowDelta,
+    ) -> (ShardSlide, SlideWork) {
+        let mut slide = ShardSlide::default();
+        let mut work = SlideWork::default();
+        let delta_refresh = self.delta_refresh;
+        let empty = WindowDelta::default();
+        // Mirror `refresh_one`: with delta refreshes disabled every run is a
+        // full re-run against an empty delta and a cold memo — the memo is
+        // still shared *within* the slide, which is the whole point.
+        let effective = if delta_refresh { delta } else { &empty };
+        let mut clusters = std::mem::take(&mut self.clusters);
+        for cluster in clusters.values_mut() {
+            if !cluster.is_touched_by(delta) {
+                for &id in &cluster.members {
+                    let sub = self
+                        .subs
+                        .get_mut(&id)
+                        .expect("cluster members reside in the shard");
+                    sub.stats.skips += 1;
+                }
+                slide.skipped += cluster.members.len();
+                work.skipped_clusters += 1;
+                continue;
+            }
+            let mut to_refresh: Vec<(SubscriptionId, RefreshReason)> = Vec::new();
+            for &id in &cluster.members {
+                let sub = self
+                    .subs
+                    .get_mut(&id)
+                    .expect("cluster members reside in the shard");
+                match classify(sub, delta) {
+                    Some(reason) => to_refresh.push((id, reason)),
+                    None => {
+                        slide.skipped += 1;
+                        sub.stats.skips += 1;
+                    }
+                }
+            }
+            if to_refresh.is_empty() {
+                continue;
+            }
+            // One variant per distinct k, largest first.
+            let mut variants: BTreeMap<
+                std::cmp::Reverse<usize>,
+                Vec<(SubscriptionId, RefreshReason)>,
+            > = BTreeMap::new();
+            for (id, reason) in to_refresh {
+                let k = self.subs[&id].query.k();
+                variants
+                    .entry(std::cmp::Reverse(k))
+                    .or_default()
+                    .push((id, reason));
+            }
+            if let Some(cache) = cluster.cache.as_mut() {
+                cache.begin_scope();
+                if !delta_refresh {
+                    cache.clear();
+                }
+            }
+            let mut covering_run = true;
+            for members in variants.values() {
+                let covering =
+                    KsirQuery::covering(members.iter().map(|(id, _)| &self.subs[id].query))
+                        .expect("cluster members are plan-compatible");
+                let fresh = match cluster.cache.as_mut() {
+                    Some(cache) if covering_run => source
+                        .query_covering(&covering, cluster.algorithm, effective, cache)
+                        .map(|outcome| outcome.result),
+                    Some(cache) => {
+                        source.query_delta(&covering, cluster.algorithm, effective, cache)
+                    }
+                    None => source.query(&covering, cluster.algorithm),
+                }
+                .expect("subscription dimensions were validated at subscribe time");
+                covering_run = false;
+                work.covering += 1;
+                work.gain += fresh.gain_evaluations;
+                for (served, &(id, reason)) in members.iter().enumerate() {
+                    let sub = self
+                        .subs
+                        .get_mut(&id)
+                        .expect("cluster members reside in the shard");
+                    slide.refreshed += 1;
+                    sub.stats.refreshes += 1;
+                    // Same mode-attribution rule as `refresh_one`, evaluated
+                    // against the member's pre-refresh state.
+                    let slide_classified = matches!(
+                        reason,
+                        RefreshReason::TopicDisturbed | RefreshReason::MemberExpired
+                    );
+                    if cluster.cache.is_some()
+                        && delta_refresh
+                        && slide_classified
+                        && sub.result.is_some()
+                    {
+                        slide.delta_refreshed += 1;
+                        sub.stats.delta_refreshes += 1;
+                    }
+                    if served > 0 {
+                        work.shared += 1;
+                    }
+                    if let Some(update) = apply_fresh(id, sub, reason, fresh.clone()) {
+                        slide.updates.push(update);
+                    }
+                }
+            }
+            if let Some(cache) = cluster.cache.as_mut() {
+                cache.end_scope();
+            }
+        }
+        self.clusters = clusters;
+        // The per-subscription walk emits updates in resident (id) order;
+        // match it so downstream consumers see the same stream.
+        slide.updates.sort_by_key(|update| update.subscription);
+        (slide, work)
     }
 
     /// Charges one skip to every resident of an unscheduled shard.  Returns
@@ -820,6 +1136,20 @@ pub(crate) fn refresh_one(
     }
     .expect("subscription dimensions were validated at subscribe time");
 
+    (apply_fresh(id, sub, reason, fresh), mode)
+}
+
+/// Stores a freshly computed result on the subscription and diffs it against
+/// the previous one: `Some` when the result set or score actually changed
+/// (bumping `result_changes`), `None` for a no-op refresh.  Shared by
+/// [`refresh_one`] and the clustered refresh path so the two can never
+/// disagree about what counts as a change.
+pub(crate) fn apply_fresh(
+    id: SubscriptionId,
+    sub: &mut Subscription,
+    reason: RefreshReason,
+    fresh: QueryResult,
+) -> Option<ResultDelta> {
     let (old_elements, score_before) = match &sub.result {
         Some(old) => (old.elements.clone(), old.score),
         None => (Vec::new(), 0.0),
@@ -844,20 +1174,59 @@ pub(crate) fn refresh_one(
         || !removed.is_empty()
         || (score_after - score_before).abs() > crate::subscription::SCORE_EPS;
     if !changed {
-        return (None, mode);
+        return None;
     }
     sub.stats.result_changes += 1;
-    (
-        Some(ResultDelta {
-            subscription: id,
-            reason,
-            added,
-            removed,
-            score_before,
-            score_after,
-        }),
-        mode,
-    )
+    Some(ResultDelta {
+        subscription: id,
+        reason,
+        added,
+        removed,
+        score_before,
+        score_after,
+    })
+}
+
+/// Folds one resident's snapshot requirement into a floors map: for every
+/// support topic, its own floor (tightened by the admission bar when the
+/// last run reported one), merged loosest-wins with what is already there.
+/// See [`Shard::prefix_spec`] for the math.
+fn fold_resident_floors(floors: &mut BTreeMap<TopicId, Option<f64>>, sub: &Subscription) {
+    let support = sub.query.vector().support();
+    let frontier = sub.frontier();
+    let bar = frontier.and_then(|f| f.bar);
+    for &(topic, weight) in &support {
+        let own = frontier.and_then(|f| {
+            let floor = f
+                .floors
+                .iter()
+                .find(|&&(t, _)| t == topic)
+                .and_then(|&(_, floor)| floor);
+            let cutoff = bar.map(|b| b / (support.len() as f64 * weight));
+            match (floor, cutoff) {
+                (Some(floor), Some(cutoff)) => Some(floor.max(cutoff)),
+                (Some(floor), None) => Some(floor),
+                (None, Some(cutoff)) => Some(cutoff),
+                (None, None) => None,
+            }
+        });
+        merge_floor(floors, topic, own);
+    }
+}
+
+/// Merges one requirement into a floors map, loosest-wins: the lower floor
+/// dominates, and a whole-list requirement (`None`) dominates everything.
+fn merge_floor(floors: &mut BTreeMap<TopicId, Option<f64>>, topic: TopicId, own: Option<f64>) {
+    floors
+        .entry(topic)
+        .and_modify(|agg| {
+            *agg = match (*agg, own) {
+                (Some(a), Some(o)) => Some(a.min(o)),
+                // Any whole-list requirement wins.
+                _ => None,
+            };
+        })
+        .or_insert(own);
 }
 
 #[cfg(test)]
@@ -874,6 +1243,7 @@ mod tests {
         Shard::new(
             key,
             ShardTelemetry::new(Arc::new(Telemetry::default()), key),
+            true,
             true,
         )
     }
@@ -1032,7 +1402,12 @@ mod tests {
                 )),
             }
         }
-        let cell = ShardCell::new(ShardKey::Overflow, Arc::new(Telemetry::default()), true);
+        let cell = ShardCell::new(
+            ShardKey::Overflow,
+            Arc::new(Telemetry::default()),
+            true,
+            true,
+        );
         // No residents: nothing happens, nothing is enqueued.
         assert_eq!(
             cell.project_epoch(0, &WindowDelta::default(), || task(0)),

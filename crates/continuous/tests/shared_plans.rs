@@ -1,0 +1,360 @@
+//! Shared-evaluation-plan equivalence at the manager level.
+//!
+//! [`ShardConfig::shared_plans`] switches scheduled shards from one query
+//! evaluation per disturbed subscription to one **covering** evaluation per
+//! disturbed plan cluster and distinct `k`, specialized per member.  The
+//! contract is the same as the delta-refresh toggle's: **cost only**.  Slide
+//! for slide, both paths classify the same subscriptions, emit the same
+//! result deltas, and converge on the same maintained results; only the
+//! `refresh.cluster.*` counters — covering evaluations actually run, member
+//! refreshes served by sharing — move.
+
+use ksir_continuous::{ShardConfig, SnapshotPolicy, SubscriptionId, SubscriptionManager};
+use ksir_core::{Algorithm, EngineConfig, KsirEngine, KsirQuery, ScoringConfig};
+use ksir_datagen::{DatasetProfile, GeneratedStream, StreamGenerator};
+use ksir_stream::WindowConfig;
+use ksir_types::{DenseTopicWordTable, QueryVector};
+
+const TOPICS: usize = 12;
+
+/// A clustering-heavy workload: `groups` plan groups of `per_group`
+/// subscriptions each.  Members of one group share a query vector and an
+/// algorithm but differ in `k`, so each group lands in one plan cluster with
+/// several variants; distinct groups use distinct vectors (and cycle through
+/// every algorithm, including the cache-less baselines).
+fn workload(groups: usize, per_group: usize) -> Vec<(KsirQuery, Algorithm)> {
+    let algorithms = [
+        Algorithm::Mtts,
+        Algorithm::Mttd,
+        Algorithm::TopkRepresentative,
+        Algorithm::Celf,
+        Algorithm::SieveStreaming,
+    ];
+    let mut subs = Vec::new();
+    for g in 0..groups {
+        let mut weights = vec![0.0; TOPICS];
+        weights[(2 * g) % TOPICS] = 0.7;
+        weights[(2 * g + 3) % TOPICS] = 0.3;
+        let vector = QueryVector::new(weights).unwrap();
+        let algorithm = algorithms[g % algorithms.len()];
+        for m in 0..per_group {
+            // k ∈ {2, 4, 6, ...} with repeats, so clusters hold both
+            // same-k sharers and cross-k specialization variants.
+            let k = 2 + 2 * (m % 3);
+            subs.push((KsirQuery::new(k, vector.clone()).unwrap(), algorithm));
+        }
+    }
+    subs
+}
+
+/// Builds a planted-stream manager under `config` and registers `subs`.
+/// Same seed ⇒ identical engines and subscription ids across configs.
+fn planted_manager(
+    seed: u64,
+    config: ShardConfig,
+    subs: &[(KsirQuery, Algorithm)],
+) -> (
+    SubscriptionManager<ksir_types::DenseTopicWordTable>,
+    Vec<SubscriptionId>,
+    GeneratedStream,
+) {
+    let profile = DatasetProfile::twitter().scaled(0.02).with_topics(TOPICS);
+    let stream = StreamGenerator::new(profile, seed)
+        .unwrap()
+        .generate()
+        .unwrap();
+    let window = WindowConfig::new(120, 15).unwrap();
+    let engine: KsirEngine<DenseTopicWordTable> = KsirEngine::new(
+        stream.planted.phi().clone(),
+        EngineConfig::new(window, ScoringConfig::default()),
+    )
+    .unwrap();
+    let mut mgr = SubscriptionManager::with_shard_config(engine, config);
+    let ids = subs
+        .iter()
+        .map(|(query, algorithm)| mgr.subscribe(query.clone(), *algorithm).unwrap())
+        .collect();
+    (mgr, ids, stream)
+}
+
+/// Sums one `ShardStats` field over live shards.
+fn shard_sum(
+    mgr: &SubscriptionManager<DenseTopicWordTable>,
+    field: impl Fn(&ksir_continuous::ShardStats) -> usize,
+) -> usize {
+    mgr.shard_stats().iter().map(field).sum()
+}
+
+/// The tentpole contract, end to end: a shared-plans manager and a
+/// per-subscription manager fed the same stream make identical decisions on
+/// every slide and end on identical results — only the clustered manager's
+/// covering/shared counters move, and it provably runs fewer evaluations.
+#[test]
+fn shared_plans_match_per_subscription_walk_slide_for_slide() {
+    for seed in [11u64, 29] {
+        let subs = workload(6, 4);
+        let (mut clustered, ids, stream) =
+            planted_manager(seed, ShardConfig::default().with_shared_plans(true), &subs);
+        let (mut oracle, oracle_ids, _) =
+            planted_manager(seed, ShardConfig::default().with_shared_plans(false), &subs);
+        assert_eq!(ids, oracle_ids);
+
+        let clustered_outcomes = clustered.ingest_stream(stream.iter_pairs()).unwrap();
+        let oracle_outcomes = oracle.ingest_stream(stream.iter_pairs()).unwrap();
+        assert_eq!(clustered_outcomes.len(), oracle_outcomes.len());
+        for (slide, (shared, solo)) in clustered_outcomes.iter().zip(&oracle_outcomes).enumerate() {
+            assert_eq!(shared.report, solo.report, "slide {slide}: engine diverged");
+            assert_eq!(
+                shared.refreshed, solo.refreshed,
+                "slide {slide}: refresh decisions diverged"
+            );
+            assert_eq!(
+                shared.skipped, solo.skipped,
+                "slide {slide}: skip decisions diverged"
+            );
+            assert_eq!(
+                shared.updates.len(),
+                solo.updates.len(),
+                "slide {slide}: different number of result changes"
+            );
+            for (su, ou) in shared.updates.iter().zip(&solo.updates) {
+                assert_eq!(su.subscription, ou.subscription, "slide {slide}");
+                assert_eq!(su.reason, ou.reason, "slide {slide}: {}", su.subscription);
+                assert_eq!(su.added, ou.added, "slide {slide}: {}", su.subscription);
+                assert_eq!(su.removed, ou.removed, "slide {slide}: {}", su.subscription);
+                // Shared memo lookups replay earlier scoring passes bit for
+                // bit; any residue is float noise, not algorithmic drift.
+                assert!(
+                    (su.score_after - ou.score_after).abs() <= 1e-12,
+                    "slide {slide}: {} score {} vs {}",
+                    su.subscription,
+                    su.score_after,
+                    ou.score_after
+                );
+            }
+        }
+
+        // Final maintained results agree with each other, with scratch, and
+        // the per-subscription stats are identical member for member.
+        for (id, (query, algorithm)) in ids.iter().zip(&subs) {
+            let shared = clustered.result(*id).unwrap();
+            let solo = oracle.result(*id).unwrap();
+            assert_eq!(shared.sorted_elements(), solo.sorted_elements());
+            let fresh = clustered.engine().query(query, *algorithm).unwrap();
+            assert_eq!(shared.sorted_elements(), fresh.sorted_elements());
+            assert_eq!(
+                clustered.subscription_stats(*id).unwrap(),
+                oracle.subscription_stats(*id).unwrap(),
+                "{id}: per-subscription work counters diverged"
+            );
+        }
+
+        // Decision-side stats agree in aggregate too...
+        assert_eq!(clustered.stats(), oracle.stats());
+        // ...while the cost side shows actual sharing: the clustered manager
+        // served refreshes from covering runs, and ran strictly fewer
+        // evaluations than it performed refreshes.
+        let covering = shard_sum(&clustered, |s| s.covering_evaluations);
+        let shared = shard_sum(&clustered, |s| s.shared_refreshes);
+        let refreshes = clustered.stats().refreshes;
+        assert!(covering > 0, "seed {seed}: no covering run ever happened");
+        assert!(shared > 0, "seed {seed}: no refresh was served by sharing");
+        assert_eq!(
+            covering + shared,
+            refreshes,
+            "every refresh is either its own evaluation or shared"
+        );
+        assert!(
+            covering < refreshes,
+            "seed {seed}: clustering ran as many evaluations as refreshes"
+        );
+        assert_eq!(shard_sum(&oracle, |s| s.covering_evaluations), 0);
+        assert_eq!(shard_sum(&oracle, |s| s.shared_refreshes), 0);
+        assert_eq!(shard_sum(&oracle, |s| s.clusters), 0);
+
+        // And the scoring-pass counter shows the point of it all: fewer
+        // singleton/gain evaluations for identical decisions.
+        let clustered_passes = clustered
+            .telemetry()
+            .registry()
+            .counter("refresh.gain_evaluations")
+            .get();
+        let oracle_passes = oracle
+            .telemetry()
+            .registry()
+            .counter("refresh.gain_evaluations")
+            .get();
+        assert!(
+            clustered_passes < oracle_passes,
+            "seed {seed}: clustering did not reduce scoring passes \
+             ({clustered_passes} vs {oracle_passes})"
+        );
+    }
+}
+
+/// The `refresh.cluster.*` registry counters reconcile exactly with the
+/// stats structs (the no-drift rule): registry == Σ live shards + retired.
+#[test]
+fn cluster_counters_reconcile_with_stats() {
+    let subs = workload(5, 4);
+    let (mut mgr, ids, stream) = planted_manager(29, ShardConfig::default(), &subs);
+    let pairs: Vec<_> = stream.iter_pairs().collect();
+    let half = pairs.len() / 2;
+    mgr.ingest_stream(pairs[..half].iter().cloned()).unwrap();
+    // Retire a few members mid-stream so the retired tally participates.
+    for id in &ids[..6] {
+        assert!(mgr.unsubscribe(*id));
+    }
+    mgr.ingest_stream(pairs[half..].iter().cloned()).unwrap();
+
+    let retired = mgr.retired_stats();
+    let telemetry = mgr.telemetry();
+    let registry = telemetry.registry();
+    assert_eq!(
+        registry.counter("refresh.cluster.covering").get(),
+        (shard_sum(&mgr, |s| s.covering_evaluations) + retired.covering_evaluations) as u64,
+        "covering counter drifted from stats"
+    );
+    assert_eq!(
+        registry.counter("refresh.cluster.shared").get(),
+        (shard_sum(&mgr, |s| s.shared_refreshes) + retired.shared_refreshes) as u64,
+        "shared counter drifted from stats"
+    );
+    assert_eq!(
+        registry.counter("refresh.cluster.skipped").get(),
+        (shard_sum(&mgr, |s| s.skipped_clusters) + retired.skipped_clusters) as u64,
+        "skipped-cluster counter drifted from stats"
+    );
+    // The decision-side accounting invariant is untouched by clustering.
+    let stats = mgr.stats();
+    assert_eq!(
+        registry.counter("shard.refreshes").get(),
+        stats.refreshes as u64
+    );
+    assert_eq!(registry.counter("shard.skips").get(), stats.skips as u64);
+}
+
+/// Mid-stream churn re-clusters without disturbing the survivors: new
+/// members join existing clusters (merge), departures shrink or retire them
+/// (split/retire), a forced refresh invalidates the shared memo — and
+/// through all of it the surviving members' decisions and results stay
+/// pinned to the per-subscription walk performing the identical churn.
+#[test]
+fn churn_reclusters_without_changing_surviving_decisions() {
+    let initial = workload(4, 3);
+    let late = workload(6, 2); // first 4 groups merge into existing clusters
+    let run = |shared_plans: bool| {
+        let (mut mgr, ids, stream) = planted_manager(
+            47,
+            ShardConfig::default().with_shared_plans(shared_plans),
+            &initial,
+        );
+        let pairs: Vec<_> = stream.iter_pairs().collect();
+        let third = pairs.len() / 3;
+        let mut outcomes = mgr.ingest_stream(pairs[..third].iter().cloned()).unwrap();
+        // Churn: drop one member of each of the first three clusters (split),
+        // retire the fourth cluster outright, then register the late
+        // workload (its first four groups merge into surviving clusters).
+        let removed = [ids[0], ids[3], ids[6], ids[9], ids[10], ids[11]];
+        for id in removed {
+            assert!(mgr.unsubscribe(id));
+        }
+        let mut ids: Vec<SubscriptionId> =
+            ids.into_iter().filter(|id| !removed.contains(id)).collect();
+        for (query, algorithm) in &late {
+            ids.push(mgr.subscribe(query.clone(), *algorithm).unwrap());
+        }
+        // A forced refresh outside the slide stream (drops the shared memo).
+        let forced = ids[1];
+        mgr.refresh(forced);
+        outcomes.extend(mgr.ingest_stream(pairs[third..].iter().cloned()).unwrap());
+        (mgr, ids, outcomes)
+    };
+
+    let (clustered, ids, clustered_outcomes) = run(true);
+    let (oracle, oracle_ids, oracle_outcomes) = run(false);
+    assert_eq!(ids, oracle_ids);
+    assert_eq!(clustered_outcomes.len(), oracle_outcomes.len());
+    for (slide, (shared, solo)) in clustered_outcomes.iter().zip(&oracle_outcomes).enumerate() {
+        assert_eq!(
+            shared.refreshed, solo.refreshed,
+            "slide {slide}: refresh decisions diverged under churn"
+        );
+        assert_eq!(shared.skipped, solo.skipped, "slide {slide}");
+        assert_eq!(shared.updates, solo.updates, "slide {slide}");
+    }
+    for id in &ids {
+        assert_eq!(
+            clustered.result(*id).unwrap().sorted_elements(),
+            oracle.result(*id).unwrap().sorted_elements(),
+            "{id}: maintained result diverged under churn"
+        );
+        assert_eq!(
+            clustered.subscription_stats(*id),
+            oracle.subscription_stats(*id),
+            "{id}: work counters diverged under churn"
+        );
+    }
+    // The retired tally still reconciles the global accounting:
+    // live + retired refreshes/skips == slide-time classifications.
+    for mgr in [&clustered, &oracle] {
+        let stats = mgr.stats();
+        let retired = mgr.retired_stats();
+        assert!(retired.shards > 0, "the emptied cluster retired its shard");
+        assert_eq!(
+            shard_sum(mgr, |s| s.refreshes) + retired.refreshes,
+            stats.refreshes
+        );
+        assert_eq!(shard_sum(mgr, |s| s.skips) + retired.skips, stats.skips);
+    }
+    assert_eq!(clustered.stats(), oracle.stats());
+}
+
+/// Shared plans compose with the pipelined ingestion path and
+/// floor-truncated per-shard snapshots: the per-cluster covering floors feed
+/// `TruncateAtFloors` captures, and the maintained results and work
+/// accounting still match the synchronous per-subscription walk.
+#[test]
+fn shared_plans_compose_with_pipelined_truncated_snapshots() {
+    // 4 per group so clusters hold same-k sharers (k = 2,4,6,2), not just
+    // cross-k variants — both sharing modes must survive the pipeline.
+    let subs = workload(6, 4);
+    let config = ShardConfig::default()
+        .with_pipeline_depth(2)
+        .with_snapshot_policy(SnapshotPolicy::TruncateAtFloors);
+    let (mut pipelined, ids, stream) = planted_manager(61, config, &subs);
+    let (mut oracle, oracle_ids, _) = planted_manager(
+        61,
+        ShardConfig::default()
+            .with_snapshot_policy(SnapshotPolicy::TruncateAtFloors)
+            .with_shared_plans(false),
+        &subs,
+    );
+    assert_eq!(ids, oracle_ids);
+
+    let tickets = pipelined.ingest_stream_async(stream.iter_pairs()).unwrap();
+    pipelined.sync();
+    assert_eq!(pipelined.completed_epoch(), tickets.len() as u64);
+    oracle.ingest_stream(stream.iter_pairs()).unwrap();
+
+    assert_eq!(
+        pipelined.stats(),
+        oracle.stats(),
+        "pipelined clustered decisions diverged from the synchronous walk"
+    );
+    for id in &ids {
+        assert_eq!(
+            pipelined.result(*id).unwrap().sorted_elements(),
+            oracle.result(*id).unwrap().sorted_elements(),
+            "{id}: maintained result diverged"
+        );
+    }
+    assert!(
+        shard_sum(&pipelined, |s| s.covering_evaluations) > 0,
+        "the pipelined path never ran a covering evaluation"
+    );
+    assert!(
+        shard_sum(&pipelined, |s| s.shared_refreshes) > 0,
+        "the pipelined path never shared a refresh"
+    );
+}

@@ -111,6 +111,12 @@ pub struct SingletonCache {
     /// Elements consulted (hit or remembered) by the current run; the memo is
     /// pruned to this set when the run ends.
     consulted: HashSet<ElementId>,
+    /// Nesting depth of open run scopes.  A cluster's covering evaluation
+    /// wraps several `run_query_cached` calls in one outer scope
+    /// ([`SingletonCache::begin_scope`]); only the outermost scope clears the
+    /// consulted set on entry and prunes the memo on exit, so retention keeps
+    /// the *union* of everything the nested runs consulted.
+    run_depth: usize,
     hits: usize,
     misses: usize,
     primed: usize,
@@ -160,9 +166,39 @@ impl SingletonCache {
         self.consulted.clear();
     }
 
-    /// Starts tracking which entries the upcoming run consults.
+    /// The memoised `(element, singleton score)` pairs, in unspecified order.
+    ///
+    /// After a covering run this is the scored candidate set the
+    /// specialization pass draws from: every element any nested run scored or
+    /// replayed, at the exact value a fresh evaluation would produce.
+    pub fn entries(&self) -> impl Iterator<Item = (ElementId, f64)> + '_ {
+        self.scores.iter().map(|(&id, &score)| (id, score))
+    }
+
+    /// Opens an outer run scope spanning several query runs against the same
+    /// index state (a cluster's covering evaluation).  While the scope is
+    /// open, the per-run retention of [`crate::run_query_cached`] is
+    /// deferred: the memo is pruned once, at [`SingletonCache::end_scope`],
+    /// to the union of everything the nested runs consulted.
+    ///
+    /// Scopes nest; only the outermost open/close pair clears and prunes.
+    pub fn begin_scope(&mut self) {
+        self.begin_run();
+    }
+
+    /// Closes the scope opened by [`SingletonCache::begin_scope`], pruning
+    /// the memo to the union of entries consulted since then.
+    pub fn end_scope(&mut self) {
+        self.end_run();
+    }
+
+    /// Starts tracking which entries the upcoming run consults.  Nested calls
+    /// (a run inside an open scope) keep accumulating into the same set.
     pub(crate) fn begin_run(&mut self) {
-        self.consulted.clear();
+        if self.run_depth == 0 {
+            self.consulted.clear();
+        }
+        self.run_depth += 1;
     }
 
     /// Marks one entry as consulted by the current run.
@@ -171,8 +207,13 @@ impl SingletonCache {
     }
 
     /// Prunes the memo to the entries the finished run consulted (see the
-    /// type-level *Retention* notes).
+    /// type-level *Retention* notes).  Nested calls defer the prune to the
+    /// outermost scope so retention covers every nested run's consultations.
     pub(crate) fn end_run(&mut self) {
+        self.run_depth = self.run_depth.saturating_sub(1);
+        if self.run_depth > 0 {
+            return;
+        }
         let consulted = std::mem::take(&mut self.consulted);
         self.scores.retain(|id, _| consulted.contains(id));
         self.consulted = consulted;
@@ -504,6 +545,35 @@ mod tests {
         evaluator.delta(ElementId(1));
         evaluator.marginal_gain(&state, ElementId(2));
         assert_eq!(evaluator.gain_evaluations(), 2);
+    }
+
+    #[test]
+    fn scope_retention_keeps_the_union_of_nested_runs() {
+        let mut cache = SingletonCache::new();
+        cache.remember(ElementId(1), 0.1);
+        cache.remember(ElementId(2), 0.2);
+        cache.remember(ElementId(3), 0.3);
+        // Two nested runs, each consulting a different entry: the prune at
+        // scope exit must keep both, dropping only the never-consulted one.
+        cache.begin_scope();
+        cache.begin_run();
+        cache.consult(ElementId(1));
+        cache.end_run();
+        assert_eq!(cache.len(), 3, "inner end_run must not prune");
+        cache.begin_run();
+        cache.consult(ElementId(2));
+        cache.end_run();
+        cache.end_scope();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(ElementId(1)).is_some());
+        assert!(cache.get(ElementId(2)).is_some());
+        assert!(cache.get(ElementId(3)).is_none());
+        // Without a scope, a lone run prunes to its own consultations.
+        cache.begin_run();
+        cache.consult(ElementId(2));
+        cache.end_run();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.entries().collect::<Vec<_>>(), [(ElementId(2), 0.2)]);
     }
 
     #[test]

@@ -63,5 +63,6 @@ pub use query::{Algorithm, FloorAggregate, KsirQuery, QueryFrontier, QueryResult
 pub use scorer::{entropy_weight, propagation_prob, word_weight, Scorer};
 pub use shared::SharedEngine;
 pub use view::{
-    prime_singleton_cache, run_query, run_query_cached, QuerySource, RankedView, StoredScore,
+    prime_singleton_cache, run_query, run_query_cached, CoveringOutcome, QuerySource, RankedView,
+    StoredScore,
 };

@@ -64,6 +64,61 @@ impl KsirQuery {
     pub fn epsilon(&self) -> f64 {
         self.epsilon
     }
+
+    /// Returns `true` if `other` runs the *same evaluation plan* as `self`
+    /// modulo the result-size bound `k`: identical query vector (bitwise) and
+    /// identical `ε`.
+    ///
+    /// Two plan-compatible queries traverse the same ranked lists with the
+    /// same per-topic weights and the same threshold grid/descent schedule,
+    /// so a single covering run at the larger `k` retrieves and scores a
+    /// superset of what either query alone would — the property subscription
+    /// clustering in `ksir-continuous` relies on.  `k` itself must *not* be
+    /// shared: the MTTS threshold grid and the MTTD/Top-k admission bars all
+    /// depend on it, so per-`k` specialization runs stay exact.
+    pub fn plan_compatible(&self, other: &KsirQuery) -> bool {
+        self.epsilon.to_bits() == other.epsilon.to_bits()
+            && self.vector.num_topics() == other.vector.num_topics()
+            && self.vector.support().len() == other.vector.support().len()
+            && self
+                .vector
+                .support()
+                .iter()
+                .zip(other.vector.support())
+                .all(|(&(ta, wa), (tb, wb))| ta == tb && wa.to_bits() == wb.to_bits())
+    }
+
+    /// Builds the **covering query** of a cluster of plan-compatible queries:
+    /// the same vector and `ε` with `k = max` over the members, so one run of
+    /// the covering query reads at least as deep into every ranked list as
+    /// any member's own run would.
+    ///
+    /// Errors if the iterator is empty or any two members are not
+    /// [`KsirQuery::plan_compatible`].
+    pub fn covering<'a, I>(members: I) -> Result<KsirQuery>
+    where
+        I: IntoIterator<Item = &'a KsirQuery>,
+    {
+        let mut members = members.into_iter();
+        let Some(first) = members.next() else {
+            return Err(KsirError::invalid_parameter(
+                "members",
+                "a covering query needs at least one member",
+            ));
+        };
+        let mut covering = first.clone();
+        for member in members {
+            if !covering.plan_compatible(member) {
+                return Err(KsirError::invalid_parameter(
+                    "members",
+                    "covering queries require plan-compatible members \
+                     (same vector and epsilon)",
+                ));
+            }
+            covering.k = covering.k.max(member.k);
+        }
+        Ok(covering)
+    }
 }
 
 /// The algorithm used to process a k-SIR query.
@@ -368,6 +423,29 @@ mod tests {
         assert!(q.clone().with_epsilon(f64::NAN).is_err());
         let q = q.with_epsilon(0.3).unwrap();
         assert_eq!(q.epsilon(), 0.3);
+    }
+
+    #[test]
+    fn covering_query_takes_max_k_over_compatible_members() {
+        let a = KsirQuery::new(3, query_vector()).unwrap();
+        let b = KsirQuery::new(7, query_vector()).unwrap();
+        let c = KsirQuery::new(5, query_vector()).unwrap();
+        assert!(a.plan_compatible(&b));
+        let covering = KsirQuery::covering([&a, &b, &c]).unwrap();
+        assert_eq!(covering.k(), 7);
+        assert_eq!(covering.vector(), a.vector());
+        assert_eq!(covering.epsilon(), a.epsilon());
+        // Empty clusters and incompatible members are rejected.
+        assert!(KsirQuery::covering(std::iter::empty::<&KsirQuery>()).is_err());
+        let other_vector = KsirQuery::new(3, QueryVector::new(vec![1.0, 0.0]).unwrap()).unwrap();
+        assert!(!a.plan_compatible(&other_vector));
+        assert!(KsirQuery::covering([&a, &other_vector]).is_err());
+        let other_eps = KsirQuery::new(3, query_vector())
+            .unwrap()
+            .with_epsilon(0.2)
+            .unwrap();
+        assert!(!a.plan_compatible(&other_eps));
+        assert!(KsirQuery::covering([&a, &other_eps]).is_err());
     }
 
     #[test]

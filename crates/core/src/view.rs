@@ -129,6 +129,29 @@ impl RankedView for RankedLists {
     }
 }
 
+/// The output of a cluster's **covering run** — one evaluation of a covering
+/// query (see [`KsirQuery::covering`]) made rich enough for a specialization
+/// pass to derive per-member results from.
+///
+/// Beyond the covering query's own [`QueryResult`] (which *is* the exact
+/// result of every member sharing the covering `k`), it carries the scored
+/// candidate set the run left in its [`SingletonCache`]: every singleton
+/// score the traversal evaluated or replayed, at exactly the value a fresh
+/// evaluation would produce.  A member with a tighter `k` re-runs its own
+/// admission logic with lookups answered from that set, so specialization
+/// never re-scores a singleton the covering run already scored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoveringOutcome {
+    /// The covering query's result — bit-identical to what any member with
+    /// `k` equal to the covering `k` would compute on its own.
+    pub result: QueryResult,
+    /// Scored candidate set `(element, δ(e, x))`, sorted by element id.
+    pub scored: Vec<(ElementId, f64)>,
+    /// The covering run's admission bar (see
+    /// [`crate::QueryFrontier::bar`]), when its algorithm reports one.
+    pub bar: Option<f64>,
+}
+
 /// Anything a k-SIR query can be processed against: the live engine or an
 /// immutable epoch snapshot.  Object-safe, so pipelined consumers can hold
 /// `Arc<dyn QuerySource>` without dragging the topic-model type through
@@ -172,6 +195,33 @@ pub trait QuerySource {
     ) -> Result<QueryResult> {
         let _ = (delta, cache);
         self.query(query, algorithm)
+    }
+
+    /// Runs a cluster's covering query and returns an output rich enough to
+    /// specialize per-member results from: the covering [`QueryResult`], the
+    /// scored candidate set the run left in `cache`, and the run's admission
+    /// bar.  See [`CoveringOutcome`].
+    ///
+    /// Callers evaluating several plan-compatible variants against the same
+    /// `cache` should wrap the calls in a
+    /// [`SingletonCache::begin_scope`]/[`SingletonCache::end_scope`] pair so
+    /// memo retention keeps the union of what every variant consulted.
+    fn query_covering(
+        &self,
+        covering: &KsirQuery,
+        algorithm: Algorithm,
+        delta: &WindowDelta,
+        cache: &mut SingletonCache,
+    ) -> Result<CoveringOutcome> {
+        let result = self.query_delta(covering, algorithm, delta, cache)?;
+        let mut scored: Vec<(ElementId, f64)> = cache.entries().collect();
+        scored.sort_unstable_by_key(|&(id, _)| id);
+        let bar = result.frontier.as_ref().and_then(|f| f.bar);
+        Ok(CoveringOutcome {
+            result,
+            scored,
+            bar,
+        })
     }
 }
 

@@ -41,27 +41,34 @@ fn main() -> Result<(), ksir::KsirError> {
     let num_topics = engine.num_topics();
     let mut dashboard = SubscriptionManager::new(engine);
 
-    // One panel per pair of adjacent topics: narrow interests, mixed between
-    // the two index-based algorithms.  Each panel consumes its result
-    // changes from a bounded delivery queue (capacity 256, DropOldest): a
-    // panel that falls behind sheds its own oldest updates instead of
-    // slowing ingestion down.
+    // Five topic mixes (narrow interests, mixed between the two index-based
+    // algorithms), four panels each: the small/medium/large panels of one
+    // mix are plan-compatible — same vector, same ε, same algorithm, only
+    // `k` differs — so the shard clusters them behind one covering query,
+    // and the medium size appears twice (two users, same view), so one of
+    // the two is served from the other's covering run outright.  Each panel
+    // consumes its result changes from a bounded delivery queue (capacity
+    // 256, DropOldest): a panel that falls behind sheds its own oldest
+    // updates instead of slowing ingestion down.
     let mut panels = Vec::new();
-    for i in 0..10 {
+    for mix in 0..5 {
         let mut weights = vec![0.0; num_topics];
-        weights[(2 * i) % num_topics] = 0.7;
-        weights[(2 * i + 1) % num_topics] = 0.3;
-        let query = KsirQuery::new(4, QueryVector::new(weights)?)?;
-        let algorithm = if i % 2 == 0 {
+        weights[(2 * mix) % num_topics] = 0.7;
+        weights[(2 * mix + 1) % num_topics] = 0.3;
+        let vector = QueryVector::new(weights)?;
+        let algorithm = if mix % 2 == 0 {
             Algorithm::Mttd
         } else {
             Algorithm::Mtts
         };
-        let id = dashboard.subscribe(query, algorithm)?;
-        let inbox = dashboard
-            .attach_delivery(id, DeliveryConfig::default().with_capacity(256))
-            .expect("panel just registered");
-        panels.push((id, inbox));
+        for k in [2usize, 4, 4, 6] {
+            let query = KsirQuery::new(k, vector.clone())?;
+            let id = dashboard.subscribe(query, algorithm)?;
+            let inbox = dashboard
+                .attach_delivery(id, DeliveryConfig::default().with_capacity(256))
+                .expect("panel just registered");
+            panels.push((id, inbox));
+        }
     }
     println!(
         "Registered {} standing queries, each with a bounded delivery queue.\n",
@@ -172,6 +179,38 @@ fn main() -> Result<(), ksir::KsirError> {
             100.0 * shard.skip_rate(),
         );
     }
+
+    // How much of the refresh bill the shared evaluation plans absorbed:
+    // plan-compatible panels cluster behind one covering query, so the
+    // sharing ratio — covering traversals per live subscription-slide —
+    // stays well below 1 whenever clusters have more than one member.
+    let covering: usize = dashboard
+        .shard_stats()
+        .iter()
+        .map(|s| s.covering_evaluations)
+        .sum();
+    let shared: usize = dashboard
+        .shard_stats()
+        .iter()
+        .map(|s| s.shared_refreshes)
+        .sum();
+    let clusters: usize = dashboard.shard_stats().iter().map(|s| s.clusters).sum();
+    let subscription_slides = stats.slides * panels.len();
+    let sharing_ratio = if subscription_slides == 0 {
+        0.0
+    } else {
+        covering as f64 / subscription_slides as f64
+    };
+    println!(
+        "\nShared plans: {} clusters over {} panels; {} covering runs served \
+         {} shared refreshes — sharing ratio {:.3} covering evaluations per \
+         live subscription-slide.",
+        clusters,
+        panels.len(),
+        covering,
+        shared,
+        sharing_ratio,
+    );
 
     // The same numbers, read back from the unified telemetry bundle: stage
     // latency histograms keyed by static stage names, and the per-epoch
