@@ -66,6 +66,14 @@
 //!   also asserted decision-identical, so a pass can never come from the
 //!   clustered path silently doing different work.
 //!
+//! * **reorder**: the wall time of a clean in-order replay through the
+//!   reorder buffer ([`MaintenanceScenario::run_reorder_probe`] at horizon
+//!   8) must not exceed the no-buffer async baseline by more than
+//!   `PERF_GATE_REORDER_TOLERANCE` (default 0.05).  On a healthy stream
+//!   the buffer re-sequences nothing and sheds nothing (asserted), so the
+//!   gate bounds the pure cost of carrying the resilience front end; both
+//!   runs are also asserted decision-identical to the serial path.
+//!
 //! Each timed strategy is run three times and the fastest run is kept,
 //! which damps scheduler noise further; the deterministic shared-plans
 //! probes run once each.
@@ -172,6 +180,7 @@ fn main() {
     let pipeline_tolerance = env_tolerance("PERF_GATE_PIPELINE_TOLERANCE", 0.25);
     let telemetry_tolerance = env_tolerance("PERF_GATE_TELEMETRY_TOLERANCE", 0.25);
     let refresh_tolerance = env_tolerance("PERF_GATE_REFRESH_TOLERANCE", 0.0);
+    let reorder_tolerance = env_tolerance("PERF_GATE_REORDER_TOLERANCE", 0.05);
     let shared_factor = env_tolerance("PERF_GATE_SHARED_FACTOR", 5.0);
     let shared_subscriptions = std::env::var("PERF_GATE_SHARED_SUBSCRIPTIONS")
         .ok()
@@ -217,6 +226,10 @@ fn main() {
         |r| r.ingest_span,
         || scenario.run_async(untraced_cfg, Duration::ZERO),
     );
+    // The reorder gate's probes: the same clean in-order replay with and
+    // without the reorder buffer staged in front of async ingestion.
+    let reorder_base = best_of(|| scenario.run_reorder_probe(0));
+    let reorder_buffered = best_of(|| scenario.run_reorder_probe(8));
     // The shared-plans probes: the subscriber-heavy Zipf population,
     // clustered vs per-subscription.  Scoring-pass counts are exact on
     // every run, so one run each suffices.
@@ -252,6 +265,15 @@ fn main() {
     assert_eq!(
         serial.stats, untraced.stats,
         "disabling tracing must not change any refresh decision"
+    );
+    assert_eq!(
+        serial.stats, reorder_base.stats,
+        "the reorder probe's no-buffer baseline must make identical refresh decisions"
+    );
+    assert_eq!(
+        serial.stats, reorder_buffered.stats,
+        "an in-order stream through the reorder buffer must change nothing: no \
+         re-sequencing, no shedding, identical refresh decisions"
     );
     let delta_refreshes: usize = sharded.shard_stats.iter().map(|s| s.delta_refreshes).sum();
     assert!(
@@ -339,6 +361,15 @@ fn main() {
             explanation: "delta-restricted refresh no longer saves scoring passes over the \
                  full-rerun baseline — the singleton cache is not paying for itself",
         },
+        Gate {
+            name: "reorder",
+            measured: ms(reorder_buffered.elapsed),
+            allowed: ms(reorder_base.elapsed) * (1.0 + reorder_tolerance),
+            unit: "ms",
+            subscriptions: scenario.queries.len(),
+            explanation: "the reorder buffer costs more than its budget on a clean in-order \
+                 stream — the resilience front end is taxing the healthy path",
+        },
         // Also deterministic: the LCG-seeded Zipf population makes both
         // probes' scoring-pass totals exact, so the required factor is a
         // hard floor, not a tolerance band.
@@ -379,6 +410,8 @@ fn main() {
             "  \"pipelined_cow_clones\": {},\n",
             "  \"async_delivered\": {},\n",
             "  \"async_dropped\": {},\n",
+            "  \"reorder_baseline_ms\": {:.3},\n",
+            "  \"reorder_buffered_ms\": {:.3},\n",
             "  \"skip_ratio\": {:.4},\n",
             "  \"shards\": {},\n",
             "  \"worker_threads\": {},\n",
@@ -394,12 +427,14 @@ fn main() {
             "  \"pipeline_tolerance\": {:.2},\n",
             "  \"telemetry_tolerance\": {:.2},\n",
             "  \"refresh_tolerance\": {:.2},\n",
+            "  \"reorder_tolerance\": {:.2},\n",
             "  \"shared_factor\": {:.2},\n",
             "  \"gate\": \"{}\",\n",
             "  \"async_gate\": \"{}\",\n",
             "  \"pipelined_gate\": \"{}\",\n",
             "  \"telemetry_gate\": \"{}\",\n",
             "  \"refresh_gate\": \"{}\",\n",
+            "  \"reorder_gate\": \"{}\",\n",
             "  \"per_subscription_gate\": \"{}\"\n",
             "}}\n"
         ),
@@ -428,6 +463,8 @@ fn main() {
         pipelined.cow_clones,
         async_slow.delivered,
         async_slow.dropped,
+        ms(reorder_base.elapsed),
+        ms(reorder_buffered.elapsed),
         sharded.skip_ratio(),
         sharded.shard_stats.len(),
         threads,
@@ -443,6 +480,7 @@ fn main() {
         pipeline_tolerance,
         telemetry_tolerance,
         refresh_tolerance,
+        reorder_tolerance,
         shared_factor,
         if gates[0].passed() { "pass" } else { "fail" },
         if gates[1].passed() { "pass" } else { "fail" },
@@ -450,6 +488,7 @@ fn main() {
         if gates[3].passed() { "pass" } else { "fail" },
         if gates[4].passed() { "pass" } else { "fail" },
         if gates[5].passed() { "pass" } else { "fail" },
+        if gates[6].passed() { "pass" } else { "fail" },
     );
     std::fs::write(&out_path, &json).expect("write BENCH_continuous.json");
     print!("{json}");
@@ -513,6 +552,12 @@ fn main() {
         refresh_full.gain_evaluations,
         refresh_delta.refreshes,
         delta_refreshes,
+    );
+    eprintln!(
+        "perf_gate: reorder-buffer overhead on a clean stream: {:.0} ms buffered (horizon 8) \
+         vs {:.0} ms direct",
+        ms(reorder_buffered.elapsed),
+        ms(reorder_base.elapsed),
     );
     eprintln!(
         "perf_gate: shared plans over {} subscriptions: {:.2} passes/subscription clustered vs \

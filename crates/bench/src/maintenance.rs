@@ -508,6 +508,52 @@ impl MaintenanceScenario {
         }
     }
 
+    /// Replays the clean in-order stream through the ingest front ends the
+    /// `reorder` CI gate compares: with `horizon == 0`, straight through
+    /// [`SubscriptionManager::ingest_bucket_async`] (no reorder buffer —
+    /// the baseline); with `horizon > 0`, through
+    /// [`SubscriptionManager::ingest_bucket_reordered`] under that horizon,
+    /// so every bucket is staged in the buffer before release.  On an
+    /// in-order stream the buffer is pure overhead — it re-sequences
+    /// nothing and sheds nothing (asserted by the gate via
+    /// [`ManagerStats`]) — so the elapsed difference is exactly the cost of
+    /// carrying the resilience front end on a healthy stream.
+    pub fn run_reorder_probe(&self, horizon: usize) -> MaintenanceRun {
+        let started = Instant::now();
+        let config = ShardConfig::default().with_reorder_horizon(horizon);
+        let mut mgr = SubscriptionManager::with_shard_config(self.engine(), config);
+        for (query, algorithm) in &self.queries {
+            mgr.subscribe(query.clone(), *algorithm).unwrap();
+        }
+        let bucket_len = self.window.bucket_len();
+        let start_ts = mgr.engine().now();
+        ksir_stream::for_each_bucket(
+            bucket_len,
+            start_ts,
+            self.stream.iter_pairs(),
+            |bucket, end| {
+                if horizon > 0 {
+                    for ticket in mgr.ingest_bucket_reordered(bucket, end)? {
+                        ticket.detach();
+                    }
+                } else {
+                    mgr.ingest_bucket_async(bucket, end)?.detach();
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        for ticket in mgr.flush_reorder_buffer().unwrap() {
+            ticket.detach();
+        }
+        mgr.sync();
+        MaintenanceRun {
+            elapsed: started.elapsed(),
+            stats: mgr.stats(),
+            shard_stats: mgr.shard_stats(),
+        }
+    }
+
     /// Replays the stream on a bare engine, re-running **every** standing
     /// query after **every** bucket, and times only the query evaluations —
     /// ingestion and slide maintenance are excluded from `query_time`.
@@ -597,6 +643,7 @@ impl MaintenanceScenario {
                 slides,
                 refreshes: slides * self.queries.len(),
                 skips: 0,
+                ..Default::default()
             },
             shard_stats: Vec::new(),
         }

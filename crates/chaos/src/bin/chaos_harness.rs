@@ -1,0 +1,48 @@
+//! Hostile-stream chaos sweep: every [`HostileMode`] under three fixed
+//! seeds, each run checked against its sync equivalence oracle.  Exits
+//! non-zero on the first report that fails, after printing every verdict.
+//!
+//! Usage: `chaos_harness [--full]` — `--full` replays the standard-scale
+//! scenario instead of the smoke-scale default the CI job uses.
+
+use ksir_chaos::{run_chaos, ChaosScale, HostileMode};
+
+/// The fixed fault-plan seeds the CI `chaos` job pins.
+const SEEDS: [u64; 3] = [17, 89, 1337];
+
+fn main() {
+    let full = std::env::args().any(|arg| arg == "--full");
+    let scale = if full {
+        ChaosScale::Standard
+    } else {
+        ChaosScale::Smoke
+    };
+    let mut failed = false;
+    for mode in HostileMode::ALL {
+        for seed in SEEDS {
+            match run_chaos(mode, seed, scale) {
+                Ok(report) => println!(
+                    "PASS {mode:>16} seed={seed:<5} slides={slides:<3} subs={subs:<3} \
+                     updates={updates:<5} delivered={delivered:<5} dropped={dropped} \
+                     faults={faults} checks={checks}",
+                    mode = report.mode,
+                    seed = report.seed,
+                    slides = report.slides,
+                    subs = report.subscriptions,
+                    updates = report.oracle_updates,
+                    delivered = report.delivered,
+                    dropped = report.dropped,
+                    faults = report.faults_injected,
+                    checks = report.checks,
+                ),
+                Err(reason) => {
+                    failed = true;
+                    println!("FAIL {:>16} seed={seed:<5} {reason}", mode.name());
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -234,6 +234,33 @@ impl DeliverySender {
         }
     }
 
+    /// Accounts a delta lost to a send-path fault as a **counted** shed on
+    /// this queue, without enqueueing anything: the queue's `dropped` tally,
+    /// the `delivery.dropped` counter, and a
+    /// [`TraceEventKind::DeltaDropped`] event are all charged, exactly as if
+    /// an overflow policy had shed the delta.  Called by the worker's
+    /// delivery seam after it catches a poisoned (panicking) send, keeping
+    /// `delivered + dropped == result_changes` reconciled through the fault.
+    /// No-op once the consumer is gone or the queue closed — matching
+    /// [`DeliverySender::send`], which doesn't count those sheds either.
+    pub(crate) fn shed(&self, slide: u64, subscription: crate::subscription::SubscriptionId) {
+        let mut state = self.channel.state.lock().unwrap_or_else(|p| p.into_inner());
+        if !state.receiver_alive || state.closed {
+            return;
+        }
+        state.dropped += 1;
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.dropped.inc();
+            telemetry.bundle.record(
+                slide,
+                None,
+                TraceEventKind::DeltaDropped {
+                    subscription: subscription.raw(),
+                },
+            );
+        }
+    }
+
     /// Marks the producer side closed (subscription removed / detached).
     pub(crate) fn close(&self) {
         let mut state = self.channel.state.lock().unwrap_or_else(|p| p.into_inner());

@@ -119,6 +119,36 @@
 //! score-identical, truncation trades exactness on floor-crossing re-runs
 //! for bounded memory).
 //!
+//! ## Hostile streams: reordering, fault isolation, overload
+//!
+//! Real feeds are not clean: buckets arrive out of order, a worker can
+//! panic mid-refresh, and load can outrun the pipeline.  Three layers keep
+//! the engine available — and its decisions pinned — under all three:
+//!
+//! * **Reorder buffer** ([`reorder`]): a bounded, watermark-driven buffer in
+//!   front of the pipelined path
+//!   ([`SubscriptionManager::ingest_bucket_reordered`]).  Any bucket
+//!   displaced by at most [`ShardConfig::reorder_horizon`] positions is
+//!   re-sequenced exactly (decisions bit-identical to in-order replay — the
+//!   reorder property test); beyond the horizon, [`LatePolicy`] decides
+//!   between counted shedding (`ingest.late_dropped`) and forced replay.
+//! * **Fault isolation** ([`fault`]): every worker refresh attempt runs
+//!   inside `catch_unwind`.  A panic never publishes a partial
+//!   [`ResultDelta`] (the shard lock poisons no state — injected faults
+//!   fire pre-mutation, real ones trigger a memo-dropping recovery) and
+//!   never stalls the watermark (epoch registrations complete on drop).
+//!   Panicking attempts retry with bounded backoff; a shard that exhausts
+//!   its budget is **quarantined** (skipped with counted sheds, visible on
+//!   `shard.quarantined`) instead of wedging the pipeline, and dead worker
+//!   threads are respawned within a bounded budget (`worker.restarts`).
+//!   Deterministic [`FaultPlan`]s inject panics, snapshot delays, poisoned
+//!   delivery sends, and worker kills at exact epoch/shard coordinates for
+//!   the chaos harness.
+//! * **Graceful overload degradation** ([`overload`]): when enabled, the
+//!   admission-wait pressure walks a reversible load-shed ladder — shared
+//!   plans off → delta refresh off → floor-truncated snapshots — one rung
+//!   at a time with hysteresis and cooldown, exported on `overload.level`.
+//!
 //! Because every refresh re-runs the subscription's own algorithm against
 //! the same index an ad-hoc query would use, maintained results are
 //! **score-equivalent to from-scratch queries at every slide** — the
@@ -159,13 +189,19 @@
 
 pub mod cluster;
 pub mod delivery;
+pub mod fault;
 pub mod manager;
+pub mod overload;
+pub mod reorder;
 pub mod shard;
 pub mod subscription;
 mod worker;
 
 pub use delivery::{Delivery, DeliveryConfig, DeliveryReceiver, OverflowPolicy};
+pub use fault::{Fault, FaultKind, FaultPlan};
 pub use manager::{ManagerStats, RetiredStats, SlideOutcome, SlideTicket, SubscriptionManager};
+pub use overload::{OverloadConfig, OverloadLevel};
+pub use reorder::LatePolicy;
 pub use shard::{ShardConfig, ShardKey, ShardStats};
 pub use subscription::{RefreshReason, ResultDelta, SubscriptionId, SubscriptionStats};
 

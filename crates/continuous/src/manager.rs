@@ -3,14 +3,19 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLockReadGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ksir_core::{Algorithm, IngestReport, KsirEngine, KsirQuery, QueryResult, SharedEngine};
-use ksir_snapshot::{EngineSnapshot, SnapshotCounters, SnapshotSource, SnapshotStats};
+use ksir_snapshot::{
+    EngineSnapshot, SnapshotCounters, SnapshotPolicy, SnapshotSource, SnapshotStats,
+};
 use ksir_telemetry::{Telemetry, TraceEventKind};
 use ksir_types::{KsirError, Result, SocialElement, Timestamp, TopicVector, TopicWordDistribution};
 
 use crate::delivery::{delivery_queue, DeliveryConfig, DeliveryReceiver, DeliveryTelemetry};
+use crate::fault::FaultPlan;
+use crate::overload::{OverloadController, OverloadLevel};
+use crate::reorder::{Bucket, ReorderBuffer};
 use crate::shard::{
     refresh_one, LaneDecision, PendingEpoch, ShardCell, ShardConfig, ShardKey, ShardSlide,
     ShardStats,
@@ -18,7 +23,7 @@ use crate::shard::{
 use crate::subscription::{
     RefreshReason, ResultDelta, Subscription, SubscriptionId, SubscriptionStats,
 };
-use crate::worker::{deliver, DeliveryRegistry, Watermark, WorkItem, WorkerPool};
+use crate::worker::{deliver, DeliveryRegistry, EpochTask, Watermark, WorkItem, WorkerPool};
 
 /// Aggregate work counters across all subscriptions and slides.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +38,14 @@ pub struct ManagerStats {
     /// Subscription evaluations skipped because the slide provably could not
     /// have changed the result.
     pub skips: usize,
+    /// Buckets that arrived out of order but within
+    /// [`ShardConfig::reorder_horizon`] and were re-sequenced by the reorder
+    /// buffer ([`SubscriptionManager::ingest_bucket_reordered`]).
+    pub reordered: usize,
+    /// Buckets that arrived beyond the reorder horizon and were shed under
+    /// [`LatePolicy::DropLate`](crate::LatePolicy::DropLate).  Mirrors the
+    /// `ingest.late_dropped` registry counter exactly.
+    pub late_dropped: usize,
 }
 
 /// Cumulative counters of shards that were retired because `unsubscribe`
@@ -188,6 +201,19 @@ pub struct SubscriptionManager<D> {
     next_id: u64,
     slides: usize,
     retired: RetiredStats,
+    /// Bounded watermark-driven reorder buffer in front of the async ingest
+    /// path (see [`SubscriptionManager::ingest_bucket_reordered`]).
+    reorder: ReorderBuffer,
+    /// Buckets the reorder buffer re-sequenced (arrived out of order, within
+    /// the horizon).
+    reordered: usize,
+    /// Buckets shed beyond the reorder horizon under `DropLate`.
+    late_dropped: usize,
+    /// Deterministic fault schedule consulted at the snapshot, worker, and
+    /// delivery seams; `None` outside chaos runs.
+    faults: Option<Arc<FaultPlan>>,
+    /// The load-shed ladder, fed the async path's admission wait each slide.
+    overload: OverloadController,
     /// The unified observability bundle (metrics registry + trace ring);
     /// shared with the shards, workers, and delivery queues.
     telemetry: Arc<Telemetry>,
@@ -216,6 +242,11 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
             next_id: 0,
             slides: 0,
             retired: RetiredStats::default(),
+            reorder: ReorderBuffer::new(config.reorder_horizon, config.late_policy),
+            reordered: 0,
+            late_dropped: 0,
+            faults: None,
+            overload: OverloadController::new(config.overload),
             telemetry,
         }
     }
@@ -318,6 +349,26 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         registry
             .gauge("manager.inflight_epochs")
             .set(self.watermark.inflight_epochs() as u64);
+        registry
+            .gauge("manager.retired.shards")
+            .set(self.retired.shards as u64);
+        registry
+            .gauge("manager.retired.refreshes")
+            .set(self.retired.refreshes as u64);
+        registry
+            .gauge("manager.retired.skips")
+            .set(self.retired.skips as u64);
+        // Gauge views of the resilience counters, so one scrape of the gauge
+        // family carries the full degraded-mode picture.
+        registry
+            .gauge("worker.restarts")
+            .set(registry.counter("worker.restarts").get());
+        registry
+            .gauge("shard.quarantined")
+            .set(registry.counter("shard.quarantined").get());
+        registry
+            .gauge("overload.level")
+            .set(self.overload.level().as_u64());
         let engine = self.engine.read().stats();
         registry
             .gauge("engine.window_cow_clones")
@@ -361,6 +412,8 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
             slides: self.slides,
             refreshes,
             skips,
+            reordered: self.reordered,
+            late_dropped: self.late_dropped,
         }
     }
 
@@ -370,7 +423,13 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
     /// every counter is final.  A no-op when nothing is outstanding (or in
     /// pure-sync use).
     pub fn sync(&self) {
-        self.watermark.wait_all();
+        match &self.pool {
+            // The pool's barrier self-heals dead worker threads between
+            // bounded waits, so a killed worker with queued items cannot
+            // wedge the sync.
+            Some(pool) => pool.wait_idle(),
+            None => self.watermark.wait_all(),
+        }
         // Every counter is final here: fold the stats into the registry so
         // an exporter scraped after the barrier sees the settled numbers.
         self.publish_gauges();
@@ -603,9 +662,136 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
                 &self.deliveries,
                 self.slides as u64,
                 std::slice::from_ref(update),
+                self.faults.as_deref(),
             );
         }
         update
+    }
+
+    /// Installs a deterministic fault schedule (see [`crate::fault`]).
+    ///
+    /// Quiesces and tears down any running worker pool first, so the next
+    /// spawn threads the plan through the worker, snapshot-capture, and
+    /// delivery seams.  Install the plan before the ingest run it targets;
+    /// coordinates are 1-based slide numbers.
+    pub fn inject_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.sync();
+        self.pool = None; // joins the workers; the next spawn carries the plan
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault schedule, if any — its `injected()` / `remaining()`
+    /// tallies prove which scheduled faults actually fired.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// The current rung of the load-shed ladder ([`OverloadLevel::Normal`]
+    /// unless overload control is enabled and pressure stepped it up).
+    pub fn overload_level(&self) -> OverloadLevel {
+        self.overload.level()
+    }
+
+    /// The smoothed admission-wait pressure (µs) driving the ladder.
+    pub fn overload_pressure_micros(&self) -> u64 {
+        self.overload.pressure_micros()
+    }
+
+    /// Number of shards currently quarantined into degraded full-recompute
+    /// mode by repeated refresh panics.
+    pub fn quarantined_shards(&self) -> usize {
+        self.shards
+            .values()
+            .filter(|cell| cell.shard().is_quarantined())
+            .count()
+    }
+
+    /// Lifts every shard quarantine (after the underlying fault is fixed),
+    /// returning how many were lifted.  Quiesces first so no worker observes
+    /// the mode flip mid-epoch; the affected shards resume optimised refresh
+    /// from cold memos on their next scheduled slide.
+    pub fn lift_quarantines(&mut self) -> usize {
+        self.sync();
+        let mut lifted = 0;
+        for cell in self.shards.values() {
+            let mut shard = cell.shard();
+            if shard.is_quarantined() {
+                shard.lift_quarantine();
+                lifted += 1;
+            }
+        }
+        lifted
+    }
+
+    /// Buckets currently held by the reorder buffer awaiting their horizon.
+    pub fn reorder_buffered(&self) -> usize {
+        self.reorder.buffered()
+    }
+
+    /// The reorder buffer's released watermark: the highest bucket end
+    /// already forwarded to ingestion.  Arrivals at or before it are late
+    /// and fall to [`ShardConfig::late_policy`]; `None` until the first
+    /// release.
+    pub fn reorder_released_through(&self) -> Option<Timestamp> {
+        self.reorder.released_through()
+    }
+
+    /// Applies a new overload rung: flips every shard's effective modes,
+    /// exports the rung, and traces the step.  Mode flips drop the shared
+    /// singleton memos (in both directions), so a memo warmed under one mode
+    /// never serves another.
+    fn apply_overload(&mut self, level: OverloadLevel) {
+        for cell in self.shards.values() {
+            cell.shard()
+                .set_modes(level.shared_plans_enabled(), level.delta_enabled());
+        }
+        let registry = self.telemetry.registry();
+        registry.gauge("overload.level").set(level.as_u64());
+        registry.counter("overload.steps").inc();
+        self.telemetry.record(
+            self.slides as u64,
+            None,
+            TraceEventKind::OverloadStep {
+                level: level.as_u64(),
+            },
+        );
+    }
+
+    /// Folds one reorder-buffer outcome into the manager tallies, registry
+    /// counters, and trace ring — in the same statements, so the exported
+    /// schema can never drift from [`SubscriptionManager::stats`].
+    fn account_reorder(
+        &mut self,
+        reordered: bool,
+        dropped: Option<usize>,
+        replayed: Option<usize>,
+    ) {
+        let registry = self.telemetry.registry();
+        if reordered {
+            self.reordered += 1;
+            registry.counter("ingest.reordered").inc();
+        }
+        if let Some(elements) = dropped {
+            self.late_dropped += 1;
+            registry.counter("ingest.late_dropped").inc();
+            self.telemetry.record(
+                self.slides as u64,
+                None,
+                TraceEventKind::LateBucketDropped {
+                    elements: elements as u64,
+                },
+            );
+        }
+        if let Some(elements) = replayed {
+            registry.counter("ingest.late_replayed").inc();
+            self.telemetry.record(
+                self.slides as u64,
+                None,
+                TraceEventKind::LateBucketReplayed {
+                    elements: elements as u64,
+                },
+            );
+        }
     }
 }
 
@@ -619,8 +805,8 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
                 self.engine.clone(),
                 Arc::clone(&self.deliveries),
                 Arc::clone(&self.watermark),
-                self.config.snapshot_policy,
                 Arc::clone(&self.telemetry),
+                self.faults.clone(),
             ));
         }
         self.pool.as_ref().expect("just spawned")
@@ -632,6 +818,16 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
     /// watch: lists nothing can traverse are not captured and therefore
     /// never pay copy-on-write.
     fn capture_epoch(&self, epoch: u64) -> Arc<dyn SnapshotSource> {
+        // Injection seam: a scheduled DelaySnapshot stalls the capture,
+        // widening the ingest/refresh race window without changing any
+        // decision.
+        if let Some(ms) = self
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.take_snapshot_delay(epoch))
+        {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
         let started = Instant::now();
         let snapshot = Arc::new(EngineSnapshot::capture_watched(
             &self.engine.read(),
@@ -736,7 +932,12 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
             }
             drop(engine);
             for slide in &slides {
-                deliver(&self.deliveries, slide_no, &slide.updates);
+                deliver(
+                    &self.deliveries,
+                    slide_no,
+                    &slide.updates,
+                    self.faults.as_deref(),
+                );
             }
         } else {
             let delta = Arc::new(report.delta.clone());
@@ -803,13 +1004,30 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
     ) -> Result<SlideTicket> {
         // Pipeline admission: bound in-flight epochs (and with them the
         // snapshots the writer must copy-on-write around).
+        let depth = self.config.pipeline_depth.max(1);
         let admission_started = Instant::now();
-        self.watermark
-            .wait_inflight_below(self.config.pipeline_depth.max(1));
+        match &self.pool {
+            // The pool's admission wait self-heals dead workers, so a killed
+            // worker with queued epochs cannot wedge ingestion.
+            Some(pool) => pool.wait_admission(depth),
+            None => self.watermark.wait_inflight_below(depth),
+        }
+        let admission_wait = admission_started.elapsed();
         self.telemetry
             .registry()
             .histogram("ingest.admission_wait")
-            .record(admission_started.elapsed());
+            .record(admission_wait);
+        // The admission wait is the pipeline's backpressure signal: feed it
+        // to the load-shed ladder and apply any step before this slide's
+        // snapshot is captured, so the new rung governs this epoch.
+        if let Some(level) = self.overload.observe(admission_wait) {
+            self.apply_overload(level);
+        }
+        let policy = if self.overload.level().truncate_snapshots() {
+            SnapshotPolicy::TruncateAtFloors
+        } else {
+            self.config.snapshot_policy
+        };
         let write_started = Instant::now();
         let report = self.engine.write().ingest_bucket(bucket, bucket_end)?;
         self.telemetry
@@ -838,16 +1056,20 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
         for cell in self.shards.values() {
             let decision = cell.project_epoch(slide_no, &report.delta, || {
                 // Only enqueued epochs register a task, clone the delta, and
-                // pin the snapshot — quiet slides pay for none of it.
-                self.watermark.add(slide_no, 1);
+                // pin the snapshot — quiet slides pay for none of it.  The
+                // task is built *first*: should the snapshot capture below
+                // panic, the registration completes during unwind and the
+                // watermark still advances past this epoch.
                 PendingEpoch {
                     epoch: slide_no,
+                    task: EpochTask::register(&self.watermark, slide_no),
                     delta: delta
                         .get_or_insert_with(|| Arc::new(report.delta.clone()))
                         .clone(),
                     snapshot: snapshot
                         .get_or_insert_with(|| self.capture_epoch(slide_no))
                         .clone(),
+                    policy,
                 }
             });
             match decision {
@@ -881,6 +1103,53 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
             shards_skipped,
             skipped,
         })
+    }
+
+    /// Ingests a bucket through the bounded reorder buffer in front of the
+    /// pipelined path, tolerating out-of-order arrival within
+    /// [`ShardConfig::reorder_horizon`].
+    ///
+    /// The buffer holds up to `reorder_horizon` buckets sorted by their end
+    /// timestamps and releases the oldest once the bound is exceeded, so any
+    /// bucket displaced by at most `reorder_horizon` positions is re-sequenced
+    /// exactly — released buckets flow through
+    /// [`SubscriptionManager::ingest_bucket_async`] in timestamp order and
+    /// yield decisions bit-identical to in-order replay.  A bucket arriving
+    /// *beyond* the horizon (its end is at or before the released watermark)
+    /// is handled per [`ShardConfig::late_policy`]: shed and charged to
+    /// [`ManagerStats::late_dropped`] / the `ingest.late_dropped` counter, or
+    /// folded into the next release under
+    /// [`LatePolicy::ForceReplay`](crate::LatePolicy::ForceReplay).
+    ///
+    /// Returns the tickets of the slides this arrival released (often none —
+    /// the bucket is merely buffered).  Call
+    /// [`SubscriptionManager::flush_reorder_buffer`] at end of stream to
+    /// release the tail.
+    pub fn ingest_bucket_reordered(
+        &mut self,
+        bucket: Vec<(SocialElement, TopicVector)>,
+        bucket_end: Timestamp,
+    ) -> Result<Vec<SlideTicket>> {
+        let outcome = self.reorder.offer(bucket, bucket_end);
+        self.account_reorder(outcome.reordered, outcome.dropped, outcome.replayed);
+        self.ingest_released(outcome.released)
+    }
+
+    /// Drains the reorder buffer, ingesting every held bucket in timestamp
+    /// order — the end-of-stream companion to
+    /// [`SubscriptionManager::ingest_bucket_reordered`].  Any stashed
+    /// `ForceReplay` elements are emitted at the released watermark.
+    pub fn flush_reorder_buffer(&mut self) -> Result<Vec<SlideTicket>> {
+        let released = self.reorder.flush();
+        self.ingest_released(released)
+    }
+
+    fn ingest_released(&mut self, released: Vec<Bucket>) -> Result<Vec<SlideTicket>> {
+        let mut tickets = Vec::with_capacity(released.len());
+        for (bucket, end) in released {
+            tickets.push(self.ingest_bucket_async(bucket, end)?);
+        }
+        Ok(tickets)
     }
 
     /// Convenience wrapper mirroring [`KsirEngine::ingest_stream`]: cuts a

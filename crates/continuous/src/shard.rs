@@ -57,6 +57,8 @@ use ksir_telemetry::{Counter, Histogram, ShardLabel, Telemetry, TelemetryConfig,
 use ksir_types::{ElementId, TopicId};
 
 use crate::cluster::{ClusterKey, PlanCluster};
+use crate::overload::OverloadConfig;
+use crate::reorder::LatePolicy;
 use crate::subscription::{RefreshReason, ResultDelta, Subscription, SubscriptionId};
 
 /// Identity of one shard of the subscription table.
@@ -129,6 +131,18 @@ pub struct ShardConfig {
     /// the oracle the clustered path is compared against and the baseline of
     /// the `per_subscription` perf gate.
     pub shared_plans: bool,
+    /// How many out-of-order bucket positions
+    /// [`ingest_bucket_reordered`](crate::SubscriptionManager::ingest_bucket_reordered)
+    /// re-sequences before releasing to the engine.  `0` (the default) is a
+    /// pass-through that still sheds regressions under `late_policy` instead
+    /// of surfacing them as ingest errors.  See [`crate::reorder`].
+    pub reorder_horizon: usize,
+    /// What the reorder buffer does with a bucket that arrives beyond the
+    /// horizon (see [`LatePolicy`]).
+    pub late_policy: LatePolicy,
+    /// The graceful-degradation ladder's tuning (disabled by default; see
+    /// [`crate::overload`]).
+    pub overload: OverloadConfig,
 }
 
 impl Default for ShardConfig {
@@ -141,6 +155,9 @@ impl Default for ShardConfig {
             telemetry: TelemetryConfig::default(),
             delta_refresh: true,
             shared_plans: true,
+            reorder_horizon: 0,
+            late_policy: LatePolicy::DropLate,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -203,6 +220,26 @@ impl ShardConfig {
     /// per subscription, the decision oracle and perf-gate baseline).
     pub fn with_shared_plans(mut self, shared_plans: bool) -> Self {
         self.shared_plans = shared_plans;
+        self
+    }
+
+    /// Overrides the reorder horizon (out-of-order bucket positions the
+    /// reordered ingest path re-sequences before releasing).
+    pub fn with_reorder_horizon(mut self, horizon: usize) -> Self {
+        self.reorder_horizon = horizon;
+        self
+    }
+
+    /// Overrides the beyond-horizon arrival policy.
+    pub fn with_late_policy(mut self, policy: LatePolicy) -> Self {
+        self.late_policy = policy;
+        self
+    }
+
+    /// Overrides the overload-degradation tuning (pass
+    /// [`OverloadConfig::enabled`] to arm the ladder).
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
         self
     }
 
@@ -278,6 +315,9 @@ pub struct ShardStats {
     /// Clusters proven undisturbed inside scheduled slides (all members
     /// charged a skip without per-member classification).
     pub skipped_clusters: usize,
+    /// Whether the shard is quarantined (degraded full-recompute mode after
+    /// exhausting a refresh retry budget; see the worker's fault isolation).
+    pub quarantined: bool,
 }
 
 impl ShardStats {
@@ -391,12 +431,22 @@ struct SlideWork {
     gain: usize,
 }
 
-/// One epoch queued on a busy shard's lane: the slide delta to project and
-/// the frozen engine image to refresh against if the projection fires.
+/// One epoch queued on a busy shard's lane: the slide delta to project, the
+/// frozen engine image to refresh against if the projection fires, the
+/// snapshot policy the refresh must honour (captured per epoch so the
+/// overload ladder's [`SnapshotPolicy`] switch cannot retroactively change
+/// an in-flight epoch), and the watermark drop-guard that marks the epoch's
+/// work complete however the task leaves the pipeline — processed, shed, or
+/// dropped on the floor by a dying worker.
 pub(crate) struct PendingEpoch {
     pub(crate) epoch: u64,
     pub(crate) delta: Arc<WindowDelta>,
     pub(crate) snapshot: Arc<dyn SnapshotSource>,
+    pub(crate) policy: SnapshotPolicy,
+    /// Never read — held purely for its `Drop`, which completes the epoch's
+    /// watermark registration.
+    #[allow(dead_code)]
+    pub(crate) task: crate::worker::EpochTask,
 }
 
 impl std::fmt::Debug for PendingEpoch {
@@ -546,11 +596,24 @@ pub(crate) struct Shard {
     /// Residents that have never been evaluated (refresh rule 1).
     pending_initial: usize,
     /// Whether classified refreshes may run delta-restricted
-    /// (see [`ShardConfig::delta_refresh`]).
+    /// (see [`ShardConfig::delta_refresh`]).  Structural capability; the
+    /// effective mode also honours `delta_active` and quarantine
+    /// (see [`Shard::delta_enabled`]).
     delta_refresh: bool,
     /// Whether residents are grouped into plan clusters and refreshed
     /// through shared covering runs (see [`ShardConfig::shared_plans`]).
+    /// Structural: cluster bookkeeping stays alive even while covering runs
+    /// are suspended by `plans_active`/quarantine
+    /// (see [`Shard::plans_enabled`]).
     shared_plans: bool,
+    /// Overload-ladder switch: covering runs suspended while `false`.
+    plans_active: bool,
+    /// Overload-ladder switch: delta restriction suspended while `false`.
+    delta_active: bool,
+    /// Degraded mode entered after a refresh retry budget is exhausted:
+    /// shared plans and delta restriction are off until the operator
+    /// lifts it ([`Shard::lift_quarantine`]).
+    quarantined: bool,
     /// Plan clusters of the residents, keyed by plan identity.  Empty when
     /// shared plans are disabled.
     clusters: BTreeMap<ClusterKey, PlanCluster>,
@@ -582,6 +645,9 @@ impl Shard {
             pending_initial: 0,
             delta_refresh,
             shared_plans,
+            plans_active: true,
+            delta_active: true,
+            quarantined: false,
             clusters: BTreeMap::new(),
             cluster_of: BTreeMap::new(),
             refreshes: 0,
@@ -598,6 +664,81 @@ impl Shard {
 
     pub(crate) fn len(&self) -> usize {
         self.subs.len()
+    }
+
+    /// This shard's identity (used by the fault seams to address it).
+    pub(crate) fn key(&self) -> ShardKey {
+        self.key
+    }
+
+    /// Effective shared-plan mode: the structural capability gated by the
+    /// overload ladder and quarantine.
+    fn plans_enabled(&self) -> bool {
+        self.shared_plans && self.plans_active && !self.quarantined
+    }
+
+    /// Effective delta-restriction mode: the structural capability gated by
+    /// the overload ladder and quarantine.
+    fn delta_enabled(&self) -> bool {
+        self.delta_refresh && self.delta_active && !self.quarantined
+    }
+
+    /// Applies one rung of the overload ladder.  Suspending either
+    /// optimisation invalidates the plan-cluster memos: a memo warmed by a
+    /// covering run must not serve a later per-resident walk whose delta
+    /// bookkeeping it never saw, and vice versa.
+    pub(crate) fn set_modes(&mut self, plans_active: bool, delta_active: bool) {
+        if self.plans_active == plans_active && self.delta_active == delta_active {
+            return;
+        }
+        self.plans_active = plans_active;
+        self.delta_active = delta_active;
+        self.drop_memos();
+    }
+
+    /// Whether the shard is in degraded (quarantined) mode.
+    pub(crate) fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Enters degraded mode: shared plans and delta restriction are off for
+    /// future refreshes (every run is a full recompute), memos are dropped.
+    /// Returns the resident count for the caller's trace event.
+    pub(crate) fn quarantine(&mut self) -> usize {
+        self.quarantined = true;
+        self.drop_memos();
+        self.subs.len()
+    }
+
+    /// Lifts a quarantine: the shard resumes its configured modes on the
+    /// next refresh (memos rebuild from cold, which is always sound).
+    pub(crate) fn lift_quarantine(&mut self) {
+        self.quarantined = false;
+    }
+
+    /// Best-effort repair after a caught refresh panic: the resident walk
+    /// may have stored some fresh results and not others, so every memo is
+    /// suspect and the filters may be stale.  Replacing the memos with cold
+    /// ones (an empty memo is always sound — only *stale* entries can lie)
+    /// and rebuilding the filters restores the invariants the next slide's
+    /// scheduling decision depends on; stored results are whatever the
+    /// interrupted walk left, which the retry (a normal classify/refresh
+    /// pass) brings forward correctly.
+    pub(crate) fn recover(&mut self) {
+        self.drop_memos();
+        for sub in self.subs.values_mut() {
+            if sub.cache.is_some() {
+                sub.cache = Some(ksir_core::SingletonCache::new());
+            }
+        }
+        self.rebuild_filters();
+    }
+
+    /// Invalidates every plan-cluster memo.
+    fn drop_memos(&mut self) {
+        for cluster in self.clusters.values_mut() {
+            cluster.invalidate_cache();
+        }
     }
 
     pub(crate) fn get(&self, id: SubscriptionId) -> Option<&Subscription> {
@@ -669,6 +810,7 @@ impl Shard {
             covering_evaluations: self.covering_evaluations,
             shared_refreshes: self.shared_refreshes,
             skipped_clusters: self.skipped_clusters,
+            quarantined: self.quarantined,
         }
     }
 
@@ -793,7 +935,7 @@ impl Shard {
         let started = Instant::now();
         self.telemetry.record(epoch, TraceEventKind::ShardScheduled);
         self.telemetry.record(epoch, TraceEventKind::RefreshStarted);
-        let (slide, work) = if self.shared_plans {
+        let (slide, work) = if self.plans_enabled() {
             self.refresh_clusters(source, delta)
         } else {
             self.refresh_residents(source, delta)
@@ -850,13 +992,14 @@ impl Shard {
     ) -> (ShardSlide, SlideWork) {
         let mut slide = ShardSlide::default();
         let mut work = SlideWork::default();
+        let delta_refresh = self.delta_enabled();
         for (&id, sub) in self.subs.iter_mut() {
             match classify(sub, delta) {
                 Some(reason) => {
                     slide.refreshed += 1;
                     sub.stats.refreshes += 1;
                     let (update, mode) =
-                        refresh_one(source, id, sub, reason, Some(delta), self.delta_refresh);
+                        refresh_one(source, id, sub, reason, Some(delta), delta_refresh);
                     work.gain += sub
                         .result
                         .as_ref()
@@ -902,7 +1045,7 @@ impl Shard {
     ) -> (ShardSlide, SlideWork) {
         let mut slide = ShardSlide::default();
         let mut work = SlideWork::default();
-        let delta_refresh = self.delta_refresh;
+        let delta_refresh = self.delta_enabled();
         let empty = WindowDelta::default();
         // Mirror `refresh_one`: with delta refreshes disabled every run is a
         // full re-run against an empty delta and a cold memo — the memo is
@@ -1388,7 +1531,8 @@ mod tests {
 
     #[test]
     fn lane_projection_hands_ownership_exactly_once() {
-        fn task(epoch: u64) -> PendingEpoch {
+        let watermark = Arc::new(crate::worker::Watermark::new());
+        let task = |epoch: u64| -> PendingEpoch {
             // A snapshot is only consulted when a refresh fires; for lane
             // bookkeeping any engine image works.
             let ex = ksir_core::fixtures::paper_example();
@@ -1400,8 +1544,10 @@ mod tests {
                     epoch,
                     &ksir_snapshot::SnapshotCounters::new(),
                 )),
+                policy: SnapshotPolicy::Exact,
+                task: crate::worker::EpochTask::register(&watermark, epoch),
             }
-        }
+        };
         let cell = ShardCell::new(
             ShardKey::Overflow,
             Arc::new(Telemetry::default()),

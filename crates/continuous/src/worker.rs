@@ -28,19 +28,27 @@
 //! watermark waits on refresh compute only.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use ksir_core::SharedEngine;
 use ksir_snapshot::SnapshotPolicy;
 use ksir_stream::WindowDelta;
-use ksir_telemetry::Telemetry;
+use ksir_telemetry::{Counter, Telemetry, TraceEventKind};
 use ksir_types::TopicWordDistribution;
 
 use crate::delivery::DeliverySender;
-use crate::shard::{ShardCell, ShardSlide};
+use crate::fault::FaultPlan;
+use crate::shard::{label_of, Shard, ShardCell, ShardSlide};
 use crate::subscription::SubscriptionId;
+
+/// Failed refresh attempts a shard gets (after the first) before it is
+/// quarantined and the epoch shed.  Attempt `n` backs off `100µs · 2ⁿ`
+/// first, so a transiently-poisoned shard has a real chance to clear.
+const REFRESH_RETRY_BUDGET: usize = 2;
 
 /// Shared map from live subscription to its delivery-queue producer.
 pub(crate) type DeliveryRegistry =
@@ -53,6 +61,7 @@ pub(crate) fn deliver(
     registry: &DeliveryRegistry,
     slide: u64,
     updates: &[crate::subscription::ResultDelta],
+    faults: Option<&FaultPlan>,
 ) {
     if updates.is_empty() {
         return;
@@ -70,7 +79,20 @@ pub(crate) fn deliver(
     };
     for (update, sender) in updates.iter().zip(senders) {
         if let Some(sender) = sender {
-            sender.send(slide, update.clone());
+            // Fault seam: a poisoned send panics; the catch converts the
+            // loss into a *counted* shed on the queue, so
+            // `delivered + dropped == result_changes` keeps reconciling
+            // through the fault.
+            let poisoned = faults.is_some_and(|plan| plan.take_delivery_poison(slide));
+            let sent = catch_unwind(AssertUnwindSafe(|| {
+                if poisoned {
+                    panic!("injected delivery fault");
+                }
+                sender.send(slide, update.clone());
+            }));
+            if sent.is_err() {
+                sender.shed(slide, update.subscription);
+            }
         }
     }
 }
@@ -122,6 +144,12 @@ impl WatermarkState {
 }
 
 impl Watermark {
+    /// An empty watermark (alias of `default()`, for test ergonomics).
+    #[cfg(test)]
+    pub(crate) fn new() -> Self {
+        Watermark::default()
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, WatermarkState> {
         self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
@@ -188,6 +216,37 @@ impl Watermark {
             state = self.changed.wait(state).unwrap_or_else(|p| p.into_inner());
         }
     }
+
+    /// One bounded wait for the `wait_all` condition; `true` when it holds.
+    /// The pool's self-healing waits loop over this so they can sweep for
+    /// dead workers between waits instead of blocking forever on work no
+    /// live worker will ever pick up.
+    pub(crate) fn wait_all_for(&self, timeout: Duration) -> bool {
+        let state = self.lock();
+        if state.pending.is_empty() {
+            return true;
+        }
+        let (state, _) = self
+            .changed
+            .wait_timeout(state, timeout)
+            .unwrap_or_else(|p| p.into_inner());
+        state.pending.is_empty()
+    }
+
+    /// One bounded wait for the `wait_inflight_below` condition; `true`
+    /// when it holds.
+    pub(crate) fn wait_inflight_below_for(&self, depth: usize, timeout: Duration) -> bool {
+        let depth = depth.max(1);
+        let state = self.lock();
+        if state.pending.len() < depth {
+            return true;
+        }
+        let (state, _) = self
+            .changed
+            .wait_timeout(state, timeout)
+            .unwrap_or_else(|p| p.into_inner());
+        state.pending.len() < depth
+    }
 }
 
 /// Completes the epoch task even if the refresh panics, so a poisoned shard
@@ -200,75 +259,215 @@ impl Drop for CompletionGuard<'_> {
     }
 }
 
-/// The fixed pool of long-lived refresh workers.
+/// An owning watermark registration: one outstanding shard task of one
+/// epoch, completed when the value drops — *however* it drops.
+///
+/// Construction and completion are fused into the value's lifetime, so a
+/// [`PendingEpoch`](crate::shard::PendingEpoch) that leaves the pipeline by
+/// **any** route — processed by a worker, shed by quarantine, stranded in a
+/// lane the manager tears down, or dropped mid-construction when snapshot
+/// capture panics — always completes its registration.  That is the
+/// no-wedged-ticket guarantee: `wait_inflight_below` and `wait_all` can
+/// never block on a task that no longer exists.  (The `SlideTicket` the
+/// async ingest API returns is a *report*, not the registration — dropping
+/// it without `detach()` was never able to wedge the watermark, which the
+/// ticket-drop regression test pins.)
+#[derive(Debug)]
+pub(crate) struct EpochTask {
+    watermark: Arc<Watermark>,
+    epoch: u64,
+}
+
+impl EpochTask {
+    /// Registers one outstanding task of `epoch` and binds its completion
+    /// to the returned value's drop.
+    pub(crate) fn register(watermark: &Arc<Watermark>, epoch: u64) -> Self {
+        watermark.add(epoch, 1);
+        EpochTask {
+            watermark: Arc::clone(watermark),
+            epoch,
+        }
+    }
+}
+
+impl Drop for EpochTask {
+    fn drop(&mut self) {
+        self.watermark.complete_one(self.epoch);
+    }
+}
+
+/// The pool of long-lived refresh workers, self-healing within a bounded
+/// respawn budget.
 ///
 /// Not generic over the topic model: the engine handle is moved into the
 /// worker closures at spawn time, which keeps the pool embeddable in any
 /// manager without dragging `D` through the channel types — pipelined work
 /// carries its engine state as `Arc<dyn SnapshotSource>` payloads in the
 /// shard lanes instead.
+///
+/// Every `dispatch` first sweeps for dead worker threads (a worker dies on
+/// a [`FaultKind::KillWorker`](crate::FaultKind::KillWorker) injection, or
+/// on a panic that escapes the refresh isolation boundary) and replaces
+/// them, counting each replacement on the `worker.restarts` counter and a
+/// [`TraceEventKind::WorkerRespawned`] event.  The budget bounds restart
+/// churn at `threads × 8`; once spent, remaining workers carry the load —
+/// except that a fully dead pool always earns one emergency respawn, so
+/// dispatched work can never be silently stranded on a channel nobody
+/// reads.
 pub(crate) struct WorkerPool {
     tx: Option<Sender<WorkItem>>,
     watermark: Arc<Watermark>,
+    state: Mutex<PoolState>,
+    /// Re-invocable worker factory (captures the engine handle, channel
+    /// receiver, registry, fault plan, and telemetry by `Arc`).
+    spawner: Box<dyn Fn() -> JoinHandle<()> + Send + Sync>,
+    restarts: Arc<Counter>,
+    telemetry: Arc<Telemetry>,
+}
+
+struct PoolState {
     handles: Vec<JoinHandle<()>>,
+    respawns_left: usize,
 }
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("workers", &self.handles.len())
+            .field(
+                "workers",
+                &self
+                    .state
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .handles
+                    .len(),
+            )
             .finish()
     }
 }
 
 impl WorkerPool {
     /// Spawns `threads` workers over a shared engine handle, delivery
-    /// registry, and the manager's watermark.
+    /// registry, the manager's watermark, and an optional fault plan.
     pub(crate) fn spawn<D>(
         threads: usize,
         engine: SharedEngine<D>,
         registry: DeliveryRegistry,
         watermark: Arc<Watermark>,
-        policy: SnapshotPolicy,
         telemetry: Arc<Telemetry>,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Self
     where
         D: TopicWordDistribution + Send + Sync + 'static,
     {
+        let threads = threads.max(1);
         let (tx, rx) = channel::<WorkItem>();
         let rx = Arc::new(Mutex::new(rx));
-        let handles = (0..threads.max(1))
-            .map(|_| {
+        let spawner = {
+            let watermark = Arc::clone(&watermark);
+            let telemetry = Arc::clone(&telemetry);
+            Box::new(move || {
                 let rx = Arc::clone(&rx);
                 let watermark = Arc::clone(&watermark);
                 let engine = engine.clone();
                 let registry = Arc::clone(&registry);
                 let telemetry = Arc::clone(&telemetry);
+                let faults = faults.clone();
                 std::thread::spawn(move || {
-                    worker_loop(&rx, &watermark, &engine, &registry, policy, &telemetry)
+                    worker_loop(
+                        &rx,
+                        &watermark,
+                        &engine,
+                        &registry,
+                        &telemetry,
+                        faults.as_deref(),
+                    )
                 })
             })
-            .collect();
+        };
+        let handles = (0..threads).map(|_| spawner()).collect();
         WorkerPool {
             tx: Some(tx),
             watermark,
-            handles,
+            state: Mutex::new(PoolState {
+                handles,
+                respawns_left: threads * 8,
+            }),
+            spawner,
+            restarts: telemetry.registry().counter("worker.restarts"),
+            telemetry,
         }
     }
 
     /// Enqueues work.  Returns immediately; the items run on the workers.
     /// The caller has already registered the matching watermark tasks.
     pub(crate) fn dispatch(&self, items: Vec<WorkItem>) {
+        self.ensure_workers();
         let tx = self.tx.as_ref().expect("pool not shut down");
         for item in items {
             tx.send(item).expect("worker channel closed");
         }
     }
 
+    /// Sweeps dead workers and respawns within the budget (always at least
+    /// one worker when the pool is fully dead).
+    fn ensure_workers(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.handles.iter().all(|h| !h.is_finished()) {
+            return;
+        }
+        let before = state.handles.len();
+        let mut live = Vec::with_capacity(before);
+        for handle in state.handles.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push(handle);
+            }
+        }
+        let dead = before - live.len();
+        let mut respawn = dead.min(state.respawns_left);
+        if live.is_empty() && respawn == 0 {
+            // Emergency respawn past the budget: a pool with zero workers
+            // would strand every dispatched item and wedge the watermark.
+            respawn = 1;
+        }
+        state.respawns_left = state.respawns_left.saturating_sub(respawn);
+        for _ in 0..respawn {
+            live.push((self.spawner)());
+            self.restarts.inc();
+            self.telemetry
+                .record(0, None, TraceEventKind::WorkerRespawned);
+        }
+        state.handles = live;
+    }
+
     /// Blocks until every registered task has completed — the `sync()`
-    /// barrier.
+    /// barrier.  Sweeps for dead workers between bounded waits, so the
+    /// barrier terminates even when a worker died with items still queued
+    /// (the respawned worker picks them up).
     pub(crate) fn wait_idle(&self) {
-        self.watermark.wait_all();
+        loop {
+            if self.watermark.wait_all_for(Duration::from_millis(10)) {
+                return;
+            }
+            self.ensure_workers();
+        }
+    }
+
+    /// Blocks until fewer than `depth` epochs are in flight — the
+    /// pipeline-admission gate, with the same self-healing sweep as
+    /// [`WorkerPool::wait_idle`].
+    pub(crate) fn wait_admission(&self, depth: usize) {
+        loop {
+            if self
+                .watermark
+                .wait_inflight_below_for(depth, Duration::from_millis(10))
+            {
+                return;
+            }
+            self.ensure_workers();
+        }
     }
 }
 
@@ -277,10 +476,20 @@ impl Drop for WorkerPool {
         // Closing the channel ends every worker's recv loop; join so shard
         // and engine handles are released before the manager is torn down.
         self.tx.take();
-        for handle in self.handles.drain(..) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        for handle in state.handles.drain(..) {
             let _ = handle.join();
         }
     }
+}
+
+/// A worker's pre-resolved telemetry handles (the name-map lookups stay off
+/// the per-item path).
+struct WorkerTelemetry<'a> {
+    bundle: &'a Telemetry,
+    item_hist: Arc<ksir_telemetry::Histogram>,
+    panics: Arc<Counter>,
+    quarantines: Arc<Counter>,
 }
 
 fn worker_loop<D: TopicWordDistribution>(
@@ -288,12 +497,15 @@ fn worker_loop<D: TopicWordDistribution>(
     watermark: &Watermark,
     engine: &SharedEngine<D>,
     registry: &DeliveryRegistry,
-    policy: SnapshotPolicy,
     telemetry: &Telemetry,
+    faults: Option<&FaultPlan>,
 ) {
-    // Resolved once per worker: the name-map lookup stays off the per-item
-    // path.
-    let item_hist = telemetry.registry().histogram("worker.item");
+    let wt = WorkerTelemetry {
+        bundle: telemetry,
+        item_hist: telemetry.registry().histogram("worker.item"),
+        panics: telemetry.registry().counter("worker.panics"),
+        quarantines: telemetry.registry().counter("shard.quarantined"),
+    };
     loop {
         // Hold the receiver lock only while pulling the next item, never
         // while refreshing, so idle workers queue on the channel rather than
@@ -303,6 +515,7 @@ fn worker_loop<D: TopicWordDistribution>(
             Err(_) => return, // channel closed: pool shut down
         };
         let started = std::time::Instant::now();
+        let die;
         match item {
             WorkItem::Live {
                 epoch,
@@ -311,23 +524,121 @@ fn worker_loop<D: TopicWordDistribution>(
                 collector,
             } => {
                 let _complete = CompletionGuard(watermark, epoch);
-                let slide = {
+                let key = shard.shard().key();
+                die = faults.is_some_and(|plan| plan.take_worker_kill(epoch, key));
+                let slide = refresh_resilient(&shard, epoch, faults, &wt, |s| {
                     let engine = engine.read();
-                    shard.shard().refresh_scheduled(&*engine, &delta, epoch)
-                };
-                deliver(registry, epoch, &slide.updates);
-                collector
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .push(slide);
+                    s.refresh_scheduled(&*engine, &delta, epoch)
+                });
+                if let Some(slide) = slide {
+                    deliver(registry, epoch, &slide.updates, faults);
+                    collector
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push(slide);
+                }
             }
-            WorkItem::Pipelined { shard } => drain_lane(&shard, watermark, registry, policy),
+            WorkItem::Pipelined { shard } => {
+                die = drain_lane(&shard, registry, faults, &wt);
+            }
         }
-        item_hist.record(started.elapsed());
+        wt.item_hist.record(started.elapsed());
+        if die {
+            // An injected KillWorker: exit *between* items, after the lane
+            // was fully drained and released, so no task is stranded.  The
+            // pool detects the death and respawns at the next dispatch or
+            // self-healing wait.
+            return;
+        }
+    }
+}
+
+/// Runs one shard refresh inside the worker's fault-isolation boundary:
+/// `catch_unwind` around the attempt, bounded retry with exponential
+/// backoff, and quarantine + epoch shed when the budget is exhausted.
+///
+/// Returns `Some(outcome)` when an attempt completed, `None` when the epoch
+/// was shed.  Two invariants hold on every path:
+///
+/// * **No partial delta is ever published.**  The attempt's updates only
+///   leave this function on a completed attempt; a panic mid-walk unwinds
+///   past them.
+/// * **The watermark still advances.**  Completion is the caller's guard
+///   ([`CompletionGuard`] / [`EpochTask`]), which drops whether the attempt
+///   completed, retried, or shed — a panicking shard can stall nothing but
+///   itself.
+///
+/// Injected [`FaultKind::PanicInRefresh`](crate::FaultKind::PanicInRefresh)
+/// faults fire at the attempt's *entry*, before any shard state is touched,
+/// so a recovering injected fault leaves decisions (and all counters)
+/// bit-identical to a clean run — the chaos oracles' pass criterion.  A
+/// *real* panic from inside the refresh walk may have mutated resident
+/// state; [`Shard::recover`] then restores the filter/memo invariants
+/// before the retry (stored results stay whatever the interrupted walk
+/// left; the retry's classify pass carries them forward, though a resident
+/// refreshed twice is charged twice — the per-subscription counters are
+/// best-effort across *real* mid-walk panics).
+fn refresh_resilient<T>(
+    cell: &ShardCell,
+    epoch: u64,
+    faults: Option<&FaultPlan>,
+    wt: &WorkerTelemetry<'_>,
+    attempt: impl Fn(&mut Shard) -> T,
+) -> Option<T> {
+    let key = cell.shard().key();
+    let label = label_of(key);
+    let mut failures = 0;
+    loop {
+        let fire = faults.is_some_and(|plan| plan.take_refresh_panic(epoch, key));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut shard = cell.shard();
+            if fire {
+                panic!("injected refresh fault at epoch {epoch} on {key}");
+            }
+            attempt(&mut shard)
+        }));
+        match outcome {
+            Ok(done) => return Some(done),
+            Err(_) => {
+                wt.panics.inc();
+                wt.bundle
+                    .record(epoch, Some(label), TraceEventKind::WorkerPanicked);
+                if !fire {
+                    // A real panic may have left a half-updated walk behind;
+                    // injected ones fire pre-mutation and need no repair.
+                    cell.shard().recover();
+                }
+                failures += 1;
+                if failures > REFRESH_RETRY_BUDGET {
+                    let mut shard = cell.shard();
+                    let residents = shard.quarantine() as u64;
+                    wt.quarantines.inc();
+                    wt.bundle.record(
+                        epoch,
+                        Some(label),
+                        TraceEventKind::ShardQuarantined { residents },
+                    );
+                    // Shed the epoch: every resident is charged one skip
+                    // (through the same `skip_all` bookkeeping as a filter
+                    // skip), so `refreshes + skips` and the timeline keep
+                    // reconciling and the watermark advances.
+                    let shed = shard.skip_all(epoch) as u64;
+                    wt.bundle.record(
+                        epoch,
+                        Some(label),
+                        TraceEventKind::EpochShed { residents: shed },
+                    );
+                    return None;
+                }
+                std::thread::sleep(Duration::from_micros(100u64 << failures));
+            }
+        }
     }
 }
 
 /// Processes a shard's pending epochs in order until its lane is empty.
+/// Returns `true` when a task consumed a `KillWorker` fault and the calling
+/// worker must exit (after this function has fully released the lane).
 ///
 /// The worker owns the shard for the whole drain (the lane's `busy` flag),
 /// so filter updates from epoch `e` are always visible to epoch `e+1`'s
@@ -337,27 +648,32 @@ fn worker_loop<D: TopicWordDistribution>(
 /// ingestion.
 fn drain_lane(
     cell: &ShardCell,
-    watermark: &Watermark,
     registry: &DeliveryRegistry,
-    policy: SnapshotPolicy,
-) {
+    faults: Option<&FaultPlan>,
+    wt: &WorkerTelemetry<'_>,
+) -> bool {
+    let mut die = false;
     loop {
         // Pop-or-release must be atomic under the lane lock: otherwise the
         // ingest thread could observe `busy` in the instant before release
         // and strand a task in the queue.
         let Some(task) = cell.pop_pending_or_release() else {
-            return;
+            return die;
         };
-        let _complete = CompletionGuard(watermark, task.epoch);
-        let slide = {
-            let mut shard = cell.shard();
+        // `task` owns the epoch's watermark registration (its `EpochTask`
+        // drop-guard): completion happens when it drops at the end of this
+        // iteration, on every path through the body.
+        if let Some(plan) = faults {
+            die |= plan.take_worker_kill(task.epoch, cell.shard().key());
+        }
+        let slide = refresh_resilient(cell, task.epoch, faults, wt, |shard| {
             if shard.is_touched_by(&task.delta) {
-                let source = match policy {
+                let source = match task.policy {
                     // Exact serves the epoch image as-is: no spec walk, no
                     // per-shard allocation on the default hot path.
-                    SnapshotPolicy::Exact => task.snapshot.as_query_source(),
+                    SnapshotPolicy::Exact => Arc::clone(&task.snapshot).as_query_source(),
                     SnapshotPolicy::TruncateAtFloors => {
-                        task.snapshot.shard_source(&shard.prefix_spec(), policy)
+                        Arc::clone(&task.snapshot).shard_source(&shard.prefix_spec(), task.policy)
                     }
                 };
                 Some(shard.refresh_scheduled(source.as_ref(), &task.delta, task.epoch))
@@ -365,9 +681,9 @@ fn drain_lane(
                 shard.skip_all(task.epoch);
                 None
             }
-        };
-        if let Some(slide) = slide {
-            deliver(registry, task.epoch, &slide.updates);
+        });
+        if let Some(Some(slide)) = slide {
+            deliver(registry, task.epoch, &slide.updates, faults);
         }
     }
 }
@@ -416,5 +732,36 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         wm.complete_one(1);
         assert!(waiter.join().unwrap() < 2);
+    }
+
+    /// Regression (epoch drop-guard): an [`EpochTask`] completes its
+    /// watermark registration *however* it leaves the pipeline — including
+    /// being dropped on the floor (dying worker, shed lane, panic during
+    /// `PendingEpoch` construction).  Without the guard, a dropped task
+    /// leaves the epoch permanently in flight and `wait_inflight_below` /
+    /// `wait_all` wedge forever.
+    #[test]
+    fn dropped_epoch_task_completes_its_registration() {
+        let wm = Arc::new(Watermark::new());
+        wm.note_epoch(1);
+        let task = EpochTask::register(&wm, 1);
+        assert_eq!(wm.inflight_epochs(), 1);
+        drop(task);
+        assert_eq!(wm.inflight_epochs(), 0);
+        assert_eq!(wm.completed_through(), 1);
+        wm.wait_all(); // must not block
+        wm.wait_inflight_below(1); // must not block
+
+        // A panic mid-construction (snapshot capture, delta clone) unwinds
+        // through the already-registered task and still completes it.
+        wm.note_epoch(2);
+        let wm2 = Arc::clone(&wm);
+        let result = std::panic::catch_unwind(move || {
+            let _task = EpochTask::register(&wm2, 2);
+            panic!("injected: construction fails after registration");
+        });
+        assert!(result.is_err());
+        assert_eq!(wm.inflight_epochs(), 0);
+        assert_eq!(wm.completed_through(), 2);
     }
 }

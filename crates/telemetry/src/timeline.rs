@@ -49,6 +49,22 @@ pub struct EpochRecord {
     pub delivered: u64,
     /// Deltas shed by overflow policies.
     pub dropped: u64,
+    /// Buckets shed for arriving beyond the reorder horizon.
+    pub late_buckets_dropped: u64,
+    /// Elements those shed buckets carried.
+    pub late_elements_dropped: u64,
+    /// Elements force-replayed into a later bucket.
+    pub late_elements_replayed: u64,
+    /// Refresh panics caught at the worker isolation boundary.
+    pub worker_panics: u64,
+    /// Dead workers replaced at dispatch.
+    pub worker_respawns: u64,
+    /// Shards quarantined into degraded mode.
+    pub shards_quarantined: u64,
+    /// Residents charged a skip because their quarantined epoch was shed.
+    pub shed_residents: u64,
+    /// Overload-ladder steps recorded in this epoch.
+    pub overload_steps: u64,
     /// Timestamp of the epoch's first event.
     pub first_at_nanos: u64,
     /// Timestamp of the epoch's last event.
@@ -109,6 +125,18 @@ impl EpochRecord {
             }
             TraceEventKind::DeltaDelivered { .. } => self.delivered += 1,
             TraceEventKind::DeltaDropped { .. } => self.dropped += 1,
+            TraceEventKind::LateBucketDropped { elements } => {
+                self.late_buckets_dropped += 1;
+                self.late_elements_dropped += elements;
+            }
+            TraceEventKind::LateBucketReplayed { elements } => {
+                self.late_elements_replayed += elements;
+            }
+            TraceEventKind::WorkerPanicked => self.worker_panics += 1,
+            TraceEventKind::WorkerRespawned => self.worker_respawns += 1,
+            TraceEventKind::ShardQuarantined { .. } => self.shards_quarantined += 1,
+            TraceEventKind::EpochShed { residents } => self.shed_residents += residents,
+            TraceEventKind::OverloadStep { .. } => self.overload_steps += 1,
         }
     }
 }

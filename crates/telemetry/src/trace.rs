@@ -81,6 +81,42 @@ pub enum TraceEventKind {
         /// Raw subscription id.
         subscription: u64,
     },
+    /// A bucket arrived beyond the reorder horizon and was shed under
+    /// `LatePolicy::DropLate` (mirrors `ManagerStats::late_dropped`).
+    LateBucketDropped {
+        /// Elements the shed bucket carried.
+        elements: u64,
+    },
+    /// A bucket arrived beyond the reorder horizon and its elements were
+    /// folded into the next released bucket under `LatePolicy::ForceReplay`.
+    LateBucketReplayed {
+        /// Elements force-replayed into a later bucket.
+        elements: u64,
+    },
+    /// A shard refresh panicked and was caught at the worker's isolation
+    /// boundary; the attempt published nothing.
+    WorkerPanicked,
+    /// A dead worker thread was detected at dispatch and replaced.
+    WorkerRespawned,
+    /// A shard exhausted its refresh retry budget and entered degraded
+    /// (quarantined) mode: delta restriction and shared plans are off for
+    /// its future refreshes.
+    ShardQuarantined {
+        /// Residents the shard held when quarantined.
+        residents: u64,
+    },
+    /// A quarantined epoch was shed: every resident was charged one skip so
+    /// the watermark advances and the counters keep reconciling.
+    EpochShed {
+        /// Residents charged a skip.
+        residents: u64,
+    },
+    /// The overload controller moved the load-shed ladder (see
+    /// `OverloadLevel`); `level` is the new rung's index (0 = normal).
+    OverloadStep {
+        /// The ladder rung stepped to.
+        level: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -96,6 +132,13 @@ impl TraceEventKind {
             TraceEventKind::RefreshFinished { .. } => "refresh_finished",
             TraceEventKind::DeltaDelivered { .. } => "delta_delivered",
             TraceEventKind::DeltaDropped { .. } => "delta_dropped",
+            TraceEventKind::LateBucketDropped { .. } => "late_bucket_dropped",
+            TraceEventKind::LateBucketReplayed { .. } => "late_bucket_replayed",
+            TraceEventKind::WorkerPanicked => "worker_panicked",
+            TraceEventKind::WorkerRespawned => "worker_respawned",
+            TraceEventKind::ShardQuarantined { .. } => "shard_quarantined",
+            TraceEventKind::EpochShed { .. } => "epoch_shed",
+            TraceEventKind::OverloadStep { .. } => "overload_step",
         }
     }
 }
