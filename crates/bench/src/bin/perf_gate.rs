@@ -74,6 +74,15 @@
 //!   gate bounds the pure cost of carrying the resilience front end; both
 //!   runs are also asserted decision-identical to the serial path.
 //!
+//! * **obs**: the pipelined interval with a live `ksir-obs` introspection
+//!   server attached and a scraper thread hammering `/metrics` and
+//!   `/metrics.json` over real TCP ([`MaintenanceScenario::run_obs_probe`])
+//!   must not exceed the unobserved pipelined interval by more than
+//!   `PERF_GATE_OBS_TOLERANCE` (default 0.25).  E2E freshness stamping and
+//!   the flight recorder are on in both runs; the gate isolates the cost of
+//!   serving the surface — rendering the registry must never contend with
+//!   the ingest hot path.
+//!
 //! Each timed strategy is run three times and the fastest run is kept,
 //! which damps scheduler noise further; the deterministic shared-plans
 //! probes run once each.
@@ -181,6 +190,7 @@ fn main() {
     let telemetry_tolerance = env_tolerance("PERF_GATE_TELEMETRY_TOLERANCE", 0.25);
     let refresh_tolerance = env_tolerance("PERF_GATE_REFRESH_TOLERANCE", 0.0);
     let reorder_tolerance = env_tolerance("PERF_GATE_REORDER_TOLERANCE", 0.05);
+    let obs_tolerance = env_tolerance("PERF_GATE_OBS_TOLERANCE", 0.25);
     let shared_factor = env_tolerance("PERF_GATE_SHARED_FACTOR", 5.0);
     let shared_subscriptions = std::env::var("PERF_GATE_SHARED_SUBSCRIPTIONS")
         .ok()
@@ -226,6 +236,9 @@ fn main() {
         |r| r.ingest_span,
         || scenario.run_async(untraced_cfg, Duration::ZERO),
     );
+    // The obs gate's measured side: the same pipelined run with the
+    // introspection server live and a scraper thread polling it throughout.
+    let observed = best_of_async(|r| r.ingest_span, || scenario.run_obs_probe(pipelined_cfg));
     // The reorder gate's probes: the same clean in-order replay with and
     // without the reorder buffer staged in front of async ingestion.
     let reorder_base = best_of(|| scenario.run_reorder_probe(0));
@@ -265,6 +278,10 @@ fn main() {
     assert_eq!(
         serial.stats, untraced.stats,
         "disabling tracing must not change any refresh decision"
+    );
+    assert_eq!(
+        serial.stats, observed.stats,
+        "a live introspection scraper must not change any refresh decision"
     );
     assert_eq!(
         serial.stats, reorder_base.stats,
@@ -370,6 +387,15 @@ fn main() {
             explanation: "the reorder buffer costs more than its budget on a clean in-order \
                  stream — the resilience front end is taxing the healthy path",
         },
+        Gate {
+            name: "obs",
+            measured: ms(observed.ingest_interval()),
+            allowed: ms(pipelined.ingest_interval()) * (1.0 + obs_tolerance),
+            unit: "ms",
+            subscriptions: scenario.queries.len(),
+            explanation: "the pipelined interval regressed under a live introspection scraper — \
+                 serving /metrics is contending with the ingest hot path",
+        },
         // Also deterministic: the LCG-seeded Zipf population makes both
         // probes' scoring-pass totals exact, so the required factor is a
         // hard floor, not a tolerance band.
@@ -404,6 +430,8 @@ fn main() {
             "  \"async_ingest_interval_ms\": {:.4},\n",
             "  \"pipelined_ingest_interval_ms\": {:.4},\n",
             "  \"pipelined_untraced_ingest_interval_ms\": {:.4},\n",
+            "  \"obs_observed_ingest_interval_ms\": {:.4},\n",
+            "  \"obs_delivered\": {},\n",
             "  \"pipelined_ingest_span_ms\": {:.3},\n",
             "  \"pipelined_epochs_captured\": {},\n",
             "  \"pipelined_shard_snapshots\": {},\n",
@@ -428,6 +456,7 @@ fn main() {
             "  \"telemetry_tolerance\": {:.2},\n",
             "  \"refresh_tolerance\": {:.2},\n",
             "  \"reorder_tolerance\": {:.2},\n",
+            "  \"obs_tolerance\": {:.2},\n",
             "  \"shared_factor\": {:.2},\n",
             "  \"gate\": \"{}\",\n",
             "  \"async_gate\": \"{}\",\n",
@@ -435,6 +464,7 @@ fn main() {
             "  \"telemetry_gate\": \"{}\",\n",
             "  \"refresh_gate\": \"{}\",\n",
             "  \"reorder_gate\": \"{}\",\n",
+            "  \"obs_gate\": \"{}\",\n",
             "  \"per_subscription_gate\": \"{}\"\n",
             "}}\n"
         ),
@@ -457,6 +487,8 @@ fn main() {
         ms(async_fast.ingest_interval()),
         ms(pipelined.ingest_interval()),
         ms(untraced.ingest_interval()),
+        ms(observed.ingest_interval()),
+        observed.delivered,
         ms(pipelined.ingest_span),
         pipelined.snapshots.epochs_captured,
         pipelined.snapshots.shard_snapshots,
@@ -481,6 +513,7 @@ fn main() {
         telemetry_tolerance,
         refresh_tolerance,
         reorder_tolerance,
+        obs_tolerance,
         shared_factor,
         if gates[0].passed() { "pass" } else { "fail" },
         if gates[1].passed() { "pass" } else { "fail" },
@@ -489,6 +522,7 @@ fn main() {
         if gates[4].passed() { "pass" } else { "fail" },
         if gates[5].passed() { "pass" } else { "fail" },
         if gates[6].passed() { "pass" } else { "fail" },
+        if gates[7].passed() { "pass" } else { "fail" },
     );
     std::fs::write(&out_path, &json).expect("write BENCH_continuous.json");
     print!("{json}");
@@ -542,6 +576,11 @@ fn main() {
         "perf_gate: telemetry tracing-on interval {:.3} ms vs tracing-off {:.3} ms",
         ms(pipelined.ingest_interval()),
         ms(untraced.ingest_interval()),
+    );
+    eprintln!(
+        "perf_gate: obs-scraped interval {:.3} ms vs unobserved {:.3} ms",
+        ms(observed.ingest_interval()),
+        ms(pipelined.ingest_interval()),
     );
     eprintln!(
         "perf_gate: refresh cost {:.4} ms/refresh delta-restricted vs {:.4} ms/refresh \

@@ -22,6 +22,8 @@
 //! depth ≥ 2 the snapshot-backed pipelined mode whose ingest-to-ingest
 //! interval the CI perf gate tracks.
 
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -34,6 +36,7 @@ use ksir_core::{
     Algorithm, EngineConfig, KsirEngine, KsirQuery, QuerySource, ScoringConfig, SingletonCache,
 };
 use ksir_datagen::{DatasetProfile, GeneratedStream, StreamGenerator};
+use ksir_obs::{ObsConfig, ObsServer};
 use ksir_stream::WindowConfig;
 use ksir_types::{DenseTopicWordTable, QueryVector};
 
@@ -419,6 +422,27 @@ impl MaintenanceScenario {
     /// workers, so ingest-return latency must be independent of the delay —
     /// which is exactly what the CI perf gate checks.
     pub fn run_async(&self, config: ShardConfig, consumer_delay: Duration) -> AsyncMaintenanceRun {
+        self.run_async_impl(config, consumer_delay, false)
+    }
+
+    /// [`MaintenanceScenario::run_async`] (fast consumer) with a live
+    /// `ksir-obs` introspection server attached to the manager's telemetry
+    /// and a scraper thread polling `GET /metrics` / `GET /metrics.json`
+    /// (alternating, 100 Hz) over real TCP for the whole replay — the `obs`
+    /// CI gate's measured side.  The scrape cadence is still three orders
+    /// of magnitude hotter than any real Prometheus interval, so the gate
+    /// bounds a worst case: rendering the registry must not contend with
+    /// the ingest hot path.
+    pub fn run_obs_probe(&self, config: ShardConfig) -> AsyncMaintenanceRun {
+        self.run_async_impl(config, Duration::ZERO, true)
+    }
+
+    fn run_async_impl(
+        &self,
+        config: ShardConfig,
+        consumer_delay: Duration,
+        observed: bool,
+    ) -> AsyncMaintenanceRun {
         let started = Instant::now();
         let mut mgr = SubscriptionManager::with_shard_config(self.engine(), config);
         let mut receivers = Vec::new();
@@ -465,6 +489,40 @@ impl MaintenanceScenario {
             })
         };
 
+        // The obs probe: server + scraper live for the whole timed replay.
+        let obs = observed.then(|| {
+            let server = ObsServer::spawn(Arc::clone(mgr.telemetry()), ObsConfig::default())
+                .expect("bind obs server on an ephemeral port");
+            let addr = server.local_addr();
+            let stop = Arc::new(AtomicBool::new(false));
+            let scraper = {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut scrapes = 0u64;
+                    // 100 Hz, alternating the two renderings — three orders
+                    // of magnitude hotter than a real Prometheus interval,
+                    // but one render at a time: the gate bounds scrape
+                    // *contention*, not a render-saturated core.
+                    for round in 0u64.. {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let path = if round % 2 == 0 {
+                            "/metrics"
+                        } else {
+                            "/metrics.json"
+                        };
+                        if http_scrape(addr, path).is_ok() {
+                            scrapes += 1;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    scrapes
+                })
+            };
+            (server, stop, scraper)
+        });
+
         let mut ingest_return = Duration::ZERO;
         let mut max_ingest_return = Duration::ZERO;
         let bucket_len = self.window.bucket_len();
@@ -486,6 +544,12 @@ impl MaintenanceScenario {
         .unwrap();
         let ingest_span = loop_started.elapsed();
         mgr.sync();
+        if let Some((server, obs_stop, scraper)) = obs {
+            obs_stop.store(true, Ordering::Release);
+            let scrapes = scraper.join().expect("scraper thread panicked");
+            assert!(scrapes > 0, "obs probe never completed a scrape");
+            server.shutdown();
+        }
         stop.store(true, Ordering::Release);
         let (delivered, receivers) = consumer.join().expect("consumer thread panicked");
         let dropped = receivers.iter().map(|rx| rx.dropped()).sum();
@@ -650,6 +714,17 @@ impl MaintenanceScenario {
     }
 }
 
+/// One blocking scrape over a fresh connection; returns the byte count so
+/// the scraper can prove the body arrived.
+fn http_scrape(addr: SocketAddr, path: &str) -> std::io::Result<usize> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: obs\r\n\r\n")?;
+    let mut body = String::new();
+    stream.read_to_string(&mut body)?;
+    Ok(body.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -762,5 +837,18 @@ mod tests {
         // delta is accounted for as delivered or dropped.
         assert!(fast.delivered + fast.dropped == slow.delivered + slow.dropped);
         assert!(!fast.shard_stats.is_empty());
+    }
+
+    #[test]
+    fn obs_probe_scrapes_without_changing_decisions() {
+        let scenario = MaintenanceScenario::smoke();
+        let serial = scenario.run_managed(ShardConfig::unsharded());
+        let observed = scenario.run_obs_probe(ShardConfig::default());
+        assert_eq!(
+            serial.stats, observed.stats,
+            "a live scraper must not change any refresh decision"
+        );
+        assert!(observed.delivered > 0);
+        assert!(observed.ingest_interval() > Duration::ZERO);
     }
 }

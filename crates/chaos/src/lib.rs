@@ -119,6 +119,12 @@ pub struct ChaosReport {
     pub dropped: u64,
     /// Faults the plan actually fired (must equal the schedule).
     pub faults_injected: u64,
+    /// Flight records the faulted run captured with a `fault_injected`
+    /// trigger — the per-fault postmortem oracle pins this to the schedule.
+    pub fault_flight_records: u64,
+    /// The faulted run's full flight-recorder dump (the harness writes this
+    /// to disk as a CI artifact).
+    pub flight_json: String,
     /// Individual oracle checks that held.
     pub checks: usize,
 }
@@ -169,6 +175,16 @@ struct RunOutcome {
     panics: u64,
     restarts: u64,
     quarantined: usize,
+    /// `delivery.e2e` samples — one per accepted delta, so this must equal
+    /// `delivered` whenever nothing overflowed after acceptance.
+    e2e_count: u64,
+    /// `delivery.e2e.dropped` samples — one per shed delta with a live
+    /// ingest stamp.
+    e2e_dropped_count: u64,
+    /// Flight records whose trigger is `fault_injected`.
+    fault_flight_records: u64,
+    /// The run's whole flight-recorder ring as JSON.
+    flight_json: String,
     /// Scratch-equivalence checks that held while finishing the run.
     scratch_checks: usize,
 }
@@ -447,6 +463,12 @@ fn finish(
     }
     let stats = mgr.stats();
     let registry = mgr.telemetry().registry();
+    let flight = mgr.telemetry().flight();
+    let fault_flight_records = flight
+        .records()
+        .iter()
+        .filter(|record| record.trigger.name() == "fault_injected")
+        .count() as u64;
     Ok(RunOutcome {
         results,
         slides: stats.slides,
@@ -462,6 +484,10 @@ fn finish(
         panics: registry.counter("worker.panics").get(),
         restarts: registry.counter("worker.restarts").get(),
         quarantined: mgr.quarantined_shards(),
+        e2e_count: registry.histogram("delivery.e2e").count(),
+        e2e_dropped_count: registry.histogram("delivery.e2e.dropped").count(),
+        fault_flight_records,
+        flight_json: flight.to_json(),
         scratch_checks,
     })
 }
@@ -560,7 +586,23 @@ fn compare(oracle: &RunOutcome, run: &RunOutcome, label: &str) -> Result<usize, 
             run.delivered, run.dropped, oracle.total_updates
         ));
     }
-    Ok(5 + run.scratch_checks)
+    // E2E freshness oracle: `delivery.e2e` observes exactly one sample at
+    // acceptance, slide-for-slide, so its count must equal what the
+    // consumers drained (ample capacity: nothing accepted is later shed),
+    // and the per-outcome twin must equal the shed tally.
+    if run.e2e_count != run.delivered {
+        return Err(format!(
+            "{label}: delivery.e2e observed {} samples but {} deltas were delivered",
+            run.e2e_count, run.delivered
+        ));
+    }
+    if run.e2e_dropped_count != run.dropped {
+        return Err(format!(
+            "{label}: delivery.e2e.dropped observed {} samples but {} deltas were shed",
+            run.e2e_dropped_count, run.dropped
+        ));
+    }
+    Ok(7 + run.scratch_checks)
 }
 
 /// Checks the fault plan fully fired and was fully absorbed.
@@ -590,7 +632,16 @@ fn fault_checks(plan: &FaultPlan, run: &RunOutcome) -> Result<usize, String> {
             run.quarantined
         ));
     }
-    Ok(5)
+    // Per-fault postmortem oracle: every fault that fired left exactly one
+    // `fault_injected` flight record behind.
+    if run.fault_flight_records != plan.injected() {
+        return Err(format!(
+            "{} faults fired but the flight recorder holds {} fault_injected record(s)",
+            plan.injected(),
+            run.fault_flight_records
+        ));
+    }
+    Ok(6)
 }
 
 /// Pins the load-shed ladder to its top rung under a fully serialised
@@ -686,6 +737,8 @@ pub fn run_chaos(mode: HostileMode, seed: u64, scale: ChaosScale) -> Result<Chao
         delivered: faulted.delivered,
         dropped: faulted.dropped,
         faults_injected: plan.injected(),
+        fault_flight_records: faulted.fault_flight_records,
+        flight_json: faulted.flight_json,
         checks,
     })
 }
@@ -699,6 +752,10 @@ mod tests {
         let report = run_chaos(HostileMode::FlashCrowd, 17, ChaosScale::Smoke).unwrap();
         assert!(report.checks > 0);
         assert_eq!(report.faults_injected, 4);
+        assert_eq!(report.fault_flight_records, 4, "one postmortem per fault");
+        assert!(report
+            .flight_json
+            .contains("\"trigger\": \"fault_injected\""));
     }
 
     #[test]

@@ -18,8 +18,9 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
-use ksir_telemetry::{Counter, Telemetry, TraceEventKind};
+use ksir_telemetry::{Counter, Histogram, Telemetry, TraceEventKind};
 
 use crate::subscription::ResultDelta;
 
@@ -149,6 +150,13 @@ pub(crate) struct DeliveryTelemetry {
     bundle: Arc<Telemetry>,
     enqueued: Arc<Counter>,
     dropped: Arc<Counter>,
+    /// Ingest-to-acceptance freshness of every delta a queue **accepted** —
+    /// recorded at enqueue, so its count equals `delivery.enqueued` exactly
+    /// (the slide-for-slide e2e oracle the chaos harness asserts).
+    e2e: Arc<Histogram>,
+    /// Ingest-to-shed age of every delta an overflow policy (or a counted
+    /// fault shed) dropped — the per-outcome twin of `delivery.e2e`.
+    e2e_dropped: Arc<Histogram>,
 }
 
 impl DeliveryTelemetry {
@@ -157,7 +165,21 @@ impl DeliveryTelemetry {
         DeliveryTelemetry {
             enqueued: registry.counter("delivery.enqueued"),
             dropped: registry.counter("delivery.dropped"),
+            e2e: registry.histogram("delivery.e2e"),
+            e2e_dropped: registry.histogram("delivery.e2e.dropped"),
             bundle,
+        }
+    }
+
+    /// Records one end-to-end freshness sample for `slide` on `histogram`:
+    /// the delta's age measured from the instant its bucket hit the index
+    /// (the [`FreshnessClock`](ksir_telemetry::FreshnessClock) stamp).  A
+    /// slide whose stamp was capacity-pruned contributes no sample — old
+    /// epochs fall out of the clock and the histogram together.
+    fn observe_e2e(&self, histogram: &Histogram, slide: u64) {
+        if let Some(stamp) = self.bundle.freshness().stamp_of(slide) {
+            let age = self.bundle.now_nanos().saturating_sub(stamp);
+            histogram.record(Duration::from_nanos(age));
         }
     }
 }
@@ -188,6 +210,7 @@ impl DeliverySender {
                 state.items.push_back(Delivery { slide, delta });
                 if let Some(telemetry) = &self.telemetry {
                     telemetry.enqueued.inc();
+                    telemetry.observe_e2e(&telemetry.e2e, slide);
                     telemetry.bundle.record(
                         slide,
                         None,
@@ -202,6 +225,7 @@ impl DeliverySender {
                     state.dropped += 1;
                     if let (Some(telemetry), Some(shed)) = (&self.telemetry, shed) {
                         telemetry.dropped.inc();
+                        telemetry.observe_e2e(&telemetry.e2e_dropped, shed.slide);
                         telemetry.bundle.record(
                             shed.slide,
                             None,
@@ -215,6 +239,7 @@ impl DeliverySender {
                     state.dropped += 1;
                     if let Some(telemetry) = &self.telemetry {
                         telemetry.dropped.inc();
+                        telemetry.observe_e2e(&telemetry.e2e_dropped, slide);
                         telemetry.bundle.record(
                             slide,
                             None,
@@ -251,6 +276,7 @@ impl DeliverySender {
         state.dropped += 1;
         if let Some(telemetry) = &self.telemetry {
             telemetry.dropped.inc();
+            telemetry.observe_e2e(&telemetry.e2e_dropped, slide);
             telemetry.bundle.record(
                 slide,
                 None,
@@ -259,6 +285,17 @@ impl DeliverySender {
                 },
             );
         }
+    }
+
+    /// Deliveries currently queued (the producer-side view the manager sums
+    /// into the `delivery.queue_depth` gauge).
+    pub(crate) fn len(&self) -> usize {
+        self.channel
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .items
+            .len()
     }
 
     /// Marks the producer side closed (subscription removed / detached).
@@ -499,6 +536,36 @@ mod tests {
         tx.close();
         producer.join().unwrap();
         assert_eq!(rx.len(), 1, "only the first delta was queued");
+    }
+
+    #[test]
+    fn e2e_histograms_mirror_the_accept_and_shed_counters() {
+        let bundle = Arc::new(Telemetry::default());
+        for slide in 1..=3 {
+            bundle.freshness().stamp(slide, 0);
+        }
+        let (tx, rx) = delivery_queue(
+            DeliveryConfig::default().with_capacity(2),
+            Some(DeliveryTelemetry::new(Arc::clone(&bundle))),
+        );
+        for i in 0..3 {
+            tx.send(i + 1, delta(i));
+        }
+        let registry = bundle.registry();
+        // Accept-time recording: e2e count == enqueued, per-outcome twin ==
+        // dropped (slide 1 was accepted, then shed by DropOldest).
+        assert_eq!(registry.counter("delivery.enqueued").get(), 3);
+        assert_eq!(registry.histogram("delivery.e2e").count(), 3);
+        assert_eq!(registry.counter("delivery.dropped").get(), 1);
+        assert_eq!(registry.histogram("delivery.e2e.dropped").count(), 1);
+        assert_eq!(tx.len(), 2, "sender sees the queue depth");
+        // A slide with no retained stamp contributes no sample but still
+        // counts as enqueued.
+        rx.try_recv();
+        tx.send(99, delta(9));
+        assert_eq!(registry.counter("delivery.enqueued").get(), 4);
+        assert_eq!(registry.histogram("delivery.e2e").count(), 3);
+        drop(rx);
     }
 
     #[test]

@@ -212,6 +212,6 @@ pub use ksir_snapshot::{SnapshotPolicy, SnapshotStats};
 // The observability surface ([`SubscriptionManager::telemetry`]), re-exported
 // so dashboards and exporters never import `ksir-telemetry` directly.
 pub use ksir_telemetry::{
-    EpochRecord, EpochTimeline, MetricsRegistry, ShardLabel, Telemetry, TelemetryConfig,
-    TraceEvent, TraceEventKind, TraceLog,
+    EpochRecord, EpochTimeline, FlightRecord, FlightRecorder, FlightTrigger, FreshnessClock,
+    MetricsRegistry, ShardLabel, Telemetry, TelemetryConfig, TraceEvent, TraceEventKind, TraceLog,
 };

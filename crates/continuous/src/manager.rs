@@ -9,7 +9,7 @@ use ksir_core::{Algorithm, IngestReport, KsirEngine, KsirQuery, QueryResult, Sha
 use ksir_snapshot::{
     EngineSnapshot, SnapshotCounters, SnapshotPolicy, SnapshotSource, SnapshotStats,
 };
-use ksir_telemetry::{Telemetry, TraceEventKind};
+use ksir_telemetry::{FlightTrigger, Telemetry, TraceEventKind};
 use ksir_types::{KsirError, Result, SocialElement, Timestamp, TopicVector, TopicWordDistribution};
 
 use crate::delivery::{delivery_queue, DeliveryConfig, DeliveryReceiver, DeliveryTelemetry};
@@ -369,6 +369,22 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
         registry
             .gauge("overload.level")
             .set(self.overload.level().as_u64());
+        // Freshness: retire every fully-refreshed epoch on the e2e clock,
+        // then publish the age of the oldest still-open one — the live
+        // watermark-stall signal `/ready` probes alert on.
+        let freshness = self.telemetry.freshness();
+        freshness.retire_through(self.watermark.completed_through());
+        registry
+            .gauge("manager.freshness_lag")
+            .set(freshness.lag_nanos(self.telemetry.now_nanos()));
+        registry.gauge("delivery.queue_depth").set(
+            self.deliveries
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .values()
+                .map(|sender| sender.len() as u64)
+                .sum(),
+        );
         let engine = self.engine.read().stats();
         registry
             .gauge("engine.window_cow_clones")
@@ -663,6 +679,7 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
                 self.slides as u64,
                 std::slice::from_ref(update),
                 self.faults.as_deref(),
+                &self.telemetry,
             );
         }
         update
@@ -720,6 +737,13 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
                 lifted += 1;
             }
         }
+        // The live-occupancy gauge comes back down here (the cumulative
+        // `shard.quarantined` counter never does) — this is what lets a
+        // readiness probe recover after the fault is fixed.
+        self.telemetry
+            .registry()
+            .gauge("shard.quarantine_active")
+            .sub(lifted as u64);
         lifted
     }
 
@@ -755,6 +779,13 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
                 level: level.as_u64(),
             },
         );
+        // Ladder steps are rare and always postmortem-worthy: snapshot the
+        // trace + gauge surface while the pressure that caused them is
+        // still visible.
+        self.telemetry.trigger_flight(FlightTrigger::OverloadStep {
+            epoch: self.slides as u64,
+            level: level.as_u64(),
+        });
     }
 
     /// Folds one reorder-buffer outcome into the manager tallies, registry
@@ -781,6 +812,13 @@ impl<D: TopicWordDistribution> SubscriptionManager<D> {
                     elements: elements as u64,
                 },
             );
+            let burst = self.config.telemetry.late_drop_burst;
+            if burst > 0 && elements as u64 >= burst {
+                self.telemetry.trigger_flight(FlightTrigger::LateDropBurst {
+                    epoch: self.slides as u64,
+                    dropped: elements as u64,
+                });
+            }
         }
         if let Some(elements) = replayed {
             registry.counter("ingest.late_replayed").inc();
@@ -826,6 +864,10 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
             .as_ref()
             .and_then(|plan| plan.take_snapshot_delay(epoch))
         {
+            self.telemetry.trigger_flight(FlightTrigger::FaultInjected {
+                epoch,
+                kind: "delay_snapshot",
+            });
             std::thread::sleep(Duration::from_millis(ms));
         }
         let started = Instant::now();
@@ -868,6 +910,12 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
         self.slides += 1;
         let slide_no = self.slides as u64;
         self.watermark.note_epoch(slide_no);
+        // Stamp the epoch on the freshness clock in the same breath as the
+        // ingest trace event: every later `delivery.e2e` sample and the
+        // `manager.freshness_lag` gauge measure from this instant.
+        self.telemetry
+            .freshness()
+            .stamp(slide_no, self.telemetry.now_nanos());
         self.telemetry.record(
             slide_no,
             None,
@@ -937,6 +985,7 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
                     slide_no,
                     &slide.updates,
                     self.faults.as_deref(),
+                    &self.telemetry,
                 );
             }
         } else {
@@ -1037,6 +1086,12 @@ impl<D: TopicWordDistribution + Send + Sync + 'static> SubscriptionManager<D> {
         self.slides += 1;
         let slide_no = self.slides as u64;
         self.watermark.note_epoch(slide_no);
+        // Stamp the epoch on the freshness clock in the same breath as the
+        // ingest trace event: every later `delivery.e2e` sample and the
+        // `manager.freshness_lag` gauge measure from this instant.
+        self.telemetry
+            .freshness()
+            .stamp(slide_no, self.telemetry.now_nanos());
         self.telemetry.record(
             slide_no,
             None,

@@ -37,7 +37,7 @@ use std::time::Duration;
 use ksir_core::SharedEngine;
 use ksir_snapshot::SnapshotPolicy;
 use ksir_stream::WindowDelta;
-use ksir_telemetry::{Counter, Telemetry, TraceEventKind};
+use ksir_telemetry::{Counter, FlightTrigger, Gauge, Telemetry, TraceEventKind};
 use ksir_types::TopicWordDistribution;
 
 use crate::delivery::DeliverySender;
@@ -62,6 +62,7 @@ pub(crate) fn deliver(
     slide: u64,
     updates: &[crate::subscription::ResultDelta],
     faults: Option<&FaultPlan>,
+    telemetry: &Telemetry,
 ) {
     if updates.is_empty() {
         return;
@@ -84,6 +85,15 @@ pub(crate) fn deliver(
             // `delivered + dropped == result_changes` keeps reconciling
             // through the fault.
             let poisoned = faults.is_some_and(|plan| plan.take_delivery_poison(slide));
+            if poisoned {
+                // Flight-record the fault at its consume seam (outside the
+                // unwind below), so chaos runs can assert one postmortem
+                // record per injected fault.
+                telemetry.trigger_flight(FlightTrigger::FaultInjected {
+                    epoch: slide,
+                    kind: "poison_delivery",
+                });
+            }
             let sent = catch_unwind(AssertUnwindSafe(|| {
                 if poisoned {
                     panic!("injected delivery fault");
@@ -438,6 +448,8 @@ impl WorkerPool {
             self.restarts.inc();
             self.telemetry
                 .record(0, None, TraceEventKind::WorkerRespawned);
+            self.telemetry
+                .trigger_flight(FlightTrigger::WorkerRespawned { epoch: 0 });
         }
         state.handles = live;
     }
@@ -490,6 +502,7 @@ struct WorkerTelemetry<'a> {
     item_hist: Arc<ksir_telemetry::Histogram>,
     panics: Arc<Counter>,
     quarantines: Arc<Counter>,
+    quarantine_active: Arc<Gauge>,
 }
 
 fn worker_loop<D: TopicWordDistribution>(
@@ -505,6 +518,7 @@ fn worker_loop<D: TopicWordDistribution>(
         item_hist: telemetry.registry().histogram("worker.item"),
         panics: telemetry.registry().counter("worker.panics"),
         quarantines: telemetry.registry().counter("shard.quarantined"),
+        quarantine_active: telemetry.registry().gauge("shard.quarantine_active"),
     };
     loop {
         // Hold the receiver lock only while pulling the next item, never
@@ -526,12 +540,18 @@ fn worker_loop<D: TopicWordDistribution>(
                 let _complete = CompletionGuard(watermark, epoch);
                 let key = shard.shard().key();
                 die = faults.is_some_and(|plan| plan.take_worker_kill(epoch, key));
+                if die {
+                    wt.bundle.trigger_flight(FlightTrigger::FaultInjected {
+                        epoch,
+                        kind: "kill_worker",
+                    });
+                }
                 let slide = refresh_resilient(&shard, epoch, faults, &wt, |s| {
                     let engine = engine.read();
                     s.refresh_scheduled(&*engine, &delta, epoch)
                 });
                 if let Some(slide) = slide {
-                    deliver(registry, epoch, &slide.updates, faults);
+                    deliver(registry, epoch, &slide.updates, faults, wt.bundle);
                     collector
                         .lock()
                         .unwrap_or_else(|p| p.into_inner())
@@ -590,6 +610,12 @@ fn refresh_resilient<T>(
     let mut failures = 0;
     loop {
         let fire = faults.is_some_and(|plan| plan.take_refresh_panic(epoch, key));
+        if fire {
+            wt.bundle.trigger_flight(FlightTrigger::FaultInjected {
+                epoch,
+                kind: "panic_in_refresh",
+            });
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut shard = cell.shard();
             if fire {
@@ -613,11 +639,19 @@ fn refresh_resilient<T>(
                     let mut shard = cell.shard();
                     let residents = shard.quarantine() as u64;
                     wt.quarantines.inc();
+                    // The *live* quarantine gauge (decremented by
+                    // `lift_quarantines`) is what `/ready` checks; the
+                    // cumulative counter above never goes back down.
+                    wt.quarantine_active.add(1);
                     wt.bundle.record(
                         epoch,
                         Some(label),
                         TraceEventKind::ShardQuarantined { residents },
                     );
+                    wt.bundle.trigger_flight(FlightTrigger::ShardQuarantined {
+                        epoch,
+                        shard: label,
+                    });
                     // Shed the epoch: every resident is charged one skip
                     // (through the same `skip_all` bookkeeping as a filter
                     // skip), so `refreshes + skips` and the timeline keep
@@ -664,7 +698,13 @@ fn drain_lane(
         // drop-guard): completion happens when it drops at the end of this
         // iteration, on every path through the body.
         if let Some(plan) = faults {
-            die |= plan.take_worker_kill(task.epoch, cell.shard().key());
+            if plan.take_worker_kill(task.epoch, cell.shard().key()) {
+                wt.bundle.trigger_flight(FlightTrigger::FaultInjected {
+                    epoch: task.epoch,
+                    kind: "kill_worker",
+                });
+                die = true;
+            }
         }
         let slide = refresh_resilient(cell, task.epoch, faults, wt, |shard| {
             if shard.is_touched_by(&task.delta) {
@@ -683,7 +723,7 @@ fn drain_lane(
             }
         });
         if let Some(Some(slide)) = slide {
-            deliver(registry, task.epoch, &slide.updates, faults);
+            deliver(registry, task.epoch, &slide.updates, faults, wt.bundle);
         }
     }
 }

@@ -1,0 +1,106 @@
+//! The minimum of HTTP/1.1 the introspection server needs: parse a request
+//! head off a [`TcpStream`], write one `Connection: close` response back.
+//! No keep-alive, no chunking, no bodies on requests — every endpoint is an
+//! idempotent `GET`.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Longest request head we will buffer before giving up on a client.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// The parts of a request the router cares about.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub method: String,
+    /// The path with any query string stripped.
+    pub path: String,
+}
+
+/// Reads one request head (through the blank line) and parses its request
+/// line.  Headers beyond the first line are read and discarded.
+pub(crate) fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let line = head.lines().next().unwrap_or_default();
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default();
+    let path = target.split('?').next().unwrap_or_default().to_string();
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    }
+    Ok(Request { method, path })
+}
+
+/// One response, written whole and then closed.
+#[derive(Debug)]
+pub(crate) struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl Response {
+    pub(crate) fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    pub(crate) fn text(status: u16, content_type: &'static str, body: String) -> Self {
+        Response {
+            status,
+            content_type,
+            body,
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes `response` to the stream; the caller drops the stream (and with it
+/// the connection) afterwards.
+pub(crate) fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,265 @@
+//! Live introspection for a running k-SIR pipeline.
+//!
+//! `ksir-obs` turns the [`Telemetry`] bundle a `SubscriptionManager` already
+//! carries into an HTTP surface a human (or Prometheus, or a load balancer)
+//! can point at while the pipeline runs — no new dependencies, just
+//! [`std::net::TcpListener`] on a named thread:
+//!
+//! | endpoint        | body                                                    |
+//! |-----------------|---------------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition of the metrics registry      |
+//! | `/metrics.json` | the same registry as JSON                               |
+//! | `/health`       | liveness: `200` whenever the server thread is accepting |
+//! | `/ready`        | [`Readiness`] under the configured [`ReadinessPolicy`]: `200` or `503` |
+//! | `/timeline`     | the trace-reconstructed `EpochTimeline` as JSON         |
+//! | `/flight`       | the flight recorder's ring of postmortem records        |
+//!
+//! The server is deliberately boring: blocking accept loop, one connection
+//! at a time, `Connection: close` on every response.  Introspection traffic
+//! is a handful of scrapes per second; robustness (a slow client cannot
+//! wedge the server past its read timeout, shutdown is prompt and joined)
+//! matters more than connection throughput.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ksir_obs::{ObsConfig, ObsServer};
+//! use ksir_telemetry::Telemetry;
+//!
+//! let telemetry = Arc::new(Telemetry::default());
+//! let server = ObsServer::spawn(Arc::clone(&telemetry), ObsConfig::default()).unwrap();
+//! println!("scrape http://{}/metrics", server.local_addr());
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod http;
+mod ready;
+
+pub use ready::{Readiness, ReadinessPolicy};
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ksir_telemetry::Telemetry;
+
+use http::{read_request, write_response, Request, Response};
+
+/// How the server binds and what `/ready` enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Address to bind.  Port 0 (the default) picks an ephemeral port;
+    /// read it back from [`ObsServer::local_addr`].
+    pub bind: SocketAddr,
+    /// The SLO bounds `/ready` evaluates.
+    pub readiness: ReadinessPolicy,
+    /// Per-connection read/write timeout, so one stalled client cannot
+    /// wedge the single-threaded accept loop.
+    pub client_timeout: Duration,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+            readiness: ReadinessPolicy::default(),
+            client_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Overrides the bind address.
+    pub fn with_bind(mut self, bind: SocketAddr) -> Self {
+        self.bind = bind;
+        self
+    }
+
+    /// Overrides the readiness policy.
+    pub fn with_readiness(mut self, readiness: ReadinessPolicy) -> Self {
+        self.readiness = readiness;
+        self
+    }
+}
+
+/// The running introspection server: a bound listener plus the `ksir-obs`
+/// thread serving it.  Dropping the handle shuts the server down and joins
+/// the thread.
+#[derive(Debug)]
+pub struct ObsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `config.bind` and starts serving `telemetry` on a thread named
+    /// `ksir-obs`.  Returns once the listener is bound, so the address from
+    /// [`ObsServer::local_addr`] is immediately scrapable.
+    pub fn spawn(telemetry: Arc<Telemetry>, config: ObsConfig) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(config.bind)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ksir-obs".into())
+            .spawn(move || accept_loop(&listener, &telemetry, &config, &thread_stop))?;
+        Ok(ObsServer {
+            local_addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (the resolved port when `bind` asked
+    /// for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the accept loop and joins the server thread.  Idempotent via
+    /// `Drop`; explicit calls just make shutdown points visible.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag between connections; poke
+        // it awake with one throwaway connection to our own listener.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    telemetry: &Telemetry,
+    config: &ObsConfig,
+    stop: &AtomicBool,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(config.client_timeout));
+        let _ = stream.set_write_timeout(Some(config.client_timeout));
+        let response = match read_request(&mut stream) {
+            Ok(request) => route(&request, telemetry, &config.readiness),
+            Err(_) => Response::json(400, "{ \"error\": \"malformed request\" }\n".into()),
+        };
+        let _ = write_response(&mut stream, &response);
+    }
+}
+
+/// Maps one request to its response.  Pure with respect to the connection —
+/// unit-testable without a socket.
+fn route(request: &Request, telemetry: &Telemetry, policy: &ReadinessPolicy) -> Response {
+    if request.method != "GET" {
+        return Response::json(405, "{ \"error\": \"only GET is supported\" }\n".into());
+    }
+    match request.path.as_str() {
+        "/metrics" => Response::text(
+            200,
+            "text/plain; version=0.0.4",
+            telemetry.render_prometheus(),
+        ),
+        "/metrics.json" => Response::json(200, telemetry.to_json()),
+        "/health" => Response::json(
+            200,
+            format!(
+                "{{ \"status\": \"ok\", \"uptime_ns\": {} }}\n",
+                telemetry.now_nanos()
+            ),
+        ),
+        "/ready" => {
+            let readiness = Readiness::evaluate(telemetry, policy);
+            let status = if readiness.ready { 200 } else { 503 };
+            Response::json(status, readiness.to_json())
+        }
+        "/timeline" => Response::json(200, telemetry.timeline().to_json()),
+        "/flight" => Response::json(200, telemetry.flight().to_json()),
+        _ => Response::json(
+            404,
+            "{ \"error\": \"unknown path\", \"paths\": [\"/metrics\", \"/metrics.json\", \
+             \"/health\", \"/ready\", \"/timeline\", \"/flight\"] }\n"
+                .into(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksir_telemetry::{FlightTrigger, TelemetryConfig, TraceEventKind};
+
+    fn get(request: &str, telemetry: &Telemetry) -> Response {
+        route(
+            &Request {
+                method: "GET".into(),
+                path: request.into(),
+            },
+            telemetry,
+            &ReadinessPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn router_serves_every_endpoint() {
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        telemetry.registry().counter("manager.slides").inc();
+        telemetry.record(1, None, TraceEventKind::SlideIngested { elements: 3 });
+        telemetry.trigger_flight(FlightTrigger::WorkerRespawned { epoch: 0 });
+
+        let metrics = get("/metrics", &telemetry);
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.content_type.starts_with("text/plain"));
+        assert!(metrics.body.contains("ksir_manager_slides 1"));
+
+        let json = get("/metrics.json", &telemetry);
+        assert_eq!(json.status, 200);
+        assert!(json.body.contains("\"manager.slides\": 1"));
+
+        assert_eq!(get("/health", &telemetry).status, 200);
+        assert_eq!(get("/ready", &telemetry).status, 200);
+        assert!(get("/timeline", &telemetry).body.contains("\"epochs\""));
+        assert!(get("/flight", &telemetry)
+            .body
+            .contains("\"trigger\": \"worker_respawned\""));
+        assert_eq!(get("/nope", &telemetry).status, 404);
+
+        let post = route(
+            &Request {
+                method: "POST".into(),
+                path: "/metrics".into(),
+            },
+            &telemetry,
+            &ReadinessPolicy::default(),
+        );
+        assert_eq!(post.status, 405);
+    }
+
+    #[test]
+    fn ready_flips_to_503_on_quarantine() {
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        assert_eq!(get("/ready", &telemetry).status, 200);
+        telemetry.registry().gauge("shard.quarantine_active").set(1);
+        let response = get("/ready", &telemetry);
+        assert_eq!(response.status, 503);
+        assert!(response.body.contains("\"ready\": false"));
+    }
+}

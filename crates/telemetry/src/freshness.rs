@@ -1,0 +1,149 @@
+//! End-to-end freshness tracking: a bounded epoch → ingest-timestamp map.
+//!
+//! The ingest path stamps every slide's epoch with the bundle's monotonic
+//! clock the moment the bucket is applied to the index; the delivery path
+//! looks the stamp back up when a `ResultDelta` for that epoch is accepted
+//! into (or shed from) a subscriber queue.  The difference is the
+//! **ingest-to-consumption latency** a subscriber actually experiences —
+//! the `delivery.e2e` histograms — and the age of the oldest epoch not yet
+//! fully refreshed is the live `manager.freshness_lag` gauge a readiness
+//! probe can alert on.
+//!
+//! Stamps are kept after their epoch completes (delivery can legitimately
+//! trail completion) and pruned only by the capacity bound, oldest first;
+//! epochs are monotonically increasing, so pruning is always a `pop_first`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct State {
+    stamps: BTreeMap<u64, u64>,
+    retired_through: u64,
+}
+
+/// A bounded map from epoch (1-based slide number) to the monotonic
+/// nanosecond timestamp its bucket was ingested at.  Shared through the
+/// owning [`Telemetry`](crate::Telemetry) bundle.
+#[derive(Debug)]
+pub struct FreshnessClock {
+    capacity: usize,
+    state: Mutex<State>,
+}
+
+impl Default for FreshnessClock {
+    fn default() -> Self {
+        FreshnessClock::new(4096)
+    }
+}
+
+impl FreshnessClock {
+    /// A clock retaining at most `capacity` epoch stamps (oldest shed
+    /// first).
+    pub fn new(capacity: usize) -> Self {
+        FreshnessClock {
+            capacity: capacity.max(1),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Records that `epoch`'s bucket hit the index at monotonic `nanos`.
+    pub fn stamp(&self, epoch: u64, nanos: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.stamps.insert(epoch, nanos);
+        while state.stamps.len() > self.capacity {
+            state.stamps.pop_first();
+        }
+    }
+
+    /// The ingest timestamp of `epoch`, if still retained.
+    pub fn stamp_of(&self, epoch: u64) -> Option<u64> {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .stamps
+            .get(&epoch)
+            .copied()
+    }
+
+    /// Marks every epoch `<= epoch` as fully refreshed.  The stamps stay
+    /// retrievable for delivery lookups; only the lag computation stops
+    /// charging them.
+    pub fn retire_through(&self, epoch: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.retired_through = state.retired_through.max(epoch);
+    }
+
+    /// The age in nanoseconds (relative to `now_nanos`) of the **oldest
+    /// epoch not yet retired** — zero when every stamped epoch has been
+    /// retired.  This is the live watermark-stall signal: a wedged pipeline
+    /// stops retiring epochs and the lag grows monotonically.
+    pub fn lag_nanos(&self, now_nanos: u64) -> u64 {
+        let state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let retired = state.retired_through;
+        state
+            .stamps
+            .range(retired + 1..)
+            .next()
+            .map(|(_, &stamp)| now_nanos.saturating_sub(stamp))
+            .unwrap_or(0)
+    }
+
+    /// Number of epoch stamps currently retained.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .stamps
+            .len()
+    }
+
+    /// Returns `true` when no epochs have been stamped (or all were pruned).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_tracks_oldest_unretired_epoch() {
+        let clock = FreshnessClock::new(16);
+        assert_eq!(clock.lag_nanos(100), 0, "no stamps, no lag");
+        clock.stamp(1, 10);
+        clock.stamp(2, 40);
+        assert_eq!(clock.lag_nanos(100), 90, "epoch 1 is the oldest open");
+        clock.retire_through(1);
+        assert_eq!(clock.lag_nanos(100), 60, "epoch 2 takes over");
+        clock.retire_through(2);
+        assert_eq!(clock.lag_nanos(100), 0, "all retired");
+        // Stamps survive retirement for delivery lookups.
+        assert_eq!(clock.stamp_of(1), Some(10));
+        assert_eq!(clock.stamp_of(2), Some(40));
+    }
+
+    #[test]
+    fn capacity_prunes_oldest_stamps_only() {
+        let clock = FreshnessClock::new(2);
+        clock.stamp(1, 10);
+        clock.stamp(2, 20);
+        clock.stamp(3, 30);
+        assert_eq!(clock.len(), 2);
+        assert_eq!(clock.stamp_of(1), None, "oldest pruned");
+        assert_eq!(clock.stamp_of(3), Some(30));
+    }
+
+    #[test]
+    fn retire_is_monotonic_and_lag_saturates() {
+        let clock = FreshnessClock::new(4);
+        clock.stamp(5, 1000);
+        clock.retire_through(7);
+        clock.retire_through(3); // must not roll back
+        assert_eq!(clock.lag_nanos(2000), 0);
+        clock.stamp(8, 3000);
+        assert_eq!(clock.lag_nanos(2500), 0, "clock skew saturates to zero");
+        assert_eq!(clock.lag_nanos(3500), 500);
+    }
+}

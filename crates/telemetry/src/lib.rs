@@ -27,10 +27,14 @@
 #![warn(missing_docs)]
 
 mod export;
+mod flight;
+mod freshness;
 mod metrics;
 mod timeline;
 mod trace;
 
+pub use flight::{FlightRecord, FlightRecorder, FlightTrigger};
+pub use freshness::FreshnessClock;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use timeline::{EpochRecord, EpochTimeline};
 pub use trace::{ShardLabel, TraceEvent, TraceEventKind, TraceLog};
@@ -47,6 +51,13 @@ pub struct TelemetryConfig {
     pub tracing: bool,
     /// Bound on the trace ring; the oldest events are shed beyond it.
     pub trace_capacity: usize,
+    /// Bound on the flight-recorder ring of postmortem records; `0` disables
+    /// the recorder (triggers become no-ops).
+    pub flight_capacity: usize,
+    /// A single late arrival shedding at least this many elements trips a
+    /// [`FlightTrigger::LateDropBurst`] flight record; `0` disables the
+    /// trigger.
+    pub late_drop_burst: u64,
 }
 
 impl Default for TelemetryConfig {
@@ -54,6 +65,8 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             tracing: true,
             trace_capacity: 65_536,
+            flight_capacity: 32,
+            late_drop_burst: 1,
         }
     }
 }
@@ -73,6 +86,18 @@ impl TelemetryConfig {
         self.trace_capacity = capacity;
         self
     }
+
+    /// Overrides the flight-recorder bound (`0` = recorder off).
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity;
+        self
+    }
+
+    /// Overrides the late-drop burst threshold (`0` = trigger off).
+    pub fn with_late_drop_burst(mut self, elements: u64) -> Self {
+        self.late_drop_burst = elements;
+        self
+    }
 }
 
 /// The telemetry bundle one pipeline shares: registry + trace ring + the
@@ -81,6 +106,8 @@ impl TelemetryConfig {
 pub struct Telemetry {
     registry: MetricsRegistry,
     trace: TraceLog,
+    freshness: FreshnessClock,
+    flight: FlightRecorder,
     origin: Instant,
 }
 
@@ -96,6 +123,8 @@ impl Telemetry {
         Telemetry {
             registry: MetricsRegistry::new(),
             trace: TraceLog::new(config.trace_capacity, config.tracing),
+            freshness: FreshnessClock::default(),
+            flight: FlightRecorder::new(config.flight_capacity),
             origin: Instant::now(),
         }
     }
@@ -108,6 +137,41 @@ impl Telemetry {
     /// The trace ring.
     pub fn trace(&self) -> &TraceLog {
         &self.trace
+    }
+
+    /// The end-to-end freshness clock (epoch → ingest-timestamp map).
+    pub fn freshness(&self) -> &FreshnessClock {
+        &self.freshness
+    }
+
+    /// The flight recorder's ring of postmortem records.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Fires one flight-recorder trigger: atomically snapshots the metrics
+    /// surface and the trace ring alongside the trigger's metadata into a
+    /// [`FlightRecord`], and bumps the `flight.records` / `flight.dropped`
+    /// counters.  A no-op (beyond one length check) when the recorder is
+    /// disabled (`flight_capacity == 0`).
+    pub fn trigger_flight(&self, trigger: FlightTrigger) {
+        if !self.flight.is_enabled() {
+            return;
+        }
+        let shed_before = self.flight.len() >= self.flight.capacity();
+        let captured = self.flight.capture(
+            self.now_nanos(),
+            trigger,
+            self.trace.events_dropped(),
+            self.to_json(),
+            &self.trace.snapshot(),
+        );
+        if captured {
+            self.registry.counter("flight.records").inc();
+            if shed_before {
+                self.registry.counter("flight.dropped").inc();
+            }
+        }
     }
 
     /// Monotonic nanoseconds since this bundle was created — the clock trace
@@ -135,14 +199,25 @@ impl Telemetry {
         EpochTimeline::reconstruct(&self.trace.snapshot(), self.trace.events_dropped())
     }
 
+    /// Folds the trace ring's shed tally onto the gauge surface, so every
+    /// export carries `trace.events_dropped` — the signal that a timeline
+    /// reconstructed from the ring covers only a suffix of the stream.
+    fn publish_trace_gauges(&self) {
+        self.registry
+            .gauge("trace.events_dropped")
+            .set(self.trace.events_dropped());
+    }
+
     /// Prometheus text rendering of the registry (see
     /// [`MetricsRegistry::render_prometheus`]).
     pub fn render_prometheus(&self) -> String {
+        self.publish_trace_gauges();
         self.registry.render_prometheus()
     }
 
     /// JSON rendering of the registry (see [`MetricsRegistry::to_json`]).
     pub fn to_json(&self) -> String {
+        self.publish_trace_gauges();
         self.registry.to_json()
     }
 }
@@ -186,5 +261,59 @@ mod tests {
         let a = telemetry.now_nanos();
         let b = telemetry.now_nanos();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn exports_surface_trace_events_dropped() {
+        let telemetry = Telemetry::new(TelemetryConfig::default().with_trace_capacity(1));
+        telemetry.record(1, None, TraceEventKind::SlideIngested { elements: 1 });
+        telemetry.record(2, None, TraceEventKind::SlideIngested { elements: 1 });
+        telemetry.record(3, None, TraceEventKind::SlideIngested { elements: 1 });
+        assert!(telemetry
+            .render_prometheus()
+            .contains("ksir_trace_events_dropped 2"));
+        assert!(telemetry.to_json().contains("\"trace.events_dropped\": 2"));
+    }
+
+    #[test]
+    fn trigger_flight_snapshots_metrics_and_trace() {
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        telemetry.registry().counter("manager.slides").add(5);
+        telemetry.record(
+            3,
+            Some(ShardLabel::Topic(7)),
+            TraceEventKind::WorkerPanicked,
+        );
+        telemetry.trigger_flight(FlightTrigger::ShardQuarantined {
+            epoch: 3,
+            shard: ShardLabel::Topic(7),
+        });
+        let records = telemetry.flight().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].trigger.name(), "shard_quarantined");
+        assert!(records[0].metrics_json.contains("\"manager.slides\": 5"));
+        assert!(records[0].trace_json.contains("worker_panicked"));
+        assert_eq!(telemetry.registry().counter("flight.records").get(), 1);
+        assert_eq!(telemetry.registry().counter("flight.dropped").get(), 0);
+    }
+
+    #[test]
+    fn disabled_flight_recorder_captures_nothing() {
+        let telemetry = Telemetry::new(TelemetryConfig::default().with_flight_capacity(0));
+        telemetry.trigger_flight(FlightTrigger::WorkerRespawned { epoch: 0 });
+        assert!(telemetry.flight().is_empty());
+        assert_eq!(telemetry.registry().counter("flight.records").get(), 0);
+    }
+
+    #[test]
+    fn flight_ring_overflow_counts_dropped_records() {
+        let telemetry = Telemetry::new(TelemetryConfig::default().with_flight_capacity(2));
+        for epoch in 1..=3 {
+            telemetry.trigger_flight(FlightTrigger::OverloadStep { epoch, level: 1 });
+        }
+        assert_eq!(telemetry.flight().len(), 2);
+        assert_eq!(telemetry.flight().dropped(), 1);
+        assert_eq!(telemetry.registry().counter("flight.records").get(), 3);
+        assert_eq!(telemetry.registry().counter("flight.dropped").get(), 1);
     }
 }

@@ -45,6 +45,23 @@ impl Gauge {
         self.0.store(value, Ordering::Relaxed);
     }
 
+    /// Adds `n` to the value.  Together with [`Gauge::sub`] this makes a
+    /// gauge usable as a live occupancy count (active quarantines, in-flight
+    /// work) that concurrent writers move without a read-modify-write race.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the value, saturating at zero: a release racing a
+    /// stale reader must never wrap the gauge to `u64::MAX`.
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(n))
+            });
+    }
+
     /// The current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -110,7 +127,15 @@ impl Histogram {
         let nanos = sample.as_nanos().min(u64::MAX as u128) as u64;
         self.counts[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        // `fetch_add` would wrap silently once the running sum crosses
+        // u64::MAX (~584 years of nanoseconds, but only ~multi-hour at high
+        // sample rates of large values); saturate instead so `sum`/`mean`
+        // degrade to a pinned ceiling rather than a nonsense small number.
+        let _ = self
+            .sum_nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add(nanos))
+            });
         self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
@@ -309,6 +334,32 @@ mod tests {
         assert_eq!(h.p99(), Duration::from_micros(1000));
         assert!(h.mean() >= Duration::from_micros(220));
         assert!(h.sum() == Duration::from_micros(1100));
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let h = Histogram::default();
+        let huge = Duration::from_nanos(u64::MAX);
+        h.record(huge);
+        h.record(huge);
+        // Two u64::MAX samples would wrap `sum_nanos` to u64::MAX - 1 under
+        // fetch_add; saturation pins it at the ceiling.
+        assert_eq!(h.sum(), Duration::from_nanos(u64::MAX));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), huge);
+        // Further samples keep the sum pinned rather than restarting it.
+        h.record(Duration::from_secs(1));
+        assert_eq!(h.sum(), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn gauge_add_sub_saturates_at_zero() {
+        let g = Gauge::default();
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub must saturate, never wrap");
     }
 
     #[test]

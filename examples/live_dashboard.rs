@@ -12,17 +12,63 @@
 //! queue to be drained at the panel's own pace.  At the end it prints how
 //! much evaluation work the delta-refresh rules saved, how the panels spread
 //! over shards, what the epoch snapshots and the writer's copy-on-write
-//! cost, and the stage latencies / epoch timeline the manager's telemetry
-//! bundle recorded along the way (the same registry `render_prometheus()`
-//! and `to_json()` would export to a real scraper).
+//! cost, and the stage latencies / readiness / flight-recorder panels —
+//! rendered not from in-process accessors but by scraping a live
+//! `ksir-obs` introspection server over real TCP, exactly as an external
+//! dashboard or Prometheus would.
 //!
 //! Run with `cargo run --release --example live_dashboard`.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
 use ksir::continuous::{DeliveryConfig, SubscriptionManager};
 use ksir::datagen::{DatasetProfile, StreamGenerator};
+use ksir::obs::{ObsConfig, ObsServer};
 use ksir::{
     Algorithm, EngineConfig, KsirEngine, KsirQuery, QueryVector, ScoringConfig, WindowConfig,
 };
+
+/// One blocking `GET` against the obs server; returns the response body.
+/// An example-sized HTTP client: the server answers every request with
+/// `Connection: close`, so read-to-EOF is the whole protocol.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: obs\r\n\r\n").expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Pulls `"key": <integer>` out of a JSON object slice (the exporters emit
+/// flat, predictable JSON — a full parser would be overkill here).
+fn json_u64(object: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let start = object.find(&needle)? + needle.len();
+    let digits: String = object[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Slices the `"name": { ... }` object out of an exported JSON body.
+fn json_object<'a>(body: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("\"{name}\": {{");
+    let start = body.find(&needle)? + needle.len();
+    let end = body[start..].find('}')?;
+    Some(&body[start..start + end])
+}
 
 fn main() -> Result<(), ksir::KsirError> {
     let profile = DatasetProfile::twitter().scaled(0.25).with_topics(20);
@@ -74,6 +120,14 @@ fn main() -> Result<(), ksir::KsirError> {
         "Registered {} standing queries, each with a bounded delivery queue.\n",
         dashboard.subscription_count()
     );
+
+    // The introspection server shares the manager's telemetry bundle by
+    // `Arc` and serves it for the whole replay; everything the dashboard
+    // prints below comes back over this socket.
+    let obs = ObsServer::spawn(Arc::clone(dashboard.telemetry()), ObsConfig::default())
+        .expect("bind obs server on an ephemeral port");
+    let obs_addr = obs.local_addr();
+    println!("Introspection live at http://{obs_addr} for the whole replay.\n");
 
     // Pipelined replay: every `ingest_bucket_async` returns after the index
     // update and epoch-snapshot capture; the refresh workers evaluate
@@ -212,14 +266,11 @@ fn main() -> Result<(), ksir::KsirError> {
         sharing_ratio,
     );
 
-    // The same numbers, read back from the unified telemetry bundle: stage
-    // latency histograms keyed by static stage names, and the per-epoch
-    // timeline reconstructed from the trace ring.  A real deployment scrapes
-    // these via `telemetry.render_prometheus()` / `to_json()` instead of
-    // calling the stats accessors above.
-    let telemetry = dashboard.telemetry();
-    let registry = telemetry.registry();
-    println!("\nStage latencies (from the metrics registry):");
+    // The same numbers, scraped back over HTTP from the live obs server —
+    // the example is its own external dashboard from here on.
+    let (status, metrics_json) = http_get(obs_addr, "/metrics.json");
+    assert_eq!(status, 200, "GET /metrics.json");
+    println!("\nStage latencies (GET /metrics.json):");
     for stage in [
         "ingest.admission_wait",
         "ingest.index_write",
@@ -227,38 +278,64 @@ fn main() -> Result<(), ksir::KsirError> {
         "snapshot.capture",
         "refresh.shard",
         "worker.item",
+        "delivery.e2e",
     ] {
-        let hist = registry.histogram(stage);
-        if hist.count() == 0 {
+        let Some(hist) = json_object(&metrics_json, stage) else {
+            continue;
+        };
+        let count = json_u64(hist, "count").unwrap_or(0);
+        if count == 0 {
             continue;
         }
+        let micros = |key| json_u64(hist, key).unwrap_or(0) as f64 / 1e3;
         println!(
-            "  {stage:<22} n={:<6} p50 {:>9.1} µs  p95 {:>9.1} µs  max {:>9.1} µs",
-            hist.count(),
-            hist.p50().as_secs_f64() * 1e6,
-            hist.p95().as_secs_f64() * 1e6,
-            hist.max().as_secs_f64() * 1e6,
+            "  {stage:<22} n={count:<6} p50 {:>9.1} µs  p95 {:>9.1} µs  max {:>9.1} µs",
+            micros("p50_ns"),
+            micros("p95_ns"),
+            micros("max_ns"),
         );
     }
-    let timeline = telemetry.timeline();
-    if let Some(slow) = timeline.slowest_drain() {
-        println!(
-            "Epoch timeline: {} epochs traced; slowest drain was epoch {} \
-             ({:.2} ms from index write to last delivery — {} refreshed, \
-             {} updates).",
-            timeline.epochs.len(),
-            slow.epoch,
-            slow.drain_nanos() as f64 / 1e6,
-            slow.refreshed,
-            slow.updates,
-        );
-    }
-    let prometheus = telemetry.render_prometheus();
+
+    // The SLO verdict a load balancer would poll: freshness lag, active
+    // quarantines, and the overload ladder, all bounded by ReadinessPolicy.
+    let (ready_status, ready) = http_get(obs_addr, "/ready");
     println!(
-        "Exporters: render_prometheus() -> {} metric lines, to_json() -> {} \
-         bytes (e.g. `{}`).",
-        prometheus.lines().filter(|l| !l.starts_with('#')).count(),
-        telemetry.to_json().len(),
+        "Readiness (GET /ready): HTTP {ready_status}, freshness lag {:.2} ms, \
+         {} quarantined, overload level {}.",
+        json_u64(&ready, "freshness_lag_ns").unwrap_or(0) as f64 / 1e6,
+        json_u64(&ready, "quarantined").unwrap_or(0),
+        json_u64(&ready, "overload_level").unwrap_or(0),
+    );
+
+    let (status, timeline) = http_get(obs_addr, "/timeline");
+    assert_eq!(status, 200, "GET /timeline");
+    println!(
+        "Epoch timeline (GET /timeline): {} epochs traced, {} events shed from \
+         the trace ring.",
+        timeline.matches("\"epoch\":").count(),
+        json_u64(&timeline, "truncated_events").unwrap_or(0),
+    );
+
+    // The flight recorder stays empty on a healthy run — records appear
+    // only when a trigger (quarantine, overload step, late-drop burst,
+    // worker respawn) fires.  Dead air here is the good outcome.
+    let (status, flight) = http_get(obs_addr, "/flight");
+    assert_eq!(status, 200, "GET /flight");
+    println!(
+        "Flight recorder (GET /flight): {} postmortem records captured \
+         (capacity {}).",
+        flight.matches("\"seq\":").count(),
+        json_u64(&flight, "capacity").unwrap_or(0),
+    );
+
+    let (status, prometheus) = http_get(obs_addr, "/metrics");
+    assert_eq!(status, 200, "GET /metrics");
+    println!(
+        "Prometheus exposition (GET /metrics): {} metric lines (e.g. `{}`).",
+        prometheus
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .count(),
         prometheus
             .lines()
             .find(|l| l.starts_with("ksir_manager_refreshes"))

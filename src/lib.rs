@@ -25,6 +25,7 @@
 //! | [`stream`] | `ksir-stream` | sliding window, active elements, ranked lists |
 //! | [`core`] | `ksir-core` | scoring, the engine, MTTS/MTTD/CELF/SieveStreaming/Top-k |
 //! | [`continuous`] | `ksir-continuous` | standing queries with delta-driven result maintenance |
+//! | [`obs`] | `ksir-obs` | live introspection HTTP server over the telemetry bundle |
 //! | [`baselines`] | `ksir-baselines` | TF-IDF, DIV, Sumblr, REL effectiveness baselines |
 //! | [`datagen`] | `ksir-datagen` | synthetic streams calibrated to the paper's datasets |
 //! | [`eval`] | `ksir-eval` | coverage/influence metrics, proxy user study, kappa |
@@ -56,6 +57,7 @@ pub use ksir_continuous as continuous;
 pub use ksir_core as core;
 pub use ksir_datagen as datagen;
 pub use ksir_eval as eval;
+pub use ksir_obs as obs;
 pub use ksir_stream as stream;
 pub use ksir_text as text;
 pub use ksir_topics as topics;
